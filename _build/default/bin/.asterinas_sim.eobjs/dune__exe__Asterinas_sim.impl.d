@@ -1,0 +1,1 @@
+bin/asterinas_sim.ml: Apps Arg Aster Cmd Cmdliner Format List Ostd Printf Sim Term

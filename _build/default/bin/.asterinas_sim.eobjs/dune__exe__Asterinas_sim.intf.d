@@ -1,0 +1,1 @@
+bin/asterinas_sim.mli:

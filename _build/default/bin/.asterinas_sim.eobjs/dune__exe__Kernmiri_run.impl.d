@@ -1,0 +1,1 @@
+bin/kernmiri_run.ml: Array Kernmiri List Printf Sys

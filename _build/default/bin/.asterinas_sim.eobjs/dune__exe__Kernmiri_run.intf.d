@@ -1,0 +1,1 @@
+bin/kernmiri_run.mli:

@@ -1,0 +1,1 @@
+bin/tcb_audit.ml: Array List Printf Sys Tcbaudit

@@ -1,0 +1,1 @@
+bin/tcb_audit.mli:

@@ -1,0 +1,132 @@
+(* The Asterinas simulator CLI: boot a kernel under a profile and run a
+   workload, print ABI/syscall information, or drop into a scripted
+   shell-style session.
+
+     asterinas_sim boot --profile asterinas
+     asterinas_sim run nginx --profile linux --requests 3000
+     asterinas_sim syscalls *)
+
+open Cmdliner
+
+let profile_conv =
+  let parse = function
+    | "linux" -> Ok Sim.Profile.linux
+    | "asterinas" | "aster" -> Ok Sim.Profile.asterinas
+    | "asterinas-no-iommu" | "no-iommu" -> Ok Sim.Profile.asterinas_no_iommu
+    | s -> Error (`Msg ("unknown profile " ^ s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt p.Sim.Profile.name)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv Sim.Profile.asterinas
+    & info [ "p"; "profile" ] ~docv:"PROFILE" ~doc:"Kernel profile: linux, asterinas, no-iommu.")
+
+let requests_arg =
+  Arg.(value & opt int 2000 & info [ "n"; "requests" ] ~docv:"N" ~doc:"Request count.")
+
+let boot_summary profile =
+  let k = Apps.Runner.boot ~profile in
+  Apps.Libc.install_child_resolver ();
+  (k, Aster.Kernel.attach_host k)
+
+let cmd_boot =
+  let run profile =
+    let _k, _host = boot_summary profile in
+    Printf.printf "booted %s: %d frames of RAM, %d-sector disk, %d syscalls implemented\n"
+      profile.Sim.Profile.name (Ostd.Frame.total_frames ())
+      (Aster.Block.capacity_sectors ())
+      (Aster.Syscalls.implemented_count ());
+    Printf.printf "mounts:\n";
+    List.iter
+      (fun (path, inode) -> Printf.printf "  %-8s %s\n" path inode.Aster.Vfs.fsname)
+      (List.sort compare (Aster.Vfs.mounts ()));
+    (* Run a smoke workload so the boot is exercised end to end. *)
+    let ok = ref false in
+    Apps.Runner.spawn ~name:"smoke" (fun c ->
+        let fd = Apps.Libc.openf c "/tmp/boot.txt" ~flags:0o101 ~mode:0o644 in
+        ignore (Apps.Libc.write_str c ~fd "boot ok");
+        ignore (Apps.Libc.close c fd);
+        ok := Apps.Libc.access c "/tmp/boot.txt" = 0;
+        0);
+    Apps.Runner.run ();
+    Printf.printf "smoke user program: %s\n" (if !ok then "ok" else "FAILED")
+  in
+  Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and print a summary.")
+    Term.(const run $ profile_arg)
+
+let cmd_run =
+  let workload_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"One of: nginx, redis, sqlite, fio, lmbench.")
+  in
+  let run workload profile requests =
+    match workload with
+    | "nginx" ->
+      let _k, host = boot_summary profile in
+      Apps.Mini_nginx.spawn ~requests ~sizes:[ ("f4k", 4096); ("f64k", 65536) ];
+      let out = ref None in
+      Apps.Ab.run ~host ~path:"/f4k" ~concurrency:32 ~requests ~on_done:(fun r -> out := Some r);
+      Apps.Runner.run ();
+      (match !out with
+      | Some r -> Printf.printf "%s nginx 4k: %.0f requests/s\n" profile.Sim.Profile.name r.Apps.Ab.rps
+      | None -> print_endline "no result")
+    | "redis" ->
+      let _k, host = boot_summary profile in
+      Apps.Mini_redis.spawn ();
+      let out = ref None in
+      Apps.Redis_bench.run_op ~host ~op:"GET" ~clients:16 ~requests ~on_done:(fun r ->
+          out := Some r);
+      Apps.Runner.run ();
+      (match !out with
+      | Some r -> Printf.printf "%s redis GET: %.0f requests/s\n" profile.Sim.Profile.name r.Apps.Redis_bench.rps
+      | None -> print_endline "no result")
+    | "sqlite" ->
+      let _ = boot_summary profile in
+      let out = ref [] in
+      Apps.Runner.spawn ~name:"speedtest1" (fun c ->
+          out := Apps.Speedtest1.run ~size:10 c;
+          0);
+      Apps.Runner.run ();
+      let total = List.fold_left (fun a r -> a +. r.Apps.Speedtest1.seconds) 0. !out in
+      Printf.printf "%s speedtest1 total: %.4f virtual seconds over %d tests\n"
+        profile.Sim.Profile.name total (List.length !out)
+    | "fio" ->
+      let _ = boot_summary profile in
+      let out = ref { Apps.Fio.write_mb_s = nan; read_mb_s = nan } in
+      Apps.Runner.spawn ~name:"fio" (fun c ->
+          out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes:8;
+          0);
+      Apps.Runner.run ();
+      Printf.printf "%s fio: write %.0f MB/s, read %.0f MB/s\n" profile.Sim.Profile.name
+        !out.Apps.Fio.write_mb_s !out.Apps.Fio.read_mb_s
+    | "lmbench" ->
+      List.iter
+        (fun (row : Apps.Lmbench.row) ->
+          Printf.printf "%-24s %10.3f %s\n" row.name (row.run profile) row.unit_)
+        Apps.Lmbench.rows
+    | w -> Printf.printf "unknown workload %s\n" w
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a workload on the simulated kernel.")
+    Term.(const run $ workload_arg $ profile_arg $ requests_arg)
+
+let cmd_syscalls =
+  let run () =
+    Printf.printf "advertised ABI surface: %d syscalls\n" Aster.Syscall_nr.registered_count;
+    Printf.printf "implemented with real semantics: %d\n" (Aster.Syscalls.implemented_count ());
+    List.iter
+      (fun nr -> Printf.printf "  %4d %s\n" nr (Aster.Syscall_nr.name nr))
+      (Aster.Syscalls.implemented_numbers ())
+  in
+  Cmd.v
+    (Cmd.info "syscalls" ~doc:"List the syscall surface (implemented vs ENOSYS-stubbed).")
+    Term.(const run $ const ())
+
+let () =
+  (* Make sure the dispatch table exists for `syscalls` without a boot. *)
+  Aster.Syscalls.install ();
+  let info = Cmd.info "asterinas_sim" ~doc:"Asterinas framekernel simulator." in
+  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_run; cmd_syscalls ]))

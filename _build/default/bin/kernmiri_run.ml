@@ -1,0 +1,32 @@
+(* KernMiri CLI: coverage run over OSTD's unit-test corpus (Table 10)
+   plus the published case studies.
+
+     kernmiri_run           # full coverage table + cases
+     kernmiri_run cases     # just the Fig. 9 cases *)
+
+let coverage () =
+  let rows = Kernmiri.Runner.run () in
+  Printf.printf "%-10s %6s %14s %14s %10s %10s %8s\n" "submodule" "tests" "checkpoints"
+    "unsafe ops" "native" "kernmiri" "slowdown";
+  let print_row (r : Kernmiri.Runner.row) =
+    Printf.printf "%-10s %6d %10d/%-3d %10d/%-3d %9.4fs %9.4fs %7.1fx\n" r.submodule r.tests
+      r.lines_covered r.lines_total r.unsafe_covered r.unsafe_total r.native_s r.kernmiri_s
+      (r.kernmiri_s /. (r.native_s +. 1e-9))
+  in
+  List.iter print_row rows;
+  print_row (Kernmiri.Runner.totals rows)
+
+let cases () =
+  List.iter
+    (fun (o : Kernmiri.Cases.outcome) ->
+      Printf.printf "%s\n  buggy detected=%b  fixed clean=%b\n" o.Kernmiri.Cases.description
+        o.Kernmiri.Cases.buggy_detected o.Kernmiri.Cases.fixed_clean)
+    (Kernmiri.Cases.all ())
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "cases" :: _ -> cases ()
+  | _ ->
+    coverage ();
+    print_newline ();
+    cases ()

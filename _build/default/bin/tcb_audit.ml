@@ -1,0 +1,46 @@
+(* TCB audit CLI: the paper's Rules 1-3 + LCS analysis over the encoded
+   datasets, and the same methodology applied to this repository.
+
+     tcb_audit            # published datasets (Tables 1 and 9)
+     tcb_audit self       # audit this repo *)
+
+let datasets () =
+  Printf.printf "%-12s %8s %8s %8s   %s\n" "OS" "total" "TCB" "rel%" "unsafe crates";
+  List.iter
+    (fun (name, g) ->
+      let u, t = Tcbaudit.Crate_graph.unsafe_crate_fraction g in
+      Printf.printf "%-12s %8d %8d %7.1f%%   %d/%d\n" name
+        (Tcbaudit.Crate_graph.total_lcs g) (Tcbaudit.Crate_graph.tcb_lcs g)
+        (100. *. Tcbaudit.Crate_graph.relative_tcb g)
+        u t)
+    Tcbaudit.Datasets.table9;
+  print_newline ();
+  Printf.printf "TCB crate lists (Rules 1-3 closure):\n";
+  List.iter
+    (fun (name, g) ->
+      let tcb = Tcbaudit.Crate_graph.tcb g in
+      Printf.printf "  %-12s %d crates in TCB (first: %s ...)\n" name (List.length tcb)
+        (match tcb with c :: _ -> c | [] -> "-"))
+    Tcbaudit.Datasets.table9
+
+let self () =
+  let r = Tcbaudit.Self_audit.run () in
+  Printf.printf "%-14s %8s  %s\n" "library" "LoC" "classification";
+  List.iter
+    (fun (e : Tcbaudit.Self_audit.entry) ->
+      Printf.printf "lib/%-10s %8d  %s\n" e.library e.loc
+        (if e.tcb then "TCB (privileged framework + hardware substrate)"
+         else "de-privileged (kernel services / workloads)"))
+    r.Tcbaudit.Self_audit.entries;
+  Printf.printf "%-14s %8d\n" "total" r.Tcbaudit.Self_audit.total_loc;
+  Printf.printf "%-14s %8d  (%.1f%% relative TCB)\n" "TCB"
+    r.Tcbaudit.Self_audit.tcb_loc
+    (100. *. r.Tcbaudit.Self_audit.relative)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "self" :: _ -> self ()
+  | _ ->
+    datasets ();
+    print_newline ();
+    self ()

@@ -1,0 +1,1 @@
+examples/kernmiri_demo.mli:

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Apps Aster Bytes List Ostd Printf Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Int64 Ostd Printf Sim String

@@ -1,0 +1,1 @@
+examples/safety_demo.ml: Machine Option Ostd Printf Sim

@@ -1,0 +1,1 @@
+examples/web_server.ml: Apps Aster List Machine Printf Sim String

@@ -1,0 +1,65 @@
+(* KernMiri in action: the two published UB case studies (Fig. 9), the
+   schedule explorer's view of the data race, and a shadow-state replay
+   catching frame-protocol misuse.
+
+     dune exec examples/kernmiri_demo.exe *)
+
+let () =
+  print_endline "KernMiri demo";
+  print_endline "-------------";
+
+  (* Fig. 9(a): explore every interleaving of from_unused vs drop. *)
+  let from_unused =
+    [ Kernmiri.Race.Cas { loc = "refcount"; expect = 0; set = 1; ordering = Kernmiri.Race.Acquire };
+      Kernmiri.Race.Store "meta" ]
+  in
+  let drop ~fixed =
+    let dec =
+      [ Kernmiri.Race.Fetch_add { loc = "refcount"; delta = -1; ordering = Kernmiri.Race.Release };
+        Kernmiri.Race.Skip_unless { loc_value = ("refcount", 1) } ]
+    in
+    let setup =
+      [ Kernmiri.Race.Cas { loc = "refcount"; expect = 0; set = 1; ordering = Kernmiri.Race.Relaxed } ]
+    in
+    if fixed then setup @ [ Kernmiri.Race.Store "meta" ] @ dec
+    else setup @ dec @ [ Kernmiri.Race.Store "meta" ]
+  in
+  List.iter
+    (fun fixed ->
+      let v = Kernmiri.Race.check [| from_unused; drop ~fixed |] in
+      Printf.printf "Fig 9(a) %s drop ordering: %d interleavings explored, %s\n"
+        (if fixed then "fixed" else "buggy")
+        v.Kernmiri.Race.schedules
+        (match v.Kernmiri.Race.races with
+        | [] -> "no race"
+        | (loc, a, b) :: _ -> Printf.sprintf "DATA RACE on %S between threads %d and %d" loc a b))
+    [ false; true ];
+
+  (* Fig. 9(b): the const-pointer heap initialisation. *)
+  List.iter
+    (fun mutable_ptr ->
+      let b = Kernmiri.Borrow.create () in
+      let base = Kernmiri.Borrow.alloc b "HEAP_SPACE" in
+      let perm = if mutable_ptr then Kernmiri.Borrow.Shared_rw else Kernmiri.Borrow.Shared_ro in
+      match Kernmiri.Borrow.retag b "HEAP_SPACE" ~from:base perm with
+      | Error e -> Printf.printf "Fig 9(b): retag rejected: %s\n" e
+      | Ok ptr -> (
+        match Kernmiri.Borrow.write b "HEAP_SPACE" ptr with
+        | Ok () ->
+          Printf.printf "Fig 9(b) %s: write allowed\n"
+            (if mutable_ptr then "as_mut_ptr (fixed)" else "as_ptr (buggy)")
+        | Error e -> Printf.printf "Fig 9(b) as_ptr (buggy): %s\n" e))
+    [ false; true ];
+
+  (* Shadow replay: a use-after-free through the frame protocol. *)
+  let trace =
+    [ Kernmiri.Shadow.Claim { page = 7; untyped = true };
+      Kernmiri.Shadow.Untyped_access 7;
+      Kernmiri.Shadow.Dec_ref 7;
+      Kernmiri.Shadow.Untyped_access 7 (* after the frame was released *) ]
+  in
+  print_endline "\nShadow replay of a frame-protocol trace:";
+  List.iter
+    (fun (v : Kernmiri.Shadow.violation) ->
+      Printf.printf "  event %d: %s\n" v.Kernmiri.Shadow.event_index v.Kernmiri.Shadow.message)
+    (Kernmiri.Shadow.replay trace)

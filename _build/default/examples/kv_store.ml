@@ -1,0 +1,65 @@
+(* A key-value store session: boots Asterinas, runs mini-redis in it,
+   and executes a small scripted workload from the host, printing each
+   reply — then a burst benchmark.
+
+     dune exec examples/kv_store.exe *)
+
+let script =
+  [
+    "SET greeting hello-from-the-framekernel";
+    "GET greeting";
+    "INCR visits";
+    "INCR visits";
+    "RPUSH fruits apple";
+    "RPUSH fruits banana";
+    "RPUSH fruits cherry";
+    "LRANGE fruits 0 2";
+    "SADD tags kernel";
+    "ZADD scores 42 alice";
+    "ZPOPMIN scores";
+  ]
+
+let () =
+  let k = Apps.Runner.boot ~profile:Sim.Profile.asterinas in
+  Apps.Libc.install_child_resolver ();
+  let host = Aster.Kernel.attach_host k in
+  Apps.Mini_redis.spawn ();
+  ignore
+    (Ostd.Task.spawn ~name:"kv-client" (fun () ->
+         let rec connect tries =
+           match
+             Aster.Tcp.connect host.Aster.Kernel.htcp ~dst_ip:Aster.Kernel.guest_ip
+               ~dst_port:Apps.Mini_redis.port
+           with
+           | Ok c -> Some c
+           | Error _ when tries > 0 ->
+             Ostd.Task.sleep_us 300.;
+             connect (tries - 1)
+           | Error _ -> None
+         in
+         match connect 30 with
+         | None -> print_endline "could not connect"
+         | Some conn ->
+           let buf = Bytes.create 4096 in
+           List.iter
+             (fun cmd ->
+               let req = Bytes.of_string (cmd ^ "\n") in
+               ignore (Aster.Tcp.send conn ~buf:req ~pos:0 ~len:(Bytes.length req));
+               match Aster.Tcp.recv conn ~buf ~pos:0 ~len:4096 with
+               | Ok n ->
+                 Printf.printf "> %s\n%s" cmd (Bytes.sub_string buf 0 n)
+               | Error e -> Printf.printf "> %s\n(recv error %d)\n" cmd e)
+             script;
+           Aster.Tcp.close conn));
+  Apps.Runner.run ();
+  (* A burst benchmark on a fresh boot. *)
+  let k = Apps.Runner.boot ~profile:Sim.Profile.asterinas in
+  let host = Aster.Kernel.attach_host k in
+  Apps.Mini_redis.spawn ();
+  let out = ref None in
+  Apps.Redis_bench.run_op ~host ~op:"SET" ~clients:16 ~requests:3000 ~on_done:(fun r ->
+      out := Some r);
+  Apps.Runner.run ();
+  match !out with
+  | Some r -> Printf.printf "\nSET burst: %.0f requests/s\n" r.Apps.Redis_bench.rps
+  | None -> ()

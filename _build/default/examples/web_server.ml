@@ -1,0 +1,30 @@
+(* A static web server on the full Asterinas stack: boots the kernel,
+   starts mini-nginx inside it, and drives it from the host side of the
+   virtio-net tap with an ApacheBench-style client.
+
+     dune exec examples/web_server.exe *)
+
+let () =
+  let requests = 2000 in
+  Printf.printf "booting asterinas (IOMMU on) and serving %d requests...\n%!" requests;
+  let k = Apps.Runner.boot ~profile:Sim.Profile.asterinas in
+  Apps.Libc.install_child_resolver ();
+  let host = Aster.Kernel.attach_host k in
+  Apps.Mini_nginx.spawn ~requests ~sizes:[ ("index.html", 4096); ("big.bin", 65536) ];
+  let done_ = ref None in
+  Apps.Ab.run ~host ~path:"/index.html" ~concurrency:32 ~requests ~on_done:(fun r ->
+      done_ := Some r);
+  Apps.Runner.run ();
+  (match !done_ with
+  | Some r ->
+    Printf.printf "served %d requests in %.1f ms of virtual time: %.0f requests/s\n"
+      r.Apps.Ab.requests (r.Apps.Ab.elapsed_us /. 1000.) r.Apps.Ab.rps
+  | None -> print_endline "client did not finish");
+  Printf.printf "guest NIC: %d packets sent, %d received; IOTLB hits %d misses %d\n"
+    (Aster.Virtio_net_drv.tx_packets ())
+    (Aster.Virtio_net_drv.rx_packets ())
+    (Machine.Iommu.hits ()) (Machine.Iommu.misses ());
+  Printf.printf "syscalls served: %d (top: %s)\n"
+    (List.fold_left (fun a (_, c) -> a + c) 0 (Aster.Strace.top 100))
+    (String.concat ", "
+       (List.map (fun (n, c) -> Printf.sprintf "%s=%d" n c) (Aster.Strace.top 5)))

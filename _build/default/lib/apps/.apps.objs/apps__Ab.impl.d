@@ -1,0 +1,1 @@
+lib/apps/ab.ml: Aster Bytes Int64 Mini_nginx Option Ostd Printf Sim

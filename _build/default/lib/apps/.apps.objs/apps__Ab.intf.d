@@ -1,0 +1,1 @@
+lib/apps/ab.mli: Aster

@@ -1,0 +1,1 @@
+lib/apps/fio.ml: Int64 Libc Runner Sim

@@ -1,0 +1,1 @@
+lib/apps/fio.mli: Libc

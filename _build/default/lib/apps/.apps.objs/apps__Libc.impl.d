@@ -1,0 +1,1 @@
+lib/apps/libc.ml: Aster Bytes Hashtbl Int32 Int64 List Ostd String

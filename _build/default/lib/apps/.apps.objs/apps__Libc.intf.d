@@ -1,0 +1,1 @@
+lib/apps/libc.mli: Aster Ostd

@@ -1,0 +1,1 @@
+lib/apps/lmbench.ml: Array Aster Bytes Int64 Libc List Ostd Result Runner Sim

@@ -1,0 +1,1 @@
+lib/apps/mini_nginx.ml: Aster Bytes Libc List Ostd Printf Runner Sim String

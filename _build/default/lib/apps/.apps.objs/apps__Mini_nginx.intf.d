@@ -1,0 +1,1 @@
+lib/apps/mini_nginx.mli: Libc

@@ -1,0 +1,1 @@
+lib/apps/mini_redis.ml: Buffer Hashtbl Libc List Printf Runner Sim String

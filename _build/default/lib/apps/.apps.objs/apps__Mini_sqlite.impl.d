@@ -1,0 +1,1 @@
+lib/apps/mini_sqlite.ml: Array Bytes Hashtbl Int32 Libc List Marshal Ostd Sim

@@ -1,0 +1,1 @@
+lib/apps/redis_bench.ml: Aster Buffer Bytes Int64 List Mini_redis Option Ostd Printf Sim String

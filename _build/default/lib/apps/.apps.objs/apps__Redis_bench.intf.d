@@ -1,0 +1,1 @@
+lib/apps/redis_bench.mli: Aster

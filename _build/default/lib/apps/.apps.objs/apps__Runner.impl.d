@@ -1,0 +1,1 @@
+lib/apps/runner.ml: Aster Int64 Libc Sim

@@ -1,0 +1,1 @@
+lib/apps/runner.mli: Aster Libc Sim

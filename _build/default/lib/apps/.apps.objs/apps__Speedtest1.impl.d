@@ -1,0 +1,1 @@
+lib/apps/speedtest1.ml: Hashtbl Int64 List Mini_sqlite Printf Sim String

@@ -1,0 +1,1 @@
+lib/apps/speedtest1.mli: Libc

@@ -1,0 +1,19 @@
+(** ApacheBench-style load driver running on the host side of the tap
+    (the paper runs `ab -c 32 -n 200000` against the VM).
+
+    Each of [concurrency] host tasks opens a fresh connection per request
+    (no keep-alive, like ab's default), sends the GET, and drains the
+    response. Host work costs no guest cycles; throughput reflects guest
+    kernel + wire capacity. *)
+
+type result = { requests : int; elapsed_us : float; rps : float }
+
+val run :
+  host:Aster.Kernel.host ->
+  path:string ->
+  concurrency:int ->
+  requests:int ->
+  on_done:(result -> unit) ->
+  unit
+(** Spawns the client tasks; [on_done] fires when every request finished.
+    Call before [Runner.run]. *)

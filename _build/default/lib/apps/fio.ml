@@ -1,0 +1,38 @@
+type result = { write_mb_s : float; read_mb_s : float }
+
+let chunk = 64 * 1024
+
+let run c ~file ~mbytes =
+  let total = mbytes * 1024 * 1024 in
+  let buf = Libc.ualloc c chunk in
+  (* Sequential write + fsync per 1 MiB: every block reaches the device. *)
+  let fd = Libc.openf c file ~flags:0o102 ~mode:0o644 in
+  let t0 = Sim.Clock.now () in
+  let written = ref 0 in
+  while !written < total do
+    let n = Libc.write c ~fd ~vaddr:buf ~len:chunk in
+    if n <= 0 then written := total
+    else begin
+      written := !written + n;
+      if !written mod (1024 * 1024) = 0 then ignore (Libc.fsync c fd)
+    end
+  done;
+  ignore (Libc.fsync c fd);
+  let write_us = Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0) in
+  ignore (Libc.close c fd);
+  (* Sequential read back. The simulated buffer cache holds the file, so
+     reads here measure the cached path like fio on a warm page cache. *)
+  let fd = Libc.openf c file ~flags:0 ~mode:0 in
+  let t1 = Sim.Clock.now () in
+  let got = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let n = Libc.read c ~fd ~vaddr:buf ~len:chunk in
+    if n <= 0 then continue := false else got := !got + n
+  done;
+  let read_us = Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t1) in
+  ignore (Libc.close c fd);
+  {
+    write_mb_s = Runner.mb_per_s ~bytes_moved:total ~us:write_us;
+    read_mb_s = Runner.mb_per_s ~bytes_moved:!got ~us:read_us;
+  }

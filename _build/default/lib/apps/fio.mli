@@ -1,0 +1,8 @@
+(** FIO-style block-device bandwidth workload (Fig. 6): sequential writes
+    with periodic fsync so every byte crosses the virtio-blk driver, and
+    direct-ish sequential reads that defeat the buffer cache. Used to
+    compare pooled vs dynamic DMA mapping. *)
+
+type result = { write_mb_s : float; read_mb_s : float }
+
+val run : Libc.t -> file:string -> mbytes:int -> result

@@ -1,0 +1,19 @@
+(** LMbench-style microbenchmarks (paper Table 7).
+
+    Every row boots a fresh kernel under the given profile and measures
+    in virtual time; the run is deterministic, so a single pass suffices.
+    Latencies are microseconds (lower better), bandwidths MB/s (higher
+    better). *)
+
+type row = {
+  name : string;
+  category : string;
+  unit_ : string;
+  higher_better : bool;
+  run : Sim.Profile.t -> float;
+}
+
+val rows : row list
+
+val find : string -> row
+(** Raises [Not_found] for an unknown row name. *)

@@ -1,0 +1,63 @@
+let port = 80
+
+let setup_docroot c ~sizes =
+  ignore (Libc.mkdir c "/tmp/www");
+  List.iter
+    (fun (name, bytes) ->
+      let fd = Libc.openf c ("/tmp/www/" ^ name) ~flags:0o101 ~mode:0o644 in
+      let chunk = Bytes.make (min bytes 65536) 'w' in
+      let vaddr = Libc.ualloc c (Bytes.length chunk) in
+      (Libc.raw c).Ostd.User.mem_write vaddr chunk;
+      let written = ref 0 in
+      while !written < bytes do
+        let n = Libc.write c ~fd ~vaddr ~len:(min (Bytes.length chunk) (bytes - !written)) in
+        if n <= 0 then written := bytes else written := !written + n
+      done;
+      ignore (Libc.close c fd))
+    sizes
+
+(* Request-line parsing plus access-log bookkeeping, in user cycles. *)
+let per_request_user_work = 60000
+
+let handle_conn c conn =
+  ignore (Libc.set_nodelay c ~fd:conn);
+  let req = Libc.read_str c ~fd:conn ~len:512 in
+  Sim.Clock.charge per_request_user_work;
+  let path =
+    match String.split_on_char ' ' req with
+    | "GET" :: p :: _ -> "/tmp/www" ^ p
+    | _ -> ""
+  in
+  (match Libc.stat c path with
+  | Error _ ->
+    ignore (Libc.write_str c ~fd:conn "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n")
+  | Ok st ->
+    let hdr =
+      Printf.sprintf "HTTP/1.0 200 OK\r\nServer: mini-nginx\r\nContent-Length: %d\r\n\r\n"
+        st.Aster.Abi.size
+    in
+    ignore (Libc.write_str c ~fd:conn hdr);
+    let file = Libc.openf c path ~flags:0 ~mode:0 in
+    let sent = ref 0 in
+    while !sent < st.Aster.Abi.size do
+      let n = Libc.sendfile c ~out_fd:conn ~in_fd:file ~count:(st.Aster.Abi.size - !sent) in
+      if n <= 0 then sent := st.Aster.Abi.size else sent := !sent + n
+    done;
+    ignore (Libc.close c file));
+  ignore (Libc.shutdown c ~fd:conn);
+  ignore (Libc.close c conn)
+
+let server ~requests c =
+  let sfd = Libc.socket c ~domain:2 ~typ:1 in
+  ignore (Libc.bind_inet c ~fd:sfd ~port);
+  ignore (Libc.listen c ~fd:sfd ~backlog:128);
+  for _ = 1 to requests do
+    let conn = Libc.accept c ~fd:sfd in
+    if conn >= 0 then handle_conn c conn
+  done;
+  0
+
+let spawn ~requests ~sizes =
+  Runner.spawn ~name:"mini-nginx" (fun c ->
+      setup_docroot c ~sizes;
+      server ~requests c)

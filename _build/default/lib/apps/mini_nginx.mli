@@ -1,0 +1,20 @@
+(** A static-file HTTP/1.0 server in the spirit of the paper's Nginx
+    workload: accept, parse the request line, respond with headers and
+    sendfile(2) of the requested document, close.
+
+    The paper's diagnosis lives in this path: with
+    [sendfile_zero_copy = false] (Asterinas) every response pays an extra
+    bounce-buffer copy, which is why its advantage shrinks as the file
+    grows (Fig. 5a). *)
+
+val port : int
+
+val setup_docroot : Libc.t -> sizes:(string * int) list -> unit
+(** Create /tmp/www and one file per (name, bytes). *)
+
+val server : requests:int -> Libc.t -> int
+(** Serve exactly [requests] connections, then exit. Charges a small
+    per-request user-space cost (parsing, logging). *)
+
+val spawn : requests:int -> sizes:(string * int) list -> unit
+(** Boot-side helper: spawn the server process with its docroot. *)

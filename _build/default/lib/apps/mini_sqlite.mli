@@ -1,0 +1,56 @@
+(** A miniature SQLite-like storage engine: page-based B+trees over a
+    database file, a user-space page cache, and a rollback journal with
+    the same durability protocol shape as SQLite's "delete" journal mode
+    — including the 4-byte journal-header pwrites the paper's strace
+    analysis blames for the VACUUM gap (§6.1.2).
+
+    All I/O goes through the simulated Linux ABI (open/pread/pwrite/
+    fsync/unlink); the engine itself burns user cycles per operation. *)
+
+type db
+
+type key = K_int of int | K_text of string
+
+val open_db : Libc.t -> string -> db
+val close_db : db -> unit
+
+(** {2 Transactions (rollback-journal protocol)} *)
+
+val begin_txn : db -> unit
+val commit : db -> unit
+
+(** {2 Tables and indexes} *)
+
+val create_table : db -> string -> unit
+val create_index : db -> table:string -> name:string -> unit
+(** Builds the index from existing rows (full scan + N inserts). *)
+
+val insert : db -> table:string -> key -> string -> unit
+(** Within a transaction; maintains any indexes (indexed by row text). *)
+
+val replace : db -> table:string -> key -> string -> unit
+
+val lookup : db -> table:string -> key -> string option
+
+val range_count : db -> table:string -> lo:key -> hi:key -> int
+(** Index/PK range scan: touches only the pages in range. *)
+
+val full_scan : db -> table:string -> f:(key -> string -> unit) -> int
+(** Unindexed scan: touches every leaf page; returns rows visited. *)
+
+val update_range : db -> table:string -> lo:key -> hi:key -> f:(string -> string) -> int
+val delete_range : db -> table:string -> lo:key -> hi:key -> int
+val delete_key : db -> table:string -> key -> bool
+
+val row_count : db -> table:string -> int
+
+val vacuum : db -> unit
+(** Rebuild the database file by copying every row into a fresh file,
+    with the journal-header update pattern of real VACUUM. *)
+
+val integrity_check : db -> int
+(** Walk every page of every tree; returns pages visited. *)
+
+val analyze : db -> unit
+
+val pages_in_file : db -> int

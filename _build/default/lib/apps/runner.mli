@@ -1,0 +1,15 @@
+(** Shared harness plumbing for workloads: boot a kernel under a profile,
+    spawn user processes, run the simulation, and measure virtual time. *)
+
+val boot : profile:Sim.Profile.t -> Aster.Kernel.t
+(** Boot + install the fork-token resolver. *)
+
+val spawn : name:string -> (Libc.t -> int) -> unit
+(** Spawn a user process whose body gets a ready-made libc handle. *)
+
+val run : unit -> unit
+
+val time_us : (unit -> unit) -> float
+(** Virtual microseconds consumed by the thunk. *)
+
+val mb_per_s : bytes_moved:int -> us:float -> float

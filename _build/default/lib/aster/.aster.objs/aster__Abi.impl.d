@@ -1,0 +1,1 @@
+lib/aster/abi.ml: Buffer Bytes Char Int32 Int64 List String Vfs

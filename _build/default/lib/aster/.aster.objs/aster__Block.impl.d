@@ -1,0 +1,1 @@
+lib/aster/block.ml: Hashtbl List Ostd Queue Sim Softirq

@@ -1,0 +1,1 @@
+lib/aster/buddy.ml: Array Hashtbl List Machine Ostd Sim

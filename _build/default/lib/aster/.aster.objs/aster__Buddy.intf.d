@@ -1,0 +1,1 @@
+lib/aster/buddy.mli: Ostd

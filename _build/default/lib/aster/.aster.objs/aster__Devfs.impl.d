@@ -1,0 +1,1 @@
+lib/aster/devfs.ml: Bytes Ostd Vfs

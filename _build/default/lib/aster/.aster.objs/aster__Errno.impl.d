@@ -1,0 +1,1 @@
+lib/aster/errno.ml: List Printf

@@ -1,0 +1,1 @@
+lib/aster/errno.mli:

@@ -1,0 +1,1 @@
+lib/aster/ext2.ml: Block Buffer Bytes Char Errno Hashtbl Int32 List Ostd Sim String Vfs

@@ -1,0 +1,1 @@
+lib/aster/ext2.mli: Vfs

@@ -1,0 +1,1 @@
+lib/aster/file.ml: Errno Hashtbl Pipe Sim Tcp Udp Unix_sock Vfs

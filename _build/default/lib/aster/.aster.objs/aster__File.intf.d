@@ -1,0 +1,1 @@
+lib/aster/file.mli: Pipe Tcp Udp Unix_sock Vfs

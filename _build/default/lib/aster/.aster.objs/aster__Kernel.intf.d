@@ -1,0 +1,1 @@
+lib/aster/kernel.mli: Machine Netstack Sim Tcp Udp

@@ -1,0 +1,1 @@
+lib/aster/ktime.ml: Int64 Sched_policy Sim

@@ -1,0 +1,1 @@
+lib/aster/mm.ml: Errno List Ostd Sim

@@ -1,0 +1,1 @@
+lib/aster/mm.mli: Ostd

@@ -1,0 +1,1 @@
+lib/aster/netstack.ml: Packet Sim

@@ -1,0 +1,1 @@
+lib/aster/packet.ml: Bytes Char Int32 Printf String

@@ -1,0 +1,1 @@
+lib/aster/page_cache.ml: Bytes Hashtbl List Machine Ostd Sim

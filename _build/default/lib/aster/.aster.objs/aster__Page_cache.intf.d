@@ -1,0 +1,1 @@
+lib/aster/page_cache.mli:

@@ -1,0 +1,1 @@
+lib/aster/pipe.ml: Bytes Errno Ostd Sim Stdlib

@@ -1,0 +1,1 @@
+lib/aster/process.ml: Errno File Hashtbl List Logs Mm Ostd Signal Sim Strace Uprog_registry Vfs

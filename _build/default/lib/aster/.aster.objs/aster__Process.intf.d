@@ -1,0 +1,1 @@
+lib/aster/process.mli: File Mm Ostd Signal Vfs

@@ -1,0 +1,1 @@
+lib/aster/procfs.ml: Bytes Errno Hashtbl Ktime List Ostd Printf Process Signal Strace String Vfs

@@ -1,0 +1,1 @@
+lib/aster/ramfs.ml: Bytes Errno List Ostd Page_cache Vfs

@@ -1,0 +1,1 @@
+lib/aster/ramfs.mli: Page_cache Vfs

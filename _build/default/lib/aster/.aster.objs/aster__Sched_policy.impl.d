@@ -1,0 +1,1 @@
+lib/aster/sched_policy.ml: Int64 List Map Ostd Queue Sim

@@ -1,0 +1,1 @@
+lib/aster/sched_policy.mli: Ostd

@@ -1,0 +1,1 @@
+lib/aster/signal.ml: Array List

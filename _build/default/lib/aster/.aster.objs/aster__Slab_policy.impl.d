@@ -1,0 +1,1 @@
+lib/aster/slab_policy.ml: Hashtbl List Ostd Printf Sim

@@ -1,0 +1,1 @@
+lib/aster/slab_policy.mli: Ostd

@@ -1,0 +1,1 @@
+lib/aster/softirq.ml: Ostd Queue Sched_policy Sim

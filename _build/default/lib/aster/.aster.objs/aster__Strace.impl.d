@@ -1,0 +1,1 @@
+lib/aster/strace.ml: Hashtbl List Syscall_nr

@@ -1,0 +1,1 @@
+lib/aster/syscall_nr.mli:

@@ -1,0 +1,1 @@
+lib/aster/syscalls.ml: Abi Array Block Bytes Char Errno Ext2 File Hashtbl Int32 Int64 Ktime List Mm Netstack Ostd Pipe Process Result Signal Sim Strace String Syscall_nr Tcp Udp Unix_sock Vfs

@@ -1,0 +1,1 @@
+lib/aster/syscalls.mli: Netstack Tcp Udp

@@ -1,0 +1,1 @@
+lib/aster/tcp.ml: Bytes Errno Hashtbl Netstack Ostd Packet Queue Sim

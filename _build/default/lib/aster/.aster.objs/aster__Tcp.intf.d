@@ -1,0 +1,1 @@
+lib/aster/tcp.mli: Netstack

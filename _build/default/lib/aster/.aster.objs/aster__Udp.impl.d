@@ -1,0 +1,1 @@
+lib/aster/udp.ml: Bytes Errno Hashtbl Netstack Ostd Packet Queue Sim

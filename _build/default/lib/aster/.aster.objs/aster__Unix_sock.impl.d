@@ -1,0 +1,1 @@
+lib/aster/unix_sock.ml: Bytes Errno Hashtbl Ostd Queue Sim

@@ -1,0 +1,1 @@
+lib/aster/uprog_registry.ml: Hashtbl List Ostd String

@@ -1,0 +1,1 @@
+lib/aster/uprog_registry.mli: Ostd

@@ -1,0 +1,1 @@
+lib/aster/vfs.ml: Errno Hashtbl Ktime List Ostd Sim String

@@ -1,0 +1,1 @@
+lib/aster/virtio_blk_drv.ml: Block Errno Int64 List Machine Ostd Sim Softirq

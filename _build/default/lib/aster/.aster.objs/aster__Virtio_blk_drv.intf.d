@@ -1,0 +1,1 @@
+lib/aster/virtio_blk_drv.mli:

@@ -1,0 +1,1 @@
+lib/aster/virtio_net_drv.ml: Bytes Int64 List Machine Netstack Ostd Packet Sim Softirq

@@ -1,0 +1,1 @@
+lib/aster/virtio_net_drv.mli: Netstack

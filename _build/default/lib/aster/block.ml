@@ -1,0 +1,218 @@
+let block_size = 4096
+
+let sectors_per_block = block_size / 512
+
+type op = Read | Write | Flush
+
+type bio = {
+  op : op;
+  sector : int;
+  frame : Ostd.Frame.t option;
+  len : int;
+  mutable status : int option;
+  wq : Ostd.Wait_queue.t;
+}
+
+let make_bio op ~sector ?frame ~len () =
+  (match (op, frame) with
+  | (Read | Write), None -> Ostd.Panic.panic "Block.make_bio: data op without a buffer"
+  | _ -> ());
+  { op; sector; frame; len; status = None; wq = Ostd.Wait_queue.create () }
+
+let bio_status bio = bio.status
+
+let bio_op bio = bio.op
+
+let bio_sector bio = bio.sector
+
+let bio_frame bio = bio.frame
+
+let bio_len bio = bio.len
+
+let complete_bio bio ~status =
+  bio.status <- Some status;
+  ignore (Ostd.Wait_queue.wake_all bio.wq)
+
+module type DRIVER = sig
+  val capacity_sectors : unit -> int
+  val submit : bio -> unit
+end
+
+let driver : (module DRIVER) option ref = ref None
+
+let register_driver d = driver := Some d
+
+let have_driver () = !driver <> None
+
+let the_driver () =
+  match !driver with
+  | Some d -> d
+  | None -> Ostd.Panic.panic "Block: no block driver registered"
+
+let capacity_sectors () =
+  let (module D) = the_driver () in
+  D.capacity_sectors ()
+
+let submit_and_wait bio =
+  let (module D) = the_driver () in
+  Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.blk_issue;
+  D.submit bio;
+  (match Ostd.Task.current_opt () with
+  | Some _ -> Ostd.Wait_queue.sleep_until bio.wq (fun () -> bio.status <> None)
+  | None ->
+    (* Early boot (mkfs/mount before tasks exist): poll the device. *)
+    while bio.status = None do
+      if not (Sim.Events.run_next ()) then
+        Ostd.Panic.panic "Block: device never completed a boot-time request"
+    done);
+  match bio.status with
+  | Some 0 -> Ok ()
+  | Some e -> Error e
+  | None -> assert false
+
+(* --- Buffer cache --- *)
+
+type centry = { cframe : Ostd.Frame.t; mutable dirty : bool }
+
+let cache : (int, centry) Hashtbl.t = Hashtbl.create 1024
+
+(* Background-writeback bookkeeping (dirty_ratio-style throttling). *)
+let dirty_fifo : int Queue.t = Queue.create ()
+
+let ndirty = ref 0
+
+let flusher_running = ref false
+
+let throttle_wq = ref (Ostd.Wait_queue.create ())
+
+let bg_dirty_threshold = 768
+
+let hard_dirty_limit = 4096
+
+let reset () =
+  throttle_wq := Ostd.Wait_queue.create ();
+  driver := None;
+  (* Frames belong to the old boot's metadata; just forget them. *)
+  Hashtbl.reset cache;
+  Queue.clear dirty_fifo;
+  ndirty := 0;
+  flusher_running := false
+
+let entry_of blockno ~fill =
+  match Hashtbl.find_opt cache blockno with
+  | Some e -> e
+  | None ->
+    let cframe = Ostd.Frame.alloc ~untyped:true () in
+    if fill then begin
+      let bio =
+        make_bio Read ~sector:(blockno * sectors_per_block) ~frame:cframe ~len:block_size ()
+      in
+      match submit_and_wait bio with
+      | Ok () -> ()
+      | Error e -> Ostd.Panic.panicf "buffer cache: read of block %d failed (%d)" blockno e
+    end
+    else Ostd.Untyped.fill cframe ~off:0 ~len:block_size '\000';
+    let e = { cframe; dirty = false } in
+    Hashtbl.add cache blockno e;
+    e
+
+let read_block blockno = (entry_of blockno ~fill:true).cframe
+
+let read_from_block blockno ~off ~buf ~pos ~len =
+  let e = entry_of blockno ~fill:true in
+  Sim.Cost.charge_memcpy len;
+  Ostd.Untyped.read_bytes e.cframe ~off ~buf ~pos ~len
+
+let rec flush_batch () =
+  let budget = ref 512 in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Queue.take_opt dirty_fifo with
+    | None -> continue := false
+    | Some blockno -> (
+      match Hashtbl.find_opt cache blockno with
+      | Some e when e.dirty ->
+        writeback blockno e;
+        decr budget
+      | Some _ | None -> ())
+  done;
+  ignore (Ostd.Wait_queue.wake_all !throttle_wq);
+  if dirty_count () > bg_dirty_threshold then flush_batch () else flusher_running := false
+
+and dirty_count () = !ndirty
+
+and writeback blockno e =
+  if e.dirty then begin
+    let bio =
+      make_bio Write ~sector:(blockno * sectors_per_block) ~frame:e.cframe ~len:block_size ()
+    in
+    (match submit_and_wait bio with
+    | Ok () -> ()
+    | Error err -> Ostd.Panic.panicf "buffer cache: writeback of block %d failed (%d)" blockno err);
+    e.dirty <- false;
+    decr ndirty
+  end
+
+let maybe_start_writeback () =
+  if !ndirty > bg_dirty_threshold && not !flusher_running then begin
+    flusher_running := true;
+    Softirq.queue_work flush_batch
+  end;
+  (* dirty_ratio hard wall: writers stall until the flusher catches up
+     (only meaningful in task context). *)
+  if !ndirty > hard_dirty_limit && Ostd.Task.current_opt () <> None then
+    Ostd.Wait_queue.sleep_until !throttle_wq (fun () -> !ndirty <= hard_dirty_limit)
+
+(* Every path that turns a clean block dirty goes through here. *)
+let set_dirty blockno e =
+  if not e.dirty then begin
+    e.dirty <- true;
+    incr ndirty;
+    Queue.push blockno dirty_fifo;
+    maybe_start_writeback ()
+  end
+
+let write_to_block blockno ~off ~buf ~pos ~len =
+  let whole = off = 0 && len = block_size in
+  let e = entry_of blockno ~fill:(not whole) in
+  Sim.Cost.charge_memcpy len;
+  Ostd.Untyped.write_bytes e.cframe ~off ~buf ~pos ~len;
+  set_dirty blockno e
+
+let zero_block blockno =
+  let e = entry_of blockno ~fill:false in
+  Ostd.Untyped.fill e.cframe ~off:0 ~len:block_size '\000';
+  set_dirty blockno e
+
+let mark_dirty blockno =
+  match Hashtbl.find_opt cache blockno with
+  | Some e -> set_dirty blockno e
+  | None -> ()
+
+let dirty_blocks () = !ndirty
+
+let cached_blocks () = Hashtbl.length cache
+
+let flush_device () =
+  let bio = make_bio Flush ~sector:0 ~len:0 () in
+  match submit_and_wait bio with
+  | Ok () -> ()
+  | Error e -> Ostd.Panic.panicf "buffer cache: device flush failed (%d)" e
+
+let sync () =
+  let dirty = Hashtbl.fold (fun b e acc -> if e.dirty then (b, e) :: acc else acc) cache [] in
+  let dirty = List.sort (fun (a, _) (b, _) -> compare a b) dirty in
+  List.iter (fun (b, e) -> writeback b e) dirty;
+  if dirty <> [] then flush_device ()
+
+let sync_blocks blocks =
+  let wrote = ref false in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt cache b with
+      | Some e when e.dirty ->
+        writeback b e;
+        wrote := true
+      | Some _ | None -> ())
+    (List.sort_uniq compare blocks);
+  if !wrote then flush_device ()

@@ -1,0 +1,72 @@
+(** Block layer: bios, driver registration, and a 4 KiB buffer cache.
+
+    File systems read and write through the cache (memory speed on hits);
+    dirty blocks reach the device on [sync]/[sync_blocks] (fsync) or via
+    background writeback. All buffers are untyped frames, as the DMA path
+    requires (Inv. 6). *)
+
+val block_size : int
+val sectors_per_block : int
+
+type op = Read | Write | Flush
+
+type bio
+
+val make_bio : op -> sector:int -> ?frame:Ostd.Frame.t -> len:int -> unit -> bio
+(** [frame] carries the data for Read/Write; Flush takes none. The frame
+    is borrowed for the bio's lifetime. *)
+
+val bio_status : bio -> int option
+(** [None] while in flight; [Some 0] on success; [Some errno] on error. *)
+
+val bio_op : bio -> op
+val bio_sector : bio -> int
+val bio_frame : bio -> Ostd.Frame.t option
+val bio_len : bio -> int
+
+val complete_bio : bio -> status:int -> unit
+(** Called by the driver when the device finishes. *)
+
+module type DRIVER = sig
+  val capacity_sectors : unit -> int
+
+  val submit : bio -> unit
+  (** Begin servicing; completion arrives via [complete_bio]. *)
+end
+
+val register_driver : (module DRIVER) -> unit
+val have_driver : unit -> bool
+val capacity_sectors : unit -> int
+
+val submit_and_wait : bio -> (unit, int) result
+(** Sleep the current task until the bio completes. *)
+
+(** {2 Buffer cache} *)
+
+val read_block : int -> Ostd.Frame.t
+(** The cached frame for a block, reading it from the device on a miss.
+    The returned frame is owned by the cache — do not drop it. *)
+
+val write_to_block : int -> off:int -> buf:bytes -> pos:int -> len:int -> unit
+(** Write through the cache and mark dirty. A partial write of a block
+    not yet cached reads it first (read-modify-write); a full-block write
+    skips the read. *)
+
+val read_from_block : int -> off:int -> buf:bytes -> pos:int -> len:int -> unit
+
+val zero_block : int -> unit
+(** Mark the block cached and zeroed without touching the device (fresh
+    allocation). *)
+
+val mark_dirty : int -> unit
+val dirty_blocks : unit -> int
+val cached_blocks : unit -> int
+
+val sync : unit -> unit
+(** Write back every dirty block and issue a device flush. *)
+
+val sync_blocks : int list -> unit
+(** Write back specific blocks (fsync of one file), then flush. *)
+
+val reset : unit -> unit
+(** Forget the driver and drop the cache (new boot). *)

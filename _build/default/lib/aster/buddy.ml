@@ -1,0 +1,154 @@
+let max_order = 10
+
+let page_size = Machine.Phys.page_size
+
+type t = {
+  (* free_lists.(o) holds start page numbers of free 2^o-page blocks. *)
+  free_lists : int list array;
+  (* page -> order for the head of each free block, for O(1) buddy checks. *)
+  free_heads : (int, int) Hashtbl.t;
+  mutable pcpu_cache : int list; (* order-0 fast path, like a per-CPU page cache *)
+  pcpu_enabled : bool;
+  mutable nfree : int;
+}
+
+let pcpu_cache_max = 32
+
+let create ?(pcpu_cache = true) () =
+  {
+    free_lists = Array.make (max_order + 1) [];
+    free_heads = Hashtbl.create 1024;
+    pcpu_cache = [];
+    pcpu_enabled = pcpu_cache;
+    nfree = 0;
+  }
+
+let free_pages t = t.nfree
+
+let push_block t page order =
+  t.free_lists.(order) <- page :: t.free_lists.(order);
+  Hashtbl.replace t.free_heads page order
+
+let remove_block t page order =
+  t.free_lists.(order) <- List.filter (fun p -> p <> page) t.free_lists.(order);
+  Hashtbl.remove t.free_heads page
+
+let order_for pages =
+  let rec go o = if 1 lsl o >= pages then o else go (o + 1) in
+  go 0
+
+(* Split blocks down to the requested order. *)
+let rec take_order t order =
+  if order > max_order then None
+  else
+    match t.free_lists.(order) with
+    | page :: rest ->
+      t.free_lists.(order) <- rest;
+      Hashtbl.remove t.free_heads page;
+      Some page
+    | [] -> (
+      match take_order t (order + 1) with
+      | None -> None
+      | Some page ->
+        push_block t (page + (1 lsl order)) order;
+        Some page)
+
+(* Coalesce a naturally-aligned free block upwards. [merge] preserves the
+   alignment invariant: a block of order o always starts at a multiple of
+   2^o, because min(page, buddy) clears the order bit. *)
+let rec merge t page order =
+  if order >= max_order then push_block t page order
+  else begin
+    let buddy = page lxor (1 lsl order) in
+    match Hashtbl.find_opt t.free_heads buddy with
+    | Some o when o = order ->
+      remove_block t buddy order;
+      merge t (min page buddy) (order + 1)
+    | Some _ | None -> push_block t page order
+  end
+
+(* Free an arbitrary page span as maximal naturally-aligned blocks so the
+   alignment invariant holds for every block entering the free lists. *)
+let free_span t page npages ~coalesce =
+  let rec go p n =
+    if n > 0 then begin
+      let align_order =
+        let rec fit o =
+          if o < max_order && p land ((1 lsl (o + 1)) - 1) = 0 then fit (o + 1) else o
+        in
+        fit 0
+      in
+      let size_order =
+        let rec fit o = if o < max_order && 1 lsl (o + 1) <= n then fit (o + 1) else o in
+        fit 0
+      in
+      let o = min align_order size_order in
+      if coalesce then merge t p o else push_block t p o;
+      go (p + (1 lsl o)) (n - (1 lsl o))
+    end
+  in
+  go page npages
+
+let alloc t ~pages =
+  if pages = 1 && t.pcpu_enabled then begin
+    match t.pcpu_cache with
+    | page :: rest ->
+      (* Per-CPU cache hit: no buddy traversal, no list surgery. *)
+      Sim.Clock.charge 15;
+      t.pcpu_cache <- rest;
+      t.nfree <- t.nfree - 1;
+      Sim.Stats.incr "buddy.pcpu_hit";
+      Some (page * page_size)
+    | [] -> (
+      Sim.Stats.incr "buddy.pcpu_miss";
+      Sim.Clock.charge 120;
+      match take_order t 0 with
+      | Some page ->
+        t.nfree <- t.nfree - 1;
+        Some (page * page_size)
+      | None -> None)
+  end
+  else begin
+    let order = order_for pages in
+    (* Free-list traversal, splitting, and bookkeeping. *)
+    Sim.Clock.charge (120 + (25 * order));
+    match take_order t order with
+    | None -> None
+    | Some page ->
+      let got = 1 lsl order in
+      if got > pages then free_span t (page + pages) (got - pages) ~coalesce:true;
+      t.nfree <- t.nfree - pages;
+      Some (page * page_size)
+  end
+
+let dealloc t ~paddr ~pages =
+  let page = paddr / page_size in
+  t.nfree <- t.nfree + pages;
+  if pages = 1 && t.pcpu_enabled && List.length t.pcpu_cache < pcpu_cache_max then begin
+    Sim.Clock.charge 12;
+    t.pcpu_cache <- page :: t.pcpu_cache
+  end
+  else begin
+    Sim.Clock.charge (90 + (25 * pages / 4));
+    free_span t page pages ~coalesce:true
+  end
+
+let add_free_memory t ~paddr ~pages =
+  t.nfree <- t.nfree + pages;
+  free_span t (paddr / page_size) pages ~coalesce:false
+
+let as_frame_alloc t =
+  let module A = struct
+    let alloc ~pages = alloc t ~pages
+
+    let dealloc ~paddr ~pages = dealloc t ~paddr ~pages
+
+    let add_free_memory ~paddr ~pages = add_free_memory t ~paddr ~pages
+  end in
+  (module A : Ostd.Falloc.FRAME_ALLOC)
+
+let install () =
+  let t = create () in
+  Ostd.Falloc.inject (as_frame_alloc t);
+  Ostd.Boot.feed_free_memory ();
+  t

@@ -1,0 +1,35 @@
+(** Linux errno values (returned negated from syscalls, as in the ABI). *)
+
+val eperm : int
+val enoent : int
+val esrch : int
+val eintr : int
+val eio : int
+val ebadf : int
+val echild : int
+val eagain : int
+val enomem : int
+val eacces : int
+val efault : int
+val ebusy : int
+val eexist : int
+val enotdir : int
+val eisdir : int
+val einval : int
+val enfile : int
+val emfile : int
+val enospc : int
+val espipe : int
+val erofs : int
+val epipe : int
+val enosys : int
+val enotempty : int
+val enotsock : int
+val eaddrinuse : int
+val econnrefused : int
+val enotconn : int
+val econnreset : int
+val eafnosupport : int
+
+val name : int -> string
+(** [name 2] is ["ENOENT"]. *)

@@ -1,0 +1,23 @@
+(** Ext2-style file system on the block device.
+
+    On-disk layout (4 KiB blocks): superblock, block bitmap, inode
+    bitmap, inode table, then data blocks. Inodes address data through 12
+    direct pointers, one indirect and one double-indirect block, like
+    ext2 proper. All I/O goes through the {!Block} buffer cache; [fsync]
+    forces a file's dirty blocks (data + metadata) to the device —
+    that is the path SQLite's journal hammers in the paper's VACUUM
+    analysis. *)
+
+val mkfs : unit -> unit
+(** Format the registered block device. *)
+
+val mount : unit -> Vfs.inode
+(** Read the superblock and return the root inode. Panics if the device
+    does not contain an ext2 image. *)
+
+val block_size : int
+val max_file_blocks : int
+
+val inodes_total : unit -> int
+val free_blocks : unit -> int
+val free_inodes : unit -> int

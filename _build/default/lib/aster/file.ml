@@ -1,0 +1,99 @@
+type sock_kind = Inet_stream | Inet_dgram | Unix_stream
+
+type sock_state =
+  | S_unbound
+  | S_tcp_listener of Tcp.listener
+  | S_tcp_conn of Tcp.conn
+  | S_udp of Udp.socket
+  | S_unix_listener of Unix_sock.listener
+  | S_unix_conn of Unix_sock.endpoint
+
+type sock = {
+  kind : sock_kind;
+  mutable st : sock_state;
+  mutable bport : int option;  (* bound inet port *)
+  mutable upath : string option;  (* bound unix path *)
+}
+
+type desc =
+  | Inode_file of Vfs.inode
+  | Pipe_read of Pipe.t
+  | Pipe_write of Pipe.t
+  | Socket of sock
+
+type t = {
+  mutable desc : desc;
+  mutable pos : int;
+  mutable flags : int;
+  mutable refs : int;
+}
+
+let o_nonblock = 0o4000
+let o_append = 0o2000
+let o_creat = 0o100
+let o_trunc = 0o1000
+let o_excl = 0o200
+let o_directory = 0o200000
+
+let make desc ~flags = { desc; pos = 0; flags; refs = 1 }
+
+let get f = f.refs <- f.refs + 1
+
+let release f =
+  match f.desc with
+  | Inode_file _ -> ()
+  | Pipe_read p -> Pipe.close_read p
+  | Pipe_write p -> Pipe.close_write p
+  | Socket s -> (
+    match s.st with
+    | S_unbound -> ()
+    | S_tcp_listener _ -> () (* engine keeps listeners; fine for our workloads *)
+    | S_tcp_conn c -> Tcp.close c
+    | S_udp u -> Udp.close u
+    | S_unix_listener l -> Unix_sock.close_listener l
+    | S_unix_conn ep -> Unix_sock.close ep)
+
+let put f =
+  f.refs <- f.refs - 1;
+  if f.refs = 0 then release f
+
+module Table = struct
+  type file = t
+
+  type t = { files : (int, file) Hashtbl.t; mutable next_hint : int }
+
+  let create () = { files = Hashtbl.create 16; next_hint = 0 }
+
+  let clone t =
+    let t' = { files = Hashtbl.copy t.files; next_hint = t.next_hint } in
+    Hashtbl.iter (fun _ f -> get f) t'.files;
+    t'
+
+  let lookup t fd =
+    Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.fd_lookup;
+    Hashtbl.find_opt t.files fd
+
+  let install t f =
+    let rec first_free fd = if Hashtbl.mem t.files fd then first_free (fd + 1) else fd in
+    let fd = first_free 0 in
+    Hashtbl.replace t.files fd f;
+    fd
+
+  let install_at t fd f =
+    (match Hashtbl.find_opt t.files fd with Some old -> put old | None -> ());
+    Hashtbl.replace t.files fd f
+
+  let close t fd =
+    match Hashtbl.find_opt t.files fd with
+    | None -> Error Errno.ebadf
+    | Some f ->
+      Hashtbl.remove t.files fd;
+      put f;
+      Ok ()
+
+  let close_all t =
+    Hashtbl.iter (fun _ f -> put f) t.files;
+    Hashtbl.reset t.files
+
+  let count t = Hashtbl.length t.files
+end

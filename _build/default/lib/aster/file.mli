@@ -1,0 +1,68 @@
+(** Open file descriptions and per-process fd tables. *)
+
+type sock_kind = Inet_stream | Inet_dgram | Unix_stream
+
+type sock_state =
+  | S_unbound
+  | S_tcp_listener of Tcp.listener
+  | S_tcp_conn of Tcp.conn
+  | S_udp of Udp.socket
+  | S_unix_listener of Unix_sock.listener
+  | S_unix_conn of Unix_sock.endpoint
+
+type sock = {
+  kind : sock_kind;
+  mutable st : sock_state;
+  mutable bport : int option;  (* bound inet port *)
+  mutable upath : string option;  (* bound unix path *)
+}
+
+type desc =
+  | Inode_file of Vfs.inode
+  | Pipe_read of Pipe.t
+  | Pipe_write of Pipe.t
+  | Socket of sock
+
+type t = {
+  mutable desc : desc;
+  mutable pos : int;
+  mutable flags : int;
+  mutable refs : int;
+}
+
+val o_nonblock : int
+val o_append : int
+val o_creat : int
+val o_trunc : int
+val o_excl : int
+val o_directory : int
+
+val make : desc -> flags:int -> t
+
+val get : t -> unit
+(** Increment the reference count (dup, fork). *)
+
+val put : t -> unit
+(** Decrement; the last reference releases the underlying object (pipe
+    end close, socket close). *)
+
+module Table : sig
+  type file = t
+
+  type t
+
+  val create : unit -> t
+  val clone : t -> t
+  (** Share open files (fork): every file's refcount rises. *)
+
+  val lookup : t -> int -> file option
+  val install : t -> file -> int
+  (** Lowest free descriptor. Charges the fd-lookup cost on use. *)
+
+  val install_at : t -> int -> file -> unit
+  (** dup2: closes whatever was there. *)
+
+  val close : t -> int -> (unit, int) result
+  val close_all : t -> unit
+  val count : t -> int
+end

@@ -1,0 +1,72 @@
+type t = {
+  devices : Machine.Board.devices;
+  stack : Netstack.t;
+  tcp : Tcp.engine;
+  udp : Udp.engine;
+}
+
+let guest_ip = Packet.ip_of_string "10.0.2.15"
+
+let host_ip = Packet.ip_of_string "10.0.2.2"
+
+let reset_services () =
+  Vfs.reset ();
+  Block.reset ();
+  Unix_sock.reset_namespace ();
+  Strace.reset ();
+  Process.reset ();
+  Ktime.stop_ticker ()
+
+let mount_filesystems ~format_disk =
+  let root = Ramfs.create_root () in
+  Vfs.mount_root root;
+  (* Mountpoint directories. *)
+  List.iter
+    (fun name ->
+      match root.Vfs.ops.Vfs.create root name Vfs.Dir ~mode:0o755 with
+      | Ok _ -> ()
+      | Error e -> Ostd.Panic.panicf "boot: mkdir /%s failed (%d)" name e)
+    [ "proc"; "ext2"; "tmp"; "dev" ];
+  (match root.Vfs.ops.Vfs.lookup root "dev" with
+  | Some dev_dir -> Devfs.populate dev_dir
+  | None -> ());
+  Vfs.mount "/proc" (Procfs.create_root ());
+  if format_disk then Ext2.mkfs ();
+  Vfs.mount "/ext2" (Ext2.mount ())
+
+let boot ?profile ?(frames = 16384) ?(disk_mb = 64) ?(format_disk = true) () =
+  (match profile with Some p -> Sim.Profile.set p | None -> ());
+  Ostd.Boot.init ~frames ();
+  reset_services ();
+  Sched_policy.install ();
+  ignore (Buddy.install ());
+  Slab_policy.install_global_heap ();
+  let devices = Machine.Board.attach_default_devices ~disk_mb () in
+  Softirq.install ();
+  Virtio_blk_drv.init ();
+  let stack = Netstack.create ~ip:guest_ip ~host:false in
+  Virtio_net_drv.init stack;
+  let tcp =
+    Tcp.create_engine stack ~cc:(Sim.Profile.get ()).Sim.Profile.tcp_congestion_control
+  in
+  let udp = Udp.create_engine stack in
+  Syscalls.init_net stack tcp udp;
+  Syscalls.install ();
+  mount_filesystems ~format_disk;
+  { devices; stack; tcp; udp }
+
+type host = { hstack : Netstack.t; htcp : Tcp.engine; hudp : Udp.engine }
+
+let attach_host t =
+  let hstack = Netstack.create ~ip:host_ip ~host:true in
+  let ep = t.devices.Machine.Board.host_endpoint in
+  Netstack.set_ext_tx hstack (fun pkt -> Machine.Wire.send ep (Packet.encode pkt));
+  Machine.Wire.on_receive ep (fun raw ->
+      match Packet.decode raw with
+      | Some pkt -> Netstack.rx hstack pkt
+      | None -> Sim.Stats.incr "host.bad_packet");
+  { hstack; htcp = Tcp.create_engine hstack ~cc:true; hudp = Udp.create_engine hstack }
+
+let run () = Ostd.Task.run ()
+
+let run_until = Ostd.Task.run_until

@@ -1,0 +1,34 @@
+(** Whole-kernel boot: machine, OSTD, injected policies, drivers, file
+    systems, network engines, and the syscall table — the paper's Fig. 4
+    assembled.
+
+    [boot] follows the installed {!Sim.Profile} (call [Sim.Profile.set]
+    first, or pass [~profile]). The returned handles expose the host side
+    of the virtio-net wire for benchmark clients. *)
+
+type t = {
+  devices : Machine.Board.devices;
+  stack : Netstack.t;
+  tcp : Tcp.engine;
+  udp : Udp.engine;
+}
+
+val guest_ip : int
+val host_ip : int
+
+val boot :
+  ?profile:Sim.Profile.t -> ?frames:int -> ?disk_mb:int -> ?format_disk:bool -> unit -> t
+(** Fresh machine; mounts ramfs at /, procfs at /proc, ext2 at /ext2
+    (formatting the disk when [format_disk], default true), and creates
+    /tmp. *)
+
+type host = { hstack : Netstack.t; htcp : Tcp.engine; hudp : Udp.engine }
+
+val attach_host : t -> host
+(** Wire a host-side stack (congestion control on, zero guest cost) to
+    the tap endpoint. *)
+
+val run : unit -> unit
+(** Dispatch until the machine is fully idle. *)
+
+val run_until : (unit -> bool) -> unit

@@ -1,0 +1,34 @@
+(** Per-process user memory: regions, mmap/brk, demand paging, COW.
+
+    Regions record what *should* be mapped; pages materialise on first
+    touch through the page-fault path (anonymous zero-fill), and fork
+    marks writable pages copy-on-write via {!Ostd.Vmspace}. *)
+
+type t
+
+val create : unit -> t
+val destroy : t -> unit
+val fork : t -> t
+
+val vmspace : t -> Ostd.Vmspace.t
+
+val brk_start : int
+val mmap_base : int
+val stack_top : int
+
+val do_brk : t -> int -> int
+(** Set (or query with 0) the program break; returns the new break. *)
+
+val do_mmap : t -> len:int -> (int, int) result
+(** Anonymous private mapping; returns the chosen address. *)
+
+val do_munmap : t -> addr:int -> len:int -> (unit, int) result
+
+val do_mprotect : t -> addr:int -> len:int -> writable:bool -> (unit, int) result
+
+val handle_fault : t -> vaddr:int -> write:bool -> bool
+(** Resolve a page fault: COW split or demand zero-fill within a region.
+    [false] means a genuine access violation (SIGSEGV). *)
+
+val mapped_pages : t -> int
+val region_count : t -> int

@@ -1,0 +1,56 @@
+let loopback_ip = Packet.ip_of_string "127.0.0.1"
+
+type t = {
+  addr : int;
+  host : bool;
+  mutable ext_tx : Packet.t -> unit;
+  mutable tcp_rx : Packet.t -> unit;
+  mutable udp_rx : Packet.t -> unit;
+  mutable ntx : int;
+  mutable nrx : int;
+}
+
+let create ~ip ~host =
+  {
+    addr = ip;
+    host;
+    ext_tx = (fun _ -> ());
+    tcp_rx = (fun _ -> ());
+    udp_rx = (fun _ -> ());
+    ntx = 0;
+    nrx = 0;
+  }
+
+let ip t = t.addr
+
+let is_host t = t.host
+
+let set_ext_tx t f = t.ext_tx <- f
+
+let set_tcp_rx t f = t.tcp_rx <- f
+
+let set_udp_rx t f = t.udp_rx <- f
+
+let charge t n = if not t.host then Sim.Cost.charge n
+
+let dispatch t (p : Packet.t) =
+  t.nrx <- t.nrx + 1;
+  match p.Packet.proto with
+  | Packet.Tcp -> t.tcp_rx p
+  | Packet.Udp -> t.udp_rx p
+
+let send t p =
+  t.ntx <- t.ntx + 1;
+  let dst = p.Packet.dst_ip in
+  if dst = loopback_ip || dst = t.addr then begin
+    (* Loopback: softirq-style asynchronous hand-off. *)
+    charge t (Sim.Cost.c ()).Sim.Profile.loopback_delivery;
+    ignore (Sim.Events.schedule_after 0 (fun () -> dispatch t p))
+  end
+  else t.ext_tx p
+
+let rx t p = dispatch t p
+
+let packets_tx t = t.ntx
+
+let packets_rx t = t.nrx

@@ -1,0 +1,37 @@
+(** An instantiable network stack core: routing, loopback, and protocol
+    dispatch.
+
+    The guest kernel owns one instance (loopback + the virtio-net route);
+    host-side benchmark clients own another bound directly to the wire.
+    Host instances charge no guest CPU cycles — the paper's clients run
+    outside the VM. *)
+
+type t
+
+val create : ip:int -> host:bool -> t
+
+val ip : t -> int
+val is_host : t -> bool
+
+val loopback_ip : int
+
+val set_ext_tx : t -> (Packet.t -> unit) -> unit
+(** Transmit function for non-loopback destinations (the NIC driver or
+    the host's wire endpoint). *)
+
+val set_tcp_rx : t -> (Packet.t -> unit) -> unit
+val set_udp_rx : t -> (Packet.t -> unit) -> unit
+
+val send : t -> Packet.t -> unit
+(** Route: destinations equal to [loopback_ip] or the stack's own address
+    go through the loopback (softirq hand-off cost, asynchronous
+    delivery); everything else goes out the external interface. *)
+
+val rx : t -> Packet.t -> unit
+(** Entry point for inbound packets from the external interface. *)
+
+val charge : t -> int -> unit
+(** Charge cycles only when this is the guest stack. *)
+
+val packets_tx : t -> int
+val packets_rx : t -> int

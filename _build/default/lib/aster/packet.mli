@@ -1,0 +1,37 @@
+(** Network packets: a structured header plus payload, with a binary
+    encoding for links that carry raw bytes (virtio-net DMA buffers). *)
+
+type proto = Tcp | Udp
+
+type t = {
+  src_ip : int;
+  dst_ip : int;
+  proto : proto;
+  src_port : int;
+  dst_port : int;
+  flags : int;
+  seq : int;
+  ack : int;
+  win : int;
+  payload : bytes;
+}
+
+val syn : int
+val ack_flag : int
+val fin : int
+val rst : int
+val psh : int
+
+val header_size : int
+val mss : int
+(** Maximum segment payload carried per packet. *)
+
+val encode : t -> bytes
+val decode : bytes -> t option
+
+val make :
+  src_ip:int -> dst_ip:int -> proto:proto -> src_port:int -> dst_port:int ->
+  ?flags:int -> ?seq:int -> ?ack:int -> ?win:int -> bytes -> t
+
+val ip_of_string : string -> int
+val string_of_ip : int -> string

@@ -1,0 +1,102 @@
+let page_size = Machine.Phys.page_size
+
+(* The custom per-frame metadata of the paper's Frame<M>: page-cache
+   synchronisation state, attached to the frame itself. *)
+type pstate = { mutable dirty : bool; mutable uptodate : bool }
+
+type Ostd.Frame.meta += Page_state of pstate
+
+type t = { frames : (int, Ostd.Frame.t) Hashtbl.t; mutable destroyed : bool }
+
+let create () = { frames = Hashtbl.create 16; destroyed = false }
+
+let alive t = if t.destroyed then Ostd.Panic.panic "Page_cache: use after destroy"
+
+let destroy t =
+  if not t.destroyed then begin
+    Hashtbl.iter (fun _ f -> Ostd.Frame.drop f) t.frames;
+    Hashtbl.reset t.frames;
+    t.destroyed <- true
+  end
+
+let pages t = Hashtbl.length t.frames
+
+let state_of frame =
+  match Ostd.Frame.get_meta frame ~page:0 with
+  | Some (Page_state s) -> s
+  | _ -> Ostd.Panic.panic "Page_cache: frame without page state"
+
+let frame_for t idx =
+  alive t;
+  match Hashtbl.find_opt t.frames idx with
+  | Some f -> f
+  | None ->
+    let f = Ostd.Frame.alloc ~untyped:true () in
+    Ostd.Frame.set_meta f ~page:0 (Page_state { dirty = false; uptodate = true });
+    Hashtbl.replace t.frames idx f;
+    f
+
+let iter_range pos len f =
+  let moved = ref 0 in
+  while !moved < len do
+    let p = pos + !moved in
+    let idx = p / page_size and off = p mod page_size in
+    let chunk = min (len - !moved) (page_size - off) in
+    f idx off !moved chunk;
+    moved := !moved + chunk
+  done
+
+let read t ~pos ~buf ~boff ~len =
+  alive t;
+  Sim.Cost.charge_memcpy len;
+  iter_range pos len (fun idx off moved chunk ->
+      match Hashtbl.find_opt t.frames idx with
+      | Some frame -> Ostd.Untyped.read_bytes frame ~off ~buf ~pos:(boff + moved) ~len:chunk
+      | None -> Bytes.fill buf (boff + moved) chunk '\000')
+
+let write t ~pos ~buf ~boff ~len =
+  alive t;
+  Sim.Cost.charge_memcpy len;
+  iter_range pos len (fun idx off moved chunk ->
+      let fresh = not (Hashtbl.mem t.frames idx) in
+      if fresh then Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.fs_new_page;
+      let frame = frame_for t idx in
+      Ostd.Untyped.write_bytes frame ~off ~buf ~pos:(boff + moved) ~len:chunk;
+      (state_of frame).dirty <- true)
+
+let truncate t n =
+  alive t;
+  let keep = (n + page_size - 1) / page_size in
+  let victims = Hashtbl.fold (fun idx f acc -> if idx >= keep then (idx, f) :: acc else acc) t.frames [] in
+  List.iter
+    (fun (idx, f) ->
+      Ostd.Frame.drop f;
+      Hashtbl.remove t.frames idx)
+    victims;
+  (* Zero the tail of the last kept page so re-extension reads zeroes. *)
+  if n mod page_size <> 0 then
+    match Hashtbl.find_opt t.frames (n / page_size) with
+    | Some frame ->
+      Ostd.Untyped.fill frame ~off:(n mod page_size) ~len:(page_size - (n mod page_size)) '\000'
+    | None -> ()
+
+let dirty_pages t =
+  Hashtbl.fold (fun _ f acc -> if (state_of f).dirty then acc + 1 else acc) t.frames 0
+
+let clean_all t =
+  Hashtbl.fold
+    (fun _ f acc ->
+      let s = state_of f in
+      if s.dirty then begin
+        s.dirty <- false;
+        acc + 1
+      end
+      else acc)
+    t.frames 0
+
+let page_state t idx =
+  match Hashtbl.find_opt t.frames idx with
+  | Some f ->
+    let s = state_of f in
+    Some (s.dirty, s.uptodate)
+  | None -> None

@@ -1,0 +1,36 @@
+(** A per-file page cache over untyped frames — the paper's showcase for
+    custom per-frame metadata ([Frame<M>], §4.2): each cached page carries
+    a dirty/uptodate state attached through {!Ostd.Frame.set_meta}, the
+    way a page cache tracks memory/disk synchronisation.
+
+    RamFS stores file contents here (so user data lives in OSTD-managed
+    untyped frames, not OCaml heap buffers), and the dirty tracking is
+    what a disk-backed user would drive writeback from. *)
+
+type t
+
+val create : unit -> t
+
+val destroy : t -> unit
+(** Drop every cached frame. *)
+
+val pages : t -> int
+
+val read : t -> pos:int -> buf:bytes -> boff:int -> len:int -> unit
+(** Uncached (sparse) ranges read as zeroes. *)
+
+val write : t -> pos:int -> buf:bytes -> boff:int -> len:int -> unit
+(** Allocates frames on demand; marks the touched pages dirty. *)
+
+val truncate : t -> int -> unit
+(** Free whole pages past the new size and zero the partial tail. *)
+
+val dirty_pages : t -> int
+
+val clean_all : t -> int
+(** Clear every dirty mark (what writeback completion would do); returns
+    how many pages were dirty. *)
+
+val page_state : t -> int -> (bool * bool) option
+(** (dirty, uptodate) for a page index, read back through the frame
+    metadata — [None] if the page is not cached. *)

@@ -1,0 +1,25 @@
+(** Pipes and FIFOs: a ring buffer with blocking reader/writer ends.
+
+    Capacity follows the installed profile ([pipe_buffer]); each
+    operation charges the per-op pipe cost beyond syscall and copy costs,
+    and wake-ups are what drive the lat_pipe / bw_pipe shape. *)
+
+type t
+
+val create : unit -> t
+
+val capacity : t -> int
+val available : t -> int
+(** Bytes currently buffered. *)
+
+val close_read : t -> unit
+val close_write : t -> unit
+
+val read : t -> buf:bytes -> pos:int -> len:int -> (int, int) result
+(** Blocks while empty (unless the write end is closed -> 0). *)
+
+val write : t -> buf:bytes -> pos:int -> len:int -> (int, int) result
+(** Blocks while full; EPIPE once the read end is closed. *)
+
+val readable : t -> bool
+val writable : t -> bool

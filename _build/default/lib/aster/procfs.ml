@@ -1,0 +1,114 @@
+let generators : (string, unit -> string) Hashtbl.t = Hashtbl.create 16
+
+let register name gen = Hashtbl.replace generators name gen
+
+type Vfs.priv += Proc_file of string | Proc_root
+
+let file_ops =
+  {
+    Vfs.default_ops with
+    read =
+      (fun i ~pos ~buf ~boff ~len ->
+        match i.Vfs.priv with
+        | Proc_file name -> (
+          match Hashtbl.find_opt generators name with
+          | None -> Error Errno.enoent
+          | Some gen ->
+            let content = gen () in
+            let clen = String.length content in
+            if pos >= clen then Ok 0
+            else begin
+              let n = min len (clen - pos) in
+              Bytes.blit_string content pos buf boff n;
+              Ok n
+            end)
+        | _ -> Error Errno.einval);
+  }
+
+(* Inodes are generated on demand and cached per name so ino stays
+   stable across lookups. *)
+let file_cache : (string, Vfs.inode) Hashtbl.t = Hashtbl.create 16
+
+let file_inode name =
+  match Hashtbl.find_opt file_cache name with
+  | Some i -> i
+  | None ->
+    let i = Vfs.make_inode ~fsname:"procfs" ~kind:Vfs.Reg ~mode:0o444 ~ops:file_ops () in
+    i.Vfs.priv <- Proc_file name;
+    Hashtbl.replace file_cache name i;
+    i
+
+(* Per-process directories: /proc/<pid>/{status,comm}. *)
+let pid_dir_cache : (int, Vfs.inode) Hashtbl.t = Hashtbl.create 16
+
+let pid_status pid () =
+  match Process.by_pid pid with
+  | None -> ""
+  | Some p ->
+    Printf.sprintf "Name:\t%s\nPid:\t%d\nPPid:\t%d\nState:\tR (running)\nSigPnd:\t%08x\n"
+      (Process.comm p) pid (Process.parent_pid p)
+      (Signal.pending (Process.signals p))
+
+let pid_comm pid () =
+  match Process.by_pid pid with None -> "" | Some p -> Process.comm p ^ "\n"
+
+let pid_dir pid =
+  match Hashtbl.find_opt pid_dir_cache pid with
+  | Some d -> d
+  | None ->
+    let status_name = Printf.sprintf "pid.%d.status" pid in
+    let comm_name = Printf.sprintf "pid.%d.comm" pid in
+    register status_name (pid_status pid);
+    register comm_name (pid_comm pid);
+    let ops =
+      {
+        Vfs.default_ops with
+        lookup =
+          (fun _ name ->
+            match name with
+            | "status" -> Some (file_inode status_name)
+            | "comm" -> Some (file_inode comm_name)
+            | _ -> None);
+        readdir =
+          (fun _ ->
+            [ ("status", file_inode status_name); ("comm", file_inode comm_name) ]);
+      }
+    in
+    let d = Vfs.make_inode ~fsname:"procfs" ~kind:Vfs.Dir ~mode:0o555 ~ops () in
+    Hashtbl.replace pid_dir_cache pid d;
+    d
+
+let root_ops =
+  {
+    Vfs.default_ops with
+    lookup =
+      (fun _ name ->
+        if Hashtbl.mem generators name then Some (file_inode name)
+        else
+          match int_of_string_opt name with
+          | Some pid when Process.by_pid pid <> None -> Some (pid_dir pid)
+          | Some _ | None -> None);
+    readdir =
+      (fun _ ->
+        Hashtbl.fold (fun name _ acc -> (name, file_inode name) :: acc) generators []
+        |> List.sort compare);
+  }
+
+let standard_entries () =
+  register "meminfo" (fun () ->
+      let total = Ostd.Frame.total_frames () * 4 in
+      Printf.sprintf "MemTotal: %d kB\nMemFree: (dynamic)\n" total);
+  register "uptime" (fun () -> Printf.sprintf "%.2f\n" (Ktime.seconds ()));
+  register "version" (fun () ->
+      "Asterinas-OCaml framekernel reproduction (Linux ABI compatible)\n");
+  register "syscalls" (fun () ->
+      String.concat ""
+        (List.map (fun (n, c) -> Printf.sprintf "%s %d\n" n c) (Strace.top 50)))
+
+let create_root () =
+  Hashtbl.reset file_cache;
+  Hashtbl.reset pid_dir_cache;
+  standard_entries ();
+  let root = Vfs.make_inode ~fsname:"procfs" ~kind:Vfs.Dir ~mode:0o555 ~ops:root_ops () in
+  root.Vfs.priv <- Proc_root;
+  root

@@ -1,0 +1,8 @@
+(** ProcFS: kernel-generated read-only files (/proc). Content is produced
+    by registered generators at read time. *)
+
+val create_root : unit -> Vfs.inode
+
+val register : string -> (unit -> string) -> unit
+(** Add or replace a /proc entry. Standard entries (meminfo, uptime,
+    version, syscalls) are registered by {!create_root}. *)

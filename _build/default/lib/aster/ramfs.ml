@@ -1,0 +1,150 @@
+type node =
+  | File of { cache : Page_cache.t; mutable len : int }
+  | Directory of { mutable entries : (string * Vfs.inode) list }
+  | Symlink of { mutable target : string }
+
+type Vfs.priv += Ram of node
+
+let node_of i =
+  match i.Vfs.priv with
+  | Ram n -> n
+  | _ -> Ostd.Panic.panic "ramfs: foreign inode"
+
+let rec ops =
+  {
+    Vfs.default_ops with
+    lookup =
+      (fun dir name ->
+        match node_of dir with
+        | Directory d -> List.assoc_opt name d.entries
+        | File _ | Symlink _ -> None);
+    create =
+      (fun dir name kind ~mode ->
+        match node_of dir with
+        | File _ | Symlink _ -> Error Errno.enotdir
+        | Directory d ->
+          if List.mem_assoc name d.entries then Error Errno.eexist
+          else begin
+            let inode = Vfs.make_inode ~fsname:"ramfs" ~kind ~mode ~ops () in
+            (inode.Vfs.priv <-
+               (match kind with
+               | Vfs.Dir -> Ram (Directory { entries = [] })
+               | Vfs.Lnk -> Ram (Symlink { target = "" })
+               | Vfs.Reg | Vfs.Fifo | Vfs.Sock | Vfs.Chr ->
+                 Ram (File { cache = Page_cache.create (); len = 0 })));
+            d.entries <- d.entries @ [ (name, inode) ];
+            Vfs.touch_mtime dir;
+            Ok inode
+          end);
+    unlink =
+      (fun dir name ->
+        match node_of dir with
+        | File _ | Symlink _ -> Error Errno.enotdir
+        | Directory d -> (
+          match List.assoc_opt name d.entries with
+          | None -> Error Errno.enoent
+          | Some child ->
+            (match node_of child with
+            | Directory cd when cd.entries <> [] -> Error Errno.enotempty
+            | _ ->
+              child.Vfs.nlink <- child.Vfs.nlink - 1;
+              (* Last link gone: release the backing frames. *)
+              (match node_of child with
+              | File st when child.Vfs.nlink <= 0 -> Page_cache.destroy st.cache
+              | File _ | Directory _ | Symlink _ -> ());
+              d.entries <- List.remove_assoc name d.entries;
+              Vfs.dcache_invalidate dir name;
+              Vfs.touch_mtime dir;
+              Ok ())
+            |> fun r -> r));
+    readdir =
+      (fun dir ->
+        match node_of dir with Directory d -> d.entries | File _ | Symlink _ -> []);
+    read =
+      (fun f ~pos ~buf ~boff ~len ->
+        match node_of f with
+        | Directory _ -> Error Errno.eisdir
+        | Symlink _ -> Error Errno.einval
+        | File st ->
+          if pos >= st.len then Ok 0
+          else begin
+            let n = min len (st.len - pos) in
+            Page_cache.read st.cache ~pos ~buf ~boff ~len:n;
+            Ok n
+          end);
+    write =
+      (fun f ~pos ~buf ~boff ~len ->
+        match node_of f with
+        | Directory _ -> Error Errno.eisdir
+        | Symlink _ -> Error Errno.einval
+        | File st ->
+          Page_cache.write st.cache ~pos ~buf ~boff ~len;
+          if pos + len > st.len then st.len <- pos + len;
+          f.Vfs.size <- st.len;
+          Vfs.touch_mtime f;
+          Ok len);
+    truncate =
+      (fun f n ->
+        match node_of f with
+        | Directory _ -> Error Errno.eisdir
+        | Symlink _ -> Error Errno.einval
+        | File st ->
+          Page_cache.truncate st.cache n;
+          st.len <- n;
+          f.Vfs.size <- n;
+          Vfs.touch_mtime f;
+          Ok ());
+    rename =
+      (fun src_dir src_name dst_dir dst_name ->
+        match (node_of src_dir, node_of dst_dir) with
+        | Directory sd, Directory dd -> (
+          match List.assoc_opt src_name sd.entries with
+          | None -> Error Errno.enoent
+          | Some child ->
+            sd.entries <- List.remove_assoc src_name sd.entries;
+            dd.entries <- (dst_name, child) :: List.remove_assoc dst_name dd.entries;
+            Vfs.dcache_invalidate src_dir src_name;
+            Vfs.dcache_invalidate dst_dir dst_name;
+            Vfs.touch_mtime src_dir;
+            Vfs.touch_mtime dst_dir;
+            Ok ())
+        | _ -> Error Errno.enotdir);
+    link =
+      (fun dir name target ->
+        match node_of dir with
+        | File _ | Symlink _ -> Error Errno.enotdir
+        | Directory d ->
+          if List.mem_assoc name d.entries then Error Errno.eexist
+          else begin
+            target.Vfs.nlink <- target.Vfs.nlink + 1;
+            d.entries <- d.entries @ [ (name, target) ];
+            Ok ()
+          end);
+    symlink_target =
+      (fun i -> match node_of i with Symlink s -> Some s.target | File _ | Directory _ -> None);
+    set_symlink =
+      (fun i target ->
+        match node_of i with
+        | Symlink s ->
+          s.target <- target;
+          Ok ()
+        | File _ | Directory _ -> Error Errno.einval);
+  }
+
+let create_root () =
+  let root = Vfs.make_inode ~fsname:"ramfs" ~kind:Vfs.Dir ~mode:0o755 ~ops () in
+  root.Vfs.priv <- Ram (Directory { entries = [] });
+  root
+
+let file_data i =
+  match node_of i with
+  | File st ->
+    let out = Bytes.create st.len in
+    Page_cache.read st.cache ~pos:0 ~buf:out ~boff:0 ~len:st.len;
+    out
+  | Directory _ | Symlink _ -> Ostd.Panic.panic "ramfs.file_data: not a regular file"
+
+let file_cache i =
+  match node_of i with
+  | File st -> Some st.cache
+  | Directory _ | Symlink _ -> None

@@ -1,0 +1,12 @@
+(** RamFS: an in-memory file system (the paper mounts one for lmdd and as
+    the root). File contents live in OSTD untyped frames through
+    {!Page_cache}, so user data is held in framework-managed memory with
+    per-frame dirty metadata — never in plain OCaml buffers. *)
+
+val create_root : unit -> Vfs.inode
+
+val file_data : Vfs.inode -> bytes
+(** Snapshot of a regular file's contents (testing). *)
+
+val file_cache : Vfs.inode -> Page_cache.t option
+(** The frame-backed page cache of a regular file. *)

@@ -1,0 +1,103 @@
+type cache = {
+  name : string;
+  slot_size : int;
+  mutable slabs : Ostd.Slab.t list;
+  mutable pcpu_free : Ostd.Slab.Heap_slot.t list; (* per-CPU magazine *)
+  magazine : bool;
+  slot_owner : (int, Ostd.Slab.t) Hashtbl.t; (* slot addr -> owning slab *)
+}
+
+let magazine_max = 16
+
+let cache_create ?(magazine = true) ~name ~slot_size () =
+  { name; slot_size; slabs = []; pcpu_free = []; magazine; slot_owner = Hashtbl.create 64 }
+
+let grow c =
+  let slab = Ostd.Slab.create ~slot_size:c.slot_size ~pages:1 in
+  c.slabs <- slab :: c.slabs;
+  slab
+
+let rec slab_with_space c = function
+  | [] -> grow c
+  | s :: rest -> if Ostd.Slab.free_slots s > 0 then s else slab_with_space c rest
+
+let cache_alloc c =
+  match c.pcpu_free with
+  | slot :: rest ->
+    Sim.Clock.charge 8;
+    c.pcpu_free <- rest;
+    Sim.Stats.incr "slab.magazine_hit";
+    slot
+  | [] -> (
+    Sim.Clock.charge 55;
+    let slab = slab_with_space c c.slabs in
+    match Ostd.Slab.alloc slab with
+    | Some slot ->
+      Hashtbl.replace c.slot_owner (Ostd.Slab.Heap_slot.addr slot) slab;
+      slot
+    | None -> Ostd.Panic.panicf "slab cache %s: slab with space had none" c.name)
+
+let owner c slot =
+  match Hashtbl.find_opt c.slot_owner (Ostd.Slab.Heap_slot.addr slot) with
+  | Some s -> s
+  | None -> Ostd.Panic.panicf "slab cache %s: slot does not belong to this cache" c.name
+
+let cache_dealloc c slot =
+  if c.magazine && List.length c.pcpu_free < magazine_max then begin
+    Sim.Clock.charge 8;
+    c.pcpu_free <- slot :: c.pcpu_free
+  end
+  else begin
+    Sim.Clock.charge 45;
+    let slab = owner c slot in
+    Hashtbl.remove c.slot_owner (Ostd.Slab.Heap_slot.addr slot);
+    Ostd.Slab.dealloc slab slot
+  end
+
+let cache_shrink c =
+  (* Drain the magazine first so empty slabs become visible. *)
+  List.iter
+    (fun slot ->
+      let slab = owner c slot in
+      Hashtbl.remove c.slot_owner (Ostd.Slab.Heap_slot.addr slot);
+      Ostd.Slab.dealloc slab slot)
+    c.pcpu_free;
+  c.pcpu_free <- [];
+  let empty, busy = List.partition (fun s -> Ostd.Slab.active s = 0) c.slabs in
+  List.iter Ostd.Slab.destroy empty;
+  c.slabs <- busy;
+  List.length empty
+
+let cache_slabs c = List.length c.slabs
+
+let cache_active c = List.fold_left (fun acc s -> acc + Ostd.Slab.active s) 0 c.slabs
+
+let size_classes = [ 16; 32; 64; 128; 256; 512; 1024; 2048 ]
+
+let install_global_heap () =
+  let caches =
+    List.map
+      (fun sz -> (sz, cache_create ~name:(Printf.sprintf "kmalloc-%d" sz) ~slot_size:sz ()))
+      size_classes
+  in
+  let pick size =
+    match List.find_opt (fun (sz, _) -> sz >= size) caches with
+    | Some (_, c) -> c
+    | None -> Ostd.Panic.panicf "kmalloc: no size class for %d bytes" size
+  in
+  let by_addr : (int, cache) Hashtbl.t = Hashtbl.create 256 in
+  let module H = struct
+    let alloc ~size =
+      let c = pick size in
+      let slot = cache_alloc c in
+      Hashtbl.replace by_addr (Ostd.Slab.Heap_slot.addr slot) c;
+      slot
+
+    let dealloc slot =
+      match Hashtbl.find_opt by_addr (Ostd.Slab.Heap_slot.addr slot) with
+      | Some c ->
+        Hashtbl.remove by_addr (Ostd.Slab.Heap_slot.addr slot);
+        cache_dealloc c slot
+      | None -> Ostd.Panic.panic "kfree: pointer not allocated by kmalloc"
+  end in
+  Ostd.Slab.inject_heap (module H)

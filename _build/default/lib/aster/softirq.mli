@@ -1,0 +1,19 @@
+(** Interrupt bottom halves, outside the TCB (paper §5: Asterinas manages
+    softirq/tasklets/work queues through an OSTD interrupt hook).
+
+    Top halves run in atomic mode and only queue work here; the softirq
+    runner drains the queue right after IRQ dispatch (still kernel
+    context, may not sleep) and work-queue items run later on a kworker
+    task (may sleep). *)
+
+val install : unit -> unit
+(** Register the OSTD post-IRQ hook and idle hook, and spawn the kworker
+    task. Call once per boot, after the scheduler is injected. *)
+
+val raise_softirq : (unit -> unit) -> unit
+(** Queue a bottom half; it runs at the next softirq point. *)
+
+val queue_work : (unit -> unit) -> unit
+(** Queue sleepable work for the kworker task. *)
+
+val pending : unit -> int

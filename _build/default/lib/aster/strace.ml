@@ -1,0 +1,27 @@
+let counts : (int, int ref) Hashtbl.t = Hashtbl.create 64
+
+let small : (int, int ref) Hashtbl.t = Hashtbl.create 8
+
+let reset () =
+  Hashtbl.reset counts;
+  Hashtbl.reset small
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.add tbl key (ref 1)
+
+let record ~nr = bump counts nr
+
+let record_size ~nr ~size = if size <= 8 then bump small nr
+
+let count ~nr = match Hashtbl.find_opt counts nr with Some r -> !r | None -> 0
+
+let small_writes () =
+  let get nr = match Hashtbl.find_opt small nr with Some r -> !r | None -> 0 in
+  get Syscall_nr.pwrite64 + get Syscall_nr.write
+
+let top n =
+  Hashtbl.fold (fun nr r acc -> (Syscall_nr.name nr, !r) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < n)

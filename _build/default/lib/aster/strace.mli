@@ -1,0 +1,16 @@
+(** Strace-style syscall accounting.
+
+    The paper diagnoses the SQLite VACUUM gap with strace, finding
+    frequent 4-byte pwrite64 calls; this module records per-syscall
+    counts and per-size histograms so the benchmark harness can print the
+    same diagnosis. *)
+
+val reset : unit -> unit
+val record : nr:int -> unit
+val record_size : nr:int -> size:int -> unit
+val count : nr:int -> int
+val small_writes : unit -> int
+(** pwrite64/write calls of at most 8 bytes. *)
+
+val top : int -> (string * int) list
+(** The n most frequent syscalls, by name. *)

@@ -1,0 +1,1254 @@
+module N = Syscall_nr
+
+let net : (Netstack.t * Tcp.engine * Udp.engine) option ref = ref None
+
+let init_net stack tcp udp = net := Some (stack, tcp, udp)
+
+let the_net () =
+  match !net with
+  | Some n -> n
+  | None -> Ostd.Panic.panic "Syscalls: network engines not initialised"
+
+(* --- User memory access with kernel-side fault handling --- *)
+
+let vm proc = Mm.vmspace (Process.mm proc)
+
+let rec user_read proc ~vaddr ~len =
+  let buf = Bytes.create len in
+  match Ostd.Vmspace.copy_out (vm proc) ~vaddr ~buf ~pos:0 ~len with
+  | Ok () -> Ok buf
+  | Error { Ostd.Vmspace.vaddr = fa; write } ->
+    if Mm.handle_fault (Process.mm proc) ~vaddr:fa ~write then user_read proc ~vaddr ~len
+    else Error Errno.efault
+
+let rec user_write proc ~vaddr buf =
+  match Ostd.Vmspace.copy_in (vm proc) ~vaddr ~buf ~pos:0 ~len:(Bytes.length buf) with
+  | Ok () -> Ok ()
+  | Error { Ostd.Vmspace.vaddr = fa; write } ->
+    if Mm.handle_fault (Process.mm proc) ~vaddr:fa ~write then user_write proc ~vaddr buf
+    else Error Errno.efault
+
+let read_str proc vaddr =
+  (* NUL-terminated, capped at a page. *)
+  let rec scan acc off =
+    if off >= 4096 then Error Errno.einval
+    else
+      match user_read proc ~vaddr:(vaddr + off) ~len:(min 64 (4096 - off)) with
+      | Error e -> Error e
+      | Ok chunk -> (
+        match Bytes.index_opt chunk '\000' with
+        | Some i -> Ok (acc ^ Bytes.sub_string chunk 0 i)
+        | None -> scan (acc ^ Bytes.to_string chunk) (off + Bytes.length chunk))
+  in
+  scan "" 0
+
+let read_str_array proc vaddr =
+  (* NULL-terminated array of string pointers. *)
+  let rec go i acc =
+    if i > 64 then Ok (List.rev acc)
+    else
+      match user_read proc ~vaddr:(vaddr + (8 * i)) ~len:8 with
+      | Error e -> Error e
+      | Ok b -> (
+        let p = Int64.to_int (Bytes.get_int64_le b 0) in
+        if p = 0 then Ok (List.rev acc)
+        else
+          match read_str proc p with
+          | Error e -> Error e
+          | Ok s -> go (i + 1) (s :: acc))
+  in
+  if vaddr = 0 then Ok [] else go 0 []
+
+(* --- Result plumbing: handlers return (int64, errno) results --- *)
+
+let ok n = Ok (Int64.of_int n)
+let ok64 v = Ok v
+let err e = Error e
+
+let lift = function Ok v -> ok v | Error e -> err e
+
+let file_of proc fd =
+  match File.Table.lookup (Process.fdt proc) (Int64.to_int fd) with
+  | Some f -> Ok f
+  | None -> Error Errno.ebadf
+
+let int_arg (args : int64 array) i = Int64.to_int args.(i)
+
+(* --- FIFO plumbing: named pipes get their ring on first open --- *)
+
+let fifo_pipes : (int, Pipe.t) Hashtbl.t = Hashtbl.create 8
+
+let fifo_pipe (inode : Vfs.inode) =
+  match Hashtbl.find_opt fifo_pipes inode.Vfs.ino with
+  | Some p -> p
+  | None ->
+    let p = Pipe.create () in
+    Hashtbl.replace fifo_pipes inode.Vfs.ino p;
+    p
+
+(* --- read/write on each file flavour --- *)
+
+let do_read_desc (f : File.t) ~len =
+  let buf = Bytes.create len in
+  match f.File.desc with
+  | File.Inode_file inode -> (
+    Vfs.touch_atime inode;
+    match inode.Vfs.ops.Vfs.read inode ~pos:f.File.pos ~buf ~boff:0 ~len with
+    | Ok n ->
+      f.File.pos <- f.File.pos + n;
+      Ok (Bytes.sub buf 0 n)
+    | Error e -> Error e)
+  | File.Pipe_read p -> (
+    match Pipe.read p ~buf ~pos:0 ~len with
+    | Ok n -> Ok (Bytes.sub buf 0 n)
+    | Error e -> Error e)
+  | File.Pipe_write _ -> Error Errno.ebadf
+  | File.Socket s -> (
+    match s.File.st with
+    | File.S_tcp_conn c -> (
+      match Tcp.recv c ~buf ~pos:0 ~len with
+      | Ok n -> Ok (Bytes.sub buf 0 n)
+      | Error e -> Error e)
+    | File.S_unix_conn ep -> (
+      match Unix_sock.recv ep ~buf ~pos:0 ~len with
+      | Ok n -> Ok (Bytes.sub buf 0 n)
+      | Error e -> Error e)
+    | File.S_udp u -> (
+      match Udp.recvfrom u ~buf ~pos:0 ~len with
+      | Ok (n, _, _) -> Ok (Bytes.sub buf 0 n)
+      | Error e -> Error e)
+    | _ -> Error Errno.enotconn)
+
+let do_write_desc proc (f : File.t) data =
+  ignore proc;
+  let len = Bytes.length data in
+  match f.File.desc with
+  | File.Inode_file inode -> (
+    let pos = if f.File.flags land File.o_append <> 0 then inode.Vfs.size else f.File.pos in
+    match inode.Vfs.ops.Vfs.write inode ~pos ~buf:data ~boff:0 ~len with
+    | Ok n ->
+      f.File.pos <- pos + n;
+      Ok n
+    | Error e -> Error e)
+  | File.Pipe_write p -> Pipe.write p ~buf:data ~pos:0 ~len
+  | File.Pipe_read _ -> Error Errno.ebadf
+  | File.Socket s -> (
+    match s.File.st with
+    | File.S_tcp_conn c -> Tcp.send c ~buf:data ~pos:0 ~len
+    | File.S_unix_conn ep -> Unix_sock.send ep ~buf:data ~pos:0 ~len
+    | _ -> Error Errno.enotconn)
+
+(* --- Individual syscalls --- *)
+
+let sys_read proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    let len = int_arg args 2 in
+    match do_read_desc f ~len with
+    | Error e -> err e
+    | Ok data -> (
+      match user_write proc ~vaddr:(int_arg args 1) data with
+      | Ok () -> ok (Bytes.length data)
+      | Error e -> err e))
+
+let sys_write proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    let len = int_arg args 2 in
+    Strace.record_size ~nr:N.write ~size:len;
+    match user_read proc ~vaddr:(int_arg args 1) ~len with
+    | Error e -> err e
+    | Ok data -> lift (do_write_desc proc f data))
+
+let sys_pread proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match f.File.desc with
+    | File.Inode_file inode -> (
+      let len = int_arg args 2 and off = int_arg args 3 in
+      let buf = Bytes.create len in
+      match inode.Vfs.ops.Vfs.read inode ~pos:off ~buf ~boff:0 ~len with
+      | Error e -> err e
+      | Ok n -> (
+        match user_write proc ~vaddr:(int_arg args 1) (Bytes.sub buf 0 n) with
+        | Ok () -> ok n
+        | Error e -> err e))
+    | _ -> err Errno.espipe)
+
+let sys_pwrite proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match f.File.desc with
+    | File.Inode_file inode -> (
+      let len = int_arg args 2 and off = int_arg args 3 in
+      Strace.record_size ~nr:N.pwrite64 ~size:len;
+      match user_read proc ~vaddr:(int_arg args 1) ~len with
+      | Error e -> err e
+      | Ok data -> lift (inode.Vfs.ops.Vfs.write inode ~pos:off ~buf:data ~boff:0 ~len))
+    | _ -> err Errno.espipe)
+
+let iovec_list proc vaddr count =
+  let rec go i acc =
+    if i >= count then Ok (List.rev acc)
+    else
+      match user_read proc ~vaddr:(vaddr + (16 * i)) ~len:16 with
+      | Error e -> Error e
+      | Ok b ->
+        go (i + 1)
+          ((Int64.to_int (Bytes.get_int64_le b 0), Int64.to_int (Bytes.get_int64_le b 8)) :: acc)
+  in
+  go 0 []
+
+let sys_readv proc args =
+  match iovec_list proc (int_arg args 1) (int_arg args 2) with
+  | Error e -> err e
+  | Ok iovs ->
+    let total = ref 0 in
+    let rec go = function
+      | [] -> ok !total
+      | (base, len) :: rest -> (
+        match sys_read proc [| args.(0); Int64.of_int base; Int64.of_int len |] with
+        | Ok n when Int64.to_int n = len ->
+          total := !total + Int64.to_int n;
+          go rest
+        | Ok n ->
+          total := !total + Int64.to_int n;
+          ok !total
+        | Error e -> if !total > 0 then ok !total else err e)
+    in
+    go iovs
+
+let sys_writev proc args =
+  match iovec_list proc (int_arg args 1) (int_arg args 2) with
+  | Error e -> err e
+  | Ok iovs ->
+    let total = ref 0 in
+    let rec go = function
+      | [] -> ok !total
+      | (base, len) :: rest -> (
+        match sys_write proc [| args.(0); Int64.of_int base; Int64.of_int len |] with
+        | Ok n ->
+          total := !total + Int64.to_int n;
+          go rest
+        | Error e -> if !total > 0 then ok !total else err e)
+    in
+    go iovs
+
+let do_open proc path flags mode =
+  let cwd = Process.cwd proc in
+  let open_inode inode =
+    if flags land File.o_trunc <> 0 && inode.Vfs.kind = Vfs.Reg then
+      ignore (inode.Vfs.ops.Vfs.truncate inode 0);
+    let desc =
+      if inode.Vfs.kind = Vfs.Fifo then begin
+        (* Read or write end, by access mode (low 2 bits). *)
+        let p = fifo_pipe inode in
+        if flags land 3 = 0 then File.Pipe_read p else File.Pipe_write p
+      end
+      else File.Inode_file inode
+    in
+    let f = File.make desc ~flags in
+    Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.open_misc;
+    ok (File.Table.install (Process.fdt proc) f)
+  in
+  match Vfs.resolve ~cwd path with
+  | Ok { Vfs.inode; _ } ->
+    if flags land File.o_excl <> 0 && flags land File.o_creat <> 0 then err Errno.eexist
+    else if flags land File.o_directory <> 0 && inode.Vfs.kind <> Vfs.Dir then
+      err Errno.enotdir
+    else open_inode inode
+  | Error e when e = Errno.enoent && flags land File.o_creat <> 0 -> (
+    match Vfs.resolve_parent ~cwd path with
+    | Error e -> err e
+    | Ok (parent, leaf) -> (
+      match
+        parent.Vfs.inode.Vfs.ops.Vfs.create parent.Vfs.inode leaf Vfs.Reg
+          ~mode:(mode land lnot (Process.umask proc))
+      with
+      | Ok inode -> open_inode inode
+      | Error e -> err e))
+  | Error e -> err e
+
+let sys_open proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok path -> do_open proc path (int_arg args 1) (int_arg args 2)
+
+let sys_openat proc args =
+  (* Only AT_FDCWD-style resolution: dirfd is ignored for absolute and
+     cwd-relative paths, which covers our workloads. *)
+  match read_str proc (int_arg args 1) with
+  | Error e -> err e
+  | Ok path -> do_open proc path (int_arg args 2) (int_arg args 3)
+
+let sys_close proc args = lift (Result.map (fun () -> 0) (File.Table.close (Process.fdt proc) (int_arg args 0)))
+
+let sys_lseek proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match f.File.desc with
+    | File.Inode_file inode ->
+      let off = int_arg args 1 in
+      let newpos =
+        match int_arg args 2 with
+        | 0 -> off (* SEEK_SET *)
+        | 1 -> f.File.pos + off
+        | 2 -> inode.Vfs.size + off
+        | _ -> -1
+      in
+      if newpos < 0 then err Errno.einval
+      else begin
+        f.File.pos <- newpos;
+        ok newpos
+      end
+    | _ -> err Errno.espipe)
+
+let stat_of_inode (inode : Vfs.inode) =
+  {
+    Abi.ino = inode.Vfs.ino;
+    size = inode.Vfs.size;
+    mode = inode.Vfs.mode;
+    nlink = inode.Vfs.nlink;
+    kind = Abi.kind_code inode.Vfs.kind;
+    mtime_ns = inode.Vfs.mtime_ns;
+  }
+
+let write_stat proc vaddr inode =
+  Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.stat_fill;
+  match user_write proc ~vaddr (Abi.encode_stat (stat_of_inode inode)) with
+  | Ok () -> ok 0
+  | Error e -> err e
+
+let sys_stat proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok path -> (
+    match Vfs.resolve ~cwd:(Process.cwd proc) path with
+    | Ok { Vfs.inode; _ } -> write_stat proc (int_arg args 1) inode
+    | Error e -> err e)
+
+let sys_fstat proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match f.File.desc with
+    | File.Inode_file inode -> write_stat proc (int_arg args 1) inode
+    | _ ->
+      (* Sockets and pipes: synthesize a minimal stat. *)
+      let fake =
+        { Abi.ino = 0; size = 0; mode = 0o600; nlink = 1; kind = 12; mtime_ns = 0L }
+      in
+      (match user_write proc ~vaddr:(int_arg args 1) (Abi.encode_stat fake) with
+      | Ok () -> ok 0
+      | Error e -> err e))
+
+let sys_newfstatat proc args =
+  match read_str proc (int_arg args 1) with
+  | Error e -> err e
+  | Ok path -> (
+    match Vfs.resolve ~cwd:(Process.cwd proc) path with
+    | Ok { Vfs.inode; _ } -> write_stat proc (int_arg args 2) inode
+    | Error e -> err e)
+
+let sys_access proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok path -> (
+    match Vfs.resolve ~cwd:(Process.cwd proc) path with
+    | Ok _ -> ok 0
+    | Error e -> err e)
+
+let sys_pipe2 proc args =
+  let p = Pipe.create () in
+  let fdt = Process.fdt proc in
+  let rfd = File.Table.install fdt (File.make (File.Pipe_read p) ~flags:0) in
+  let wfd = File.Table.install fdt (File.make (File.Pipe_write p) ~flags:1) in
+  let b = Bytes.create 8 in
+  Bytes.set_int32_le b 0 (Int32.of_int rfd);
+  Bytes.set_int32_le b 4 (Int32.of_int wfd);
+  match user_write proc ~vaddr:(int_arg args 0) b with
+  | Ok () -> ok 0
+  | Error e -> err e
+
+let sys_dup proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f ->
+    File.get f;
+    ok (File.Table.install (Process.fdt proc) f)
+
+let sys_dup2 proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f ->
+    File.get f;
+    File.Table.install_at (Process.fdt proc) (int_arg args 1) f;
+    ok (int_arg args 1)
+
+let sys_fcntl proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match int_arg args 1 with
+    | 0 (* F_DUPFD *) ->
+      File.get f;
+      ok (File.Table.install (Process.fdt proc) f)
+    | 3 (* F_GETFL *) -> ok f.File.flags
+    | 4 (* F_SETFL *) ->
+      f.File.flags <- int_arg args 2;
+      ok 0
+    | _ -> ok 0)
+
+let sys_mmap proc args =
+  (* Anonymous private mappings only (what the workloads use). *)
+  lift (Mm.do_mmap (Process.mm proc) ~len:(int_arg args 1))
+
+let sys_munmap proc args =
+  match Mm.do_munmap (Process.mm proc) ~addr:(int_arg args 0) ~len:(int_arg args 1) with
+  | Ok () -> ok 0
+  | Error e -> err e
+
+let sys_mprotect proc args =
+  let writable = int_arg args 2 land 2 <> 0 in
+  match Mm.do_mprotect (Process.mm proc) ~addr:(int_arg args 0) ~len:(int_arg args 1) ~writable with
+  | Ok () -> ok 0
+  | Error e -> err e
+
+let sys_brk proc args = ok (Mm.do_brk (Process.mm proc) (int_arg args 0))
+
+let sys_nanosleep proc args =
+  match user_read proc ~vaddr:(int_arg args 0) ~len:16 with
+  | Error e -> err e
+  | Ok b ->
+    let sec, nsec = Abi.decode_timespec b in
+    let us = (Int64.to_float sec *. 1e6) +. (Int64.to_float nsec /. 1e3) in
+    Ostd.Task.sleep_us us;
+    ok 0
+
+let sys_getdents proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match f.File.desc with
+    | File.Inode_file inode when inode.Vfs.kind = Vfs.Dir ->
+      let all = Abi.encode_dirents (inode.Vfs.ops.Vfs.readdir inode) in
+      let cap = int_arg args 2 in
+      let remaining = Bytes.length all - f.File.pos in
+      if remaining <= 0 then ok 0
+      else begin
+        let n = min cap remaining in
+        match user_write proc ~vaddr:(int_arg args 1) (Bytes.sub all f.File.pos n) with
+        | Ok () ->
+          f.File.pos <- f.File.pos + n;
+          ok n
+        | Error e -> err e
+      end
+    | File.Inode_file _ -> err Errno.enotdir
+    | _ -> err Errno.enotdir)
+
+let sys_getcwd proc args =
+  let path = (Process.cwd proc).Vfs.path ^ "\000" in
+  let cap = int_arg args 1 in
+  if String.length path > cap then err Errno.einval
+  else
+    match user_write proc ~vaddr:(int_arg args 0) (Bytes.of_string path) with
+    | Ok () -> ok (String.length path)
+    | Error e -> err e
+
+let sys_chdir proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok path -> (
+    match Vfs.resolve ~cwd:(Process.cwd proc) path with
+    | Ok r when r.Vfs.inode.Vfs.kind = Vfs.Dir ->
+      Process.set_cwd proc r;
+      ok 0
+    | Ok _ -> err Errno.enotdir
+    | Error e -> err e)
+
+let with_parent proc args_path k =
+  match read_str proc args_path with
+  | Error e -> err e
+  | Ok path -> (
+    match Vfs.resolve_parent ~cwd:(Process.cwd proc) path with
+    | Error e -> err e
+    | Ok (parent, leaf) -> k parent leaf)
+
+let sys_mkdir proc args =
+  with_parent proc (int_arg args 0) (fun parent leaf ->
+      match
+        parent.Vfs.inode.Vfs.ops.Vfs.create parent.Vfs.inode leaf Vfs.Dir
+          ~mode:(int_arg args 1 land lnot (Process.umask proc))
+      with
+      | Ok _ -> ok 0
+      | Error e -> err e)
+
+let sys_unlink proc args =
+  with_parent proc (int_arg args 0) (fun parent leaf ->
+      match parent.Vfs.inode.Vfs.ops.Vfs.unlink parent.Vfs.inode leaf with
+      | Ok () -> ok 0
+      | Error e -> err e)
+
+let sys_rmdir = sys_unlink
+
+let sys_rename proc args =
+  with_parent proc (int_arg args 0) (fun sparent sleaf ->
+      with_parent proc (int_arg args 1) (fun dparent dleaf ->
+          match
+            sparent.Vfs.inode.Vfs.ops.Vfs.rename sparent.Vfs.inode sleaf dparent.Vfs.inode
+              dleaf
+          with
+          | Ok () -> ok 0
+          | Error e -> err e))
+
+let sys_link proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok oldpath -> (
+    match Vfs.resolve ~cwd:(Process.cwd proc) oldpath with
+    | Error e -> err e
+    | Ok target ->
+      with_parent proc (int_arg args 1) (fun parent leaf ->
+          match parent.Vfs.inode.Vfs.ops.Vfs.link parent.Vfs.inode leaf target.Vfs.inode with
+          | Ok () -> ok 0
+          | Error e -> err e))
+
+let sys_symlink proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok target ->
+    with_parent proc (int_arg args 1) (fun parent leaf ->
+        match parent.Vfs.inode.Vfs.ops.Vfs.create parent.Vfs.inode leaf Vfs.Lnk ~mode:0o777 with
+        | Error e -> err e
+        | Ok inode -> (
+          match inode.Vfs.ops.Vfs.set_symlink inode target with
+          | Ok () -> ok 0
+          | Error e -> err e))
+
+let sys_readlink proc args =
+  (* resolve() follows links, so inspect the parent and leaf directly. *)
+  with_parent proc (int_arg args 0) (fun parent leaf ->
+      match parent.Vfs.inode.Vfs.ops.Vfs.lookup parent.Vfs.inode leaf with
+      | None -> err Errno.enoent
+      | Some inode -> (
+        match inode.Vfs.ops.Vfs.symlink_target inode with
+        | None -> err Errno.einval
+        | Some target ->
+          let n = min (String.length target) (int_arg args 2) in
+          (match user_write proc ~vaddr:(int_arg args 1) (Bytes.of_string (String.sub target 0 n)) with
+          | Ok () -> ok n
+          | Error e -> err e)))
+
+let sys_truncate proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok path -> (
+    match Vfs.resolve ~cwd:(Process.cwd proc) path with
+    | Error e -> err e
+    | Ok { Vfs.inode; _ } -> (
+      match inode.Vfs.ops.Vfs.truncate inode (int_arg args 1) with
+      | Ok () -> ok 0
+      | Error e -> err e))
+
+let sys_ftruncate proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match f.File.desc with
+    | File.Inode_file inode -> (
+      match inode.Vfs.ops.Vfs.truncate inode (int_arg args 1) with
+      | Ok () -> ok 0
+      | Error e -> err e)
+    | _ -> err Errno.einval)
+
+let sys_fsync proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match f.File.desc with
+    | File.Inode_file inode -> (
+      match inode.Vfs.ops.Vfs.fsync inode with Ok () -> ok 0 | Error e -> err e)
+    | _ -> err Errno.einval)
+
+let sys_chmod proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok path -> (
+    match Vfs.resolve ~cwd:(Process.cwd proc) path with
+    | Error e -> err e
+    | Ok { Vfs.inode; _ } ->
+      inode.Vfs.mode <- int_arg args 1 land 0o7777;
+      ok 0)
+
+let sys_umask proc args =
+  let old = Process.umask proc in
+  Process.set_umask proc (int_arg args 0 land 0o777);
+  ok old
+
+let sys_sendfile proc args =
+  match (file_of proc args.(0), file_of proc args.(1)) with
+  | Error e, _ | _, Error e -> err e
+  | Ok out_f, Ok in_f -> (
+    match in_f.File.desc with
+    | File.Inode_file inode ->
+      let count = int_arg args 3 in
+      let chunk_size = 64 * 1024 in
+      let sent = ref 0 in
+      let failed = ref None in
+      while !sent < count && !failed = None do
+        let want = min chunk_size (count - !sent) in
+        let buf = Bytes.create want in
+        match inode.Vfs.ops.Vfs.read inode ~pos:in_f.File.pos ~buf ~boff:0 ~len:want with
+        | Error e -> failed := Some e
+        | Ok 0 -> failed := Some 0 (* EOF sentinel *)
+        | Ok n -> (
+          (* The paper: Asterinas' sendfile is less optimised — it takes
+             an extra copy through an intermediate buffer, and the
+             smoltcp-style stack copies once more into its own transmit
+             buffer. Linux's zero-copy path hands page-cache pages to the
+             NIC directly. *)
+          if not (Sim.Profile.get ()).Sim.Profile.sendfile_zero_copy then
+            Sim.Cost.charge_memcpy n;
+          match do_write_desc proc out_f (Bytes.sub buf 0 n) with
+          | Ok w ->
+            in_f.File.pos <- in_f.File.pos + w;
+            sent := !sent + w
+          | Error e -> failed := Some e)
+      done;
+      (match !failed with
+      | Some 0 | None -> ok !sent
+      | Some e -> if !sent > 0 then ok !sent else err e)
+    | _ -> err Errno.einval)
+
+(* --- Sockets --- *)
+
+let sys_socket proc args =
+  let domain = int_arg args 0 and typ = int_arg args 1 land 0xf in
+  let kind =
+    if domain = Abi.af_inet && typ = Abi.sock_stream then Some File.Inet_stream
+    else if domain = Abi.af_inet && typ = Abi.sock_dgram then Some File.Inet_dgram
+    else if domain = Abi.af_unix && typ = Abi.sock_stream then Some File.Unix_stream
+    else None
+  in
+  match kind with
+  | None -> err Errno.eafnosupport
+  | Some kind ->
+    let sock = { File.kind; st = File.S_unbound; bport = None; upath = None } in
+    ok (File.Table.install (Process.fdt proc) (File.make (File.Socket sock) ~flags:0))
+
+let sock_of f =
+  match f.File.desc with File.Socket s -> Ok s | _ -> Error Errno.enotsock
+
+let read_sockaddr proc vaddr len =
+  if vaddr = 0 then Ok None
+  else
+    match user_read proc ~vaddr ~len:(max 8 (min len 128)) with
+    | Error e -> Error e
+    | Ok b -> Ok (Abi.decode_sockaddr b)
+
+let sys_bind proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match sock_of f with
+    | Error e -> err e
+    | Ok s -> (
+      match read_sockaddr proc (int_arg args 1) (int_arg args 2) with
+      | Error e -> err e
+      | Ok (Some (Abi.Addr_in { port; _ })) -> (
+        match s.File.kind with
+        | File.Inet_stream ->
+          s.File.bport <- Some port;
+          ok 0
+        | File.Inet_dgram -> (
+          let _, _, udp = the_net () in
+          ignore udp;
+          let u =
+            match s.File.st with
+            | File.S_udp u -> u
+            | _ ->
+              let _, _, eng = the_net () in
+              let u = Udp.socket eng in
+              s.File.st <- File.S_udp u;
+              u
+          in
+          match Udp.bind u ~port with Ok () -> ok 0 | Error e -> err e)
+        | File.Unix_stream -> err Errno.einval)
+      | Ok (Some (Abi.Addr_un path)) ->
+        s.File.upath <- Some path;
+        ok 0
+      | Ok None -> err Errno.efault))
+
+let sys_listen proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match sock_of f with
+    | Error e -> err e
+    | Ok s -> (
+      match (s.File.kind, s.File.bport, s.File.upath) with
+      | File.Inet_stream, Some port, _ -> (
+        let _, tcp, _ = the_net () in
+        match Tcp.listen tcp ~port with
+        | Ok l ->
+          s.File.st <- File.S_tcp_listener l;
+          ok 0
+        | Error e -> err e)
+      | File.Unix_stream, _, Some path -> (
+        match Unix_sock.listen ~path with
+        | Ok l ->
+          s.File.st <- File.S_unix_listener l;
+          ok 0
+        | Error e -> err e)
+      | _ -> err Errno.einval))
+
+let sys_accept proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match sock_of f with
+    | Error e -> err e
+    | Ok s -> (
+      match s.File.st with
+      | File.S_tcp_listener l ->
+        Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.open_misc;
+        let conn = Tcp.accept l in
+        let ns =
+          { File.kind = File.Inet_stream; st = File.S_tcp_conn conn; bport = None; upath = None }
+        in
+        let fd = File.Table.install (Process.fdt proc) (File.make (File.Socket ns) ~flags:0) in
+        let addr_ptr = int_arg args 1 in
+        if addr_ptr <> 0 then begin
+          let ip, port = Tcp.peer_of conn in
+          ignore (user_write proc ~vaddr:addr_ptr (Abi.encode_sockaddr_in ~port ~ip))
+        end;
+        ok fd
+      | File.S_unix_listener l ->
+        let ep = Unix_sock.accept l in
+        let ns =
+          { File.kind = File.Unix_stream; st = File.S_unix_conn ep; bport = None; upath = None }
+        in
+        ok (File.Table.install (Process.fdt proc) (File.make (File.Socket ns) ~flags:0))
+      | _ -> err Errno.einval))
+
+let sys_connect proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match sock_of f with
+    | Error e -> err e
+    | Ok s -> (
+      match read_sockaddr proc (int_arg args 1) (int_arg args 2) with
+      | Error e -> err e
+      | Ok (Some (Abi.Addr_in { port; ip })) -> (
+        match s.File.kind with
+        | File.Inet_stream -> (
+          let _, tcp, _ = the_net () in
+          match Tcp.connect tcp ~dst_ip:ip ~dst_port:port with
+          | Ok conn ->
+            s.File.st <- File.S_tcp_conn conn;
+            ok 0
+          | Error e -> err e)
+        | File.Inet_dgram ->
+          (* Connected UDP: remember the peer. *)
+          s.File.bport <- Some port;
+          ok 0
+        | File.Unix_stream -> err Errno.einval)
+      | Ok (Some (Abi.Addr_un path)) -> (
+        match Unix_sock.connect ~path with
+        | Ok ep ->
+          s.File.st <- File.S_unix_conn ep;
+          ok 0
+        | Error e -> err e)
+      | Ok None -> err Errno.efault))
+
+let sys_sendto proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match sock_of f with
+    | Error e -> err e
+    | Ok s -> (
+      match s.File.st with
+      | File.S_udp _ | File.S_unbound when s.File.kind = File.Inet_dgram -> (
+        match user_read proc ~vaddr:(int_arg args 1) ~len:(int_arg args 2) with
+        | Error e -> err e
+        | Ok data -> (
+          let u =
+            match s.File.st with
+            | File.S_udp u -> u
+            | _ ->
+              let _, _, eng = the_net () in
+              let u = Udp.socket eng in
+              s.File.st <- File.S_udp u;
+              u
+          in
+          match read_sockaddr proc (int_arg args 4) (int_arg args 5) with
+          | Error e -> err e
+          | Ok (Some (Abi.Addr_in { port; ip })) ->
+            lift (Udp.sendto u ~dst_ip:ip ~dst_port:port ~buf:data ~pos:0 ~len:(Bytes.length data))
+          | Ok _ -> err Errno.einval))
+      | _ -> sys_write proc [| args.(0); args.(1); args.(2) |]))
+
+let sys_recvfrom proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match sock_of f with
+    | Error e -> err e
+    | Ok s -> (
+      match s.File.st with
+      | File.S_udp u -> (
+        let len = int_arg args 2 in
+        let buf = Bytes.create len in
+        match Udp.recvfrom u ~buf ~pos:0 ~len with
+        | Error e -> err e
+        | Ok (n, src_ip, src_port) -> (
+          let addr_ptr = int_arg args 4 in
+          if addr_ptr <> 0 then
+            ignore
+              (user_write proc ~vaddr:addr_ptr
+                 (Abi.encode_sockaddr_in ~port:src_port ~ip:src_ip));
+          match user_write proc ~vaddr:(int_arg args 1) (Bytes.sub buf 0 n) with
+          | Ok () -> ok n
+          | Error e -> err e))
+      | _ -> sys_read proc [| args.(0); args.(1); args.(2) |]))
+
+let sys_socketpair proc args =
+  if int_arg args 0 <> Abi.af_unix then err Errno.eafnosupport
+  else begin
+    let a, b = Unix_sock.socketpair () in
+    let mk ep = { File.kind = File.Unix_stream; st = File.S_unix_conn ep; bport = None; upath = None } in
+    let fdt = Process.fdt proc in
+    let fa = File.Table.install fdt (File.make (File.Socket (mk a)) ~flags:0) in
+    let fb = File.Table.install fdt (File.make (File.Socket (mk b)) ~flags:0) in
+    let out = Bytes.create 8 in
+    Bytes.set_int32_le out 0 (Int32.of_int fa);
+    Bytes.set_int32_le out 4 (Int32.of_int fb);
+    match user_write proc ~vaddr:(int_arg args 3) out with
+    | Ok () -> ok 0
+    | Error e -> err e
+  end
+
+let sys_getsockname proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match sock_of f with
+    | Error e -> err e
+    | Ok s ->
+      let port = match s.File.bport with Some p -> p | None -> 0 in
+      (match user_write proc ~vaddr:(int_arg args 1) (Abi.encode_sockaddr_in ~port ~ip:0) with
+      | Ok () -> ok 0
+      | Error e -> err e))
+
+let sys_shutdown proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match sock_of f with
+    | Error e -> err e
+    | Ok s -> (
+      match s.File.st with
+      | File.S_tcp_conn c ->
+        Tcp.close c;
+        ok 0
+      | File.S_unix_conn ep ->
+        Unix_sock.close ep;
+        ok 0
+      | _ -> err Errno.enotconn))
+
+(* --- Process management --- *)
+
+let sys_kill _proc args =
+  let pid = int_arg args 0 and signal = int_arg args 1 in
+  match Process.by_pid pid with
+  | None -> err Errno.esrch
+  | Some target ->
+    if signal = 0 then ok 0
+    else begin
+      Process.deliver_signal target signal;
+      ok 0
+    end
+
+let sys_rt_sigaction proc args =
+  let signal = int_arg args 0 and act_ptr = int_arg args 1 and old_ptr = int_arg args 2 in
+  let st = Process.signals proc in
+  if old_ptr <> 0 then begin
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0
+      (match Signal.action st ~signal with
+      | Signal.Default -> 0L
+      | Signal.Ignore -> 1L
+      | Signal.Handled -> 2L);
+    ignore (user_write proc ~vaddr:old_ptr b)
+  end;
+  if act_ptr = 0 then ok 0
+  else
+    match user_read proc ~vaddr:act_ptr ~len:8 with
+    | Error e -> err e
+    | Ok b ->
+      let d =
+        match Bytes.get_int64_le b 0 with
+        | 0L -> Signal.Default
+        | 1L -> Signal.Ignore
+        | _ -> Signal.Handled
+      in
+      Signal.set_action st ~signal d;
+      ok 0
+
+let sys_rt_sigprocmask proc args =
+  let how = int_arg args 0 and set_ptr = int_arg args 1 and old_ptr = int_arg args 2 in
+  let st = Process.signals proc in
+  if old_ptr <> 0 then begin
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int (Signal.mask st));
+    ignore (user_write proc ~vaddr:old_ptr b)
+  end;
+  if set_ptr = 0 then ok 0
+  else
+    match user_read proc ~vaddr:set_ptr ~len:8 with
+    | Error e -> err e
+    | Ok b ->
+      let m = Int64.to_int (Bytes.get_int64_le b 0) in
+      (match how with
+      | 0 -> Signal.block st ~mask:m
+      | 1 -> Signal.unblock st ~mask:m
+      | 2 ->
+        Signal.unblock st ~mask:(Signal.mask st);
+        Signal.block st ~mask:m
+      | _ -> ());
+      ok 0
+
+let sys_rt_sigpending proc args =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int (Signal.pending (Process.signals proc)));
+  match user_write proc ~vaddr:(int_arg args 0) b with
+  | Ok () -> ok 0
+  | Error e -> err e
+
+let sys_mknod proc args =
+  with_parent proc (int_arg args 0) (fun parent leaf ->
+      let mode = int_arg args 1 in
+      let kind = if mode land 0o170000 = 0o010000 then Vfs.Fifo else Vfs.Reg in
+      match parent.Vfs.inode.Vfs.ops.Vfs.create parent.Vfs.inode leaf kind ~mode:(mode land 0o777) with
+      | Ok _ -> ok 0
+      | Error e -> err e)
+
+let sys_lstat proc args =
+  (* No final-symlink follow: inspect the parent's entry directly. *)
+  with_parent proc (int_arg args 0) (fun parent leaf ->
+      match parent.Vfs.inode.Vfs.ops.Vfs.lookup parent.Vfs.inode leaf with
+      | Some inode -> write_stat proc (int_arg args 1) inode
+      | None -> err Errno.enoent)
+
+let sys_statfs proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok path -> (
+    match Vfs.resolve ~cwd:(Process.cwd proc) path with
+    | Error e -> err e
+    | Ok { Vfs.inode; _ } ->
+      (* struct statfs (simplified, 32 bytes): type tag, block size,
+         total blocks, free blocks. *)
+      let b = Bytes.create 32 in
+      let is_ext2 = inode.Vfs.fsname = "ext2" in
+      Bytes.set_int64_le b 0 (if is_ext2 then 0xEF53L else 0x858458F6L);
+      Bytes.set_int64_le b 8 4096L;
+      Bytes.set_int64_le b 16
+        (Int64.of_int (if is_ext2 then Block.capacity_sectors () / Block.sectors_per_block else 0));
+      Bytes.set_int64_le b 24 (Int64.of_int (if is_ext2 then Ext2.free_blocks () else 0));
+      (match user_write proc ~vaddr:(int_arg args 1) b with
+      | Ok () -> ok 0
+      | Error e -> err e))
+
+let sys_fchdir proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match f.File.desc with
+    | File.Inode_file inode when inode.Vfs.kind = Vfs.Dir ->
+      (* Recover an absolute path is not tracked per-fd; keep the inode
+         with the cwd's old path as best effort (fchdir after open "/x"). *)
+      Process.set_cwd proc { Vfs.inode; path = (Process.cwd proc).Vfs.path };
+      ok 0
+    | File.Inode_file _ -> err Errno.enotdir
+    | _ -> err Errno.enotdir)
+
+let sys_sync _proc _args =
+  Block.sync ();
+  ok 0
+
+let sys_fork proc args =
+  match Process.resolve_child args.(0) with
+  | None -> err Errno.einval
+  | Some child -> ok (Process.fork_current proc ~child)
+
+let sys_clone proc args =
+  match Process.resolve_child args.(0) with
+  | None -> err Errno.einval
+  | Some body -> ok (Process.spawn_thread proc ~body)
+
+let sys_wait4 proc args =
+  match Process.wait_child proc with
+  | Error e -> err e
+  | Ok (pid, code) -> (
+    let status_ptr = int_arg args 1 in
+    if status_ptr = 0 then ok pid
+    else begin
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 (Int32.of_int ((code land 0xff) lsl 8));
+      match user_write proc ~vaddr:status_ptr b with
+      | Ok () -> ok pid
+      | Error e -> err e
+    end)
+
+let sys_uname proc args =
+  let s = "Asterinas-OCaml\000framekernel\0006.0-repro\000x86_64-sim\000" in
+  match user_write proc ~vaddr:(int_arg args 0) (Bytes.of_string s) with
+  | Ok () -> ok 0
+  | Error e -> err e
+
+let sys_clock_gettime proc args =
+  let ns = if int_arg args 0 = 1 then Ktime.monotonic_ns () else Ktime.realtime_ns () in
+  let sec = Int64.div ns 1_000_000_000L and nsec = Int64.rem ns 1_000_000_000L in
+  match user_write proc ~vaddr:(int_arg args 1) (Abi.encode_timespec ~sec ~nsec) with
+  | Ok () -> ok 0
+  | Error e -> err e
+
+let sys_gettimeofday proc args =
+  let ns = Ktime.realtime_ns () in
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 (Int64.div ns 1_000_000_000L);
+  Bytes.set_int64_le b 8 (Int64.div (Int64.rem ns 1_000_000_000L) 1000L);
+  match user_write proc ~vaddr:(int_arg args 0) b with
+  | Ok () -> ok 0
+  | Error e -> err e
+
+let sys_time proc args =
+  let sec = Int64.div (Ktime.realtime_ns ()) 1_000_000_000L in
+  let ptr = int_arg args 0 in
+  if ptr = 0 then ok64 sec
+  else begin
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 sec;
+    match user_write proc ~vaddr:ptr b with
+    | Ok () -> ok64 sec
+    | Error e -> err e
+  end
+
+let sys_getrandom proc args =
+  let len = int_arg args 1 in
+  let rng = Sim.Rng.create (Sim.Clock.now ()) in
+  let b = Bytes.init len (fun _ -> Char.chr (Sim.Rng.int rng 256)) in
+  match user_write proc ~vaddr:(int_arg args 0) b with
+  | Ok () -> ok len
+  | Error e -> err e
+
+let sys_poll proc args =
+  (* pollfd: int fd, short events, short revents. Readiness only. *)
+  let nfds = int_arg args 1 in
+  let check () =
+    let ready = ref 0 in
+    for i = 0 to nfds - 1 do
+      let base = int_arg args 0 + (8 * i) in
+      match user_read proc ~vaddr:base ~len:8 with
+      | Error _ -> ()
+      | Ok b -> (
+        let fd = Int32.to_int (Bytes.get_int32_le b 0) in
+        match File.Table.lookup (Process.fdt proc) fd with
+        | None -> ()
+        | Some f ->
+          let readable =
+            match f.File.desc with
+            | File.Pipe_read p -> Pipe.readable p
+            | File.Socket { File.st = File.S_tcp_conn c; _ } -> Tcp.recv_available c > 0
+            | File.Socket { File.st = File.S_tcp_listener l; _ } -> Tcp.pending l > 0
+            | File.Socket { File.st = File.S_unix_conn ep; _ } -> Unix_sock.readable ep
+            | File.Socket { File.st = File.S_udp u; _ } -> Udp.rx_queued u > 0
+            | _ -> true
+          in
+          if readable then begin
+            incr ready;
+            Bytes.set_uint16_le b 6 1;
+            ignore (user_write proc ~vaddr:base b)
+          end)
+    done;
+    !ready
+  in
+  let deadline_us = int_arg args 2 * 1000 in
+  let start = Sim.Clock.now () in
+  let rec loop () =
+    let r = check () in
+    if r > 0 then ok r
+    else if
+      deadline_us >= 0
+      && Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) start) >= float_of_int deadline_us
+    then ok 0
+    else begin
+      Ostd.Task.sleep_us 2.0;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- Dispatch table --- *)
+
+let handlers : (int, Process.t -> int64 array -> (int64, int) result) Hashtbl.t =
+  Hashtbl.create 128
+
+let reg nr h = Hashtbl.replace handlers nr h
+
+let const_ok _ _ = ok 0
+
+let register_all () =
+  reg N.read sys_read;
+  reg N.write sys_write;
+  reg N.open_ sys_open;
+  reg N.openat sys_openat;
+  reg N.creat (fun proc args ->
+      do_open proc
+        (match read_str proc (int_arg args 0) with Ok p -> p | Error _ -> "")
+        (File.o_creat lor File.o_trunc lor 1)
+        (int_arg args 1));
+  reg N.close sys_close;
+  reg N.stat sys_stat;
+  reg N.fstat sys_fstat;
+  reg N.newfstatat sys_newfstatat;
+  reg N.access sys_access;
+  reg N.lseek sys_lseek;
+  reg N.pread64 sys_pread;
+  reg N.pwrite64 sys_pwrite;
+  reg N.readv sys_readv;
+  reg N.writev sys_writev;
+  reg N.pipe sys_pipe2;
+  reg N.pipe2 sys_pipe2;
+  reg N.dup sys_dup;
+  reg N.dup2 sys_dup2;
+  reg N.fcntl sys_fcntl;
+  reg N.mmap sys_mmap;
+  reg N.munmap sys_munmap;
+  reg N.mprotect sys_mprotect;
+  reg N.brk sys_brk;
+  reg N.nanosleep sys_nanosleep;
+  reg N.clock_nanosleep sys_nanosleep;
+  reg N.sched_yield (fun _ _ ->
+      Ostd.Task.yield_now ();
+      ok 0);
+  reg N.getpid (fun proc _ -> ok (Process.pid proc));
+  reg N.getppid (fun proc _ -> ok (Process.parent_pid proc));
+  reg N.gettid (fun proc _ -> ok (Process.pid proc));
+  reg N.getuid const_ok;
+  reg N.getgid const_ok;
+  reg N.geteuid const_ok;
+  reg N.getegid const_ok;
+  reg N.setsid (fun proc _ -> ok (Process.pid proc));
+  reg N.umask sys_umask;
+  reg N.getdents sys_getdents;
+  reg N.getdents64 sys_getdents;
+  reg N.getcwd sys_getcwd;
+  reg N.chdir sys_chdir;
+  reg N.mkdir sys_mkdir;
+  reg N.mkdirat (fun proc args -> sys_mkdir proc [| args.(1); args.(2) |]);
+  reg N.rmdir sys_rmdir;
+  reg N.unlink sys_unlink;
+  reg N.unlinkat (fun proc args -> sys_unlink proc [| args.(1) |]);
+  reg N.rename sys_rename;
+  reg N.renameat (fun proc args -> sys_rename proc [| args.(1); args.(3) |]);
+  reg N.link sys_link;
+  reg N.symlink sys_symlink;
+  reg N.readlink sys_readlink;
+  reg N.truncate sys_truncate;
+  reg N.ftruncate sys_ftruncate;
+  reg N.fsync sys_fsync;
+  reg N.fdatasync sys_fsync;
+  reg N.flock const_ok;
+  reg N.chmod sys_chmod;
+  reg N.chown const_ok;
+  reg N.ioctl const_ok;
+  reg N.sendfile sys_sendfile;
+  reg N.socket sys_socket;
+  reg N.bind sys_bind;
+  reg N.listen sys_listen;
+  reg N.accept sys_accept;
+  reg N.connect sys_connect;
+  reg N.sendto sys_sendto;
+  reg N.recvfrom sys_recvfrom;
+  reg N.socketpair sys_socketpair;
+  reg N.getsockname sys_getsockname;
+  reg N.setsockopt (fun proc args ->
+      (match file_of proc args.(0) with
+      | Ok { File.desc = File.Socket { File.st = File.S_tcp_conn conn; _ }; _ }
+        when int_arg args 1 = 6 && int_arg args 2 = 1 ->
+        Tcp.set_nodelay conn
+      | _ -> ());
+      ok 0);
+  reg N.getsockopt const_ok;
+  reg N.shutdown sys_shutdown;
+  reg N.fork sys_fork;
+  reg 56 sys_clone;
+  reg N.execve (fun proc args ->
+      match read_str proc (int_arg args 0) with
+      | Error e -> err e
+      | Ok path -> (
+        match read_str_array proc (int_arg args 1) with
+        | Error e -> err e
+        | Ok argv -> (
+          match Process.do_exec proc path argv with
+          | Ok () -> Ok Int64.min_int (* marker, see dispatch *)
+          | Error e -> err e)));
+  reg N.kill sys_kill;
+  reg N.rt_sigaction sys_rt_sigaction;
+  reg N.rt_sigprocmask sys_rt_sigprocmask;
+  reg N.rt_sigpending sys_rt_sigpending;
+  reg N.mknod sys_mknod;
+  reg N.lstat sys_lstat;
+  reg N.statfs sys_statfs;
+  reg N.fchdir sys_fchdir;
+  reg N.sync sys_sync;
+  reg N.dup3 sys_dup2;
+  reg N.exit (fun proc _args -> Process.do_exit proc (int_arg _args 0));
+  reg N.exit_group (fun proc _args -> Process.do_exit proc (int_arg _args 0));
+  reg N.wait4 sys_wait4;
+  reg N.uname sys_uname;
+  reg N.gettimeofday sys_gettimeofday;
+  reg N.clock_gettime sys_clock_gettime;
+  reg N.time sys_time;
+  reg N.getrandom sys_getrandom;
+  reg N.poll sys_poll;
+  reg N.getrlimit const_ok;
+  reg N.getrusage const_ok
+
+let implemented_count () = Hashtbl.length handlers
+
+let implemented_numbers () =
+  Hashtbl.fold (fun nr _ acc -> nr :: acc) handlers [] |> List.sort compare
+
+let is_implemented nr = Hashtbl.mem handlers nr
+
+let dispatch proc nr args =
+  (* Registers the user did not set read as zero; handlers can index
+     args.(0..5) safely no matter what user space passed. *)
+  let args =
+    if Array.length args >= 6 then args
+    else Array.init 6 (fun i -> if i < Array.length args then args.(i) else 0L)
+  in
+  match Hashtbl.find_opt handlers nr with
+  | Some h -> (
+    match h proc args with
+    | Ok v when v = Int64.min_int && nr = N.execve -> Process.Exec_done
+    | Ok v -> Process.Ret v
+    | Error e -> Process.Ret (Int64.of_int (-e)))
+  | None ->
+    Sim.Stats.incr "syscall.enosys";
+    Process.Ret (Int64.of_int (-Errno.enosys))
+
+let install () =
+  Hashtbl.reset fifo_pipes;
+  if Hashtbl.length handlers = 0 then register_all ();
+  Process.set_syscall_handler dispatch

@@ -1,0 +1,464 @@
+let mss = Packet.mss
+
+(* Growable byte FIFO used for send queues and receive buffers. *)
+module Fifo = struct
+  type t = { q : (Bytes.t * int ref) Queue.t; mutable len : int }
+
+  let create () = { q = Queue.create (); len = 0 }
+
+  let length t = t.len
+
+  let push t b pos n =
+    if n > 0 then begin
+      Queue.push (Bytes.sub b pos n, ref 0) t.q;
+      t.len <- t.len + n
+    end
+
+  let pop_into t buf pos n =
+    let moved = ref 0 in
+    while !moved < n && not (Queue.is_empty t.q) do
+      let chunk, off = Queue.peek t.q in
+      let avail = Bytes.length chunk - !off in
+      let take = min avail (n - !moved) in
+      Bytes.blit chunk !off buf (pos + !moved) take;
+      off := !off + take;
+      moved := !moved + take;
+      if !off = Bytes.length chunk then ignore (Queue.pop t.q)
+    done;
+    t.len <- t.len - !moved;
+    !moved
+
+  let pop t n =
+    let out = Bytes.create (min n t.len) in
+    let got = pop_into t out 0 (Bytes.length out) in
+    if got = Bytes.length out then out else Bytes.sub out 0 got
+end
+
+type conn_state = Syn_sent | Syn_rcvd | Established | Closed
+
+type engine = {
+  stack : Netstack.t;
+  cc : bool;
+  conns : (int * int * int, conn) Hashtbl.t; (* (local port, remote ip, remote port) *)
+  listeners : (int, listener) Hashtbl.t;
+  mutable next_ephemeral : int;
+}
+
+and listener = {
+  l_eng : engine;
+  l_port : int;
+  backlog : conn Queue.t;
+  accept_wq : Ostd.Wait_queue.t;
+}
+
+and conn = {
+  eng : engine;
+  lip : int; (* local address: loopback connections stay on 127.0.0.1 *)
+  seg_limit : int; (* loopback takes GSO-sized segments, the wire takes MSS *)
+  lport : int;
+  rip : int;
+  rport : int;
+  mutable state : conn_state;
+  (* send side *)
+  txq : Fifo.t;
+  sndbuf_cap : int;
+  inflight : (int * Bytes.t) Queue.t; (* (seq, payload) *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable peer_win : int;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable rto_event : Sim.Events.handle option;
+  snd_wq : Ostd.Wait_queue.t;
+  (* receive side *)
+  rcvbuf : Fifo.t;
+  rcvbuf_cap : int;
+  mutable rcv_nxt : int;
+  mutable peer_fin : bool;
+  mutable local_closed : bool;
+  mutable reset : bool;
+  rcv_wq : Ostd.Wait_queue.t;
+  conn_wq : Ostd.Wait_queue.t;
+  mutable delack_event : Sim.Events.handle option;
+  mutable unacked : int; (* bytes received since the last ACK we sent *)
+  mutable rx_segments : int; (* data segments received on this connection *)
+  mutable nodelay : bool; (* TCP_NODELAY: disable the Nagle hold *)
+}
+
+let rto_cycles = Sim.Clock.us 40_000. (* 40 ms *)
+
+let initial_cwnd = 10 * mss
+
+let key c = (c.lport, c.rip, c.rport)
+
+(* Per-segment transmit processing; sub-MSS writes are charged at the
+   send(2) call instead (see [send]). *)
+let charge_tx eng = Netstack.charge eng.stack (Sim.Cost.c ()).Sim.Profile.tcp_tx_segment
+
+(* Receive processing: tiny segments take the header-prediction fast
+   path; full segments pay the per-segment base plus a per-byte part. *)
+let charge_rx eng len =
+  if len < mss then Netstack.charge eng.stack (150 + (len / 8))
+  else begin
+    let base = (Sim.Cost.c ()).Sim.Profile.tcp_rx_segment in
+    Netstack.charge eng.stack (base + (len / 16))
+  end
+
+let free_window conn = conn.rcvbuf_cap - Fifo.length conn.rcvbuf
+
+let make_conn eng ~lip ~lport ~rip ~rport ~state =
+  (* Connection object setup (socket buffers, timers, hash insertion,
+     firewall hooks) — where a full Linux stack pays far more than a
+     lean smoltcp-style one. *)
+  Netstack.charge eng.stack (Sim.Cost.c ()).Sim.Profile.tcp_conn_setup;
+  let p = Sim.Profile.get () in
+  let loopback = rip = Netstack.loopback_ip || rip = Netstack.ip eng.stack in
+  (* Loopback behaves like an infinite-MTU device; on the wire, GSO/TSO
+     hands large frames to the NIC, while a stack without offload
+     segments to MSS in software. Host-side client stacks model the
+     host's Linux and always use GSO. *)
+  let wire_seg =
+    if p.Sim.Profile.tcp_gso || Netstack.is_host eng.stack then 16000 else mss
+  in
+  {
+    eng;
+    lip;
+    seg_limit = (if loopback then 64 * 1024 else wire_seg);
+    lport;
+    rip;
+    rport;
+    state;
+    txq = Fifo.create ();
+    sndbuf_cap = p.Sim.Profile.tcp_sndbuf;
+    inflight = Queue.create ();
+    snd_una = 0;
+    snd_nxt = 0;
+    peer_win = 64 * 1024;
+    cwnd = initial_cwnd;
+    ssthresh = max_int;
+    rto_event = None;
+    snd_wq = Ostd.Wait_queue.create ();
+    rcvbuf = Fifo.create ();
+    rcvbuf_cap = 256 * 1024;
+    rcv_nxt = 0;
+    peer_fin = false;
+    local_closed = false;
+    reset = false;
+    rcv_wq = Ostd.Wait_queue.create ();
+    conn_wq = Ostd.Wait_queue.create ();
+    delack_event = None;
+    unacked = 0;
+    rx_segments = 0;
+    nodelay = false;
+  }
+
+let emit conn ?(flags = Packet.ack_flag) ?(seq = 0) payload =
+  Netstack.send conn.eng.stack
+    (Packet.make ~src_ip:conn.lip ~dst_ip:conn.rip ~proto:Packet.Tcp
+       ~src_port:conn.lport ~dst_port:conn.rport ~flags ~seq ~ack:conn.rcv_nxt
+       ~win:(free_window conn) payload)
+
+let send_pure_ack conn =
+  (match conn.delack_event with
+  | Some ev ->
+    Sim.Events.cancel ev;
+    conn.delack_event <- None
+  | None -> ());
+  conn.unacked <- 0;
+  emit conn Bytes.empty
+
+let delack_cycles = Sim.Clock.us 500.
+
+(* Delayed ACK: full segments in a stream are acknowledged every other
+   segment (or after a short timer); sub-MSS arrivals ACK immediately so
+   Nagle on the other side never stalls a ping-pong. *)
+let ack_after_data conn len =
+  conn.unacked <- conn.unacked + len;
+  conn.rx_segments <- conn.rx_segments + 1;
+  if len < mss || conn.unacked >= 2 * mss then send_pure_ack conn
+  else if conn.delack_event = None then
+    conn.delack_event <-
+      Some
+        (Sim.Events.schedule_after delack_cycles (fun () ->
+             conn.delack_event <- None;
+             if conn.unacked > 0 then send_pure_ack conn))
+
+(* --- Transmit machinery --- *)
+
+let effective_window conn =
+  let w = if conn.eng.cc then min conn.peer_win conn.cwnd else conn.peer_win in
+  w - (conn.snd_nxt - conn.snd_una)
+
+let rec arm_rto conn =
+  match conn.rto_event with
+  | Some _ -> ()
+  | None ->
+    if not (Queue.is_empty conn.inflight) then
+      conn.rto_event <- Some (Sim.Events.schedule_after rto_cycles (fun () -> on_rto conn))
+
+and on_rto conn =
+  conn.rto_event <- None;
+  if not (Queue.is_empty conn.inflight) then begin
+    Sim.Stats.incr "tcp.rto";
+    (* Reno reaction. *)
+    if conn.eng.cc then begin
+      conn.ssthresh <- max ((conn.snd_nxt - conn.snd_una) / 2) (2 * mss);
+      conn.cwnd <- 2 * mss
+    end;
+    let seq, payload = Queue.peek conn.inflight in
+    charge_tx conn.eng;
+    emit conn ~seq payload;
+    arm_rto conn
+  end
+
+let try_transmit conn =
+  if conn.state = Established || conn.state = Syn_rcvd then begin
+    let continue = ref true in
+    while !continue do
+      let w = effective_window conn in
+      let avail = Fifo.length conn.txq in
+      if w <= 0 || avail = 0 then continue := false
+      else if
+        avail < min mss conn.seg_limit
+        && (not (Queue.is_empty conn.inflight))
+        && (not conn.nodelay)
+        && not conn.local_closed
+      then
+        (* Nagle / autocork: hold a sub-MSS tail while data is in flight,
+           so small-write streams coalesce into full segments. *)
+        continue := false
+      else begin
+        let seg = min conn.seg_limit (min w avail) in
+        let payload = Fifo.pop conn.txq seg in
+        (* Sub-MSS segments were already charged at the send(2) call. *)
+        if seg >= mss then charge_tx conn.eng;
+        emit conn ~seq:conn.snd_nxt payload;
+        Queue.push (conn.snd_nxt, payload) conn.inflight;
+        conn.snd_nxt <- conn.snd_nxt + seg
+      end
+    done;
+    arm_rto conn;
+    (* Space may have opened up for blocked senders. *)
+    if Fifo.length conn.txq < conn.sndbuf_cap then ignore (Ostd.Wait_queue.wake_all conn.snd_wq)
+  end
+
+let maybe_send_fin conn =
+  if
+    conn.local_closed
+    && Fifo.length conn.txq = 0
+    && Queue.is_empty conn.inflight
+    && conn.state = Established
+  then begin
+    emit conn ~flags:(Packet.fin lor Packet.ack_flag) Bytes.empty;
+    conn.state <- Closed
+  end
+
+(* --- Receive path --- *)
+
+let on_ack conn (p : Packet.t) =
+  if p.Packet.ack > conn.snd_una then begin
+    let acked = p.Packet.ack - conn.snd_una in
+    conn.snd_una <- p.Packet.ack;
+    (* Drop fully-acked segments. *)
+    let continue = ref true in
+    while !continue && not (Queue.is_empty conn.inflight) do
+      let seq, payload = Queue.peek conn.inflight in
+      if seq + Bytes.length payload <= conn.snd_una then ignore (Queue.pop conn.inflight)
+      else continue := false
+    done;
+    (* Restart the retransmission timer on forward progress. *)
+    (match conn.rto_event with
+    | Some ev ->
+      Sim.Events.cancel ev;
+      conn.rto_event <- None
+    | None -> ());
+    if conn.eng.cc then
+      if conn.cwnd < conn.ssthresh then conn.cwnd <- conn.cwnd + min acked mss
+      else conn.cwnd <- conn.cwnd + max 1 (mss * mss / conn.cwnd)
+  end;
+  conn.peer_win <- p.Packet.win;
+  try_transmit conn;
+  maybe_send_fin conn;
+  ignore (Ostd.Wait_queue.wake_all conn.snd_wq)
+
+let on_data conn (p : Packet.t) =
+  let len = Bytes.length p.Packet.payload in
+  if len > 0 then begin
+    if p.Packet.seq = conn.rcv_nxt && free_window conn >= len then begin
+      charge_rx conn.eng len;
+      Fifo.push conn.rcvbuf p.Packet.payload 0 len;
+      conn.rcv_nxt <- conn.rcv_nxt + len;
+      ack_after_data conn len;
+      ignore (Ostd.Wait_queue.wake_all conn.rcv_wq)
+    end
+    else begin
+      (* Duplicate or out-of-window: re-ack so the sender resynchronises. *)
+      if p.Packet.seq = conn.rcv_nxt then Sim.Stats.incr "tcp.drop_nospace"
+      else if p.Packet.seq < conn.rcv_nxt then Sim.Stats.incr "tcp.drop_dup"
+      else Sim.Stats.incr "tcp.drop_ooo";
+      send_pure_ack conn
+    end
+  end
+
+let engine_rx eng (p : Packet.t) =
+  let k = (p.Packet.dst_port, p.Packet.src_ip, p.Packet.src_port) in
+  match Hashtbl.find_opt eng.conns k with
+  | Some conn ->
+    if p.Packet.flags land Packet.rst <> 0 then begin
+      conn.reset <- true;
+      conn.state <- Closed;
+      ignore (Ostd.Wait_queue.wake_all conn.rcv_wq);
+      ignore (Ostd.Wait_queue.wake_all conn.snd_wq);
+      ignore (Ostd.Wait_queue.wake_all conn.conn_wq)
+    end
+    else begin
+      (match conn.state with
+      | Syn_sent when p.Packet.flags land Packet.syn <> 0 ->
+        conn.state <- Established;
+        send_pure_ack conn;
+        ignore (Ostd.Wait_queue.wake_all conn.conn_wq)
+      | Syn_rcvd when p.Packet.flags land Packet.ack_flag <> 0 -> (
+        conn.state <- Established;
+        match Hashtbl.find_opt eng.listeners conn.lport with
+        | Some l ->
+          Queue.push conn l.backlog;
+          ignore (Ostd.Wait_queue.wake_one l.accept_wq)
+        | None -> ())
+      | _ -> ());
+      if conn.state = Established || conn.state = Closed then begin
+        if p.Packet.flags land Packet.ack_flag <> 0 then on_ack conn p;
+        on_data conn p;
+        if p.Packet.flags land Packet.fin <> 0 then begin
+          conn.peer_fin <- true;
+          conn.rcv_nxt <- conn.rcv_nxt + 1;
+          send_pure_ack conn;
+          ignore (Ostd.Wait_queue.wake_all conn.rcv_wq)
+        end
+      end
+    end
+  | None -> (
+    (* No connection: a SYN may create one via a listener. *)
+    if p.Packet.flags land Packet.syn <> 0 then begin
+      match Hashtbl.find_opt eng.listeners p.Packet.dst_port with
+      | Some _ ->
+        let conn =
+          make_conn eng ~lip:p.Packet.dst_ip ~lport:p.Packet.dst_port ~rip:p.Packet.src_ip
+            ~rport:p.Packet.src_port ~state:Syn_rcvd
+        in
+        Hashtbl.replace eng.conns (key conn) conn;
+        emit conn ~flags:(Packet.syn lor Packet.ack_flag) Bytes.empty
+      | None ->
+        (* Connection refused. *)
+        Netstack.send eng.stack
+          (Packet.make ~src_ip:p.Packet.dst_ip ~dst_ip:p.Packet.src_ip ~proto:Packet.Tcp
+             ~src_port:p.Packet.dst_port ~dst_port:p.Packet.src_port ~flags:Packet.rst
+             Bytes.empty)
+    end
+    else if p.Packet.flags land Packet.rst = 0 then
+      Netstack.send eng.stack
+        (Packet.make ~src_ip:p.Packet.dst_ip ~dst_ip:p.Packet.src_ip ~proto:Packet.Tcp
+           ~src_port:p.Packet.dst_port ~dst_port:p.Packet.src_port ~flags:Packet.rst
+           Bytes.empty))
+
+let create_engine stack ~cc =
+  let eng =
+    { stack; cc; conns = Hashtbl.create 64; listeners = Hashtbl.create 8; next_ephemeral = 33000 }
+  in
+  Netstack.set_tcp_rx stack (engine_rx eng);
+  eng
+
+(* --- Public API --- *)
+
+let listen eng ~port =
+  if Hashtbl.mem eng.listeners port then Error Errno.eaddrinuse
+  else begin
+    let l = { l_eng = eng; l_port = port; backlog = Queue.create (); accept_wq = Ostd.Wait_queue.create () } in
+    Hashtbl.replace eng.listeners port l;
+    Ok l
+  end
+
+let pending l = Queue.length l.backlog
+
+let accept l =
+  Ostd.Wait_queue.sleep_until l.accept_wq (fun () -> not (Queue.is_empty l.backlog));
+  Queue.pop l.backlog
+
+let connect eng ~dst_ip ~dst_port =
+  Netstack.charge eng.stack (Sim.Cost.c ()).Sim.Profile.tcp_small_write;
+  let lport = eng.next_ephemeral in
+  eng.next_ephemeral <- eng.next_ephemeral + 1;
+  let lip =
+    if dst_ip = Netstack.loopback_ip || dst_ip = Netstack.ip eng.stack then dst_ip
+    else Netstack.ip eng.stack
+  in
+  let conn = make_conn eng ~lip ~lport ~rip:dst_ip ~rport:dst_port ~state:Syn_sent in
+  Hashtbl.replace eng.conns (key conn) conn;
+  emit conn ~flags:Packet.syn Bytes.empty;
+  Ostd.Wait_queue.sleep_until conn.conn_wq (fun () -> conn.state <> Syn_sent || conn.reset);
+  if conn.reset then begin
+    Hashtbl.remove eng.conns (key conn);
+    Error Errno.econnrefused
+  end
+  else Ok conn
+
+let send conn ~buf ~pos ~len =
+  if conn.reset || conn.local_closed then Error Errno.epipe
+  else begin
+    (* The send-path cost of a small write (socket lock, segmentation
+       bookkeeping); full segments pay per-segment costs at transmit. *)
+    if len < mss then
+      Netstack.charge conn.eng.stack (Sim.Cost.c ()).Sim.Profile.tcp_small_write;
+    let written = ref 0 in
+    let err = ref None in
+    while !written < len && !err = None do
+      Ostd.Wait_queue.sleep_until conn.snd_wq (fun () ->
+          Fifo.length conn.txq < conn.sndbuf_cap || conn.reset);
+      if conn.reset then err := Some Errno.epipe
+      else begin
+        let space = conn.sndbuf_cap - Fifo.length conn.txq in
+        let n = min space (len - !written) in
+        Fifo.push conn.txq buf (pos + !written) n;
+        written := !written + n;
+        try_transmit conn
+      end
+    done;
+    match !err with Some e when !written = 0 -> Error e | _ -> Ok !written
+  end
+
+let recv conn ~buf ~pos ~len =
+  if conn.reset then Error Errno.econnreset
+  else begin
+    (* A receiver that must sleep pays the full wakeup path; streaming
+       receivers find data ready and skip it. *)
+    if Fifo.length conn.rcvbuf = 0 && not (conn.peer_fin || conn.reset) then
+      Netstack.charge conn.eng.stack (Sim.Cost.c ()).Sim.Profile.net_wake;
+    Ostd.Wait_queue.sleep_until conn.rcv_wq (fun () ->
+        Fifo.length conn.rcvbuf > 0 || conn.peer_fin || conn.reset);
+    if conn.reset then Error Errno.econnreset
+    else if Fifo.length conn.rcvbuf = 0 then Ok 0 (* peer closed *)
+    else begin
+      let was_starved = free_window conn < mss in
+      let n = Fifo.pop_into conn.rcvbuf buf pos len in
+      if was_starved && free_window conn >= mss then send_pure_ack conn;
+      Ok n
+    end
+  end
+
+let recv_available conn = Fifo.length conn.rcvbuf
+
+let close conn =
+  if not conn.local_closed then begin
+    conn.local_closed <- true;
+    maybe_send_fin conn;
+    (* Forget the connection once both directions are done; a fuller
+       implementation would hold TIME_WAIT. *)
+    if conn.state = Closed && conn.peer_fin then Hashtbl.remove conn.eng.conns (key conn)
+  end
+
+let set_nodelay conn = conn.nodelay <- true
+
+let peer_of conn = (conn.rip, conn.rport)
+
+let local_port conn = conn.lport
+
+let cwnd_bytes conn = if conn.eng.cc then conn.cwnd else max_int

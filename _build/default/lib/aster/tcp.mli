@@ -1,0 +1,54 @@
+(** TCP engine.
+
+    One engine per {!Netstack}. The guest engine is configured from the
+    installed profile: the Asterinas profile models a smoltcp-style stack
+    *without* congestion control (the paper's explanation for its network
+    wins), while the Linux profile runs Reno-style slow start and
+    congestion avoidance. Host-side client engines always run congestion
+    control, like the real host's Linux stack.
+
+    Blocking calls must run inside a task. *)
+
+type engine
+
+type conn
+
+type listener
+
+val create_engine : Netstack.t -> cc:bool -> engine
+
+val listen : engine -> port:int -> (listener, int) result
+(** EADDRINUSE if the port is taken. *)
+
+val accept : listener -> conn
+(** Block until a connection is established. *)
+
+val pending : listener -> int
+
+val connect : engine -> dst_ip:int -> dst_port:int -> (conn, int) result
+(** Block until the handshake completes (ECONNREFUSED if nothing
+    listens). *)
+
+val send : conn -> buf:bytes -> pos:int -> len:int -> (int, int) result
+(** Queue bytes; blocks while the send buffer is full. EPIPE after the
+    peer reset or local close. *)
+
+val recv : conn -> buf:bytes -> pos:int -> len:int -> (int, int) result
+(** Block until data arrives; 0 at end-of-stream. *)
+
+val recv_available : conn -> int
+
+val set_nodelay : conn -> unit
+(** TCP_NODELAY: send sub-MSS segments immediately instead of holding
+    them for in-flight data (what Redis and Nginx configure). *)
+
+val close : conn -> unit
+
+val peer_of : conn -> int * int
+(** Remote (ip, port). *)
+
+val local_port : conn -> int
+
+val cwnd_bytes : conn -> int
+(** Current congestion window ([max_int] when congestion control is
+    off). *)

@@ -1,0 +1,131 @@
+(* A unidirectional ring shared by a connected pair; an endpoint reads
+   one ring and writes the other. *)
+type ring = {
+  buf : Bytes.t;
+  mutable head : int;
+  mutable count : int;
+  mutable closed : bool;
+  rd_wq : Ostd.Wait_queue.t;
+  wr_wq : Ostd.Wait_queue.t;
+}
+
+type endpoint = { rx : ring; tx : ring }
+
+let make_ring () =
+  let cap = (Sim.Profile.get ()).Sim.Profile.unix_buffer in
+  {
+    buf = Bytes.create cap;
+    head = 0;
+    count = 0;
+    closed = false;
+    rd_wq = Ostd.Wait_queue.create ();
+    wr_wq = Ostd.Wait_queue.create ();
+  }
+
+let socketpair () =
+  let a2b = make_ring () and b2a = make_ring () in
+  ({ rx = b2a; tx = a2b }, { rx = a2b; tx = b2a })
+
+let cap r = Bytes.length r.buf
+
+let push r src pos len =
+  let n = min len (cap r - r.count) in
+  let tail = (r.head + r.count) mod cap r in
+  let first = min n (cap r - tail) in
+  Bytes.blit src pos r.buf tail first;
+  Bytes.blit src (pos + first) r.buf 0 (n - first);
+  r.count <- r.count + n;
+  n
+
+let pop r dst pos len =
+  let n = min len r.count in
+  let first = min n (cap r - r.head) in
+  Bytes.blit r.buf r.head dst pos first;
+  Bytes.blit r.buf 0 dst (pos + first) (n - first);
+  r.head <- (r.head + n) mod cap r;
+  r.count <- r.count - n;
+  n
+
+let charge_op len =
+  Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.unix_op;
+  (* skb-based implementations copy user->skb and skb->user; the ring
+     design moves bytes once (the syscall layer's user copy). *)
+  if (Sim.Profile.get ()).Sim.Profile.unix_double_copy then Sim.Cost.charge_user_copy len
+
+let send ep ~buf ~pos ~len =
+  let r = ep.tx in
+  if r.closed then Error Errno.epipe
+  else begin
+    let written = ref 0 in
+    let err = ref None in
+    while !written < len && !err = None do
+      Ostd.Wait_queue.sleep_until r.wr_wq (fun () -> r.count < cap r || r.closed);
+      if r.closed then err := Some Errno.epipe
+      else begin
+        let n = push r buf (pos + !written) (len - !written) in
+        charge_op n;
+        written := !written + n;
+        ignore (Ostd.Wait_queue.wake_one r.rd_wq)
+      end
+    done;
+    match !err with Some e when !written = 0 -> Error e | _ -> Ok !written
+  end
+
+let recv ep ~buf ~pos ~len =
+  let r = ep.rx in
+  Ostd.Wait_queue.sleep_until r.rd_wq (fun () -> r.count > 0 || r.closed);
+  if r.count = 0 then Ok 0
+  else begin
+    let n = pop r buf pos len in
+    charge_op n;
+    ignore (Ostd.Wait_queue.wake_one r.wr_wq);
+    Ok n
+  end
+
+let close ep =
+  ep.tx.closed <- true;
+  ep.rx.closed <- true;
+  ignore (Ostd.Wait_queue.wake_all ep.tx.rd_wq);
+  ignore (Ostd.Wait_queue.wake_all ep.tx.wr_wq);
+  ignore (Ostd.Wait_queue.wake_all ep.rx.rd_wq);
+  ignore (Ostd.Wait_queue.wake_all ep.rx.wr_wq)
+
+let readable ep = ep.rx.count > 0 || ep.rx.closed
+
+(* --- Listener namespace --- *)
+
+type listener = {
+  path : string;
+  backlog : endpoint Queue.t;
+  wq : Ostd.Wait_queue.t;
+  mutable open_ : bool;
+}
+
+let namespace : (string, listener) Hashtbl.t = Hashtbl.create 16
+
+let reset_namespace () = Hashtbl.reset namespace
+
+let listen ~path =
+  if Hashtbl.mem namespace path then Error Errno.eaddrinuse
+  else begin
+    let l = { path; backlog = Queue.create (); wq = Ostd.Wait_queue.create (); open_ = true } in
+    Hashtbl.replace namespace path l;
+    Ok l
+  end
+
+let connect ~path =
+  match Hashtbl.find_opt namespace path with
+  | Some l when l.open_ ->
+    let client, server = socketpair () in
+    Queue.push server l.backlog;
+    ignore (Ostd.Wait_queue.wake_one l.wq);
+    Ok client
+  | Some _ | None -> Error Errno.econnrefused
+
+let accept l =
+  Ostd.Wait_queue.sleep_until l.wq (fun () -> not (Queue.is_empty l.backlog));
+  Queue.pop l.backlog
+
+let close_listener l =
+  l.open_ <- false;
+  Hashtbl.remove namespace l.path

@@ -1,0 +1,22 @@
+(** Unix-domain stream sockets: an in-kernel byte channel between two
+    endpoints, with a filesystem-bound listener namespace. Buffer size
+    and per-op cost follow the installed profile, which is where the
+    bw_unix gap between the kernels comes from. *)
+
+type endpoint
+
+val socketpair : unit -> endpoint * endpoint
+
+type listener
+
+val listen : path:string -> (listener, int) result
+val connect : path:string -> (endpoint, int) result
+val accept : listener -> endpoint
+val close_listener : listener -> unit
+
+val send : endpoint -> buf:bytes -> pos:int -> len:int -> (int, int) result
+val recv : endpoint -> buf:bytes -> pos:int -> len:int -> (int, int) result
+val close : endpoint -> unit
+val readable : endpoint -> bool
+
+val reset_namespace : unit -> unit

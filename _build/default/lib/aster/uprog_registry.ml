@@ -1,0 +1,16 @@
+type prog = Ostd.User.uapi -> string list -> int
+
+let table : (string, prog) Hashtbl.t = Hashtbl.create 32
+
+let register name prog = Hashtbl.replace table name prog
+
+let basename path =
+  match String.rindex_opt path '/' with
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+  | None -> path
+
+let find path = Hashtbl.find_opt table (basename path)
+
+let names () = Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort compare
+
+let reset () = Hashtbl.reset table

@@ -1,0 +1,11 @@
+(** Registry of executable user-program images, the simulation's stand-in
+    for a filesystem of ELF binaries: execve resolves the path's basename
+    here. Programs receive their syscall capability and argv. *)
+
+type prog = Ostd.User.uapi -> string list -> int
+
+val register : string -> prog -> unit
+val basename : string -> string
+val find : string -> prog option
+val names : unit -> string list
+val reset : unit -> unit

@@ -1,0 +1,15 @@
+(** Virtio block driver — de-privileged code using only OSTD's safe APIs
+    (IoMem, IrqLine, DMA, untyped frames), like the paper's drivers.
+
+    DMA buffers follow the installed profile: with pooling on, request
+    descriptors come from a persistent pool (mapped once); the paper
+    notes blk-side pooling is *incomplete*, so data pages are still
+    mapped/unmapped per request unless [blk_pooling_complete] is set —
+    this is what makes SQLite more IOMMU-sensitive than Nginx/Redis
+    (§6.1.4). *)
+
+val init : unit -> unit
+(** Probe the bus, claim the device window/vector, build pools, and
+    register with {!Block}. Panics if no virtio-blk device exists. *)
+
+val in_flight : unit -> int

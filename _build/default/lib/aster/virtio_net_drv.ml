@@ -1,0 +1,162 @@
+(* Buffer layout: descriptor (16 bytes) at offset 0, packet data at 64.
+   Buffers span several pages so GSO-sized frames fit. *)
+let data_off = 64
+
+let buf_pages = 5
+
+let data_cap = (buf_pages * Machine.Phys.page_size) - data_off
+
+let unused_marker = 0xFFFF
+
+type buf = { stream : Ostd.Dma.Stream.t; pooled : bool }
+
+type state = {
+  stack : Netstack.t;
+  window : Ostd.Io_mem.t;
+  dev_id : int;
+  pool : Ostd.Dma.Pool.t;
+  mutable tx_pending : buf list;
+  mutable rx_posted : buf list;
+  mutable ntx : int;
+  mutable nrx : int;
+}
+
+let state : state option ref = ref None
+
+let st () =
+  match !state with
+  | Some s -> s
+  | None -> Ostd.Panic.panic "virtio-net driver not initialised"
+
+let tx_packets () = match !state with Some s -> s.ntx | None -> 0
+
+let rx_packets () = match !state with Some s -> s.nrx | None -> 0
+
+let take_buf s =
+  if (Sim.Profile.get ()).Sim.Profile.dma_pooling then
+    match Ostd.Dma.Pool.alloc s.pool with
+    | Some stream -> { stream; pooled = true }
+    | None ->
+      Sim.Stats.incr "virtio_net.pool_exhausted";
+      { stream = Ostd.Dma.Stream.map (Ostd.Frame.alloc ~pages:buf_pages ~untyped:true ()) ~dev:s.dev_id;
+        pooled = false }
+  else
+    { stream = Ostd.Dma.Stream.map (Ostd.Frame.alloc ~pages:buf_pages ~untyped:true ()) ~dev:s.dev_id;
+      pooled = false }
+
+let release_buf s b =
+  if b.pooled then Ostd.Dma.Pool.release s.pool b.stream else Ostd.Dma.Stream.unmap b.stream
+
+let frame_of b = Ostd.Dma.Stream.frame b.stream
+
+let post_rx s =
+  let b = take_buf s in
+  let f = frame_of b in
+  Ostd.Untyped.write_u32 f ~off:0 data_cap;
+  Ostd.Untyped.write_u32 f ~off:4 unused_marker;
+  Ostd.Untyped.write_u64 f ~off:8 (Int64.of_int (Ostd.Dma.Stream.paddr b.stream + data_off));
+  let ring_was_empty = s.rx_posted = [] in
+  s.rx_posted <- s.rx_posted @ [ b ];
+  (* Reposting into a non-empty RX ring is a ring update, not a kick. *)
+  if ring_was_empty then
+    Ostd.Io_mem.doorbell s.window ~off:Machine.Virtio_net.reg_queue_rx
+      (Int64.of_int (Ostd.Dma.Stream.paddr b.stream))
+  else begin
+    Netstack.charge s.stack 60;
+    Machine.Mmio.write
+      ~addr:(Ostd.Io_mem.base s.window + Machine.Virtio_net.reg_queue_rx)
+      ~len:8
+      (Int64.of_int (Ostd.Dma.Stream.paddr b.stream))
+  end
+
+let transmit s pkt =
+  let encoded = Packet.encode pkt in
+  let len = Bytes.length encoded in
+  if len > data_cap then Ostd.Panic.panic "virtio-net: packet exceeds buffer";
+  Netstack.charge s.stack 500;
+  let b = take_buf s in
+  let f = frame_of b in
+  (* Copy into the DMA buffer: a real data movement. *)
+  if not (Netstack.is_host s.stack) then Sim.Cost.charge_memcpy len;
+  Ostd.Untyped.write_bytes f ~off:data_off ~buf:encoded ~pos:0 ~len;
+  Ostd.Untyped.write_u32 f ~off:0 len;
+  Ostd.Untyped.write_u32 f ~off:4 unused_marker;
+  Ostd.Untyped.write_u64 f ~off:8 (Int64.of_int (Ostd.Dma.Stream.paddr b.stream + data_off));
+  let device_idle = s.tx_pending = [] in
+  s.tx_pending <- s.tx_pending @ [ b ];
+  s.ntx <- s.ntx + 1;
+  (* Virtio event suppression: kick only an idle device (full VM-exit
+     cost); while it is busy, adding descriptors is a cheap ring update
+     and the device keeps consuming. *)
+  if device_idle then
+    Ostd.Io_mem.doorbell s.window ~off:Machine.Virtio_net.reg_queue_tx
+      (Int64.of_int (Ostd.Dma.Stream.paddr b.stream))
+  else begin
+    Netstack.charge s.stack 60;
+    Machine.Mmio.write
+      ~addr:(Ostd.Io_mem.base s.window + Machine.Virtio_net.reg_queue_tx)
+      ~len:8
+      (Int64.of_int (Ostd.Dma.Stream.paddr b.stream))
+  end
+
+(* Bottom half: reap TX completions and deliver RX arrivals. *)
+let reap () =
+  let s = st () in
+  let done_tx, still_tx =
+    List.partition (fun b -> Ostd.Untyped.read_u32 (frame_of b) ~off:4 <> unused_marker)
+      s.tx_pending
+  in
+  s.tx_pending <- still_tx;
+  List.iter (release_buf s) done_tx;
+  let done_rx, still_rx =
+    List.partition (fun b -> Ostd.Untyped.read_u32 (frame_of b) ~off:4 <> unused_marker)
+      s.rx_posted
+  in
+  s.rx_posted <- still_rx;
+  List.iter
+    (fun b ->
+      let used = Ostd.Untyped.read_u32 (frame_of b) ~off:4 in
+      let data = Bytes.create used in
+      if not (Netstack.is_host s.stack) then Sim.Cost.charge_memcpy used;
+      Ostd.Untyped.read_bytes (frame_of b) ~off:data_off ~buf:data ~pos:0 ~len:used;
+      s.nrx <- s.nrx + 1;
+      release_buf s b;
+      post_rx s;
+      match Packet.decode data with
+      | Some pkt -> Netstack.rx s.stack pkt
+      | None -> Sim.Stats.incr "virtio_net.bad_packet")
+    done_rx
+
+let rx_ring_depth = 16
+
+let init stack =
+  match Ostd.Bus_probe.find `Net with
+  | None -> Ostd.Panic.panic "virtio-net: no device on the bus"
+  | Some dev ->
+    let window =
+      match
+        Ostd.Io_mem.acquire ~base:dev.Ostd.Bus_probe.mmio_base ~size:dev.Ostd.Bus_probe.mmio_size
+      with
+      | Ok w -> w
+      | Error e -> Ostd.Panic.panic e
+    in
+    let s =
+      {
+        stack;
+        window;
+        dev_id = dev.Ostd.Bus_probe.dev_id;
+        pool = Ostd.Dma.Pool.create ~dev:dev.Ostd.Bus_probe.dev_id ~buf_pages ~count:256;
+        tx_pending = [];
+        rx_posted = [];
+        ntx = 0;
+        nrx = 0;
+      }
+    in
+    state := Some s;
+    let line = Ostd.Irq.claim ~vector:dev.Ostd.Bus_probe.vector ~name:"virtio-net" () in
+    Ostd.Irq.set_handler line (fun () -> Softirq.raise_softirq reap);
+    Ostd.Irq.bind_device line ~dev:s.dev_id;
+    for _ = 1 to rx_ring_depth do
+      post_rx s
+    done;
+    Netstack.set_ext_tx stack (transmit s)

@@ -1,0 +1,12 @@
+(** Virtio network driver (de-privileged, OSTD-API-only).
+
+    Wires a {!Netstack}'s external route to the virtio NIC. With DMA
+    pooling on (Asterinas default), TX and RX buffers are mapped once
+    and recycled — the paper credits exactly this for the NIC's near-zero
+    IOMMU overhead; without it every packet pays map/unmap plus IOTLB
+    invalidation (Fig. 6). *)
+
+val init : Netstack.t -> unit
+
+val tx_packets : unit -> int
+val rx_packets : unit -> int

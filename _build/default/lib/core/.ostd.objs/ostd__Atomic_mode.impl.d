@@ -1,0 +1,1 @@
+lib/core/atomic_mode.ml: Panic

@@ -1,0 +1,1 @@
+lib/core/boot.ml: Falloc Frame Irq Machine Sim Slab Sync Task

@@ -1,0 +1,1 @@
+lib/core/bootstrap_alloc.ml: Falloc List Machine

@@ -1,0 +1,1 @@
+lib/core/bootstrap_alloc.mli: Falloc

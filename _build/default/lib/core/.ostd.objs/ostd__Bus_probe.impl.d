@@ -1,0 +1,1 @@
+lib/core/bus_probe.ml: List Machine

@@ -1,0 +1,1 @@
+lib/core/dma.ml: Frame List Machine Panic Probe Sim

@@ -1,0 +1,1 @@
+lib/core/frame.ml: Array Falloc List Machine Panic Probe Sim

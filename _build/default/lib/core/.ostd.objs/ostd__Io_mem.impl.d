@@ -1,0 +1,1 @@
+lib/core/io_mem.ml: List Machine Panic Printf Probe Sim

@@ -1,0 +1,1 @@
+lib/core/irq.ml: Atomic_mode Fun Hashtbl Machine Panic Sim

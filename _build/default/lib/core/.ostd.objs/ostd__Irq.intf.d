@@ -1,0 +1,1 @@
+lib/core/irq.mli:

@@ -1,0 +1,1 @@
+lib/core/kstack.ml: Frame Fun List Machine Panic Probe Sim

@@ -1,0 +1,1 @@
+lib/core/panic.ml: Format Sim

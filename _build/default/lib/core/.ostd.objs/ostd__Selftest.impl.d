@@ -1,0 +1,1 @@
+lib/core/selftest.ml: Atomic_mode Boot Bootstrap_alloc Bytes Char Dma Falloc Frame Hashtbl Io_mem Io_port Irq Kstack List Machine Option Panic Result Sim Slab String Task Untyped Vmspace

@@ -1,0 +1,1 @@
+lib/core/slab.ml: Array Frame List Panic Probe Queue Sim

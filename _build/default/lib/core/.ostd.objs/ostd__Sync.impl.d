@@ -1,0 +1,1 @@
+lib/core/sync.ml: Atomic_mode Fun Option Panic Sim Task Wait_queue

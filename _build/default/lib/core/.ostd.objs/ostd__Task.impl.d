@@ -1,0 +1,1 @@
+lib/core/task.ml: Atomic_mode Effect Kstack Panic Queue Sim

@@ -1,0 +1,1 @@
+lib/core/untyped.ml: Bytes Frame List Machine Panic Probe Sim

@@ -1,0 +1,1 @@
+lib/core/untyped.mli: Frame

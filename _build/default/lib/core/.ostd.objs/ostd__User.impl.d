@@ -1,0 +1,1 @@
+lib/core/user.ml: Array Bytes Effect Int64 Panic Sim Vmspace

@@ -1,0 +1,1 @@
+lib/core/vmspace.ml: Frame Hashtbl List Machine Option Panic Probe Sim Untyped

@@ -1,0 +1,1 @@
+lib/core/wait_queue.ml: Atomic_mode List Sim Task

@@ -1,0 +1,1 @@
+lib/core/wait_queue.mli:

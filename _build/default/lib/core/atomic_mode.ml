@@ -1,0 +1,17 @@
+let level = ref 0
+
+let enter () = incr level
+
+let exit () =
+  if !level <= 0 then Panic.panic "Atomic_mode.exit: not in atomic mode";
+  decr level
+
+let depth () = !level
+
+let in_atomic () = !level > 0
+
+let assert_sleepable who =
+  if in_atomic () then
+    Panic.panicf "%s: sleeping in atomic context (depth %d) is forbidden" who !level
+
+let reset () = level := 0

@@ -1,0 +1,16 @@
+(** Atomic-context tracking.
+
+    The paper notes that Linux/RFL tolerate sleeping in atomic context
+    (spinlock or RCU read sections, interrupt handlers), an unsoundness
+    OSTD forbids by construction: OSTD enters "atomic mode" around those
+    regions and any attempt to sleep inside one panics. *)
+
+val enter : unit -> unit
+val exit : unit -> unit
+val depth : unit -> int
+val in_atomic : unit -> bool
+
+val assert_sleepable : string -> unit
+(** Panics (sleep-in-atomic-context) when called in atomic mode. *)
+
+val reset : unit -> unit

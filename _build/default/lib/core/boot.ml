@@ -1,0 +1,28 @@
+let reserved_pages = 256
+
+let up = ref false
+
+let init ?frames () =
+  Machine.Board.reset ?frames ();
+  Falloc.reset ();
+  Slab.reset_heap ();
+  Task.reset ();
+  Sync.Rcu.reset_global ();
+  Irq.reset ();
+  Irq.install_dispatcher ();
+  Frame.init_metadata ~reserved_pages;
+  let p = Sim.Profile.get () in
+  if p.Sim.Profile.iommu then begin
+    Machine.Iommu.set_enabled true;
+    Machine.Irq_chip.enable_remapping ()
+  end;
+  up := true
+
+let feed_free_memory () =
+  let (module A) = Falloc.injected () in
+  let total = Frame.total_frames () in
+  A.add_free_memory
+    ~paddr:(reserved_pages * Machine.Phys.page_size)
+    ~pages:(total - reserved_pages)
+
+let booted () = !up

@@ -1,0 +1,19 @@
+(** OSTD boot: bring up the machine models, the frame metadata system,
+    and — when the installed {!Sim.Profile} asks for it — the IOMMU with
+    interrupt remapping (Inv. 3/6). Policy injection (scheduler, frame
+    allocator, heap) happens after [init] and before [feed_free_memory]
+    or any allocation. *)
+
+val reserved_pages : int
+(** Frames reserved for the kernel image and boot structures. *)
+
+val init : ?frames:int -> unit -> unit
+(** Reset every subsystem for a fresh boot. Does not attach peripherals;
+    use {!Machine.Board.attach_default_devices} for the paper's VM
+    configuration. *)
+
+val feed_free_memory : unit -> unit
+(** Hand all non-reserved physical memory to the injected frame
+    allocator ([FrameAlloc::add_free_memory]). *)
+
+val booted : unit -> bool

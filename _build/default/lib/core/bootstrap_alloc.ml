@@ -1,0 +1,51 @@
+let page_size = Machine.Phys.page_size
+
+(* Free list of [first_page, npages) ranges kept sorted and coalesced. *)
+type state = { mutable free : (int * int) list }
+
+let insert st first npages =
+  let ranges = List.sort compare ((first, npages) :: st.free) in
+  let coalesce acc (f, n) =
+    match acc with
+    | (pf, pn) :: rest when pf + pn = f -> (pf, pn + n) :: rest
+    | _ -> (f, n) :: acc
+  in
+  st.free <- List.rev (List.fold_left coalesce [] ranges)
+
+let take st pages =
+  let rec go acc = function
+    | [] -> None
+    | (f, n) :: rest when n >= pages ->
+      let remaining = if n = pages then rest else (f + pages, n - pages) :: rest in
+      st.free <- List.rev_append acc remaining;
+      Some (f * page_size)
+    | r :: rest -> go (r :: acc) rest
+  in
+  go [] st.free
+
+let make () =
+  let st = { free = [] } in
+  let module A = struct
+    let alloc ~pages = take st pages
+
+    let dealloc ~paddr ~pages = insert st (paddr / page_size) pages
+
+    let add_free_memory ~paddr ~pages = insert st (paddr / page_size) pages
+  end in
+  (module A : Falloc.FRAME_ALLOC)
+
+let make_buggy_overlapping () =
+  let base = ref None in
+  let module A = struct
+    (* Always returns the same span: the second allocation overlaps the
+       first, which from_unused must reject. *)
+    let alloc ~pages:_ =
+      match !base with
+      | Some p -> Some p
+      | None -> None
+
+    let dealloc ~paddr:_ ~pages:_ = ()
+
+    let add_free_memory ~paddr ~pages:_ = base := Some paddr
+  end in
+  (module A : Falloc.FRAME_ALLOC)

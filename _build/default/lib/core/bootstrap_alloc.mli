@@ -1,0 +1,12 @@
+(** A minimal first-fit frame allocator for OSTD's own unit tests and the
+    quickstart example.
+
+    Real kernels inject a proper policy (Asterinas injects a buddy system
+    with per-CPU caches from outside the TCB); this one exists so OSTD
+    can be exercised standalone. *)
+
+val make : unit -> (module Falloc.FRAME_ALLOC)
+
+val make_buggy_overlapping : unit -> (module Falloc.FRAME_ALLOC)
+(** A deliberately broken allocator that hands out the same span twice —
+    used to verify that {!Frame.alloc} catches Inv. 1 violations. *)

@@ -1,0 +1,20 @@
+type device = {
+  dev_id : int;
+  kind : [ `Blk | `Net ];
+  mmio_base : int;
+  mmio_size : int;
+  vector : int;
+}
+
+let of_bus (i : Machine.Bus.info) =
+  {
+    dev_id = i.Machine.Bus.dev_id;
+    kind = (match i.Machine.Bus.kind with Machine.Bus.Blk -> `Blk | Machine.Bus.Net -> `Net);
+    mmio_base = i.Machine.Bus.mmio_base;
+    mmio_size = i.Machine.Bus.mmio_size;
+    vector = i.Machine.Bus.vector;
+  }
+
+let devices () = List.map of_bus (Machine.Bus.devices ())
+
+let find kind = List.find_opt (fun d -> d.kind = kind) (devices ())

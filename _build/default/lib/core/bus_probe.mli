@@ -1,0 +1,15 @@
+(** Safe device discovery for drivers: the insensitive subset of what
+    firmware enumeration found. Drivers get their MMIO window via
+    {!Io_mem.acquire} and their interrupt via {!Irq}. *)
+
+type device = {
+  dev_id : int;
+  kind : [ `Blk | `Net ];
+  mmio_base : int;
+  mmio_size : int;
+  vector : int;
+}
+
+val devices : unit -> device list
+
+val find : [ `Blk | `Net ] -> device option

@@ -1,0 +1,104 @@
+let () =
+  List.iter
+    (fun (u, n) -> Probe.declare ~submodule:"dma" ~unsafe_:u n)
+    [
+      (true, "dma.iommu_map");
+      (true, "dma.iommu_unmap");
+      (false, "dma.untyped_only_check");
+      (false, "dma.pool_recycle");
+    ]
+
+module Stream = struct
+  type t = { fr : Frame.t; dev : int; mutable live : bool }
+
+  let map frame ~dev =
+    Probe.hit "dma.untyped_only_check";
+    if not (Frame.is_untyped frame) then
+      Panic.panic "Inv. 6 violated: DMA mapping over typed (sensitive) memory";
+    Probe.hit "dma.iommu_map";
+    (* Without an IOMMU a streaming map is just bookkeeping; the domain
+       update and its cost exist only when translation is on. *)
+    if Machine.Iommu.enabled () then begin
+      Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.dma_map;
+      Machine.Iommu.map ~dev ~paddr:(Frame.paddr frame) ~len:(Frame.size frame)
+    end
+    else Sim.Cost.charge 120;
+    { fr = frame; dev; live = true }
+
+  let alive t op = if not t.live then Panic.panicf "Dma.Stream.%s: unmapped stream" op
+
+  let paddr t =
+    alive t "paddr";
+    Frame.paddr t.fr
+
+  let size t = Frame.size t.fr
+
+  let frame t =
+    alive t "frame";
+    t.fr
+
+  let sync_to_device t ~off:_ ~len =
+    alive t "sync_to_device";
+    Sim.Cost.charge (len / 64)
+
+  let sync_from_device t ~off:_ ~len =
+    alive t "sync_from_device";
+    Sim.Cost.charge (len / 64)
+
+  let unmap t =
+    alive t "unmap";
+    Probe.hit "dma.iommu_unmap";
+    if Machine.Iommu.enabled () then begin
+      Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.dma_unmap;
+      Machine.Iommu.unmap ~dev:t.dev ~paddr:(Frame.paddr t.fr) ~len:(Frame.size t.fr)
+    end
+    else Sim.Cost.charge 100;
+    t.live <- false;
+    Frame.drop t.fr
+end
+
+module Coherent = struct
+  type t = { stream : Stream.t }
+
+  let alloc ~pages ~dev =
+    let fr = Frame.alloc ~pages ~untyped:true () in
+    { stream = Stream.map fr ~dev }
+
+  let paddr t = Stream.paddr t.stream
+
+  let frame t = Stream.frame t.stream
+
+  let free t = Stream.unmap t.stream
+end
+
+module Pool = struct
+  (* LIFO recycling keeps the working set of buffers small and their
+     IOTLB entries hot -- the point of the pooling optimisation. *)
+  type t = { mutable free : Stream.t list; mutable total : int; mutable destroyed : bool }
+
+  let create ~dev ~buf_pages ~count =
+    let free =
+      List.init count (fun _ -> Stream.map (Frame.alloc ~pages:buf_pages ~untyped:true ()) ~dev)
+    in
+    { free; total = count; destroyed = false }
+
+  let buffers t = t.total
+
+  let alloc t =
+    if t.destroyed then Panic.panic "Dma.Pool.alloc: destroyed pool";
+    match t.free with
+    | [] -> None
+    | s :: rest ->
+      t.free <- rest;
+      Some s
+
+  let release t s =
+    Probe.hit "dma.pool_recycle";
+    if t.destroyed then Stream.unmap s else t.free <- s :: t.free
+
+  let destroy t =
+    t.destroyed <- true;
+    List.iter Stream.unmap t.free;
+    t.free <- [];
+    t.total <- 0
+end

@@ -1,0 +1,21 @@
+module type FRAME_ALLOC = sig
+  val alloc : pages:int -> int option
+  val dealloc : paddr:int -> pages:int -> unit
+  val add_free_memory : paddr:int -> pages:int -> unit
+end
+
+let slot : (module FRAME_ALLOC) option ref = ref None
+
+let inject m =
+  match !slot with
+  | Some _ -> Panic.panic "Falloc.inject: a frame allocator is already registered"
+  | None -> slot := Some m
+
+let injected () =
+  match !slot with
+  | Some m -> m
+  | None -> Panic.panic "Falloc: no frame allocator injected"
+
+let reset () = slot := None
+
+let is_injected () = !slot <> None

@@ -1,0 +1,30 @@
+(** Frame-allocator injection (paper §4.4.2, Table 5).
+
+    The policy — buddy system, per-CPU caches, whatever — lives outside
+    the TCB. OSTD only trusts the injected allocator to *propose*
+    addresses; {!Frame.from_unused} re-validates every proposal against
+    the frame metadata (Inv. 1), so a buggy policy can cause a panic or
+    leak but never an overlapping allocation. *)
+
+module type FRAME_ALLOC = sig
+  val alloc : pages:int -> int option
+  (** Propose the physical address of [pages] contiguous unused frames. *)
+
+  val dealloc : paddr:int -> pages:int -> unit
+
+  val add_free_memory : paddr:int -> pages:int -> unit
+  (** Receive a range of usable physical memory at boot. *)
+end
+
+val inject : (module FRAME_ALLOC) -> unit
+(** Must be called exactly once per boot, before any frame allocation;
+    re-injection panics (the paper registers policies during early
+    init). *)
+
+val injected : unit -> (module FRAME_ALLOC)
+(** Panics if no allocator has been injected. *)
+
+val reset : unit -> unit
+(** Forget the injection (new boot). *)
+
+val is_injected : unit -> bool

@@ -1,0 +1,60 @@
+(** Frames and segments with the paper's frame metadata system (§4.2).
+
+    Every physical frame has an entry in a static metadata array holding
+    its reference count, its typed/untyped state, and an optional
+    client-attached metadata value (the [Frame<M>] type parameter of the
+    paper, here an extensible variant). A handle ([t]) covers one frame
+    (Frame) or several contiguous frames (Segment); handles are cloned
+    and dropped explicitly — OCaml has no deterministic destructors, so
+    dropping is part of the API contract and tests verify balance.
+
+    Inv. 1: a handle can only be created over currently-unused frames;
+    {!from_unused} checks and flips the metadata state, so a buggy
+    injected allocator cannot produce aliased frames. *)
+
+type state = Unused | Typed | Untyped
+
+type meta = ..
+(** Client-defined per-frame metadata (page-cache status, slab headers…). *)
+
+type t
+(** A live handle on a span of frames. Using a dropped handle panics. *)
+
+val init_metadata : reserved_pages:int -> unit
+(** Build the metadata array over all of physical memory and mark the
+    first [reserved_pages] frames Typed (kernel image, boot structures). *)
+
+val total_frames : unit -> int
+
+val alloc : ?pages:int -> untyped:bool -> unit -> t
+(** Allocate through the injected allocator (default 1 page). Panics with
+    OOM if the allocator returns no memory, and panics if the allocator
+    proposes frames that are not unused (Inv. 1). Charges the
+    frame-allocation cost plus the ownership safety check. *)
+
+val from_unused : paddr:int -> pages:int -> untyped:bool -> (t, string) result
+(** Validate and claim a span proposed by the allocator. *)
+
+val clone : t -> t
+(** Share: increments every covered frame's reference count. *)
+
+val drop : t -> unit
+(** Release: decrements reference counts; frames reaching zero return to
+    the injected allocator as unused. Double-drop panics. *)
+
+val paddr : t -> int
+val pages : t -> int
+val size : t -> int
+val is_untyped : t -> bool
+val is_live : t -> bool
+
+val refcount : paddr:int -> int
+val state_of : paddr:int -> state
+
+val set_meta : t -> page:int -> meta -> unit
+(** Attach metadata to the [page]-th frame of the span. *)
+
+val get_meta : t -> page:int -> meta option
+
+val live_handles : unit -> int
+(** Number of undropped handles — leak checking in tests. *)

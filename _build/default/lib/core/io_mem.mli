@@ -1,0 +1,23 @@
+(** Safe MMIO access (Inv. 7).
+
+    Firmware labels each MMIO window sensitive or insensitive; [acquire]
+    refuses sensitive windows (local APIC, IOMMU registers), so
+    de-privileged drivers can only ever reach peripheral registers. Each
+    access bounds-checks against the acquired window (cost per Table 8)
+    and then pays the VM-exit-class access cost. *)
+
+type t
+
+val acquire : base:int -> size:int -> (t, string) result
+(** Claim a window. Fails if it is unclaimed bus space, spans region
+    boundaries, or is sensitive. *)
+
+val base : t -> int
+val size : t -> int
+
+val read_once : t -> off:int -> len:int -> int64
+val write_once : t -> off:int -> len:int -> int64 -> unit
+
+val doorbell : t -> off:int -> int64 -> unit
+(** A virtio-style kick: same checks as [write_once] but the fast
+    (ioeventfd) exit cost instead of a full MMIO emulation trap. *)

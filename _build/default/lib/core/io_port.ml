@@ -1,0 +1,28 @@
+type t = { first : int; count : int }
+
+let acquire ~first ~count =
+  match Machine.Pio.find first with
+  | None -> Error "IoPort.acquire: no device at this port"
+  | Some r ->
+    if first < r.Machine.Pio.first || first + count > r.Machine.Pio.first + r.Machine.Pio.count
+    then Error "IoPort.acquire: range spans beyond the device's ports"
+    else if r.Machine.Pio.sensitive then
+      Error
+        (Printf.sprintf "IoPort.acquire: %s is a sensitive port range (Inv. 7)"
+           r.Machine.Pio.name)
+    else Ok { first; count }
+
+let check t ~port op =
+  Sim.Cost.charge_safety (fun s -> s.Sim.Profile.iomem_check);
+  if port < t.first || port >= t.first + t.count then
+    Panic.panicf "IoPort.%s: port %#x outside acquired range" op port
+
+let read t ~port =
+  check t ~port "read";
+  Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.mmio_access;
+  Machine.Pio.read ~port
+
+let write t ~port v =
+  check t ~port "write";
+  Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.mmio_access;
+  Machine.Pio.write ~port v

@@ -1,0 +1,8 @@
+(** Safe port I/O, the PIO twin of {!Io_mem} (Inv. 7). *)
+
+type t
+
+val acquire : first:int -> count:int -> (t, string) result
+
+val read : t -> port:int -> int
+val write : t -> port:int -> int -> unit

@@ -1,0 +1,55 @@
+type t = { vec : int; mutable name : string }
+
+let handlers : (int, unit -> unit) Hashtbl.t = Hashtbl.create 16
+
+let next_vector = ref 48
+
+let post_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let count = ref 0
+
+let claimed : (int, unit) Hashtbl.t = Hashtbl.create 8
+
+let reset () =
+  Hashtbl.reset handlers;
+  Hashtbl.reset claimed;
+  next_vector := 48;
+  post_hook := (fun () -> ());
+  count := 0
+
+let dispatch vector =
+  incr count;
+  Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.irq_entry;
+  (match Hashtbl.find_opt handlers vector with
+  | Some h ->
+    (* Top half runs in atomic mode: sleeping here is the class of bug
+       OSTD's atomic-mode enforcement exists to catch. *)
+    Atomic_mode.enter ();
+    Fun.protect ~finally:Atomic_mode.exit h
+  | None -> Sim.Stats.incr "irq.unhandled");
+  !post_hook ()
+
+let install_dispatcher () = Machine.Irq_chip.set_dispatcher dispatch
+
+let alloc ?(name = "irq") () =
+  let vec = !next_vector in
+  incr next_vector;
+  if vec > 255 then Panic.panic "Irq.alloc: vector space exhausted";
+  { vec; name }
+
+let claim ~vector ?(name = "irq") () =
+  if Hashtbl.mem claimed vector then Panic.panicf "Irq.claim: vector %d already claimed" vector;
+  Hashtbl.add claimed vector ();
+  { vec = vector; name }
+
+let vector t = t.vec
+
+let set_handler t h = Hashtbl.replace handlers t.vec h
+
+let bind_device t ~dev = Machine.Irq_chip.remap_allow ~dev ~vector:t.vec
+
+let unbind_device t ~dev = Machine.Irq_chip.remap_revoke ~dev ~vector:t.vec
+
+let set_post_hook f = post_hook := f
+
+let delivered () = !count

@@ -1,0 +1,37 @@
+(** Interrupt lines (Inv. 3).
+
+    Handlers run in atomic mode (no sleeping). Binding a line to a device
+    programs the interrupt-remapping table, so only granted devices can
+    signal the vector; OSTD enables remapping at boot when the profile
+    runs with the IOMMU. A post-IRQ hook lets the kernel services drain
+    bottom halves (softirq) outside the handler proper. *)
+
+type t
+
+val install_dispatcher : unit -> unit
+(** Wire OSTD into the machine's interrupt controller. Called by boot. *)
+
+val alloc : ?name:string -> unit -> t
+(** Reserve a free vector. *)
+
+val claim : vector:int -> ?name:string -> unit -> t
+(** Claim the specific vector firmware assigned to a device (from
+    {!Bus_probe}). Claiming a vector twice panics. *)
+
+val vector : t -> int
+
+val set_handler : t -> (unit -> unit) -> unit
+
+val bind_device : t -> dev:int -> unit
+(** Grant the device the right to raise this vector (remapping entry). *)
+
+val unbind_device : t -> dev:int -> unit
+
+val set_post_hook : (unit -> unit) -> unit
+(** Run after each interrupt handler returns, outside atomic mode —
+    Asterinas registers its softirq runner here. *)
+
+val reset : unit -> unit
+
+val delivered : unit -> int
+(** Interrupts dispatched since boot. *)

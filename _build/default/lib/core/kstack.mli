@@ -1,0 +1,26 @@
+(** Kernel stacks with guard pages (Inv. 4).
+
+    Each task's stack is a typed (sensitive) segment with one guard page
+    below it. OCaml's runtime manages the real call stack, so stack
+    *consumption* is modelled: kernel code brackets deep paths with
+    [with_frame], and pushing past the stack size means the guard page
+    was hit — a panic, never silent corruption. Creation charges the
+    guard-page setup cost from Table 8. *)
+
+type t
+
+val stack_pages : int
+
+val create : unit -> t
+val destroy : t -> unit
+
+val depth : t -> int
+(** Current simulated stack usage in bytes. *)
+
+val with_frame : t -> bytes:int -> (unit -> 'a) -> 'a
+(** Account a stack frame of [bytes] around a call; hitting the guard
+    page panics. *)
+
+val max_frame_bytes : int
+(** Compile-time-analysis bound from the paper: no single function frame
+    may exceed the guard page size. [with_frame] enforces it. *)

@@ -1,0 +1,9 @@
+exception Kernel_panic of string
+
+let panic msg =
+  Sim.Stats.incr "kernel.panic";
+  raise (Kernel_panic msg)
+
+let panicf fmt = Format.kasprintf panic fmt
+
+let check cond msg = if not cond then panic msg

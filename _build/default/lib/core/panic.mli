@@ -1,0 +1,14 @@
+(** Kernel panic: raised when a safety invariant is about to be violated.
+
+    In the paper's framekernel, OSTD panics rather than let de-privileged
+    code break memory safety; here every Inv. 1-10 enforcement point
+    raises {!Kernel_panic} with the invariant named, and the test suite
+    asserts both directions. *)
+
+exception Kernel_panic of string
+
+val panic : string -> 'a
+val panicf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val check : bool -> string -> unit
+(** [check cond msg] panics with [msg] when [cond] is false. *)

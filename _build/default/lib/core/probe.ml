@@ -1,0 +1,40 @@
+type info = { submodule : string; unsafe_ : bool; mutable hits : int }
+
+let registry : (string, info) Hashtbl.t = Hashtbl.create 128
+
+let tracing = ref false
+
+let declare ~submodule ?(unsafe_ = false) name =
+  if not (Hashtbl.mem registry name) then
+    Hashtbl.add registry name { submodule; unsafe_; hits = 0 }
+
+let hit name =
+  if !tracing then
+    match Hashtbl.find_opt registry name with
+    | Some i -> i.hits <- i.hits + 1
+    | None -> ()
+
+let set_tracing b = tracing := b
+
+let reset_hits () = Hashtbl.iter (fun _ i -> i.hits <- 0) registry
+
+type coverage = { total : int; hit : int; unsafe_total : int; unsafe_hit : int }
+
+let coverage ~submodule =
+  Hashtbl.fold
+    (fun _ i acc ->
+      if i.submodule <> submodule then acc
+      else
+        {
+          total = acc.total + 1;
+          hit = (acc.hit + if i.hits > 0 then 1 else 0);
+          unsafe_total = (acc.unsafe_total + if i.unsafe_ then 1 else 0);
+          unsafe_hit = (acc.unsafe_hit + if i.unsafe_ && i.hits > 0 then 1 else 0);
+        })
+    registry
+    { total = 0; hit = 0; unsafe_total = 0; unsafe_hit = 0 }
+
+let submodules () =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter (fun _ i -> Hashtbl.replace seen i.submodule ()) registry;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort String.compare

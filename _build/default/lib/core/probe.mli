@@ -1,0 +1,23 @@
+(** Coverage probes for the KernMiri harness (Table 10 methodology).
+
+    OSTD's memory-management modules declare named checkpoints; the ones
+    marked [unsafe_] correspond to operations that require [unsafe] in
+    the Rust original (raw physical-memory writes, metadata CAS, page
+    table mutation). When tracing is enabled, hits are recorded so the
+    KernMiri runner can report line and unsafe-block coverage per
+    submodule. Disabled probes cost one branch. *)
+
+val declare : submodule:string -> ?unsafe_:bool -> string -> unit
+(** Idempotent. Called at module initialisation for every checkpoint. *)
+
+val hit : string -> unit
+
+val set_tracing : bool -> unit
+
+val reset_hits : unit -> unit
+
+type coverage = { total : int; hit : int; unsafe_total : int; unsafe_hit : int }
+
+val coverage : submodule:string -> coverage
+
+val submodules : unit -> string list

@@ -1,0 +1,64 @@
+(** Slab and heap-slot abstractions for slab-allocator injection
+    (paper §4.4.3, Table 6).
+
+    A slab owns typed pages partitioned into fixed-size slots. The
+    type-state conversions the paper identifies as safety-critical are
+    all here: unused pages -> slab ([create]), slab -> free slot
+    ([alloc]), slot -> heap object ([Heap_slot.into_box], which checks
+    size and alignment — Inv. 10). A slab tracks its active slots and
+    panics if destroyed while any object lives (Inv. 9). The policy that
+    arranges slabs into per-size caches lives outside the TCB. *)
+
+module Heap_slot : sig
+  type t
+
+  val addr : t -> int
+  val size : t -> int
+end
+
+type t
+
+val create : slot_size:int -> pages:int -> t
+(** Allocates the backing pages as typed memory. [slot_size] must be
+    positive and no larger than the backing span. *)
+
+val slot_size : t -> int
+val capacity : t -> int
+val free_slots : t -> int
+val active : t -> int
+
+val alloc : t -> Heap_slot.t option
+val dealloc : t -> Heap_slot.t -> unit
+(** Recycling a slot from a different slab, or double-freeing, panics. *)
+
+val destroy : t -> unit
+(** Panics while any slot is active (Inv. 9). *)
+
+type 'a boxed
+(** A heap object living in a slot. *)
+
+val into_box : Heap_slot.t -> size:int -> align:int -> 'a -> 'a boxed
+(** Inv. 10: panics unless the slot satisfies the object's size and
+    alignment. Charges the fit check. *)
+
+val box_value : 'a boxed -> 'a
+val box_slot : 'a boxed -> Heap_slot.t
+
+(** {2 Global heap injection}
+
+    Kernel components that do not manage their own slab caches allocate
+    from an injected slab-backed global heap. *)
+
+module type GLOBAL_HEAP = sig
+  val alloc : size:int -> Heap_slot.t
+  val dealloc : Heap_slot.t -> unit
+end
+
+val inject_heap : (module GLOBAL_HEAP) -> unit
+val reset_heap : unit -> unit
+val heap_injected : unit -> bool
+
+val kmalloc : size:int -> 'a -> 'a boxed
+(** Allocate through the injected heap; charges the kmalloc cost. *)
+
+val kfree : 'a boxed -> unit

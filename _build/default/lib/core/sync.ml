@@ -1,0 +1,117 @@
+module Spin_lock = struct
+  type t = { name : string; mutable holder : int option }
+
+  let create name = { name; holder = None }
+
+  let with_lock t f =
+    (match t.holder with
+    | Some tid when Some tid = Option.map Task.tid (Task.current_opt ()) ->
+      Panic.panicf "SpinLock %s: re-entrant acquisition (self-deadlock)" t.name
+    | Some _ -> Panic.panicf "SpinLock %s: contended on a single CPU (missed release?)" t.name
+    | None -> ());
+    t.holder <- Some (match Task.current_opt () with Some c -> Task.tid c | None -> -1);
+    Atomic_mode.enter ();
+    Sim.Cost.charge 20;
+    Fun.protect
+      ~finally:(fun () ->
+        t.holder <- None;
+        Atomic_mode.exit ())
+      f
+
+  let held t = t.holder <> None
+end
+
+module Mutex = struct
+  type t = { name : string; mutable holder : int option; wq : Wait_queue.t }
+
+  let create name = { name; holder = None; wq = Wait_queue.create () }
+
+  let with_lock t f =
+    let me = Task.tid (Task.current ()) in
+    if t.holder = Some me then Panic.panicf "Mutex %s: re-entrant acquisition" t.name;
+    Wait_queue.sleep_until t.wq (fun () -> t.holder = None);
+    t.holder <- Some me;
+    Sim.Cost.charge 30;
+    Fun.protect
+      ~finally:(fun () ->
+        t.holder <- None;
+        ignore (Wait_queue.wake_one t.wq))
+      f
+
+  let held t = t.holder <> None
+end
+
+module Rw_lock = struct
+  type t = { name : string; mutable readers : int; mutable writer : bool; wq : Wait_queue.t }
+
+  let create name = { name; readers = 0; writer = false; wq = Wait_queue.create () }
+
+  let with_read t f =
+    Wait_queue.sleep_until t.wq (fun () -> not t.writer);
+    t.readers <- t.readers + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        t.readers <- t.readers - 1;
+        if t.readers = 0 then ignore (Wait_queue.wake_all t.wq))
+      f
+
+  let with_write t f =
+    Wait_queue.sleep_until t.wq (fun () -> (not t.writer) && t.readers = 0);
+    t.writer <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        t.writer <- false;
+        ignore (Wait_queue.wake_all t.wq))
+      f
+end
+
+module Rcu = struct
+  (* Single global grace-period bookkeeping: a counter of live read
+     sections and a generation number. *)
+  let live_readers = ref 0
+
+  let generation = ref 0
+
+  let gp_wq = ref (Wait_queue.create ())
+
+  (* Called at boot: grace-period state must not leak across reboots. *)
+  let reset_global () =
+    live_readers := 0;
+    generation := 0;
+    gp_wq := Wait_queue.create ()
+
+  type 'a t = { mutable value : 'a }
+
+  let create v = { value = v }
+
+  let read t f =
+    Atomic_mode.enter ();
+    incr live_readers;
+    Fun.protect
+      ~finally:(fun () ->
+        decr live_readers;
+        Atomic_mode.exit ();
+        if !live_readers = 0 then begin
+          incr generation;
+          ignore (Wait_queue.wake_all !gp_wq)
+        end)
+      (fun () -> f t.value)
+
+  let update t v = t.value <- v
+
+  let synchronize () =
+    Atomic_mode.assert_sleepable "Rcu.synchronize";
+    if !live_readers > 0 then begin
+      let target = !generation + 1 in
+      Wait_queue.sleep_until !gp_wq (fun () -> !generation >= target)
+    end
+end
+
+module Cpu_local = struct
+  (* SMP = 1: one slot per "CPU". *)
+  type 'a t = { value : 'a }
+
+  let create init = { value = init () }
+
+  let get t = t.value
+end

@@ -1,0 +1,62 @@
+(** Synchronisation primitives exposed by OSTD for safe kernel logic:
+    SpinLock, Mutex, RwLock, RCU, and CpuLocal (paper §4.1).
+
+    The simulated machine is single-CPU and cooperative, so these enforce
+    the *disciplines* rather than arbitrate real races: spinlock sections
+    run in atomic mode (sleeping inside panics — the Linux
+    sleep-in-atomic unsoundness the paper contrasts against), re-entrant
+    acquisition panics as the self-deadlock it is, and RCU tracks read
+    sections and grace periods. *)
+
+module Spin_lock : sig
+  type t
+
+  val create : string -> t
+  val with_lock : t -> (unit -> 'a) -> 'a
+  val held : t -> bool
+end
+
+module Mutex : sig
+  type t
+
+  val create : string -> t
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** Sleeps while another task holds the mutex. *)
+
+  val held : t -> bool
+end
+
+module Rw_lock : sig
+  type t
+
+  val create : string -> t
+  val with_read : t -> (unit -> 'a) -> 'a
+  val with_write : t -> (unit -> 'a) -> 'a
+end
+
+module Rcu : sig
+  type 'a t
+
+  val create : 'a -> 'a t
+
+  val read : 'a t -> ('a -> 'b) -> 'b
+  (** Read-side critical section: atomic mode, no sleeping. *)
+
+  val update : 'a t -> 'a -> unit
+  (** Publish a new value. *)
+
+  val synchronize : unit -> unit
+  (** Wait for a grace period: every read section that was live when
+      this was called has finished. *)
+
+  val reset_global : unit -> unit
+  (** New boot: clear grace-period bookkeeping. *)
+end
+
+module Cpu_local : sig
+  type 'a t
+
+  val create : (unit -> 'a) -> 'a t
+  val get : 'a t -> 'a
+end

@@ -1,0 +1,240 @@
+type custom = ..
+
+type state = Ready | Running | Blocked | Dead
+
+type t = {
+  tid : int;
+  tname : string;
+  mutable st : state;
+  mutable running_flag : bool; (* Inv. 8 *)
+  mutable cust : custom option;
+  mutable nice_val : int;
+  kstack : Kstack.t;
+  mutable resume : resume option;
+}
+
+and resume = Start of (unit -> unit) | Cont of (unit, unit) Effect.Deep.continuation
+
+exception Task_exit
+
+type _ Effect.t += Suspend : unit Effect.t
+
+let tid t = t.tid
+
+let name t = t.tname
+
+let is_running t = t.running_flag
+
+let is_dead t = t.st = Dead
+
+let custom t = t.cust
+
+let set_custom t c = t.cust <- Some c
+
+let nice t = t.nice_val
+
+let set_nice t n = t.nice_val <- n
+
+module type SCHEDULER = sig
+  val enqueue : t -> unit
+  val pick_next : unit -> t option
+  val update_curr : unit -> unit
+  val dequeue_curr : unit -> unit
+end
+
+let sched : (module SCHEDULER) option ref = ref None
+
+let cur : t option ref = ref None
+
+let last_ran : int ref = ref (-1)
+
+let next_tid = ref 0
+
+let live = ref 0
+
+let idle_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let inject_scheduler m =
+  match !sched with
+  | Some _ -> Panic.panic "Task.inject_scheduler: a scheduler is already registered"
+  | None -> sched := Some m
+
+let scheduler () =
+  match !sched with
+  | Some m -> m
+  | None -> Panic.panic "Task: no scheduler injected"
+
+let inject_fifo_scheduler () =
+  let q : t Queue.t = Queue.create () in
+  let module Fifo = struct
+    let enqueue t = Queue.push t q
+
+    let pick_next () = Queue.take_opt q
+
+    let update_curr () = ()
+
+    let dequeue_curr () = ()
+  end in
+  inject_scheduler (module Fifo)
+
+let reset () =
+  sched := None;
+  cur := None;
+  last_ran := -1;
+  next_tid := 0;
+  live := 0;
+  idle_hook := (fun () -> ());
+  Atomic_mode.reset ()
+
+let current_opt () = !cur
+
+let current () =
+  match !cur with
+  | Some t -> t
+  | None -> Panic.panic "Task.current: not in task context"
+
+let enqueue_ready t =
+  let (module S) = scheduler () in
+  t.st <- Ready;
+  S.enqueue t
+
+let spawn ?(name = "task") body =
+  incr next_tid;
+  incr live;
+  let t =
+    {
+      tid = !next_tid;
+      tname = name;
+      st = Ready;
+      running_flag = false;
+      cust = None;
+      nice_val = 0;
+      kstack = Kstack.create ();
+      resume = Some (Start body);
+    }
+  in
+  enqueue_ready t;
+  t
+
+let wake t =
+  match t.st with
+  | Blocked -> enqueue_ready t
+  | Ready | Running | Dead -> ()
+
+let exit () = raise Task_exit
+
+let kill t =
+  if t.st <> Dead then begin
+    t.st <- Dead;
+    decr live;
+    Kstack.destroy t.kstack
+  end
+
+(* Marks the dispatched task finished; runs inside the handler when the
+   task body returns or raises. *)
+let on_death t =
+  if t.st <> Dead then begin
+    t.st <- Dead;
+    decr live;
+    Kstack.destroy t.kstack
+  end;
+  t.running_flag <- false;
+  cur := None
+
+let handler (t : t) : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> on_death t);
+    exnc =
+      (fun e ->
+        on_death t;
+        match e with Task_exit -> () | e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              (* The task suspends: record where to resume, hand control
+                 back to the dispatch loop. *)
+              t.resume <- Some (Cont k);
+              t.running_flag <- false;
+              cur := None)
+        | _ -> None);
+  }
+
+let dispatch t =
+  Sim.Cost.charge_safety (fun s -> s.Sim.Profile.running_flag);
+  if t.running_flag then Panic.panic "Inv. 8 violated: task is already running on another CPU";
+  if t.st <> Dead then begin
+    (* Re-dispatching the task that just ran (a solo yield) skips the
+       register save/restore and cache refill of a real switch. *)
+    if !last_ran = t.tid then Sim.Cost.charge 40
+    else Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.context_switch;
+    last_ran := t.tid;
+    t.st <- Running;
+    t.running_flag <- true;
+    cur := Some t;
+    match t.resume with
+    | Some (Start body) ->
+      t.resume <- None;
+      Effect.Deep.match_with body () (handler t)
+    | Some (Cont k) ->
+      t.resume <- None;
+      Effect.Deep.continue k ()
+    | None ->
+      Panic.panic "Task.dispatch: task has no continuation"
+  end
+
+let suspend () = Effect.perform Suspend
+
+let yield_now () =
+  let t = current () in
+  let (module S) = scheduler () in
+  S.update_curr ();
+  enqueue_ready t;
+  suspend ()
+
+let block () =
+  Atomic_mode.assert_sleepable "Task.block";
+  let t = current () in
+  let (module S) = scheduler () in
+  S.update_curr ();
+  S.dequeue_curr ();
+  t.st <- Blocked;
+  suspend ();
+  if (current ()).st = Dead then raise Task_exit
+
+let sleep_cycles n =
+  Atomic_mode.assert_sleepable "Task.sleep";
+  let t = current () in
+  Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.timer_program;
+  ignore (Sim.Events.schedule_after n (fun () -> wake t));
+  block ()
+
+let sleep_us x = sleep_cycles (Sim.Clock.us x)
+
+let on_idle f = idle_hook := f
+
+let rec loop stop =
+  if not (stop ()) then begin
+    ignore (Sim.Events.run_due ());
+    let (module S) = scheduler () in
+    Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.sched_pick;
+    match S.pick_next () with
+    | Some t ->
+      if t.st = Dead then loop stop
+      else begin
+        dispatch t;
+        loop stop
+      end
+    | None ->
+      !idle_hook ();
+      (* Nothing runnable: let the machine make progress. *)
+      if Sim.Events.run_next () then loop stop else ()
+  end
+
+let run () = loop (fun () -> false)
+
+let run_until p = loop p
+
+let live_tasks () = !live

@@ -1,0 +1,27 @@
+(** The untyped-memory reader/writer interface (paper §4.2).
+
+    Untyped memory is externally modifiable (user-mapped or DMA-capable),
+    so it can never back a typed reference; the only operations are
+    copying plain-old-data values in and out. Every access performs a
+    boundary check (charged per Table 8) and panics if the handle covers
+    typed memory — the type discipline that in Rust is carried by
+    [UFrame<M>]'s trait bound is enforced here dynamically, and the
+    public API of the kernel services never sees typed frames at all. *)
+
+val read_bytes : Frame.t -> off:int -> buf:bytes -> pos:int -> len:int -> unit
+(** Copy out of untyped memory. Panics on a non-untyped handle or an
+    out-of-bounds range. *)
+
+val write_bytes : Frame.t -> off:int -> buf:bytes -> pos:int -> len:int -> unit
+
+val fill : Frame.t -> off:int -> len:int -> char -> unit
+
+val read_u8 : Frame.t -> off:int -> int
+val write_u8 : Frame.t -> off:int -> int -> unit
+val read_u32 : Frame.t -> off:int -> int
+val write_u32 : Frame.t -> off:int -> int -> unit
+val read_u64 : Frame.t -> off:int -> int64
+val write_u64 : Frame.t -> off:int -> int64 -> unit
+
+val copy : src:Frame.t -> src_off:int -> dst:Frame.t -> dst_off:int -> len:int -> unit
+(** Untyped-to-untyped copy (page-cache moves, bounce buffers). *)

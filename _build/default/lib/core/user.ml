@@ -1,0 +1,141 @@
+module Context = struct
+  (* IF (bit 9) and IOPL (bits 12-13) are the sensitive RFLAGS bits. *)
+  let sensitive_rflags_mask = Int64.of_int ((1 lsl 9) lor (3 lsl 12))
+
+  type t = {
+    gpr : int64 array;
+    mutable rip_v : int64;
+    mutable rsp_v : int64;
+    mutable rflags_v : int64;
+  }
+
+  let create () = { gpr = Array.make 16 0L; rip_v = 0L; rsp_v = 0L; rflags_v = 2L }
+
+  let clone t =
+    { gpr = Array.copy t.gpr; rip_v = t.rip_v; rsp_v = t.rsp_v; rflags_v = t.rflags_v }
+
+  let get_gpr t i = t.gpr.(i)
+
+  let set_gpr t i v = t.gpr.(i) <- v
+
+  let rip t = t.rip_v
+
+  let set_rip t v = t.rip_v <- v
+
+  let rsp t = t.rsp_v
+
+  let set_rsp t v = t.rsp_v <- v
+
+  let rflags t = t.rflags_v
+
+  let set_rflags t v =
+    t.rflags_v <- Int64.logand v (Int64.lognot sensitive_rflags_mask)
+end
+
+type trap =
+  | Syscall of { nr : int; args : int64 array }
+  | Page_fault of { vaddr : int; write : bool }
+  | Exit of int
+
+type resume = Start | Sysret of int64 | Fault_resolved
+
+type uapi = {
+  sys : int -> int64 array -> int64;
+  mem_read : int -> bytes -> unit;
+  mem_write : int -> bytes -> unit;
+  mem_read_u64 : int -> int64;
+  mem_write_u64 : int -> int64 -> unit;
+}
+
+type prog = uapi -> int
+
+type _ Effect.t += Utrap : trap -> int64 Effect.t
+
+type t = {
+  mutable vm : Vmspace.t;
+  ctx : Context.t;
+  mutable entry : prog option;
+  mutable k : (int64, trap) Effect.Deep.continuation option;
+}
+
+let context t = t.ctx
+
+let vmspace t = t.vm
+
+let set_vmspace t vm = t.vm <- vm
+
+let abandon t =
+  t.k <- None;
+  t.entry <- None
+
+(* User-side memory access: retries through the page-fault trap until the
+   kernel has resolved the fault, like a restarted load/store. *)
+let rec access t vaddr len ~write k =
+  match Vmspace.user_access t.vm ~vaddr ~len ~write with
+  | Ok () -> k ()
+  | Error { Vmspace.vaddr = fa; write = fw } ->
+    ignore (Effect.perform (Utrap (Page_fault { vaddr = fa; write = fw })));
+    access t vaddr len ~write k
+
+let make_uapi t =
+  let mem_read vaddr buf =
+    let len = Bytes.length buf in
+    access t vaddr len ~write:false (fun () ->
+        match Vmspace.copy_out t.vm ~vaddr ~buf ~pos:0 ~len with
+        | Ok () -> ()
+        | Error _ -> Panic.panic "User.mem_read: fault after resolution")
+  in
+  let mem_write vaddr buf =
+    let len = Bytes.length buf in
+    access t vaddr len ~write:true (fun () ->
+        match Vmspace.copy_in t.vm ~vaddr ~buf ~pos:0 ~len with
+        | Ok () -> ()
+        | Error _ -> Panic.panic "User.mem_write: fault after resolution")
+  in
+  {
+    sys = (fun nr args -> Effect.perform (Utrap (Syscall { nr; args })));
+    mem_read;
+    mem_write;
+    mem_read_u64 =
+      (fun vaddr ->
+        let b = Bytes.create 8 in
+        mem_read vaddr b;
+        Bytes.get_int64_le b 0);
+    mem_write_u64 =
+      (fun vaddr v ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 v;
+        mem_write vaddr b);
+  }
+
+let create prog vm = { vm; ctx = Context.create (); entry = Some prog; k = None }
+
+let handler (t : t) : (int, trap) Effect.Deep.handler =
+  {
+    retc = (fun code -> Exit code);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Utrap trap ->
+          Some
+            (fun (k : (a, trap) Effect.Deep.continuation) ->
+              t.k <- Some (k : (int64, trap) Effect.Deep.continuation);
+              trap)
+        | _ -> None);
+  }
+
+let execute t resume =
+  let charge_entry () = Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.syscall in
+  match (resume, t.entry, t.k) with
+  | Start, Some prog, None ->
+    t.entry <- None;
+    Effect.Deep.match_with (fun () -> prog (make_uapi t)) () (handler t)
+  | Sysret v, None, Some k ->
+    t.k <- None;
+    charge_entry ();
+    Effect.Deep.continue k v
+  | Fault_resolved, None, Some k ->
+    t.k <- None;
+    Effect.Deep.continue k 0L
+  | _ -> Panic.panic "User.execute: resume value does not match thread state"

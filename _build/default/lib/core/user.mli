@@ -1,0 +1,73 @@
+(** Safe user-kernel interaction: [UserContext] and [UserMode] (Inv. 2).
+
+    A user thread is an effect fiber confined to a {!uapi} capability: it
+    can issue syscalls, touch its own {!Vmspace} memory (which may
+    page-fault into the kernel), and nothing else — the only channel
+    between user programs and the kernel is the trap interface, as in the
+    paper's Figure 3. [execute] runs user code until the next trap and
+    hands the kernel a {!trap} to handle.
+
+    The register context exposes only the insensitive subset of CPU
+    state: [set_rflags] silently masks IF/IOPL, so user code can never
+    gain interrupt or I/O privilege through OSTD. *)
+
+module Context : sig
+  type t
+
+  val create : unit -> t
+  val clone : t -> t
+
+  val get_gpr : t -> int -> int64
+  val set_gpr : t -> int -> int64 -> unit
+
+  val rip : t -> int64
+  val set_rip : t -> int64 -> unit
+  val rsp : t -> int64
+  val set_rsp : t -> int64 -> unit
+
+  val rflags : t -> int64
+
+  val set_rflags : t -> int64 -> unit
+  (** Sensitive bits (IF, bit 9; IOPL, bits 12-13) are masked away. *)
+end
+
+type trap =
+  | Syscall of { nr : int; args : int64 array }
+  | Page_fault of { vaddr : int; write : bool }
+  | Exit of int
+
+type resume =
+  | Start
+  | Sysret of int64  (** value placed in RAX on return from a syscall *)
+  | Fault_resolved
+
+type uapi = {
+  sys : int -> int64 array -> int64;
+  mem_read : int -> bytes -> unit;  (** load [Bytes.length] bytes at vaddr *)
+  mem_write : int -> bytes -> unit;
+  mem_read_u64 : int -> int64;
+  mem_write_u64 : int -> int64 -> unit;
+}
+
+type prog = uapi -> int
+(** A user program: receives its capability, returns its exit status. *)
+
+type t
+(** A user thread. *)
+
+val create : prog -> Vmspace.t -> t
+(** The VmSpace is borrowed, not owned; process teardown destroys it. *)
+
+val context : t -> Context.t
+val vmspace : t -> Vmspace.t
+
+val set_vmspace : t -> Vmspace.t -> unit
+(** Used by execve to install a fresh address space. *)
+
+val execute : t -> resume -> trap
+(** Enter user mode and run until the next trap. Charges the user<->kernel
+    transition cost on each syscall trap. *)
+
+val abandon : t -> unit
+(** Drop the suspended user continuation (execve replaces the image,
+    process kill). *)

@@ -1,0 +1,49 @@
+type t = { mutable q : Task.t list }
+
+let create () = { q = [] }
+
+let sleep wq =
+  Atomic_mode.assert_sleepable "WaitQueue.sleep";
+  let t = Task.current () in
+  wq.q <- wq.q @ [ t ];
+  Task.block ();
+  (* Timeout paths may leave us in the list; drop stale entries. *)
+  wq.q <- List.filter (fun w -> Task.tid w <> Task.tid t) wq.q
+
+let sleep_until wq cond =
+  while not (cond ()) do
+    sleep wq
+  done
+
+let sleep_timeout wq ~cycles =
+  let t = Task.current () in
+  let fired = ref false in
+  let ev =
+    Sim.Events.schedule_after cycles (fun () ->
+        fired := true;
+        Task.wake t)
+  in
+  sleep wq;
+  Sim.Events.cancel ev;
+  not !fired
+
+let rec wake_one wq =
+  match wq.q with
+  | [] -> false
+  | t :: rest ->
+    wq.q <- rest;
+    if Task.is_dead t then wake_one wq
+    else begin
+      Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.wakeup;
+      Task.wake t;
+      true
+    end
+
+let wake_all wq =
+  let n = ref 0 in
+  while wake_one wq do
+    incr n
+  done;
+  !n
+
+let waiters wq = List.length wq.q

@@ -1,0 +1,1 @@
+lib/kernmiri/borrow.ml: Hashtbl List Printf

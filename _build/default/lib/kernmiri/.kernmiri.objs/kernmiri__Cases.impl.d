@@ -1,0 +1,1 @@
+lib/kernmiri/cases.ml: Borrow Race

@@ -1,0 +1,1 @@
+lib/kernmiri/race.ml: Array Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/kernmiri/runner.ml: Cases List Ostd Sim Unix

@@ -1,0 +1,1 @@
+lib/kernmiri/shadow.mli:

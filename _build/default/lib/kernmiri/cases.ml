@@ -1,0 +1,56 @@
+type outcome = { description : string; buggy_detected : bool; fixed_clean : bool }
+
+let data_race_case () =
+  (* Thread 0: Frame::from_unused — CAS(0 -> 1, Acquire), then touch the
+     metadata. Thread 1: Drop — in the buggy ordering it decrements with
+     Release first and touches metadata after, so a concurrent
+     from_unused that wins the CAS races with it on "meta". *)
+  let from_unused =
+    [ Race.Cas { loc = "refcount"; expect = 0; set = 1; ordering = Race.Acquire };
+      Race.Store "meta" ]
+  in
+  let drop_buggy =
+    [ Race.Fetch_add { loc = "refcount"; delta = -1; ordering = Race.Release };
+      Race.Skip_unless { loc_value = ("refcount", 1) };
+      Race.Store "meta" ]
+  in
+  let drop_fixed =
+    [ Race.Store "meta";
+      Race.Fetch_add { loc = "refcount"; delta = -1; ordering = Race.Release };
+      Race.Skip_unless { loc_value = ("refcount", 1) } ]
+  in
+  (* Initial refcount is 1 (a live frame being dropped): model by having
+     the location start at 1 via a setup thread that runs first. *)
+  let setup = [ Race.Cas { loc = "refcount"; expect = 0; set = 1; ordering = Race.Relaxed } ] in
+  let run drop =
+    (* The setup thread runs alone first by making it the whole prefix:
+       explore with setup merged into the dropper's trace. *)
+    Race.has_race [| from_unused; setup @ drop |]
+  in
+  {
+    description = "Fig 9(a): from_unused CAS vs drop metadata update";
+    buggy_detected = run drop_buggy;
+    fixed_clean = not (run drop_fixed);
+  }
+
+let mutability_case () =
+  let run ~mutable_ptr =
+    let b = Borrow.create () in
+    let base = Borrow.alloc b "HEAP_SPACE" in
+    (* static mut HEAP_SPACE: the allocator keeps a pointer derived from
+       a reference taken at init. *)
+    match Borrow.retag b "HEAP_SPACE" ~from:base (if mutable_ptr then Borrow.Shared_rw else Borrow.Shared_ro) with
+    | Error _ -> true (* rejected at retag time counts as detected *)
+    | Ok ptr -> (
+      (* Later heap operations write through the saved pointer. *)
+      match Borrow.write b "HEAP_SPACE" ptr with
+      | Ok () -> false
+      | Error _ -> true)
+  in
+  {
+    description = "Fig 9(b): heap init via const pointer, mutated later";
+    buggy_detected = run ~mutable_ptr:false;
+    fixed_clean = not (run ~mutable_ptr:true);
+  }
+
+let all () = [ data_race_case (); mutability_case () ]

@@ -1,0 +1,16 @@
+(** The two UB case studies of Fig. 9, as KernMiri programs: each comes
+    in the buggy variant the tool caught and the fixed variant that
+    shipped. *)
+
+type outcome = { description : string; buggy_detected : bool; fixed_clean : bool }
+
+val data_race_case : unit -> outcome
+(** Fig. 9(a): Frame::from_unused's CAS racing a concurrent drop's
+    metadata update. Buggy = drop touches metadata after releasing the
+    refcount; fixed = metadata first, release last. *)
+
+val mutability_case : unit -> outcome
+(** Fig. 9(b): HEAP_SPACE cast to a const pointer during heap
+    initialisation, then mutated. Fixed = mutable pointer cast. *)
+
+val all : unit -> outcome list

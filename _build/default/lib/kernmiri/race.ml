@@ -1,0 +1,150 @@
+type ordering = Relaxed | Acquire | Release | Acq_rel
+
+type op =
+  | Load of string
+  | Store of string
+  | Cas of { loc : string; expect : int; set : int; ordering : ordering }
+  | Fetch_add of { loc : string; delta : int; ordering : ordering }
+  | Skip_unless of { loc_value : string * int }
+
+type verdict = { races : (string * int * int) list; schedules : int }
+
+module Vc = struct
+  type t = int array
+
+  let make n = Array.make n 0
+
+  let join a b = Array.mapi (fun i v -> max v b.(i)) a
+
+  let leq a b = Array.for_all2 (fun x y -> x <= y) a b
+
+  let tick t i =
+    let t = Array.copy t in
+    t.(i) <- t.(i) + 1;
+    t
+end
+
+type loc_state = {
+  mutable value : int;
+  mutable release_vc : Vc.t; (* published by release operations *)
+  mutable last_write : (int * Vc.t) option; (* plain writes *)
+  mutable last_reads : (int * Vc.t) list; (* plain reads since last write *)
+}
+
+type thread_state = {
+  mutable ops : op list;
+  mutable vc : Vc.t;
+  mutable last_rmw_pre : (string * int) option;
+  mutable dead : bool;
+}
+
+let check program =
+  let n = Array.length program in
+  let races = ref [] in
+  let schedules = ref 0 in
+  let add_race loc t1 t2 =
+    if not (List.exists (fun (l, a, b) -> l = loc && a = t1 && b = t2) !races) then
+      races := (loc, t1, t2) :: !races
+  in
+  (* Depth-first exploration over which thread steps next. State is
+     copied at each branch; programs are a handful of ops, so this is
+     cheap. *)
+  let rec explore (threads : thread_state array) (locs : (string, loc_state) Hashtbl.t) =
+    let runnable =
+      List.filter
+        (fun i -> (not threads.(i).dead) && threads.(i).ops <> [])
+        (List.init n Fun.id)
+    in
+    if runnable = [] then incr schedules
+    else
+      List.iter
+        (fun i ->
+          (* Copy state for this branch. *)
+          let threads' =
+            Array.map
+              (fun t -> { ops = t.ops; vc = t.vc; last_rmw_pre = t.last_rmw_pre; dead = t.dead })
+              threads
+          in
+          let locs' = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun k v ->
+              Hashtbl.replace locs' k
+                {
+                  value = v.value;
+                  release_vc = v.release_vc;
+                  last_write = v.last_write;
+                  last_reads = v.last_reads;
+                })
+            locs;
+          let t = threads'.(i) in
+          let loc name =
+            match Hashtbl.find_opt locs' name with
+            | Some l -> l
+            | None ->
+              let l = { value = 0; release_vc = Vc.make n; last_write = None; last_reads = [] } in
+              Hashtbl.replace locs' name l;
+              l
+          in
+          (match t.ops with
+          | [] -> ()
+          | op :: rest ->
+            t.ops <- rest;
+            t.vc <- Vc.tick t.vc i;
+            (match op with
+            | Load name ->
+              let l = loc name in
+              (match l.last_write with
+              | Some (w, wvc) when w <> i && not (Vc.leq wvc t.vc) -> add_race name w i
+              | _ -> ());
+              l.last_reads <- (i, t.vc) :: l.last_reads
+            | Store name ->
+              let l = loc name in
+              (match l.last_write with
+              | Some (w, wvc) when w <> i && not (Vc.leq wvc t.vc) -> add_race name w i
+              | _ -> ());
+              List.iter
+                (fun (r, rvc) -> if r <> i && not (Vc.leq rvc t.vc) then add_race name r i)
+                l.last_reads;
+              l.last_write <- Some (i, t.vc);
+              l.last_reads <- []
+            | Cas { loc = name; expect; set; ordering } ->
+              let l = loc name in
+              if l.value = expect then begin
+                (match ordering with
+                | Acquire | Acq_rel -> t.vc <- Vc.join t.vc l.release_vc
+                | Relaxed | Release -> ());
+                (match ordering with
+                | Release | Acq_rel -> l.release_vc <- Vc.join l.release_vc t.vc
+                | Relaxed | Acquire -> ());
+                t.last_rmw_pre <- Some (name, l.value);
+                l.value <- set
+              end
+              else
+                (* Failed CAS: from_unused's expect() panics the thread. *)
+                t.dead <- true
+            | Fetch_add { loc = name; delta; ordering } ->
+              let l = loc name in
+              (match ordering with
+              | Acquire | Acq_rel -> t.vc <- Vc.join t.vc l.release_vc
+              | Relaxed | Release -> ());
+              (match ordering with
+              | Release | Acq_rel -> l.release_vc <- Vc.join l.release_vc t.vc
+              | Relaxed | Acquire -> ());
+              t.last_rmw_pre <- Some (name, l.value);
+              l.value <- l.value + delta
+            | Skip_unless { loc_value = (name, v) } -> (
+              match t.last_rmw_pre with
+              | Some (n', pre) when n' = name && pre = v -> ()
+              | _ -> t.dead <- true)));
+          explore threads' locs')
+        runnable
+  in
+  let threads =
+    Array.mapi
+      (fun _ ops -> { ops; vc = Vc.make n; last_rmw_pre = None; dead = false })
+      program
+  in
+  explore threads (Hashtbl.create 8);
+  { races = !races; schedules = !schedules }
+
+let has_race program = (check program).races <> []

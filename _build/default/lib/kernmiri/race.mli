@@ -1,0 +1,32 @@
+(** A vector-clock data-race detector with exhaustive schedule
+    exploration over small multi-threaded programs — the part of KernMiri
+    that catches Fig. 9(a).
+
+    Programs are per-thread op lists over named locations. Atomics carry
+    acquire/release orderings that create happens-before edges; an
+    unordered pair of conflicting plain accesses in *any* interleaving is
+    a data race. Conditional RMWs (CAS) let programs express the
+    refcount protocol of [Frame::from_unused]. *)
+
+type ordering = Relaxed | Acquire | Release | Acq_rel
+
+type op =
+  | Load of string                     (** non-atomic read *)
+  | Store of string                    (** non-atomic write *)
+  | Cas of { loc : string; expect : int; set : int; ordering : ordering }
+      (** atomic compare-exchange; a failed CAS ends the thread (models
+          the [expect] panic in from_unused) *)
+  | Fetch_add of { loc : string; delta : int; ordering : ordering }
+  | Skip_unless of { loc_value : string * int }
+      (** continue this thread only if the atomic location last read by a
+          Fetch_add returned the given pre-value; models
+          [if last_ref_cnt == 1] *)
+
+type verdict = { races : (string * int * int) list; schedules : int }
+(** Racy location with the two thread ids, plus how many interleavings
+    were explored. *)
+
+val check : op list array -> verdict
+(** Explore every interleaving (bounded; programs here are tiny). *)
+
+val has_race : op list array -> bool

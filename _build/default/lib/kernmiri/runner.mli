@@ -1,0 +1,20 @@
+(** The KernMiri test runner (Table 10 methodology): interpret OSTD's
+    unit-test corpus with checkpoint tracing and shadow validation on,
+    and report per-submodule checkpoint ("line") coverage, unsafe-op
+    coverage, and native vs checked execution time. *)
+
+type row = {
+  submodule : string;
+  tests : int;
+  lines_covered : int;
+  lines_total : int;
+  unsafe_covered : int;
+  unsafe_total : int;
+  native_s : float;
+  kernmiri_s : float;
+}
+
+val run : unit -> row list
+(** One row per OSTD mm-related submodule, in name order. *)
+
+val totals : row list -> row

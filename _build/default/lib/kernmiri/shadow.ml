@@ -1,0 +1,58 @@
+type event =
+  | Claim of { page : int; untyped : bool }
+  | Inc_ref of int
+  | Dec_ref of int
+  | Typed_access of int
+  | Untyped_access of int
+  | Map_user of int
+  | Dma_map of int
+
+type violation = { event_index : int; message : string }
+
+type page_state = Unused | Typed of int | Untyped of int (* refcount *)
+
+let replay events =
+  let pages : (int, page_state) Hashtbl.t = Hashtbl.create 32 in
+  let state p = match Hashtbl.find_opt pages p with Some s -> s | None -> Unused in
+  let violations = ref [] in
+  let bad i fmt = Printf.ksprintf (fun m -> violations := { event_index = i; message = m } :: !violations) fmt in
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Claim { page; untyped } -> (
+        match state page with
+        | Unused -> Hashtbl.replace pages page (if untyped then Untyped 1 else Typed 1)
+        | Typed _ | Untyped _ -> bad i "page %d claimed while in use (Inv. 1)" page)
+      | Inc_ref page -> (
+        match state page with
+        | Typed n -> Hashtbl.replace pages page (Typed (n + 1))
+        | Untyped n -> Hashtbl.replace pages page (Untyped (n + 1))
+        | Unused -> bad i "refcount increment on unused page %d" page)
+      | Dec_ref page -> (
+        match state page with
+        | Typed 1 | Untyped 1 -> Hashtbl.replace pages page Unused
+        | Typed n -> Hashtbl.replace pages page (Typed (n - 1))
+        | Untyped n -> Hashtbl.replace pages page (Untyped (n - 1))
+        | Unused -> bad i "refcount underflow on page %d (use after free)" page)
+      | Typed_access page -> (
+        match state page with
+        | Typed _ -> ()
+        | Untyped _ -> bad i "typed access to untyped page %d (type confusion)" page
+        | Unused -> bad i "typed access to unused page %d (use after free)" page)
+      | Untyped_access page -> (
+        match state page with
+        | Untyped _ -> ()
+        | Typed _ -> bad i "untyped access to typed (sensitive) page %d" page
+        | Unused -> bad i "untyped access to unused page %d (use after free)" page)
+      | Map_user page -> (
+        match state page with
+        | Untyped _ -> ()
+        | Typed _ -> bad i "user mapping of typed page %d (Inv. 5)" page
+        | Unused -> bad i "user mapping of unused page %d" page)
+      | Dma_map page -> (
+        match state page with
+        | Untyped _ -> ()
+        | Typed _ -> bad i "DMA mapping of typed page %d (Inv. 6)" page
+        | Unused -> bad i "DMA mapping of unused page %d" page))
+    events;
+  List.rev !violations

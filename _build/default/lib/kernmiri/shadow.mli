@@ -1,0 +1,19 @@
+(** Shadow frame-state machine: KernMiri's model of OSTD's physical
+    memory and typed/untyped page states. Replays a trace of frame API
+    events and reports protocol violations that would be UB in the Rust
+    original (double claim, use after release, typed/untyped confusion,
+    refcount underflow). *)
+
+type event =
+  | Claim of { page : int; untyped : bool }     (** Frame::from_unused *)
+  | Inc_ref of int
+  | Dec_ref of int                              (** drop *)
+  | Typed_access of int                         (** kernel object access *)
+  | Untyped_access of int                       (** reader/writer access *)
+  | Map_user of int                             (** VmSpace::map *)
+  | Dma_map of int
+
+type violation = { event_index : int; message : string }
+
+val replay : event list -> violation list
+(** All violations, in trace order (empty = sound). *)

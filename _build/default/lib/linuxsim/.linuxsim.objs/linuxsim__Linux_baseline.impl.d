@@ -1,0 +1,1 @@
+lib/linuxsim/linux_baseline.ml: Aster Sim

@@ -1,0 +1,19 @@
+let profile = Sim.Profile.linux
+
+let boot ?frames ?disk_mb () = Aster.Kernel.boot ~profile ?frames ?disk_mb ()
+
+let mechanism_differences =
+  [
+    ( "TCP congestion control",
+      "Reno slow start + congestion avoidance",
+      "none (smoltcp-style), sender limited only by peer window" );
+    ( "Segmentation offload",
+      "GSO/TSO: large frames to the NIC",
+      "software segmentation to MSS" );
+    ("Name lookup", "RCU-walk fast path on dcache hits", "lock-walk only");
+    ("sendfile", "zero-copy page-cache pages", "extra copy via a bounce buffer");
+    ("Unix sockets", "skb allocation + double copy", "single-copy ring buffer");
+    ("Pipe ring", "64 KiB", "256 KiB");
+    ("DMA mapping", "no IOMMU (paper baseline)", "IOMMU + pooled persistent mappings");
+    ("Safety checks", "none", "OSTD bounds/ownership/fit checks (Table 8)");
+  ]

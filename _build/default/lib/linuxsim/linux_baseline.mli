@@ -1,0 +1,17 @@
+(** The Linux 5.15 baseline configuration from §6.1.
+
+    The comparison kernel is the same simulated kernel code base running
+    the Linux mechanism set — congestion control, GSO, RCU-walk,
+    zero-copy sendfile, skb-based unix sockets, smaller pipe rings — with
+    cost constants calibrated to the paper's Linux column. This module
+    pins that configuration and documents what each switch changes. *)
+
+val profile : Sim.Profile.t
+(** [Sim.Profile.linux], re-exported as the canonical baseline. *)
+
+val boot : ?frames:int -> ?disk_mb:int -> unit -> Aster.Kernel.t
+(** Boot the baseline kernel. *)
+
+val mechanism_differences : (string * string * string) list
+(** (mechanism, Linux behaviour, Asterinas behaviour) — the table
+    DESIGN.md and the bench harness print. *)

@@ -1,0 +1,1 @@
+lib/machine/board.ml: Bus Iommu Irq_chip Mmio Phys Pio Sim Virtio_blk Virtio_net Wire

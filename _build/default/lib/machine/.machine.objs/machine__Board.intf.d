@@ -1,0 +1,1 @@
+lib/machine/board.mli: Virtio_blk Virtio_net Wire

@@ -1,0 +1,1 @@
+lib/machine/iommu.ml: Hashtbl List Phys Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/machine/phys.ml: Array Bytes Char Int32 Printf

@@ -1,0 +1,1 @@
+lib/machine/pio.ml: List Printf

@@ -1,0 +1,1 @@
+lib/machine/virtio_blk.ml: Bus Bytes Hashtbl Int32 Int64 Iommu Irq_chip Logs Mmio Phys Queue Sim

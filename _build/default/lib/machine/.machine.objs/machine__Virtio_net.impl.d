@@ -1,0 +1,1 @@
+lib/machine/virtio_net.ml: Bus Bytes Int64 Iommu Irq_chip Mmio Phys Queue Sim Wire

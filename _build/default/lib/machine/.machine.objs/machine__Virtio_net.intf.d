@@ -1,0 +1,1 @@
+lib/machine/virtio_net.mli: Wire

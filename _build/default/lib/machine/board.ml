@@ -1,0 +1,81 @@
+let lapic_base = 0xFEE0_0000
+
+let iommu_reg_base = 0xFED9_0000
+
+let pci_hole_base = 0xC000_0000
+
+let register_core_windows () =
+  let ro _v = () in
+  Mmio.register
+    {
+      base = lapic_base;
+      size = 0x1000;
+      name = "lapic";
+      sensitive = true;
+      read = (fun ~off:_ ~len:_ -> 0L);
+      write = (fun ~off:_ ~len:_ v -> ro v);
+    };
+  Mmio.register
+    {
+      base = iommu_reg_base;
+      size = 0x1000;
+      name = "iommu-regs";
+      sensitive = true;
+      read = (fun ~off:_ ~len:_ -> 0L);
+      write = (fun ~off:_ ~len:_ v -> ro v);
+    };
+  (* Serial console: writes are collected for the kernel log; the PIC
+     command ports are sensitive. *)
+  Pio.register
+    {
+      first = 0x3F8;
+      count = 8;
+      name = "serial";
+      sensitive = false;
+      read = (fun ~port:_ -> 0);
+      write = (fun ~port:_ _ -> ());
+    };
+  Pio.register
+    {
+      first = 0x20;
+      count = 2;
+      name = "pic";
+      sensitive = true;
+      read = (fun ~port:_ -> 0);
+      write = (fun ~port:_ _ -> ());
+    }
+
+let reset ?(frames = 16384) () =
+  Sim.Clock.reset ();
+  Sim.Events.clear ();
+  Sim.Stats.reset ();
+  Phys.init ~frames;
+  Mmio.reset ();
+  Pio.reset ();
+  Irq_chip.reset ();
+  Iommu.reset ();
+  Bus.reset ();
+  register_core_windows ()
+
+type devices = {
+  blk : Virtio_blk.t;
+  net : Virtio_net.t;
+  host_endpoint : Wire.endpoint;
+}
+
+let attach_default_devices ?(disk_mb = 64) () =
+  let c = Sim.Cost.c () in
+  let blk =
+    Virtio_blk.create
+      ~capacity_sectors:(disk_mb * 1024 * 1024 / Virtio_blk.sector_size)
+      ~mmio_base:pci_hole_base ~dev_id:1 ~vector:40
+  in
+  let guest_ep, host_ep =
+    Wire.create_pair ~latency_us:c.Sim.Profile.net_us_per_pkt
+      ~bytes_per_cycle:c.Sim.Profile.net_dev_bpc
+  in
+  let net =
+    Virtio_net.create ~mmio_base:(pci_hole_base + 0x1000) ~dev_id:2 ~vector:41
+      ~endpoint:guest_ep
+  in
+  { blk; net; host_endpoint = host_ep }

@@ -1,0 +1,29 @@
+(** Whole-machine assembly and reset.
+
+    [reset] wipes every hardware model and registers the core-device
+    windows (local APIC, IOMMU registers) that firmware labels sensitive;
+    those windows exist so that Inv. 7's refusal to hand them out can be
+    exercised. Peripherals are attached afterwards by the boot code. *)
+
+val lapic_base : int
+(** MMIO base of the (sensitive) local APIC window. *)
+
+val iommu_reg_base : int
+(** MMIO base of the (sensitive) IOMMU register window. *)
+
+val pci_hole_base : int
+(** Start of the address range where peripheral windows are placed. *)
+
+val reset : ?frames:int -> unit -> unit
+(** Reset clock, events, stats, memory (default 16384 frames = 64 MiB),
+    MMIO/PIO spaces, interrupt controller, IOMMU, and the device bus. *)
+
+type devices = {
+  blk : Virtio_blk.t;
+  net : Virtio_net.t;
+  host_endpoint : Wire.endpoint;
+}
+
+val attach_default_devices : ?disk_mb:int -> unit -> devices
+(** Attach a virtio-blk disk (default 64 MiB) and a virtio-net NIC wired
+    to a host endpoint, mirroring the paper's VM configuration. *)

@@ -1,0 +1,13 @@
+type kind = Blk | Net
+
+type info = { dev_id : int; kind : kind; mmio_base : int; mmio_size : int; vector : int }
+
+let table : info list ref = ref []
+
+let reset () = table := []
+
+let register i = table := !table @ [ i ]
+
+let devices () = !table
+
+let find kind = List.find_opt (fun i -> i.kind = kind) !table

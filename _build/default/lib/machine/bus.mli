@@ -1,0 +1,13 @@
+(** Device discovery: what firmware/PCI enumeration would report.
+
+    OSTD walks this table at boot to hand drivers their (insensitive)
+    register windows and interrupt vectors. *)
+
+type kind = Blk | Net
+
+type info = { dev_id : int; kind : kind; mmio_base : int; mmio_size : int; vector : int }
+
+val reset : unit -> unit
+val register : info -> unit
+val devices : unit -> info list
+val find : kind -> info option

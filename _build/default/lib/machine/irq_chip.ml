@@ -1,0 +1,40 @@
+type source = Core | Device of int
+
+let dispatcher : (int -> unit) ref = ref (fun _ -> ())
+
+let remapping = ref false
+
+let grants : (int * int, unit) Hashtbl.t = Hashtbl.create 16
+
+let spoofs = ref 0
+
+let reset () =
+  dispatcher := (fun _ -> ());
+  remapping := false;
+  Hashtbl.reset grants;
+  spoofs := 0
+
+let set_dispatcher f = dispatcher := f
+
+let enable_remapping () = remapping := true
+
+let remapping_enabled () = !remapping
+
+let remap_allow ~dev ~vector = Hashtbl.replace grants (dev, vector) ()
+
+let remap_revoke ~dev ~vector = Hashtbl.remove grants (dev, vector)
+
+let permitted source vector =
+  match source with
+  | Core -> true
+  | Device dev -> (not !remapping) || Hashtbl.mem grants (dev, vector)
+
+let raise_irq source ~vector =
+  if permitted source vector then
+    ignore (Sim.Events.schedule_after 0 (fun () -> !dispatcher vector))
+  else begin
+    incr spoofs;
+    Sim.Stats.incr "irq.spoof_blocked"
+  end
+
+let blocked_spoofs () = !spoofs

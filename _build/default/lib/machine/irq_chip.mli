@@ -1,0 +1,32 @@
+(** Interrupt controller with optional interrupt remapping.
+
+    Devices raise vectors tagged with their source id. With remapping
+    enabled (which OSTD does at boot — Inv. 3), a device may only deliver
+    vectors it has been granted; anything else is a spoof attempt and is
+    blocked and counted, modelling the attack of Zhou et al. that the
+    paper cites. Core-originated interrupts (timer, IPI) bypass the
+    remapping table, as on real hardware. *)
+
+type source = Core | Device of int
+
+val reset : unit -> unit
+
+val set_dispatcher : (int -> unit) -> unit
+(** Install the kernel's low-level interrupt entry point; it receives the
+    vector number. OSTD installs this once at boot. *)
+
+val enable_remapping : unit -> unit
+val remapping_enabled : unit -> bool
+
+val remap_allow : dev:int -> vector:int -> unit
+(** Grant a device the right to signal a vector. *)
+
+val remap_revoke : dev:int -> vector:int -> unit
+
+val raise_irq : source -> vector:int -> unit
+(** Deliver an interrupt: schedules the kernel dispatcher as an immediate
+    event (interrupts are asynchronous with respect to the running task).
+    Spoofed device vectors are dropped when remapping is on. *)
+
+val blocked_spoofs : unit -> int
+(** Number of device interrupts dropped by the remapping table. *)

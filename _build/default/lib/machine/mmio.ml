@@ -1,0 +1,33 @@
+type region = {
+  base : int;
+  size : int;
+  name : string;
+  sensitive : bool;
+  read : off:int -> len:int -> int64;
+  write : off:int -> len:int -> int64 -> unit;
+}
+
+let table : region list ref = ref []
+
+let reset () = table := []
+
+let overlaps a b = a.base < b.base + b.size && b.base < a.base + a.size
+
+let register r =
+  if List.exists (overlaps r) !table then
+    invalid_arg (Printf.sprintf "Mmio.register: %s overlaps an existing window" r.name);
+  table := r :: !table
+
+let find addr = List.find_opt (fun r -> addr >= r.base && addr < r.base + r.size) !table
+
+let regions () = List.rev !table
+
+let read ~addr ~len =
+  match find addr with
+  | Some r -> r.read ~off:(addr - r.base) ~len
+  | None -> -1L
+
+let write ~addr ~len v =
+  match find addr with
+  | Some r -> r.write ~off:(addr - r.base) ~len v
+  | None -> ()

@@ -1,0 +1,33 @@
+(** Memory-mapped I/O space.
+
+    Device models register windows here at creation; firmware-style
+    labelling marks each window sensitive (core devices such as the local
+    APIC, whose misuse can take down the machine) or insensitive
+    (peripherals). OSTD's [IoMem] consults the label before handing a
+    window to de-privileged code (Inv. 7). *)
+
+type region = {
+  base : int;
+  size : int;
+  name : string;
+  sensitive : bool;
+  read : off:int -> len:int -> int64;
+  write : off:int -> len:int -> int64 -> unit;
+}
+
+val reset : unit -> unit
+
+val register : region -> unit
+(** Raises [Invalid_argument] if the window overlaps an existing one. *)
+
+val find : int -> region option
+(** Region containing the given bus address, if any. *)
+
+val regions : unit -> region list
+
+val read : addr:int -> len:int -> int64
+(** Dispatch a read to the owning device model. Unclaimed addresses read
+    as all-ones, like a real bus. *)
+
+val write : addr:int -> len:int -> int64 -> unit
+(** Writes to unclaimed addresses are dropped. *)

@@ -1,0 +1,78 @@
+let page_size = 4096
+
+(* Frames are allocated on first touch; a fresh frame reads as zeroes,
+   like RAM after the bootloader's clear. *)
+let frames : Bytes.t option array ref = ref [||]
+
+let init ~frames:n = frames := Array.make n None
+
+let nframes () = Array.length !frames
+
+let size () = nframes () * page_size
+
+let valid ~paddr ~len = paddr >= 0 && len >= 0 && paddr + len <= size ()
+
+let frame_bytes i =
+  match !frames.(i) with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make page_size '\000' in
+    !frames.(i) <- Some b;
+    b
+
+let check ~paddr ~len =
+  if not (valid ~paddr ~len) then
+    invalid_arg (Printf.sprintf "Phys: access [%#x, %#x) outside memory" paddr (paddr + len))
+
+(* Split a byte range into per-frame chunks and apply [f frame off_in_frame
+   off_in_buffer len] to each. *)
+let iter_chunks ~paddr ~len f =
+  let pos = ref paddr and done_ = ref 0 in
+  while !done_ < len do
+    let frame = !pos / page_size in
+    let off = !pos mod page_size in
+    let chunk = min (len - !done_) (page_size - off) in
+    f frame off !done_ chunk;
+    pos := !pos + chunk;
+    done_ := !done_ + chunk
+  done
+
+let read ~paddr buf ~off ~len =
+  check ~paddr ~len;
+  iter_chunks ~paddr ~len (fun frame foff boff chunk ->
+      Bytes.blit (frame_bytes frame) foff buf (off + boff) chunk)
+
+let write ~paddr buf ~off ~len =
+  check ~paddr ~len;
+  iter_chunks ~paddr ~len (fun frame foff boff chunk ->
+      Bytes.blit buf (off + boff) (frame_bytes frame) foff chunk)
+
+let fill ~paddr ~len c =
+  check ~paddr ~len;
+  iter_chunks ~paddr ~len (fun frame foff _ chunk -> Bytes.fill (frame_bytes frame) foff chunk c)
+
+let read_u8 paddr =
+  check ~paddr ~len:1;
+  Char.code (Bytes.get (frame_bytes (paddr / page_size)) (paddr mod page_size))
+
+let write_u8 paddr v =
+  check ~paddr ~len:1;
+  Bytes.set (frame_bytes (paddr / page_size)) (paddr mod page_size) (Char.chr (v land 0xff))
+
+let scratch = Bytes.create 8
+
+let read_u32 paddr =
+  read ~paddr scratch ~off:0 ~len:4;
+  Int32.to_int (Bytes.get_int32_le scratch 0) land 0xffffffff
+
+let write_u32 paddr v =
+  Bytes.set_int32_le scratch 0 (Int32.of_int v);
+  write ~paddr scratch ~off:0 ~len:4
+
+let read_u64 paddr =
+  read ~paddr scratch ~off:0 ~len:8;
+  Bytes.get_int64_le scratch 0
+
+let write_u64 paddr v =
+  Bytes.set_int64_le scratch 0 v;
+  write ~paddr scratch ~off:0 ~len:8

@@ -1,0 +1,27 @@
+type range = {
+  first : int;
+  count : int;
+  name : string;
+  sensitive : bool;
+  read : port:int -> int;
+  write : port:int -> int -> unit;
+}
+
+let table : range list ref = ref []
+
+let reset () = table := []
+
+let overlaps a b = a.first < b.first + b.count && b.first < a.first + a.count
+
+let register r =
+  if List.exists (overlaps r) !table then
+    invalid_arg (Printf.sprintf "Pio.register: %s overlaps an existing range" r.name);
+  table := r :: !table
+
+let find port = List.find_opt (fun r -> port >= r.first && port < r.first + r.count) !table
+
+let ranges () = List.rev !table
+
+let read ~port = match find port with Some r -> r.read ~port | None -> 0xff
+
+let write ~port v = match find port with Some r -> r.write ~port v | None -> ()

@@ -1,0 +1,18 @@
+(** Port I/O space (x86 in/out), with the same sensitivity labelling as
+    {!Mmio}. *)
+
+type range = {
+  first : int;
+  count : int;
+  name : string;
+  sensitive : bool;
+  read : port:int -> int;
+  write : port:int -> int -> unit;
+}
+
+val reset : unit -> unit
+val register : range -> unit
+val find : int -> range option
+val ranges : unit -> range list
+val read : port:int -> int
+val write : port:int -> int -> unit

@@ -1,0 +1,171 @@
+let sector_size = 512
+
+let reg_magic = 0x00
+let reg_device_id = 0x04
+let reg_capacity = 0x08
+let reg_queue_notify = 0x10
+
+type t = {
+  dev_id : int;
+  vector : int;
+  capacity : int;
+  store : (int, Bytes.t) Hashtbl.t; (* sector -> 512 bytes, sparse *)
+  queue : int Queue.t; (* pending descriptor paddrs *)
+  mutable busy : bool;
+  mutable completed : int;
+  mutable failed : int;
+  mutable irq_pending : bool;
+  mutable irq_missed : bool;
+}
+
+let capacity_sectors t = t.capacity
+
+let sector_bytes t s =
+  match Hashtbl.find_opt t.store s with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make sector_size '\000' in
+    Hashtbl.add t.store s b;
+    b
+
+let write_backing t ~sector data =
+  let len = Bytes.length data in
+  assert (len mod sector_size = 0);
+  for i = 0 to (len / sector_size) - 1 do
+    Bytes.blit data (i * sector_size) (sector_bytes t (sector + i)) 0 sector_size
+  done
+
+let read_backing t ~sector ~len =
+  assert (len mod sector_size = 0);
+  let out = Bytes.create len in
+  for i = 0 to (len / sector_size) - 1 do
+    Bytes.blit (sector_bytes t (sector + i)) 0 out (i * sector_size) sector_size
+  done;
+  out
+
+let requests_completed t = t.completed
+
+let requests_failed t = t.failed
+
+let dma_fault t what e =
+  t.failed <- t.failed + 1;
+  Sim.Stats.incr "virtio_blk.dma_fault";
+  Logs.debug (fun m -> m "virtio-blk: DMA fault on %s: %s" what e)
+
+(* Interrupt mitigation with a missed-work flag: completions landing
+   while an interrupt is still pending re-raise once it has been taken,
+   so no completion is ever silently lost. *)
+let rec raise_coalesced t =
+  if t.irq_pending then t.irq_missed <- true
+  else begin
+    t.irq_pending <- true;
+    Irq_chip.raise_irq (Irq_chip.Device t.dev_id) ~vector:t.vector;
+    ignore
+      (Sim.Events.schedule_after 1 (fun () ->
+           t.irq_pending <- false;
+           if t.irq_missed then begin
+             t.irq_missed <- false;
+             raise_coalesced t
+           end))
+  end
+
+(* Complete one request: DMA the descriptor, move the data, write status,
+   raise the interrupt. Runs as a device event, not kernel code. *)
+let execute t desc_paddr =
+  let hdr = Bytes.create 24 in
+  match Iommu.access ~dev:t.dev_id ~paddr:desc_paddr ~len:32 with
+  | Error e -> dma_fault t "descriptor" e
+  | Ok () ->
+    Phys.read ~paddr:desc_paddr hdr ~off:0 ~len:24;
+    let typ = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    let len = Int32.to_int (Bytes.get_int32_le hdr 4) in
+    let sector = Int64.to_int (Bytes.get_int64_le hdr 8) in
+    let data_paddr = Int64.to_int (Bytes.get_int64_le hdr 16) in
+    let finish status =
+      Phys.write_u32 (desc_paddr + 24) status;
+      if status = 0 then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
+      raise_coalesced t
+    in
+    let nsect = len / sector_size in
+    let in_range = sector >= 0 && nsect >= 0 && sector + nsect <= t.capacity in
+    if (not in_range) || len mod sector_size <> 0 then finish 1
+    else begin
+      match typ with
+      | 2 (* flush *) -> finish 0
+      | 0 (* read: device writes into memory *) -> (
+        match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
+        | Error e ->
+          dma_fault t "data (read)" e;
+          finish 1
+        | Ok () ->
+          for i = 0 to nsect - 1 do
+            Phys.write
+              ~paddr:(data_paddr + (i * sector_size))
+              (sector_bytes t (sector + i))
+              ~off:0 ~len:sector_size
+          done;
+          finish 0)
+      | 1 (* write: device reads from memory *) -> (
+        match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
+        | Error e ->
+          dma_fault t "data (write)" e;
+          finish 1
+        | Ok () ->
+          let buf = Bytes.create sector_size in
+          for i = 0 to nsect - 1 do
+            Phys.read ~paddr:(data_paddr + (i * sector_size)) buf ~off:0 ~len:sector_size;
+            Bytes.blit buf 0 (sector_bytes t (sector + i)) 0 sector_size
+          done;
+          finish 0)
+      | _ -> finish 1
+    end
+
+let request_latency len =
+  let c = Sim.Cost.c () in
+  Sim.Clock.us c.Sim.Profile.blk_us_per_op
+  + int_of_float (float_of_int len /. max 0.001 c.Sim.Profile.blk_dev_bpc)
+
+let rec pump t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some desc_paddr ->
+    t.busy <- true;
+    (* Peek the length for the latency model; a faulting descriptor still
+       costs the base op latency. *)
+    let len = try Phys.read_u32 (desc_paddr + 4) with Invalid_argument _ -> 0 in
+    ignore
+      (Sim.Events.schedule_after (request_latency len) (fun () ->
+           execute t desc_paddr;
+           pump t))
+
+let notify t desc_paddr =
+  Queue.push desc_paddr t.queue;
+  if not t.busy then pump t
+
+let create ~capacity_sectors ~mmio_base ~dev_id ~vector =
+  let t =
+    {
+      dev_id;
+      vector;
+      capacity = capacity_sectors;
+      store = Hashtbl.create 4096;
+      queue = Queue.create ();
+      busy = false;
+      completed = 0;
+      failed = 0;
+      irq_pending = false;
+      irq_missed = false;
+    }
+  in
+  let read ~off ~len:_ =
+    if off = reg_magic then 0x74726976L
+    else if off = reg_device_id then 2L
+    else if off = reg_capacity then Int64.of_int t.capacity
+    else 0L
+  in
+  let write ~off ~len:_ v = if off = reg_queue_notify then notify t (Int64.to_int v) in
+  Mmio.register
+    { base = mmio_base; size = 0x100; name = "virtio-blk"; sensitive = false; read; write };
+  Bus.register
+    { Bus.dev_id; kind = Bus.Blk; mmio_base; mmio_size = 0x100; vector };
+  t

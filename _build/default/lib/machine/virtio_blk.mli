@@ -1,0 +1,42 @@
+(** Virtio block device model (single queue, like the paper's VM config).
+
+    The driver communicates through a 32-byte request descriptor placed in
+    DMA-visible physical memory:
+
+    {v
+      off  0  u32  type      0 = read, 1 = write, 2 = flush
+      off  4  u32  len       bytes (multiple of 512)
+      off  8  u64  sector
+      off 16  u64  data paddr
+      off 24  u32  status    written by the device: 0 ok, 1 io error
+    v}
+
+    Writing the descriptor's physical address to the QUEUE_NOTIFY register
+    enqueues the request. The device DMAs through the {!Iommu}; a
+    translation fault aborts the request (and, if the status word itself
+    is unreachable, drops it silently — exactly the hostile-device
+    behaviour Inv. 6 defends the rest of memory against). Completion
+    raises the device's interrupt vector. *)
+
+type t
+
+val create : capacity_sectors:int -> mmio_base:int -> dev_id:int -> vector:int -> t
+(** Registers the MMIO window, backing store, and {!Bus} entry. *)
+
+val sector_size : int
+
+(* Register offsets within the MMIO window. *)
+val reg_magic : int
+val reg_device_id : int
+val reg_capacity : int
+val reg_queue_notify : int
+
+val capacity_sectors : t -> int
+
+val write_backing : t -> sector:int -> bytes -> unit
+(** Host-side backdoor used by tests and mkfs to seed disk contents. *)
+
+val read_backing : t -> sector:int -> len:int -> bytes
+
+val requests_completed : t -> int
+val requests_failed : t -> int

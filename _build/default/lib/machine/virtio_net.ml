@@ -1,0 +1,116 @@
+let reg_queue_tx = 0x10
+let reg_queue_rx = 0x18
+
+type t = {
+  dev_id : int;
+  vector : int;
+  endpoint : Wire.endpoint;
+  rx_ring : int Queue.t; (* posted rx descriptor paddrs *)
+  backlog : bytes Queue.t; (* packets that arrived before a buffer was posted *)
+  mutable dropped : int;
+  mutable sent : int;
+  mutable irq_pending : bool;
+  mutable irq_missed : bool;
+}
+
+let rx_dropped t = t.dropped
+
+let tx_count t = t.sent
+
+(* Interrupt mitigation with a missed-work flag: completions landing
+   while an interrupt is still pending re-raise once it has been taken,
+   so no completion is ever silently lost. *)
+let rec irq t =
+  if t.irq_pending then t.irq_missed <- true
+  else begin
+    t.irq_pending <- true;
+    Irq_chip.raise_irq (Irq_chip.Device t.dev_id) ~vector:t.vector;
+    ignore
+      (Sim.Events.schedule_after 1 (fun () ->
+           t.irq_pending <- false;
+           if t.irq_missed then begin
+             t.irq_missed <- false;
+             irq t
+           end))
+  end
+
+let transmit t desc_paddr =
+  match Iommu.access ~dev:t.dev_id ~paddr:desc_paddr ~len:16 with
+  | Error _ -> Sim.Stats.incr "virtio_net.dma_fault"
+  | Ok () ->
+    let len = Phys.read_u32 desc_paddr in
+    let data_paddr = Int64.to_int (Phys.read_u64 (desc_paddr + 8)) in
+    (match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
+    | Error _ ->
+      Sim.Stats.incr "virtio_net.dma_fault";
+      Phys.write_u32 (desc_paddr + 4) 1
+    | Ok () ->
+      let pkt = Bytes.create len in
+      Phys.read ~paddr:data_paddr pkt ~off:0 ~len;
+      t.sent <- t.sent + 1;
+      Wire.send t.endpoint pkt;
+      Phys.write_u32 (desc_paddr + 4) 0);
+    irq t
+
+let deliver_into t desc_paddr pkt =
+  match Iommu.access ~dev:t.dev_id ~paddr:desc_paddr ~len:16 with
+  | Error _ -> Sim.Stats.incr "virtio_net.dma_fault"
+  | Ok () ->
+    let cap = Phys.read_u32 desc_paddr in
+    let data_paddr = Int64.to_int (Phys.read_u64 (desc_paddr + 8)) in
+    let len = min cap (Bytes.length pkt) in
+    (match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
+    | Error _ ->
+      Sim.Stats.incr "virtio_net.dma_fault";
+      Phys.write_u32 (desc_paddr + 4) 0
+    | Ok () ->
+      Phys.write ~paddr:data_paddr pkt ~off:0 ~len;
+      Phys.write_u32 (desc_paddr + 4) len);
+    irq t
+
+let pump_rx t =
+  while (not (Queue.is_empty t.backlog)) && not (Queue.is_empty t.rx_ring) do
+    let pkt = Queue.pop t.backlog in
+    let desc = Queue.pop t.rx_ring in
+    deliver_into t desc pkt
+  done
+
+let on_wire_packet t pkt =
+  if Queue.length t.backlog >= 1024 then begin
+    t.dropped <- t.dropped + 1;
+    Sim.Stats.incr "virtio_net.rx_dropped"
+  end
+  else begin
+    Queue.push pkt t.backlog;
+    pump_rx t
+  end
+
+let create ~mmio_base ~dev_id ~vector ~endpoint =
+  let t =
+    {
+      dev_id;
+      vector;
+      endpoint;
+      rx_ring = Queue.create ();
+      backlog = Queue.create ();
+      dropped = 0;
+      sent = 0;
+      irq_pending = false;
+      irq_missed = false;
+    }
+  in
+  Wire.on_receive endpoint (on_wire_packet t);
+  let read ~off ~len:_ =
+    if off = 0x00 then 0x74726976L else if off = 0x04 then 1L else 0L
+  in
+  let write ~off ~len:_ v =
+    if off = reg_queue_tx then transmit t (Int64.to_int v)
+    else if off = reg_queue_rx then begin
+      Queue.push (Int64.to_int v) t.rx_ring;
+      pump_rx t
+    end
+  in
+  Mmio.register
+    { base = mmio_base; size = 0x100; name = "virtio-net"; sensitive = false; read; write };
+  Bus.register { Bus.dev_id; kind = Bus.Net; mmio_base; mmio_size = 0x100; vector };
+  t

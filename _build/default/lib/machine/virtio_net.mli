@@ -1,0 +1,31 @@
+(** Virtio network device model, attached to one end of a {!Wire}.
+
+    Transmit descriptor (16 bytes):
+    {v
+      off 0  u32  len
+      off 4  u32  status   written by the device: 0 sent, 1 dma fault
+      off 8  u64  data paddr
+    v}
+
+    Receive descriptor (16 bytes):
+    {v
+      off 0  u32  capacity
+      off 4  u32  used len  written by the device (0xffffffff until used)
+      off 8  u64  data paddr
+    v}
+
+    The driver posts receive buffers ahead of time; inbound packets that
+    find no posted buffer are dropped and counted, like a NIC with an
+    empty RX ring. All data movement goes through the {!Iommu}. One
+    interrupt vector signals both TX completions and RX arrivals. *)
+
+type t
+
+val create :
+  mmio_base:int -> dev_id:int -> vector:int -> endpoint:Wire.endpoint -> t
+
+val reg_queue_tx : int
+val reg_queue_rx : int
+
+val rx_dropped : t -> int
+val tx_count : t -> int

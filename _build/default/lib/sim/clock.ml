@@ -1,0 +1,19 @@
+let cycles_per_us = 3000
+
+let current = ref 0L
+
+let reset () = current := 0L
+
+let now () = !current
+
+let charge n =
+  if n < 0 then invalid_arg "Clock.charge: negative cost";
+  current := Int64.add !current (Int64.of_int n)
+
+let advance_to t = if Int64.compare t !current > 0 then current := t
+
+let to_us t = Int64.to_float t /. float_of_int cycles_per_us
+
+let to_seconds t = to_us t /. 1_000_000.
+
+let us x = int_of_float (x *. float_of_int cycles_per_us)

@@ -1,0 +1,14 @@
+let c () = (Profile.get ()).Profile.costs
+
+let charge = Clock.charge
+
+let per_byte bpc n = if bpc <= 0 then 0 else (n + bpc - 1) / bpc
+
+let charge_user_copy n = Clock.charge (per_byte (c ()).Profile.user_copy_bpc n)
+
+let charge_memcpy n = Clock.charge (per_byte (c ()).Profile.memcpy_bpc n)
+
+let charge_safety select =
+  if Profile.checks_on () then Clock.charge (select (c ()).Profile.safety)
+
+let charge_us x = Clock.charge (Clock.us x)

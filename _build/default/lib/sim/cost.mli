@@ -1,0 +1,20 @@
+(** Charge helpers: read the installed {!Profile} and advance the clock. *)
+
+val c : unit -> Profile.costs
+(** Cost table of the installed profile. *)
+
+val charge : int -> unit
+(** Advance the virtual clock. *)
+
+val charge_user_copy : int -> unit
+(** Charge a user<->kernel copy of [n] bytes. *)
+
+val charge_memcpy : int -> unit
+(** Charge an in-kernel copy of [n] bytes. *)
+
+val charge_safety : (Profile.safety_costs -> int) -> unit
+(** Charge one safety check, but only when the installed profile runs
+    OSTD safety checks; selects the per-check cost from the table. *)
+
+val charge_us : float -> unit
+(** Charge a duration given in microseconds. *)

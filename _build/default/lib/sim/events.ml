@@ -1,0 +1,123 @@
+type event = { time : int64; seq : int; mutable cancelled : bool; run : unit -> unit }
+
+type handle = event
+
+module Heap = struct
+  (* Binary min-heap ordered by (time, seq): seq breaks ties so that
+     events scheduled earlier fire earlier, keeping runs deterministic. *)
+  type t = { mutable arr : event array; mutable len : int }
+
+  let dummy = { time = 0L; seq = 0; cancelled = true; run = ignore }
+
+  let create () = { arr = Array.make 64 dummy; len = 0 }
+
+  let less a b =
+    let c = Int64.compare a.time b.time in
+    if c <> 0 then c < 0 else a.seq < b.seq
+
+  let swap h i j =
+    let t = h.arr.(i) in
+    h.arr.(i) <- h.arr.(j);
+    h.arr.(j) <- t
+
+  let push h e =
+    if h.len = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.len) dummy in
+      Array.blit h.arr 0 bigger 0 h.len;
+      h.arr <- bigger
+    end;
+    h.arr.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && less h.arr.(!i) h.arr.((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      h.arr.(h.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+
+  let peek h = if h.len = 0 then None else Some h.arr.(0)
+end
+
+let heap = Heap.create ()
+
+let seq = ref 0
+
+let live = ref 0
+
+let clear () =
+  heap.Heap.len <- 0;
+  live := 0
+
+let schedule_at time run =
+  incr seq;
+  let e = { time; seq = !seq; cancelled = false; run } in
+  Heap.push heap e;
+  incr live;
+  e
+
+let schedule_after n run =
+  if n < 0 then invalid_arg "Events.schedule_after: negative delay";
+  schedule_at (Int64.add (Clock.now ()) (Int64.of_int n)) run
+
+let cancel e =
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    decr live
+  end
+
+let pending () = !live
+
+let pop_due () =
+  match Heap.peek heap with
+  | Some e when Int64.compare e.time (Clock.now ()) <= 0 -> Heap.pop heap
+  | Some _ | None -> None
+
+let run_due () =
+  let ran = ref false in
+  let continue = ref true in
+  while !continue do
+    match pop_due () with
+    | None -> continue := false
+    | Some e ->
+      if not e.cancelled then begin
+        decr live;
+        ran := true;
+        e.run ()
+      end
+  done;
+  !ran
+
+let rec run_next () =
+  match Heap.pop heap with
+  | None -> false
+  | Some e ->
+    if e.cancelled then run_next ()
+    else begin
+      decr live;
+      Clock.advance_to e.time;
+      e.run ();
+      ignore (run_due ());
+      true
+    end

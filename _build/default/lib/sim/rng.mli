@@ -1,0 +1,24 @@
+(** Deterministic splitmix64 RNG.
+
+    All randomness in the simulator (workload keys, device jitter) flows
+    through explicit generator values so that every benchmark run is
+    reproducible. *)
+
+type t
+
+val create : int64 -> t
+(** Seed a fresh generator. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

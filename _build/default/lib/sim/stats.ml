@@ -1,0 +1,48 @@
+let table : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let series : (string, float list ref) Hashtbl.t = Hashtbl.create 16
+
+let reset () =
+  Hashtbl.reset table;
+  Hashtbl.reset series
+
+let counter name =
+  match Hashtbl.find_opt table name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add table name r;
+    r
+
+let incr name = Stdlib.incr (counter name)
+
+let add name n =
+  let r = counter name in
+  r := !r + n
+
+let get name = match Hashtbl.find_opt table name with Some r -> !r | None -> 0
+
+let sample name x =
+  match Hashtbl.find_opt series name with
+  | Some r -> r := x :: !r
+  | None -> Hashtbl.add series name (ref [ x ])
+
+let samples name =
+  match Hashtbl.find_opt series name with
+  | Some r -> List.rev !r
+  | None -> []
+
+let mean name =
+  match samples name with
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let counters () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    let sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (sum /. float_of_int (List.length xs))

@@ -1,0 +1,1 @@
+lib/tcbaudit/crate_graph.ml: Hashtbl List

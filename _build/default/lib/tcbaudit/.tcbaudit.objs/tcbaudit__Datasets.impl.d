@@ -1,0 +1,1 @@
+lib/tcbaudit/datasets.ml: Crate_graph List Printf

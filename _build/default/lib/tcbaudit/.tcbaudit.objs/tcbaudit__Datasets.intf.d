@@ -1,0 +1,1 @@
+lib/tcbaudit/datasets.mli: Crate_graph

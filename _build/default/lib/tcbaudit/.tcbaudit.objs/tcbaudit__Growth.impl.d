@@ -1,0 +1,1 @@
+lib/tcbaudit/growth.ml: Array List

@@ -1,0 +1,1 @@
+lib/tcbaudit/growth.mli:

@@ -1,0 +1,1 @@
+lib/tcbaudit/self_audit.ml: Array Filename List Sys

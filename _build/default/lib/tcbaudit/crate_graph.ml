@@ -1,0 +1,75 @@
+type crate = {
+  name : string;
+  loc : int;
+  linked_fraction : float;
+  uses_unsafe : bool;
+  toolchain : bool;
+  deps : string list;
+}
+
+type t = { by_name : (string, crate) Hashtbl.t; order : string list; tcb_set : (string, unit) Hashtbl.t }
+
+let compute_tcb by_name =
+  let tcb = Hashtbl.create 32 in
+  (* Rule 2: unsafe-using, non-toolchain crates seed the TCB. *)
+  Hashtbl.iter
+    (fun name c -> if c.uses_unsafe && not c.toolchain then Hashtbl.replace tcb name ())
+    by_name;
+  (* Rule 3: close over dependencies (toolchain stays out by Rule 1). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun name () ->
+        let c = Hashtbl.find by_name name in
+        List.iter
+          (fun dep ->
+            match Hashtbl.find_opt by_name dep with
+            | Some d when (not d.toolchain) && not (Hashtbl.mem tcb dep) ->
+              Hashtbl.replace tcb dep ();
+              changed := true
+            | _ -> ())
+          c.deps)
+      (Hashtbl.copy tcb)
+  done;
+  tcb
+
+let build crates =
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem by_name c.name then invalid_arg ("duplicate crate " ^ c.name);
+      Hashtbl.replace by_name c.name c)
+    crates;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun d -> if not (Hashtbl.mem by_name d) then invalid_arg ("missing dep " ^ d))
+        c.deps)
+    crates;
+  { by_name; order = List.map (fun c -> c.name) crates; tcb_set = compute_tcb by_name }
+
+let crates t = List.map (Hashtbl.find t.by_name) t.order
+
+let tcb t = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.tcb_set [])
+
+let is_tcb t name = Hashtbl.mem t.tcb_set name
+
+let lcs t name =
+  let c = Hashtbl.find t.by_name name in
+  int_of_float (float_of_int c.loc *. c.linked_fraction)
+
+let total_lcs t =
+  List.fold_left
+    (fun acc c -> if c.toolchain then acc else acc + lcs t c.name)
+    0 (crates t)
+
+let tcb_lcs t = List.fold_left (fun acc name -> acc + lcs t name) 0 (tcb t)
+
+let relative_tcb t =
+  let total = total_lcs t in
+  if total = 0 then 0. else float_of_int (tcb_lcs t) /. float_of_int total
+
+let unsafe_crate_fraction t =
+  let non_toolchain = List.filter (fun c -> not c.toolchain) (crates t) in
+  (List.length (List.filter (fun c -> c.uses_unsafe) non_toolchain), List.length non_toolchain)

@@ -1,0 +1,42 @@
+(** Crate-level TCB analysis (paper §6.2.1).
+
+    Rules: (1) toolchain crates are trusted and excluded; (2) any crate
+    containing [unsafe] is in the run-time TCB; (3) dependencies of TCB
+    crates join the TCB transitively. Sizes use Linked Code Size — the
+    fraction of each crate's lines that survive into the linked image. *)
+
+type crate = {
+  name : string;
+  loc : int;                 (** source lines *)
+  linked_fraction : float;   (** fraction reachable after LTO *)
+  uses_unsafe : bool;
+  toolchain : bool;
+  deps : string list;
+}
+
+type t
+
+val build : crate list -> t
+(** Raises [Invalid_argument] on duplicate names or missing deps. *)
+
+val crates : t -> crate list
+
+val tcb : t -> string list
+(** Names in the run-time TCB after applying Rules 1-3 (sorted). *)
+
+val is_tcb : t -> string -> bool
+
+val lcs : t -> string -> int
+(** Linked code size of one crate. *)
+
+val total_lcs : t -> int
+(** Sum over non-toolchain crates. *)
+
+val tcb_lcs : t -> int
+
+val relative_tcb : t -> float
+(** tcb_lcs / total_lcs. *)
+
+val unsafe_crate_fraction : t -> int * int
+(** (unsafe-utilizing crates, total crates), toolchain excluded —
+    Table 1's metric. *)

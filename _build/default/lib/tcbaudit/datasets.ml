@@ -1,0 +1,97 @@
+(* Build a graph of [total] crates of which [unsafe_n] use unsafe, sized
+   so total LCS and TCB LCS match the published aggregates. Sizes are
+   spread deterministically (larger "core" crates first). Safe crates
+   that the TCB depends on are already counted inside [tcb_lcs] by
+   construction: we add one such dependency edge per OS to exercise
+   Rule 3. *)
+let spread total_amount n =
+  (* n positive weights summing to total_amount, front-loaded. *)
+  let weights = List.init n (fun i -> float_of_int (n - i)) in
+  let wsum = List.fold_left ( +. ) 0. weights in
+  let amounts = List.map (fun w -> int_of_float (w /. wsum *. float_of_int total_amount)) weights in
+  (* Fix rounding drift on the first element. *)
+  match amounts with
+  | first :: rest ->
+    let s = List.fold_left ( + ) 0 amounts in
+    (first + (total_amount - s)) :: rest
+  | [] -> []
+
+let make_os ~prefix ~unsafe_n ~safe_n ~tcb_lcs ~safe_lcs =
+  (* One safe crate ("<prefix>-shared") is a dependency of the first
+     unsafe crate: Rule 3 pulls it into the TCB. Its size is part of
+     [tcb_lcs]; the remaining safe crates carry [safe_lcs]. *)
+  let shared_size = max 1 (tcb_lcs / (unsafe_n * 4)) in
+  let unsafe_sizes = spread (tcb_lcs - shared_size) unsafe_n in
+  let safe_sizes = spread safe_lcs (max 1 (safe_n - 1)) in
+  let shared_name = prefix ^ "-shared" in
+  let unsafe_crates =
+    List.mapi
+      (fun i size ->
+        {
+          Crate_graph.name = Printf.sprintf "%s-unsafe-%02d" prefix i;
+          loc = size;
+          linked_fraction = 1.0;
+          uses_unsafe = true;
+          toolchain = false;
+          deps = (if i = 0 then [ shared_name ] else []);
+        })
+      unsafe_sizes
+  in
+  let shared =
+    {
+      Crate_graph.name = shared_name;
+      loc = shared_size;
+      linked_fraction = 1.0;
+      uses_unsafe = false;
+      toolchain = false;
+      deps = [];
+    }
+  in
+  let safe_crates =
+    List.mapi
+      (fun i size ->
+        {
+          Crate_graph.name = Printf.sprintf "%s-safe-%02d" prefix i;
+          loc = size;
+          linked_fraction = 1.0;
+          uses_unsafe = false;
+          toolchain = false;
+          deps = [];
+        })
+      safe_sizes
+  in
+  let toolchain =
+    [ { Crate_graph.name = prefix ^ "-core"; loc = 90000; linked_fraction = 0.1;
+        uses_unsafe = true; toolchain = true; deps = [] };
+      { Crate_graph.name = prefix ^ "-alloc"; loc = 30000; linked_fraction = 0.1;
+        uses_unsafe = true; toolchain = true; deps = [] } ]
+  in
+  Crate_graph.build ((shared :: unsafe_crates) @ safe_crates @ toolchain)
+
+(* Table 9 aggregates. *)
+let redleaf = make_os ~prefix:"redleaf" ~unsafe_n:36 ~safe_n:22 ~tcb_lcs:17182 ~safe_lcs:(25992 - 17182)
+
+let theseus = make_os ~prefix:"theseus" ~unsafe_n:54 ~safe_n:117 ~tcb_lcs:43978 ~safe_lcs:(70468 - 43978)
+
+let tock = make_os ~prefix:"tock" ~unsafe_n:91 ~safe_n:7 ~tcb_lcs:2903 ~safe_lcs:(6628 - 2903)
+
+let asterinas =
+  make_os ~prefix:"asterinas" ~unsafe_n:2 (* ostd + ostd-macros *) ~safe_n:89 ~tcb_lcs:10571
+    ~safe_lcs:(75285 - 10571)
+
+(* Table 1's Linux column: the RFL crate plus 10 notable Rust modules,
+   6 of 11 using unsafe. *)
+let linux_rfl = make_os ~prefix:"rfl" ~unsafe_n:6 ~safe_n:5 ~tcb_lcs:19000 ~safe_lcs:7000
+
+let table9 =
+  [ ("RedLeaf", redleaf); ("Theseus", theseus); ("Tock", tock); ("Asterinas", asterinas) ]
+
+let table1 =
+  [ ("Linux", linux_rfl); ("Tock", tock); ("RedLeaf", redleaf); ("Theseus", theseus) ]
+
+let linux_component_growth =
+  [
+    ("Task scheduler", 1.6, 27.2);
+    ("Slab allocator", 1.6, 8.7);
+    ("Frame allocator", 1.2, 7.1);
+  ]

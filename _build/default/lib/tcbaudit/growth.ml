@@ -1,0 +1,92 @@
+type point = { month : int; kloc : float }
+
+(* Three years of development (Fig. 7): the kernel grows super-linearly
+   as subsystems and drivers land; OSTD grows early, then flattens as
+   policy injection keeps mechanisms stable. Final sizes match the
+   paper: ~90 KLoC non-TCB vs ~10.5 KLoC TCB at month 36. *)
+let asterinas_series =
+  List.init 37 (fun m ->
+      let x = float_of_int m in
+      { month = m; kloc = 0.5 +. (0.9 *. x) +. (0.044 *. x *. x) })
+
+let ostd_series =
+  List.init 37 (fun m ->
+      let x = float_of_int m in
+      (* Saturating growth: fast start, flattening tail. *)
+      { month = m; kloc = 10.8 *. (1. -. exp (-0.09 *. x)) +. 0.4 })
+
+type fit = { intercept : float; slope : float; quadratic : float; rmse : float }
+
+(* Least squares via normal equations on [1; x] or [1; x; x^2]. *)
+let solve3 a b =
+  (* Gaussian elimination for up to 3x3. *)
+  let n = Array.length b in
+  let a = Array.map Array.copy a and b = Array.copy b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float a.(r).(col) > abs_float a.(!pivot).(col) then pivot := r
+    done;
+    let tmp = a.(col) in
+    a.(col) <- a.(!pivot);
+    a.(!pivot) <- tmp;
+    let tb = b.(col) in
+    b.(col) <- b.(!pivot);
+    b.(!pivot) <- tb;
+    for r = 0 to n - 1 do
+      if r <> col && a.(col).(col) <> 0. then begin
+        let f = a.(r).(col) /. a.(col).(col) in
+        for c = 0 to n - 1 do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+        done;
+        b.(r) <- b.(r) -. (f *. b.(col))
+      end
+    done
+  done;
+  Array.init n (fun i -> if a.(i).(i) = 0. then 0. else b.(i) /. a.(i).(i))
+
+let fit_with_degree points degree =
+  let terms = degree + 1 in
+  let basis x k = x ** float_of_int k in
+  let a = Array.make_matrix terms terms 0. in
+  let b = Array.make terms 0. in
+  List.iter
+    (fun p ->
+      let x = float_of_int p.month in
+      for i = 0 to terms - 1 do
+        b.(i) <- b.(i) +. (p.kloc *. basis x i);
+        for j = 0 to terms - 1 do
+          a.(i).(j) <- a.(i).(j) +. (basis x i *. basis x j)
+        done
+      done)
+    points;
+  let coef = solve3 a b in
+  let value x =
+    let acc = ref 0. in
+    Array.iteri (fun i c -> acc := !acc +. (c *. basis x i)) coef;
+    !acc
+  in
+  let rmse =
+    let se =
+      List.fold_left
+        (fun acc p ->
+          let d = p.kloc -. value (float_of_int p.month) in
+          acc +. (d *. d))
+        0. points
+    in
+    sqrt (se /. float_of_int (List.length points))
+  in
+  {
+    intercept = coef.(0);
+    slope = (if terms > 1 then coef.(1) else 0.);
+    quadratic = (if terms > 2 then coef.(2) else 0.);
+    rmse;
+  }
+
+let fit_linear points = fit_with_degree points 1
+
+let fit_quadratic points = fit_with_degree points 2
+
+let project f month =
+  let x = float_of_int month in
+  f.intercept +. (f.slope *. x) +. (f.quadratic *. x *. x)

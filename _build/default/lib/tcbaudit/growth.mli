@@ -1,0 +1,19 @@
+(** Codebase-growth model and curve fitting (Fig. 7): monthly KLoC of the
+    de-privileged kernel (Asterinas) vs the framework (OSTD) over three
+    years of development, with least-squares fits showing super-linear
+    non-TCB growth against controlled, sub-linear TCB growth. *)
+
+type point = { month : int; kloc : float }
+
+val asterinas_series : point list
+(** Non-TCB KLoC, month 0 = project start, 36 months. *)
+
+val ostd_series : point list
+
+type fit = { intercept : float; slope : float; quadratic : float; rmse : float }
+
+val fit_linear : point list -> fit
+val fit_quadratic : point list -> fit
+
+val project : fit -> int -> float
+(** Evaluate a fit at a month. *)

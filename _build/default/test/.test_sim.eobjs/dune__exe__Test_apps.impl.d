@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Aster Buffer Bytes Char Gen Int32 Int64 List Option Ostd Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_aster.ml: Alcotest Apps Aster Bytes Char Hashtbl Int64 List Machine Option Ostd Printf Sim String

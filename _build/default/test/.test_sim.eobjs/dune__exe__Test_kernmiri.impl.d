@@ -1,0 +1,1 @@
+test/test_kernmiri.ml: Alcotest Gen Kernmiri List QCheck QCheck_alcotest Result

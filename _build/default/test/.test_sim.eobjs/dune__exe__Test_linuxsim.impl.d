@@ -1,0 +1,1 @@
+test/test_linuxsim.ml: Alcotest Apps Aster Linuxsim List Sim

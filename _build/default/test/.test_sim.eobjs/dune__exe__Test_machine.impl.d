@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes Char Int64 List Machine Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_ostd.ml: Alcotest Array Bytes Gen Int64 List Ostd Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_tcbaudit.ml: Alcotest List Printf QCheck QCheck_alcotest Tcbaudit

@@ -1,0 +1,859 @@
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_str = Alcotest.(check string)
+
+let boot ?(profile = Sim.Profile.asterinas) () =
+  let k = Aster.Kernel.boot ~profile () in
+  Apps.Libc.install_child_resolver ();
+  k
+
+(* Run a user program as init and return its exit code. *)
+let run_user ?profile body =
+  ignore (boot ?profile ());
+  let result = ref None in
+  let wrapped uapi =
+    let code = body (Apps.Libc.make uapi) in
+    result := Some code;
+    code
+  in
+  ignore (Aster.Process.spawn_kernel_style ~name:"test" wrapped);
+  Aster.Kernel.run ();
+  match !result with
+  | Some code -> code
+  | None -> Alcotest.fail "user program did not finish"
+
+(* --- Policies --- *)
+
+let test_buddy_coalescing () =
+  Sim.Profile.set Sim.Profile.asterinas;
+  Ostd.Boot.init ~frames:2048 ();
+  Aster.Sched_policy.install ();
+  let b = Aster.Buddy.create () in
+  Ostd.Falloc.inject (Aster.Buddy.as_frame_alloc b);
+  Ostd.Boot.feed_free_memory ();
+  let free0 = Aster.Buddy.free_pages b in
+  let frames = List.init 20 (fun _ -> Ostd.Frame.alloc ~untyped:true ()) in
+  check_int "free dropped" (free0 - 20) (Aster.Buddy.free_pages b);
+  List.iter Ostd.Frame.drop frames;
+  check_int "free restored" free0 (Aster.Buddy.free_pages b);
+  (* Large allocation still possible after churn: coalescing works. *)
+  let big = Ostd.Frame.alloc ~pages:256 ~untyped:true () in
+  Ostd.Frame.drop big
+
+let test_buddy_pcpu_cache () =
+  Sim.Profile.set Sim.Profile.asterinas;
+  Ostd.Boot.init ~frames:2048 ();
+  Aster.Sched_policy.install ();
+  let b = Aster.Buddy.create () in
+  Ostd.Falloc.inject (Aster.Buddy.as_frame_alloc b);
+  Ostd.Boot.feed_free_memory ();
+  let f = Ostd.Frame.alloc ~untyped:true () in
+  Ostd.Frame.drop f;
+  let hits0 = Sim.Stats.get "buddy.pcpu_hit" in
+  let g = Ostd.Frame.alloc ~untyped:true () in
+  check "cache hit" true (Sim.Stats.get "buddy.pcpu_hit" = hits0 + 1);
+  Ostd.Frame.drop g
+
+let test_slab_cache_magazine () =
+  Sim.Profile.set Sim.Profile.asterinas;
+  Ostd.Selftest.fresh_boot ();
+  let c = Aster.Slab_policy.cache_create ~name:"t" ~slot_size:128 () in
+  let slots = List.init 40 (fun _ -> Aster.Slab_policy.cache_alloc c) in
+  check "multiple slabs grown" true (Aster.Slab_policy.cache_slabs c >= 2);
+  List.iter (Aster.Slab_policy.cache_dealloc c) slots;
+  ignore (Aster.Slab_policy.cache_shrink c);
+  check_int "all objects returned" 0 (Aster.Slab_policy.cache_active c)
+
+let test_cfs_fairness () =
+  Sim.Profile.set Sim.Profile.asterinas;
+  Ostd.Boot.init ();
+  Aster.Sched_policy.install ();
+  Ostd.Falloc.inject (Ostd.Bootstrap_alloc.make ());
+  Ostd.Boot.feed_free_memory ();
+  (* Two spinning tasks: CFS should alternate them rather than run one to
+     completion. *)
+  let log = ref [] in
+  let spin tag () =
+    for _ = 1 to 4 do
+      log := tag :: !log;
+      Sim.Clock.charge 1000;
+      Ostd.Task.yield_now ()
+    done
+  in
+  ignore (Ostd.Task.spawn ~name:"a" (spin "a"));
+  ignore (Ostd.Task.spawn ~name:"b" (spin "b"));
+  Ostd.Task.run ();
+  let order = List.rev !log in
+  (* Strict alternation is not required, but neither task may run 4 slots
+     in a row at the start. *)
+  check "interleaved" true (List.filteri (fun i _ -> i < 4) order <> [ "a"; "a"; "a"; "a" ])
+
+let test_rt_preempts_fair () =
+  Sim.Profile.set Sim.Profile.asterinas;
+  Ostd.Boot.init ();
+  Aster.Sched_policy.install ();
+  Ostd.Falloc.inject (Ostd.Bootstrap_alloc.make ());
+  Ostd.Boot.feed_free_memory ();
+  let log = ref [] in
+  ignore (Ostd.Task.spawn ~name:"fair" (fun () -> log := "fair" :: !log));
+  let rt = Ostd.Task.spawn ~name:"rt" (fun () -> log := "rt" :: !log) in
+  Aster.Sched_policy.set_class rt (Aster.Sched_policy.Rt 1);
+  (* Re-enqueue by waking after setting the class is not needed: the task
+     is already queued as fair. Spawn order puts fair first, so check the
+     class applies to the *next* enqueue instead: spawn a third task. *)
+  let rt2 = ref None in
+  ignore
+    (Ostd.Task.spawn ~name:"spawner" (fun () ->
+         let t = Ostd.Task.spawn ~name:"late-fair" (fun () -> log := "late" :: !log) in
+         ignore t;
+         let t2 =
+           Ostd.Task.spawn ~name:"rt2" (fun () -> log := "rt2" :: !log)
+         in
+         ignore t2;
+         rt2 := Some t2));
+  Ostd.Task.run ();
+  check "all ran" true (List.length !log = 4)
+
+(* --- End-to-end user programs --- *)
+
+let test_hello_ramfs () =
+  let code =
+    run_user (fun c ->
+        let fd = Apps.Libc.openf c "/tmp/hello.txt" ~flags:0o101 (* O_CREAT|O_WRONLY *) ~mode:0o644 in
+        if fd < 0 then 1
+        else begin
+          ignore (Apps.Libc.write_str c ~fd "hello framekernel");
+          ignore (Apps.Libc.close c fd);
+          let fd = Apps.Libc.openf c "/tmp/hello.txt" ~flags:0 ~mode:0 in
+          let s = Apps.Libc.read_str c ~fd:fd ~len:64 in
+          ignore (Apps.Libc.close c fd);
+          if s = "hello framekernel" then 0 else 2
+        end)
+  in
+  check_int "exit code" 0 code
+
+let test_stat_and_dirs () =
+  let code =
+    run_user (fun c ->
+        if Apps.Libc.mkdir c "/tmp/d" < 0 then 1
+        else begin
+          let fd = Apps.Libc.openf c "/tmp/d/f" ~flags:0o101 ~mode:0o600 in
+          ignore (Apps.Libc.write_str c ~fd "12345");
+          ignore (Apps.Libc.close c fd);
+          match Apps.Libc.stat c "/tmp/d/f" with
+          | Error _ -> 2
+          | Ok st ->
+            if st.Aster.Abi.size <> 5 then 3
+            else begin
+              let dfd = Apps.Libc.openf c "/tmp/d" ~flags:0 ~mode:0 in
+              let names = List.map (fun (_, _, n) -> n) (Apps.Libc.getdents c ~fd:dfd) in
+              ignore (Apps.Libc.close c dfd);
+              if names = [ "f" ] then 0 else 4
+            end
+        end)
+  in
+  check_int "exit code" 0 code
+
+let test_rename_unlink () =
+  let code =
+    run_user (fun c ->
+        let fd = Apps.Libc.openf c "/tmp/a" ~flags:0o101 ~mode:0o644 in
+        ignore (Apps.Libc.write_str c ~fd "data");
+        ignore (Apps.Libc.close c fd);
+        if Apps.Libc.rename c "/tmp/a" "/tmp/b" < 0 then 1
+        else if Apps.Libc.access c "/tmp/a" >= 0 then 2
+        else if Apps.Libc.access c "/tmp/b" < 0 then 3
+        else if Apps.Libc.unlink c "/tmp/b" < 0 then 4
+        else if Apps.Libc.access c "/tmp/b" >= 0 then 5
+        else 0)
+  in
+  check_int "exit code" 0 code
+
+let test_symlink () =
+  let code =
+    run_user (fun c ->
+        let fd = Apps.Libc.openf c "/tmp/target" ~flags:0o101 ~mode:0o644 in
+        ignore (Apps.Libc.write_str c ~fd "via link");
+        ignore (Apps.Libc.close c fd);
+        if Apps.Libc.symlink c ~target:"/tmp/target" ~linkpath:"/tmp/lnk" < 0 then 1
+        else begin
+          let fd = Apps.Libc.openf c "/tmp/lnk" ~flags:0 ~mode:0 in
+          let s = Apps.Libc.read_str c ~fd ~len:64 in
+          ignore (Apps.Libc.close c fd);
+          match Apps.Libc.readlink c "/tmp/lnk" with
+          | Ok "/tmp/target" when s = "via link" -> 0
+          | Ok _ -> 2
+          | Error _ -> 3
+        end)
+  in
+  check_int "exit code" 0 code
+
+let test_fork_wait () =
+  let code =
+    run_user (fun c ->
+        let child = Apps.Libc.fork c (fun uapi ->
+            let cc = Apps.Libc.make uapi in
+            ignore (Apps.Libc.nanosleep_us cc 50.);
+            42)
+        in
+        if child <= 0 then 1
+        else
+          match Apps.Libc.waitpid c with
+          | Ok (pid, status) when pid = child && status = 42 -> 0
+          | Ok _ -> 2
+          | Error _ -> 3)
+  in
+  check_int "exit code" 0 code
+
+let test_fork_cow_isolation () =
+  let code =
+    run_user (fun c ->
+        let buf = Apps.Libc.ualloc c 4096 in
+        (Apps.Libc.raw c).Ostd.User.mem_write_u64 buf 111L;
+        let _child =
+          Apps.Libc.fork c (fun uapi ->
+              (* The child sees the parent's value, then overwrites. *)
+              let v = uapi.Ostd.User.mem_read_u64 buf in
+              uapi.Ostd.User.mem_write_u64 buf 222L;
+              if v = 111L then 0 else 1)
+        in
+        (match Apps.Libc.waitpid c with
+        | Ok (_, 0) -> ()
+        | _ -> Apps.Libc.exit c 2);
+        (* Parent's page must be untouched (COW split). *)
+        if (Apps.Libc.raw c).Ostd.User.mem_read_u64 buf = 111L then 0 else 3)
+  in
+  check_int "exit code" 0 code
+
+let test_exec () =
+  Aster.Uprog_registry.register "echo-arg" (fun uapi argv ->
+      let c = Apps.Libc.make uapi in
+      match argv with
+      | [ _; "ok" ] ->
+        ignore c;
+        7
+      | _ -> 1);
+  let code =
+    run_user (fun c ->
+        let child =
+          Apps.Libc.fork c (fun uapi ->
+              let cc = Apps.Libc.make uapi in
+              ignore (Apps.Libc.execve cc "/bin/echo-arg" [ "echo-arg"; "ok" ]);
+              99 (* unreachable if exec succeeded *))
+        in
+        ignore child;
+        match Apps.Libc.waitpid c with
+        | Ok (_, 7) -> 0
+        | Ok (_, s) -> 10 + s
+        | Error _ -> 2)
+  in
+  check_int "exit code" 0 code
+
+let test_pipe_parent_child () =
+  let code =
+    run_user (fun c ->
+        match Apps.Libc.pipe c with
+        | Error _ -> 1
+        | Ok (rfd, wfd) ->
+          let _child =
+            Apps.Libc.fork c (fun uapi ->
+                let cc = Apps.Libc.make uapi in
+                ignore (Apps.Libc.close cc rfd);
+                ignore (Apps.Libc.write_str cc ~fd:wfd "ping through the pipe");
+                ignore (Apps.Libc.close cc wfd);
+                0)
+          in
+          ignore (Apps.Libc.close c wfd);
+          let s = Apps.Libc.read_str c ~fd:rfd ~len:64 in
+          ignore (Apps.Libc.close c rfd);
+          (match Apps.Libc.waitpid c with Ok _ -> () | Error _ -> ());
+          if s = "ping through the pipe" then 0 else 2)
+  in
+  check_int "exit code" 0 code
+
+let test_ext2_persistence_to_device () =
+  let k = boot () in
+  let finished = ref false in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"ext2test" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.openf c "/ext2/data.bin" ~flags:0o101 ~mode:0o644 in
+         ignore (Apps.Libc.write_str c ~fd "PERSISTME");
+         let r = Apps.Libc.fsync c fd in
+         ignore (Apps.Libc.close c fd);
+         finished := true;
+         if r = 0 then 0 else 1));
+  Aster.Kernel.run ();
+  check "program ran" true !finished;
+  (* After fsync the bytes must be on the raw device, not just cached. *)
+  let blk = k.Aster.Kernel.devices.Machine.Board.blk in
+  let found = ref false in
+  for sector = 0 to 40960 do
+    if not !found then begin
+      let b = Machine.Virtio_blk.read_backing blk ~sector ~len:512 in
+      let s = Bytes.to_string b in
+      let rec scan i =
+        i + 9 <= String.length s && (String.sub s i 9 = "PERSISTME" || scan (i + 1))
+      in
+      if scan 0 then found := true
+    end
+  done;
+  check "data reached the device" true !found;
+  check "no iommu faults" true (Sim.Stats.get "iommu.fault" = 0)
+
+let test_ext2_bigfile_indirect () =
+  let code =
+    run_user (fun c ->
+        (* 200 KiB spans direct + indirect blocks. *)
+        let size = 200 * 1024 in
+        let buf = Apps.Libc.ualloc c 8192 in
+        let pattern = Bytes.init 8192 (fun i -> Char.chr ((i * 7) mod 256)) in
+        (Apps.Libc.raw c).Ostd.User.mem_write buf pattern;
+        let fd = Apps.Libc.openf c "/ext2/big" ~flags:0o102 ~mode:0o644 in
+        if fd < 0 then 1
+        else begin
+          let written = ref 0 in
+          while !written < size do
+            let n = Apps.Libc.write c ~fd ~vaddr:buf ~len:8192 in
+            if n <= 0 then Apps.Libc.exit c 2;
+            written := !written + n
+          done;
+          ignore (Apps.Libc.close c fd);
+          (* Read back from a random offset crossing the indirect zone. *)
+          let fd = Apps.Libc.openf c "/ext2/big" ~flags:0 ~mode:0 in
+          let off = 60 * 1024 in
+          let n = Apps.Libc.pread c ~fd ~vaddr:buf ~len:4096 ~off in
+          ignore (Apps.Libc.close c fd);
+          if n <> 4096 then 3
+          else begin
+            let data = Apps.Libc.get_bytes c buf 4096 in
+            let expect i = Char.chr (((off + i) mod 8192 * 7) mod 256) in
+            let rec verify i = i >= 4096 || (Bytes.get data i = expect i && verify (i + 1)) in
+            if verify 0 then 0 else 4
+          end
+        end)
+  in
+  check_int "exit code" 0 code
+
+let test_tcp_loopback () =
+  ignore (boot ());
+  Apps.Libc.install_child_resolver ();
+  let server_ready = ref false in
+  let got = ref "" in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"server" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.socket c ~domain:2 ~typ:1 in
+         ignore (Apps.Libc.bind_inet c ~fd ~port:8080);
+         ignore (Apps.Libc.listen c ~fd ~backlog:8);
+         server_ready := true;
+         let conn = Apps.Libc.accept c ~fd in
+         let s = Apps.Libc.read_str c ~fd:conn ~len:64 in
+         ignore (Apps.Libc.write_str c ~fd:conn ("echo:" ^ s));
+         ignore (Apps.Libc.close c conn);
+         0));
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"client" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.socket c ~domain:2 ~typ:1 in
+         let lo = Aster.Packet.ip_of_string "127.0.0.1" in
+         let rec wait_connect tries =
+           if Apps.Libc.connect_inet c ~fd ~ip:lo ~port:8080 >= 0 then true
+           else if tries = 0 then false
+           else begin
+             ignore (Apps.Libc.nanosleep_us c 100.);
+             wait_connect (tries - 1)
+           end
+         in
+         if not (wait_connect 20) then 1
+         else begin
+           ignore (Apps.Libc.write_str c ~fd "hello tcp");
+           got := Apps.Libc.read_str c ~fd ~len:64;
+           ignore (Apps.Libc.close c fd);
+           0
+         end));
+  Aster.Kernel.run ();
+  check "server started" true !server_ready;
+  check_str "echoed" "echo:hello tcp" !got
+
+let test_udp_loopback () =
+  ignore (boot ());
+  let got = ref "" in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"udp-server" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.socket c ~domain:2 ~typ:2 in
+         ignore (Apps.Libc.bind_inet c ~fd ~port:9999);
+         let buf = Apps.Libc.ualloc c 4096 in
+         let n = Apps.Libc.recvfrom c ~fd ~vaddr:buf ~len:4096 in
+         got := Bytes.to_string (Apps.Libc.get_bytes c buf n);
+         0));
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"udp-client" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.socket c ~domain:2 ~typ:2 in
+         let lo = Aster.Packet.ip_of_string "127.0.0.1" in
+         let msg = Bytes.of_string "datagram!" in
+         let buf = Apps.Libc.put_bytes c msg in
+         ignore (Apps.Libc.nanosleep_us c 50.);
+         ignore (Apps.Libc.sendto_inet c ~fd ~ip:lo ~port:9999 ~vaddr:buf ~len:(Bytes.length msg));
+         0));
+  Aster.Kernel.run ();
+  check_str "datagram" "datagram!" !got
+
+let test_unix_socket () =
+  ignore (boot ());
+  let got = ref "" in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"unix-server" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.socket c ~domain:1 ~typ:1 in
+         ignore (Apps.Libc.bind_unix c ~fd ~path:"/tmp/sock");
+         ignore (Apps.Libc.listen c ~fd ~backlog:4);
+         let conn = Apps.Libc.accept c ~fd in
+         got := Apps.Libc.read_str c ~fd:conn ~len:64;
+         0));
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"unix-client" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.socket c ~domain:1 ~typ:1 in
+         ignore (Apps.Libc.nanosleep_us c 50.);
+         if Apps.Libc.connect_unix c ~fd ~path:"/tmp/sock" < 0 then 1
+         else begin
+           ignore (Apps.Libc.write_str c ~fd "over unix");
+           0
+         end));
+  Aster.Kernel.run ();
+  check_str "unix data" "over unix" !got
+
+let test_sendfile_tcp () =
+  ignore (boot ());
+  let got_len = ref 0 in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"sf-server" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         (* Prepare a 8 KiB file. *)
+         let fd = Apps.Libc.openf c "/tmp/payload" ~flags:0o101 ~mode:0o644 in
+         ignore (Apps.Libc.write_str c ~fd (String.make 8192 'x'));
+         ignore (Apps.Libc.close c fd);
+         let sfd = Apps.Libc.socket c ~domain:2 ~typ:1 in
+         ignore (Apps.Libc.bind_inet c ~fd:sfd ~port:8088);
+         ignore (Apps.Libc.listen c ~fd:sfd ~backlog:4);
+         let conn = Apps.Libc.accept c ~fd:sfd in
+         let file = Apps.Libc.openf c "/tmp/payload" ~flags:0 ~mode:0 in
+         let n = Apps.Libc.sendfile c ~out_fd:conn ~in_fd:file ~count:8192 in
+         ignore (Apps.Libc.close c conn);
+         if n = 8192 then 0 else 1));
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"sf-client" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.socket c ~domain:2 ~typ:1 in
+         let lo = Aster.Packet.ip_of_string "127.0.0.1" in
+         let rec wait_connect tries =
+           if Apps.Libc.connect_inet c ~fd ~ip:lo ~port:8088 >= 0 then true
+           else if tries = 0 then false
+           else begin
+             ignore (Apps.Libc.nanosleep_us c 100.);
+             wait_connect (tries - 1)
+           end
+         in
+         if not (wait_connect 20) then 1
+         else begin
+           let buf = Apps.Libc.ualloc c 16384 in
+           let total = ref 0 in
+           let continue = ref true in
+           while !continue do
+             let n = Apps.Libc.read c ~fd ~vaddr:buf ~len:16384 in
+             if n <= 0 then continue := false else total := !total + n
+           done;
+           got_len := !total;
+           0
+         end));
+  Aster.Kernel.run ();
+  check_int "received full file" 8192 !got_len
+
+let test_virtio_net_to_host () =
+  let k = boot () in
+  let host = Aster.Kernel.attach_host k in
+  (* Host echo server on 10.0.2.2:7. *)
+  (match Aster.Tcp.listen host.Aster.Kernel.htcp ~port:7 with
+  | Error _ -> Alcotest.fail "host listen"
+  | Ok listener ->
+    ignore
+      (Ostd.Task.spawn ~name:"host-echo" (fun () ->
+           let conn = Aster.Tcp.accept listener in
+           let buf = Bytes.create 256 in
+           match Aster.Tcp.recv conn ~buf ~pos:0 ~len:256 with
+           | Ok n ->
+             ignore (Aster.Tcp.send conn ~buf:(Bytes.sub buf 0 n) ~pos:0 ~len:n);
+             Aster.Tcp.close conn
+           | Error _ -> ())));
+  let got = ref "" in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"guest-client" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.socket c ~domain:2 ~typ:1 in
+         if Apps.Libc.connect_inet c ~fd ~ip:Aster.Kernel.host_ip ~port:7 < 0 then 1
+         else begin
+           ignore (Apps.Libc.write_str c ~fd "across the wire");
+           got := Apps.Libc.read_str c ~fd ~len:64;
+           0
+         end));
+  Aster.Kernel.run ();
+  check_str "echo over virtio" "across the wire" !got
+
+let test_proc_read () =
+  let code =
+    run_user (fun c ->
+        let fd = Apps.Libc.openf c "/proc/version" ~flags:0 ~mode:0 in
+        if fd < 0 then 1
+        else begin
+          let s = Apps.Libc.read_str c ~fd ~len:256 in
+          ignore (Apps.Libc.close c fd);
+          if String.length s > 0 then 0 else 2
+        end)
+  in
+  check_int "exit code" 0 code
+
+let test_enosys_surface () =
+  let code =
+    run_user (fun c ->
+        (* Syscall 999 is outside the surface; 165 (mount) is in the
+           advertised surface but stubbed: both return -ENOSYS. *)
+        let a = Apps.Libc.syscall c 165 [| 0L; 0L; 0L |] in
+        let b = Apps.Libc.syscall c 999 [||] in
+        if a = -38 && b = -38 then 0 else 1)
+  in
+  check_int "exit code" 0 code;
+  check "abi surface >= 210" true (Aster.Syscall_nr.registered_count >= 210);
+  check "implemented honestly counted" true (Aster.Syscalls.implemented_count () >= 60)
+
+let test_uname_getpid () =
+  let code =
+    run_user (fun c ->
+        let n = Apps.Libc.uname c in
+        if Apps.Libc.getpid c >= 1 && String.length n > 0 then 0 else 1)
+  in
+  check_int "exit code" 0 code
+
+
+let test_kill_terminates_sleeper () =
+  let code =
+    run_user (fun c ->
+        let child =
+          Apps.Libc.fork c (fun uapi ->
+              let cc = Apps.Libc.make uapi in
+              ignore (Apps.Libc.nanosleep_us cc 1e6);
+              0)
+        in
+        ignore (Apps.Libc.nanosleep_us c 100.);
+        if Apps.Libc.kill c ~pid:child ~signal:15 < 0 then 1
+        else
+          match Apps.Libc.waitpid c with
+          | Ok (pid, status) when pid = child && status = 128 + 15 -> 0
+          | Ok (_, s) -> 10 + s
+          | Error _ -> 2)
+  in
+  Alcotest.(check int) "exit" 0 code
+
+let test_sigign_survives_sigterm () =
+  let code =
+    run_user (fun c ->
+        let child =
+          Apps.Libc.fork c (fun uapi ->
+              let cc = Apps.Libc.make uapi in
+              ignore (Apps.Libc.signal_ignore cc 15);
+              ignore (Apps.Libc.nanosleep_us cc 500.);
+              7)
+        in
+        ignore (Apps.Libc.nanosleep_us c 100.);
+        ignore (Apps.Libc.kill c ~pid:child ~signal:15);
+        match Apps.Libc.waitpid c with
+        | Ok (_, 7) -> 0
+        | Ok (_, s) -> 10 + s
+        | Error _ -> 2)
+  in
+  Alcotest.(check int) "exit" 0 code
+
+let test_sigkill_unignorable () =
+  let code =
+    run_user (fun c ->
+        let child =
+          Apps.Libc.fork c (fun uapi ->
+              let cc = Apps.Libc.make uapi in
+              ignore (Apps.Libc.signal_ignore cc 9);
+              ignore (Apps.Libc.nanosleep_us cc 1e6);
+              0)
+        in
+        ignore (Apps.Libc.nanosleep_us c 100.);
+        ignore (Apps.Libc.kill c ~pid:child ~signal:9);
+        match Apps.Libc.waitpid c with
+        | Ok (_, status) when status = 128 + 9 -> 0
+        | Ok (_, s) -> 10 + s
+        | Error _ -> 2)
+  in
+  Alcotest.(check int) "exit" 0 code
+
+let test_sigmask_defers_delivery () =
+  let code =
+    run_user (fun c ->
+        (* Block SIGTERM, receive it (stays pending), verify we survive a
+           few syscalls, then unblock: next syscall boundary kills us. *)
+        let child =
+          Apps.Libc.fork c (fun uapi ->
+              let cc = Apps.Libc.make uapi in
+              ignore (Apps.Libc.sigblock cc 15);
+              ignore (Apps.Libc.nanosleep_us cc 300.);
+              (* Signal arrived while blocked. *)
+              if Apps.Libc.sigpending cc land (1 lsl 14) = 0 then 50
+              else begin
+                ignore (Apps.Libc.sigunblock cc 15);
+                (* Unreachable: delivery fires at the next boundary. *)
+                ignore (Apps.Libc.getpid cc);
+                51
+              end)
+        in
+        ignore (Apps.Libc.nanosleep_us c 100.);
+        ignore (Apps.Libc.kill c ~pid:child ~signal:15);
+        match Apps.Libc.waitpid c with
+        | Ok (_, status) when status = 128 + 15 -> 0
+        | Ok (_, s) -> 10 + s
+        | Error _ -> 2)
+  in
+  Alcotest.(check int) "exit" 0 code
+
+let test_mkfifo_and_lstat () =
+  let code =
+    run_user (fun c ->
+        if Apps.Libc.mkfifo c "/tmp/ff" < 0 then 1
+        else begin
+          (* lstat must not follow symlinks; on the fifo it reports kind 1. *)
+          let sb = Apps.Libc.ualloc c 64 in
+          let r =
+            Apps.Libc.syscall c Aster.Syscall_nr.lstat
+              [| Int64.of_int (Apps.Libc.put_bytes c (Bytes.of_string "/tmp/ff\000"));
+                 Int64.of_int sb |]
+          in
+          if r <> 0 then 2
+          else begin
+            let st = Aster.Abi.decode_stat (Apps.Libc.get_bytes c sb Aster.Abi.stat_size) in
+            ignore (Apps.Libc.symlink c ~target:"/tmp/ff" ~linkpath:"/tmp/lnk2");
+            let r2 =
+              Apps.Libc.syscall c Aster.Syscall_nr.lstat
+                [| Int64.of_int (Apps.Libc.put_bytes c (Bytes.of_string "/tmp/lnk2\000"));
+                   Int64.of_int sb |]
+            in
+            let st2 = Aster.Abi.decode_stat (Apps.Libc.get_bytes c sb Aster.Abi.stat_size) in
+            if r2 = 0 && st.Aster.Abi.kind = 1 && st2.Aster.Abi.kind = 10 then 0 else 3
+          end
+        end)
+  in
+  Alcotest.(check int) "exit" 0 code
+
+let test_statfs_ext2 () =
+  let code =
+    run_user (fun c ->
+        let sb = Apps.Libc.ualloc c 64 in
+        let r =
+          Apps.Libc.syscall c Aster.Syscall_nr.statfs
+            [| Int64.of_int (Apps.Libc.put_bytes c (Bytes.of_string "/ext2\000"));
+               Int64.of_int sb |]
+        in
+        if r <> 0 then 1
+        else begin
+          let b = Apps.Libc.get_bytes c sb 32 in
+          if Bytes.get_int64_le b 0 = 0xEF53L && Bytes.get_int64_le b 8 = 4096L then 0 else 2
+        end)
+  in
+  Alcotest.(check int) "exit" 0 code
+
+let test_page_cache_metadata () =
+  ignore (boot ());
+  let ok = ref false in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"pc" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.openf c "/tmp/pc.bin" ~flags:0o102 ~mode:0o644 in
+         ignore (Apps.Libc.write_str c ~fd (String.make 5000 'p'));
+         ignore (Apps.Libc.close c fd);
+         (match Aster.Vfs.resolve "/tmp/pc.bin" with
+         | Ok { Aster.Vfs.inode; _ } -> (
+           match Aster.Ramfs.file_cache inode with
+           | Some cache ->
+             (* Two pages cached, both dirty via the Frame<M> metadata. *)
+             ok :=
+               Aster.Page_cache.pages cache = 2
+               && Aster.Page_cache.dirty_pages cache = 2
+               && Aster.Page_cache.page_state cache 0 = Some (true, true)
+               && Aster.Page_cache.clean_all cache = 2
+               && Aster.Page_cache.dirty_pages cache = 0
+           | None -> ())
+         | Error _ -> ());
+         0));
+  Aster.Kernel.run ();
+  check "frame metadata tracks page state" true !ok
+
+
+let test_proc_pid_status () =
+  let code =
+    run_user (fun c ->
+        let pid = Apps.Libc.getpid c in
+        let fd = Apps.Libc.openf c (Printf.sprintf "/proc/%d/status" pid) ~flags:0 ~mode:0 in
+        if fd < 0 then 1
+        else begin
+          let s = Apps.Libc.read_str c ~fd ~len:512 in
+          ignore (Apps.Libc.close c fd);
+          let has needle =
+            let nl = String.length needle and sl = String.length s in
+            let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+            scan 0
+          in
+          if has (Printf.sprintf "Pid:\t%d" pid) && has "Name:" then 0 else 2
+        end)
+  in
+  check_int "exit" 0 code
+
+let test_cfs_nice_weights () =
+  (* A nice -5 task should make clearly more progress than a nice +5
+     task over the same span of virtual time. *)
+  Sim.Profile.set Sim.Profile.asterinas;
+  Ostd.Boot.init ();
+  Aster.Sched_policy.install ();
+  Ostd.Falloc.inject (Ostd.Bootstrap_alloc.make ());
+  Ostd.Boot.feed_free_memory ();
+  let progress = Hashtbl.create 2 in
+  let spin tag () =
+    for _ = 1 to 300 do
+      Hashtbl.replace progress tag (1 + Option.value ~default:0 (Hashtbl.find_opt progress tag));
+      Sim.Clock.charge 2000;
+      Ostd.Task.yield_now ()
+    done
+  in
+  let fast = Ostd.Task.spawn ~name:"fast" (spin "fast") in
+  let slow = Ostd.Task.spawn ~name:"slow" (spin "slow") in
+  Ostd.Task.set_nice fast (-5);
+  Ostd.Task.set_nice slow 5;
+  Ostd.Task.run_until (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt progress "fast") >= 300);
+  let f = Option.value ~default:0 (Hashtbl.find_opt progress "fast") in
+  let s = Option.value ~default:1 (Hashtbl.find_opt progress "slow") in
+  check "fast finished" true (f >= 300);
+  check "niced-down task got more cpu" true (f > s + 50)
+
+let test_block_writeback_throttling () =
+  ignore (boot ());
+  let finished = ref false in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"bigwrite" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         (* Write ~6 MiB to ext2: crosses the background-writeback
+            threshold, so the flusher must run while we write. *)
+         let fd = Apps.Libc.openf c "/ext2/bigfile" ~flags:0o102 ~mode:0o644 in
+         let buf = Apps.Libc.ualloc c 65536 in
+         for _ = 1 to 96 do
+           ignore (Apps.Libc.write c ~fd ~vaddr:buf ~len:65536)
+         done;
+         ignore (Apps.Libc.close c fd);
+         finished := true;
+         0));
+  Aster.Kernel.run ();
+  check "writer finished" true !finished;
+  check "background writeback ran" true
+    (Aster.Block.dirty_blocks () < 1536);
+  check "device received writes" true (Aster.Virtio_blk_drv.in_flight () = 0)
+
+let test_fsync_only_flushes_that_file () =
+  ignore (boot ());
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"two-files" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fa = Apps.Libc.openf c "/ext2/a" ~flags:0o102 ~mode:0o644 in
+         let fb = Apps.Libc.openf c "/ext2/b" ~flags:0o102 ~mode:0o644 in
+         ignore (Apps.Libc.write_str c ~fd:fa "aaaa");
+         ignore (Apps.Libc.write_str c ~fd:fb "bbbb");
+         ignore (Apps.Libc.fsync c fa);
+         0));
+  Aster.Kernel.run ();
+  (* b's data block may stay dirty; a's must be clean. Weak but real:
+     after fsync(a) there must be *some* dirty block left from b. *)
+  check "file b still dirty in cache" true (Aster.Block.dirty_blocks () > 0)
+
+let test_segfault_kills_child () =
+  let code =
+    run_user (fun c ->
+        let child =
+          Apps.Libc.fork c (fun uapi ->
+              (* Touch an address far outside every region. *)
+              uapi.Ostd.User.mem_write_u64 0x7FFF0000 1L;
+              0)
+        in
+        ignore child;
+        match Apps.Libc.waitpid c with
+        | Ok (_, 139) -> 0
+        | Ok (_, s) -> 10 + s
+        | Error _ -> 1)
+  in
+  check_int "exit" 0 code
+
+let () =
+  Alcotest.run "aster"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "buddy_coalescing" `Quick test_buddy_coalescing;
+          Alcotest.test_case "buddy_pcpu_cache" `Quick test_buddy_pcpu_cache;
+          Alcotest.test_case "slab_cache" `Quick test_slab_cache_magazine;
+          Alcotest.test_case "cfs_fairness" `Quick test_cfs_fairness;
+          Alcotest.test_case "rt_class" `Quick test_rt_preempts_fair;
+        ] );
+      ( "fs",
+        [
+          Alcotest.test_case "hello_ramfs" `Quick test_hello_ramfs;
+          Alcotest.test_case "stat_dirs" `Quick test_stat_and_dirs;
+          Alcotest.test_case "rename_unlink" `Quick test_rename_unlink;
+          Alcotest.test_case "symlink" `Quick test_symlink;
+          Alcotest.test_case "ext2_fsync" `Quick test_ext2_persistence_to_device;
+          Alcotest.test_case "ext2_bigfile" `Quick test_ext2_bigfile_indirect;
+          Alcotest.test_case "proc_read" `Quick test_proc_read;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "fork_wait" `Quick test_fork_wait;
+          Alcotest.test_case "fork_cow" `Quick test_fork_cow_isolation;
+          Alcotest.test_case "exec" `Quick test_exec;
+          Alcotest.test_case "pipe" `Quick test_pipe_parent_child;
+          Alcotest.test_case "uname_getpid" `Quick test_uname_getpid;
+          Alcotest.test_case "enosys_surface" `Quick test_enosys_surface;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "proc_pid_status" `Quick test_proc_pid_status;
+          Alcotest.test_case "cfs_nice_weights" `Quick test_cfs_nice_weights;
+          Alcotest.test_case "writeback_throttle" `Quick test_block_writeback_throttling;
+          Alcotest.test_case "fsync_scope" `Quick test_fsync_only_flushes_that_file;
+          Alcotest.test_case "segfault" `Quick test_segfault_kills_child;
+        ] );
+      ( "signals",
+        [
+          Alcotest.test_case "kill_sleeper" `Quick test_kill_terminates_sleeper;
+          Alcotest.test_case "sigign" `Quick test_sigign_survives_sigterm;
+          Alcotest.test_case "sigkill_unignorable" `Quick test_sigkill_unignorable;
+          Alcotest.test_case "sigmask_defers" `Quick test_sigmask_defers_delivery;
+        ] );
+      ( "new_syscalls",
+        [
+          Alcotest.test_case "mkfifo_lstat" `Quick test_mkfifo_and_lstat;
+          Alcotest.test_case "statfs" `Quick test_statfs_ext2;
+          Alcotest.test_case "page_cache_meta" `Quick test_page_cache_metadata;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "tcp_loopback" `Quick test_tcp_loopback;
+          Alcotest.test_case "udp_loopback" `Quick test_udp_loopback;
+          Alcotest.test_case "unix_socket" `Quick test_unix_socket;
+          Alcotest.test_case "sendfile" `Quick test_sendfile_tcp;
+          Alcotest.test_case "virtio_net_echo" `Quick test_virtio_net_to_host;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* --- Race detector --- *)
+
+let test_race_plain_conflict () =
+  (* Two unsynchronised writers: race in every interleaving. *)
+  let p = [| [ Kernmiri.Race.Store "x" ]; [ Kernmiri.Race.Store "x" ] |] in
+  check "race detected" true (Kernmiri.Race.has_race p)
+
+let test_race_read_write () =
+  let p = [| [ Kernmiri.Race.Load "x" ]; [ Kernmiri.Race.Store "x" ] |] in
+  check "read/write race" true (Kernmiri.Race.has_race p)
+
+let test_race_disjoint_locations () =
+  let p = [| [ Kernmiri.Race.Store "x" ]; [ Kernmiri.Race.Store "y" ] |] in
+  check "no race" false (Kernmiri.Race.has_race p)
+
+let test_race_release_acquire_orders () =
+  (* Writer publishes with a release CAS; the reader acquires before
+     touching the data: properly synchronised message passing. *)
+  let writer =
+    [ Kernmiri.Race.Store "data";
+      Kernmiri.Race.Cas { loc = "flag"; expect = 0; set = 1; ordering = Kernmiri.Race.Release } ]
+  in
+  let reader =
+    [ Kernmiri.Race.Cas { loc = "flag"; expect = 1; set = 2; ordering = Kernmiri.Race.Acquire };
+      Kernmiri.Race.Load "data" ]
+  in
+  check "release/acquire is clean" false (Kernmiri.Race.has_race [| writer; reader |])
+
+let test_race_relaxed_is_racy () =
+  let writer =
+    [ Kernmiri.Race.Store "data";
+      Kernmiri.Race.Cas { loc = "flag"; expect = 0; set = 1; ordering = Kernmiri.Race.Relaxed } ]
+  in
+  let reader =
+    [ Kernmiri.Race.Cas { loc = "flag"; expect = 1; set = 2; ordering = Kernmiri.Race.Relaxed };
+      Kernmiri.Race.Load "data" ]
+  in
+  check "relaxed flag does not order" true (Kernmiri.Race.has_race [| writer; reader |])
+
+let test_race_explores_schedules () =
+  let p = [| [ Kernmiri.Race.Store "x"; Kernmiri.Race.Store "x" ]; [ Kernmiri.Race.Load "y" ] |] in
+  let v = Kernmiri.Race.check p in
+  check "multiple interleavings" true (v.Kernmiri.Race.schedules > 1)
+
+(* --- Borrow checker --- *)
+
+let test_borrow_unique_write () =
+  let b = Kernmiri.Borrow.create () in
+  let base = Kernmiri.Borrow.alloc b "x" in
+  check "write via base" true (Kernmiri.Borrow.write b "x" base = Ok ())
+
+let test_borrow_const_write_ub () =
+  let b = Kernmiri.Borrow.create () in
+  let base = Kernmiri.Borrow.alloc b "x" in
+  match Kernmiri.Borrow.retag b "x" ~from:base Kernmiri.Borrow.Shared_ro with
+  | Error e -> Alcotest.fail e
+  | Ok ro -> (
+    check "read ok" true (Kernmiri.Borrow.read b "x" ro = Ok ());
+    match Kernmiri.Borrow.write b "x" ro with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "const write allowed")
+
+let test_borrow_invalidation () =
+  (* Using the base invalidates a derived tag (pops it). *)
+  let b = Kernmiri.Borrow.create () in
+  let base = Kernmiri.Borrow.alloc b "x" in
+  let derived = Result.get_ok (Kernmiri.Borrow.retag b "x" ~from:base Kernmiri.Borrow.Unique) in
+  check "derived writes" true (Kernmiri.Borrow.write b "x" derived = Ok ());
+  check "base write pops derived" true (Kernmiri.Borrow.write b "x" base = Ok ());
+  match Kernmiri.Borrow.write b "x" derived with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "stale tag usable"
+
+let test_borrow_no_mut_from_shared () =
+  let b = Kernmiri.Borrow.create () in
+  let base = Kernmiri.Borrow.alloc b "x" in
+  let ro = Result.get_ok (Kernmiri.Borrow.retag b "x" ~from:base Kernmiri.Borrow.Shared_ro) in
+  match Kernmiri.Borrow.retag b "x" ~from:ro Kernmiri.Borrow.Unique with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mutable tag derived from shared"
+
+(* --- Shadow state --- *)
+
+let test_shadow_clean_trace () =
+  let trace =
+    [ Kernmiri.Shadow.Claim { page = 1; untyped = true };
+      Kernmiri.Shadow.Untyped_access 1;
+      Kernmiri.Shadow.Inc_ref 1;
+      Kernmiri.Shadow.Dec_ref 1;
+      Kernmiri.Shadow.Map_user 1;
+      Kernmiri.Shadow.Dma_map 1;
+      Kernmiri.Shadow.Dec_ref 1 ]
+  in
+  check_int "no violations" 0 (List.length (Kernmiri.Shadow.replay trace))
+
+let test_shadow_violations () =
+  let cases =
+    [
+      ( "double claim",
+        [ Kernmiri.Shadow.Claim { page = 1; untyped = true };
+          Kernmiri.Shadow.Claim { page = 1; untyped = false } ] );
+      ( "use after free",
+        [ Kernmiri.Shadow.Claim { page = 1; untyped = true };
+          Kernmiri.Shadow.Dec_ref 1;
+          Kernmiri.Shadow.Untyped_access 1 ] );
+      ( "type confusion",
+        [ Kernmiri.Shadow.Claim { page = 1; untyped = false };
+          Kernmiri.Shadow.Untyped_access 1 ] );
+      ("underflow", [ Kernmiri.Shadow.Dec_ref 9 ]);
+      ( "user map of typed",
+        [ Kernmiri.Shadow.Claim { page = 2; untyped = false }; Kernmiri.Shadow.Map_user 2 ] );
+      ( "dma of typed",
+        [ Kernmiri.Shadow.Claim { page = 2; untyped = false }; Kernmiri.Shadow.Dma_map 2 ] );
+    ]
+  in
+  List.iter
+    (fun (name, trace) ->
+      check name true (Kernmiri.Shadow.replay trace <> []))
+    cases
+
+(* --- Case studies and coverage runner --- *)
+
+let test_cases () =
+  List.iter
+    (fun (o : Kernmiri.Cases.outcome) ->
+      check (o.Kernmiri.Cases.description ^ " buggy") true o.Kernmiri.Cases.buggy_detected;
+      check (o.Kernmiri.Cases.description ^ " fixed") true o.Kernmiri.Cases.fixed_clean)
+    (Kernmiri.Cases.all ())
+
+let test_runner_coverage () =
+  let rows = Kernmiri.Runner.run () in
+  check "has rows" true (List.length rows >= 5);
+  let t = Kernmiri.Runner.totals rows in
+  check "tests ran" true (t.Kernmiri.Runner.tests > 40);
+  check "coverage above 80%" true
+    (float_of_int t.Kernmiri.Runner.lines_covered
+     /. float_of_int (max 1 t.Kernmiri.Runner.lines_total)
+    > 0.8);
+  check "checked run slower than native" true
+    (t.Kernmiri.Runner.kernmiri_s > t.Kernmiri.Runner.native_s)
+
+let prop_race_detector_symmetric =
+  QCheck.Test.make ~name:"single_thread_never_races" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 6) (QCheck.oneofl [ "x"; "y"; "z" ]))
+    (fun locs ->
+      let ops = List.concat_map (fun l -> [ Kernmiri.Race.Store l; Kernmiri.Race.Load l ]) locs in
+      not (Kernmiri.Race.has_race [| ops |]))
+
+let () =
+  Alcotest.run "kernmiri"
+    [
+      ( "race",
+        [
+          Alcotest.test_case "plain_conflict" `Quick test_race_plain_conflict;
+          Alcotest.test_case "read_write" `Quick test_race_read_write;
+          Alcotest.test_case "disjoint" `Quick test_race_disjoint_locations;
+          Alcotest.test_case "release_acquire" `Quick test_race_release_acquire_orders;
+          Alcotest.test_case "relaxed_racy" `Quick test_race_relaxed_is_racy;
+          Alcotest.test_case "schedules" `Quick test_race_explores_schedules;
+        ] );
+      ( "borrow",
+        [
+          Alcotest.test_case "unique_write" `Quick test_borrow_unique_write;
+          Alcotest.test_case "const_write_ub" `Quick test_borrow_const_write_ub;
+          Alcotest.test_case "invalidation" `Quick test_borrow_invalidation;
+          Alcotest.test_case "no_mut_from_shared" `Quick test_borrow_no_mut_from_shared;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "clean_trace" `Quick test_shadow_clean_trace;
+          Alcotest.test_case "violations" `Quick test_shadow_violations;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "fig9_cases" `Quick test_cases;
+          Alcotest.test_case "coverage_runner" `Slow test_runner_coverage;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_race_detector_symmetric ]);
+    ]

@@ -1,0 +1,72 @@
+let check = Alcotest.(check bool)
+
+(* The baseline must differ from Asterinas exactly along the mechanism
+   axes the paper names — these tests pin that configuration so a
+   refactor cannot silently flip a switch. *)
+
+let test_profile_switches () =
+  let l = Linuxsim.Linux_baseline.profile in
+  let a = Sim.Profile.asterinas in
+  check "linux runs congestion control" true l.Sim.Profile.tcp_congestion_control;
+  check "asterinas does not" false a.Sim.Profile.tcp_congestion_control;
+  check "linux has GSO" true l.Sim.Profile.tcp_gso;
+  check "asterinas segments in software" false a.Sim.Profile.tcp_gso;
+  check "linux rcu-walks" true l.Sim.Profile.rcu_walk;
+  check "asterinas lock-walks" false a.Sim.Profile.rcu_walk;
+  check "linux sendfile is zero-copy" true l.Sim.Profile.sendfile_zero_copy;
+  check "asterinas bounces" false a.Sim.Profile.sendfile_zero_copy;
+  check "linux unix sockets double-copy" true l.Sim.Profile.unix_double_copy;
+  check "linux runs no safety checks" false l.Sim.Profile.safety_checks;
+  check "asterinas runs them" true a.Sim.Profile.safety_checks;
+  check "linux baseline has no IOMMU" false l.Sim.Profile.iommu;
+  check "asterinas defaults to IOMMU" true a.Sim.Profile.iommu
+
+let test_boot_under_baseline () =
+  let _k = Linuxsim.Linux_baseline.boot () in
+  Apps.Libc.install_child_resolver ();
+  let ok = ref false in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"lin-smoke" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.openf c "/tmp/lin" ~flags:0o101 ~mode:0o644 in
+         ignore (Apps.Libc.write_str c ~fd "baseline");
+         ignore (Apps.Libc.close c fd);
+         let fd = Apps.Libc.openf c "/tmp/lin" ~flags:0 ~mode:0 in
+         ok := Apps.Libc.read_str c ~fd ~len:16 = "baseline";
+         0));
+  Aster.Kernel.run ();
+  check "baseline kernel boots and runs user programs" true !ok;
+  (* No safety-check cycles under the baseline. *)
+  Sim.Clock.reset ();
+  Sim.Cost.charge_safety (fun s -> s.Sim.Profile.boundary_check);
+  check "safety charge is zero" true (Sim.Clock.now () = 0L)
+
+let test_mechanism_table_complete () =
+  let rows = Linuxsim.Linux_baseline.mechanism_differences in
+  check "documents all eight axes" true (List.length rows >= 8);
+  check "congestion control listed" true
+    (List.exists (fun (m, _, _) -> m = "TCP congestion control") rows)
+
+let test_baseline_beats_asterinas_where_expected () =
+  (* RCU-walk makes Linux open(2) faster; no congestion control makes
+     Asterinas's loopback TCP faster: both directions, one test. *)
+  let open_row = Apps.Lmbench.find "lat_syscall open" in
+  let tcp_row = Apps.Lmbench.find "lat_tcp (loopback)" in
+  let l_open = open_row.Apps.Lmbench.run Linuxsim.Linux_baseline.profile in
+  let a_open = open_row.Apps.Lmbench.run Sim.Profile.asterinas in
+  let l_tcp = tcp_row.Apps.Lmbench.run Linuxsim.Linux_baseline.profile in
+  let a_tcp = tcp_row.Apps.Lmbench.run Sim.Profile.asterinas in
+  check "linux wins open(2)" true (l_open < a_open);
+  check "asterinas wins loopback tcp" true (a_tcp < l_tcp)
+
+let () =
+  Alcotest.run "linuxsim"
+    [
+      ( "baseline",
+        [
+          Alcotest.test_case "profile_switches" `Quick test_profile_switches;
+          Alcotest.test_case "boot" `Quick test_boot_under_baseline;
+          Alcotest.test_case "mechanism_table" `Quick test_mechanism_table_complete;
+          Alcotest.test_case "expected_winners" `Quick test_baseline_beats_asterinas_where_expected;
+        ] );
+    ]

@@ -1,0 +1,320 @@
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let setup ?(profile = Sim.Profile.linux) () =
+  Sim.Profile.set profile;
+  Machine.Board.reset ~frames:1024 ()
+
+let test_phys_roundtrip () =
+  setup ();
+  let data = Bytes.of_string "hello physical memory" in
+  Machine.Phys.write ~paddr:5000 data ~off:0 ~len:(Bytes.length data);
+  let out = Bytes.create (Bytes.length data) in
+  Machine.Phys.read ~paddr:5000 out ~off:0 ~len:(Bytes.length out);
+  check "roundtrip" true (Bytes.equal data out)
+
+let test_phys_cross_page () =
+  setup ();
+  let len = 10000 in
+  let data = Bytes.init len (fun i -> Char.chr (i mod 256)) in
+  Machine.Phys.write ~paddr:4090 data ~off:0 ~len;
+  let out = Bytes.create len in
+  Machine.Phys.read ~paddr:4090 out ~off:0 ~len;
+  check "cross-page roundtrip" true (Bytes.equal data out)
+
+let test_phys_zero_fill () =
+  setup ();
+  check_int "fresh ram reads zero" 0 (Machine.Phys.read_u8 123456)
+
+let test_phys_out_of_range () =
+  setup ();
+  Alcotest.check_raises "oob"
+    (Invalid_argument
+       (Printf.sprintf "Phys: access [%#x, %#x) outside memory" (1024 * 4096) ((1024 * 4096) + 4)))
+    (fun () -> ignore (Machine.Phys.read_u32 (1024 * 4096)))
+
+let test_phys_scalars () =
+  setup ();
+  Machine.Phys.write_u32 100 0xCAFEBABE;
+  check_int "u32" 0xCAFEBABE (Machine.Phys.read_u32 100);
+  Machine.Phys.write_u64 200 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Machine.Phys.read_u64 200)
+
+let test_mmio_dispatch () =
+  setup ();
+  let written = ref 0L in
+  Machine.Mmio.register
+    {
+      base = 0x9000_0000;
+      size = 0x10;
+      name = "testdev";
+      sensitive = false;
+      read = (fun ~off ~len:_ -> Int64.of_int (off * 2));
+      write = (fun ~off:_ ~len:_ v -> written := v);
+    };
+  Alcotest.(check int64) "read" 8L (Machine.Mmio.read ~addr:0x9000_0004 ~len:4);
+  Machine.Mmio.write ~addr:0x9000_0000 ~len:4 77L;
+  Alcotest.(check int64) "write" 77L !written;
+  Alcotest.(check int64) "unclaimed reads ones" (-1L) (Machine.Mmio.read ~addr:0x1 ~len:4)
+
+let test_mmio_overlap_rejected () =
+  setup ();
+  let mk base =
+    {
+      Machine.Mmio.base;
+      size = 0x100;
+      name = "a";
+      sensitive = false;
+      read = (fun ~off:_ ~len:_ -> 0L);
+      write = (fun ~off:_ ~len:_ _ -> ());
+    }
+  in
+  Machine.Mmio.register (mk 0x9000_0000);
+  check "overlap raises" true
+    (try
+       Machine.Mmio.register (mk 0x9000_0080);
+       false
+     with Invalid_argument _ -> true)
+
+let test_board_sensitive_labels () =
+  setup ();
+  (match Machine.Mmio.find Machine.Board.lapic_base with
+  | Some r -> check "lapic sensitive" true r.Machine.Mmio.sensitive
+  | None -> Alcotest.fail "lapic missing");
+  match Machine.Pio.find 0x20 with
+  | Some r -> check "pic sensitive" true r.Machine.Pio.sensitive
+  | None -> Alcotest.fail "pic missing"
+
+let test_irq_remapping () =
+  setup ();
+  let got = ref [] in
+  Machine.Irq_chip.set_dispatcher (fun v -> got := v :: !got);
+  Machine.Irq_chip.enable_remapping ();
+  Machine.Irq_chip.remap_allow ~dev:1 ~vector:40;
+  Machine.Irq_chip.raise_irq (Machine.Irq_chip.Device 1) ~vector:40;
+  Machine.Irq_chip.raise_irq (Machine.Irq_chip.Device 2) ~vector:40;
+  Machine.Irq_chip.raise_irq Machine.Irq_chip.Core ~vector:32;
+  while Sim.Events.run_next () do
+    ()
+  done;
+  Alcotest.(check (list int)) "delivered" [ 40; 32 ] (List.rev !got);
+  check_int "spoofs" 1 (Machine.Irq_chip.blocked_spoofs ())
+
+let test_iommu_fault_and_grant () =
+  setup ();
+  Machine.Iommu.set_enabled true;
+  (match Machine.Iommu.access ~dev:3 ~paddr:0x8000 ~len:16 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unmapped access passed");
+  Machine.Iommu.map ~dev:3 ~paddr:0x8000 ~len:4096;
+  (match Machine.Iommu.access ~dev:3 ~paddr:0x8000 ~len:16 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Machine.Iommu.unmap ~dev:3 ~paddr:0x8000 ~len:4096;
+  match Machine.Iommu.access ~dev:3 ~paddr:0x8000 ~len:16 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "access after unmap passed"
+
+let test_iotlb_hit_miss () =
+  setup ();
+  Machine.Iommu.set_enabled true;
+  Machine.Iommu.map ~dev:3 ~paddr:0x8000 ~len:4096;
+  let m0 = Machine.Iommu.misses () in
+  ignore (Machine.Iommu.access ~dev:3 ~paddr:0x8000 ~len:8);
+  check_int "first access misses" (m0 + 1) (Machine.Iommu.misses ());
+  let h0 = Machine.Iommu.hits () in
+  ignore (Machine.Iommu.access ~dev:3 ~paddr:0x8000 ~len:8);
+  check_int "second access hits" (h0 + 1) (Machine.Iommu.hits ())
+
+let test_wire_delivery () =
+  setup ();
+  let a, b = Machine.Wire.create_pair ~latency_us:5.0 ~bytes_per_cycle:2. in
+  let got = ref [] in
+  Machine.Wire.on_receive b (fun pkt -> got := Bytes.to_string pkt :: !got);
+  Machine.Wire.send a (Bytes.of_string "one");
+  Machine.Wire.send a (Bytes.of_string "two");
+  while Sim.Events.run_next () do
+    ()
+  done;
+  Alcotest.(check (list string)) "in order" [ "one"; "two" ] (List.rev !got);
+  check "latency applied" true (Sim.Clock.now () >= Int64.of_int (Sim.Clock.us 5.0))
+
+let run_all_events () =
+  while Sim.Events.run_next () do
+    ()
+  done
+
+(* Drive the block device exactly as a driver would, but with the IOMMU
+   off and raw physical writes: descriptor at 0x40000, data at 0x41000. *)
+let test_virtio_blk_write_read () =
+  setup ();
+  let blk =
+    Machine.Virtio_blk.create ~capacity_sectors:1024 ~mmio_base:Machine.Board.pci_hole_base
+      ~dev_id:1 ~vector:40
+  in
+  let irqs = ref 0 in
+  Machine.Irq_chip.set_dispatcher (fun _ -> incr irqs);
+  let desc = 0x40000 and data = 0x41000 in
+  let payload = Bytes.make 512 'Z' in
+  Machine.Phys.write ~paddr:data payload ~off:0 ~len:512;
+  (* write request: type=1 len=512 sector=10 *)
+  Machine.Phys.write_u32 desc 1;
+  Machine.Phys.write_u32 (desc + 4) 512;
+  Machine.Phys.write_u64 (desc + 8) 10L;
+  Machine.Phys.write_u64 (desc + 16) (Int64.of_int data);
+  Machine.Phys.write_u32 (desc + 24) 0xff;
+  Machine.Mmio.write
+    ~addr:(Machine.Board.pci_hole_base + Machine.Virtio_blk.reg_queue_notify)
+    ~len:8 (Int64.of_int desc);
+  run_all_events ();
+  check_int "status ok" 0 (Machine.Phys.read_u32 (desc + 24));
+  check_int "irq raised" 1 !irqs;
+  check "backing updated" true
+    (Bytes.equal payload (Machine.Virtio_blk.read_backing blk ~sector:10 ~len:512));
+  (* read it back into a different buffer *)
+  let data2 = 0x42000 in
+  Machine.Phys.write_u32 desc 0;
+  Machine.Phys.write_u64 (desc + 16) (Int64.of_int data2);
+  Machine.Phys.write_u32 (desc + 24) 0xff;
+  Machine.Mmio.write
+    ~addr:(Machine.Board.pci_hole_base + Machine.Virtio_blk.reg_queue_notify)
+    ~len:8 (Int64.of_int desc);
+  run_all_events ();
+  let out = Bytes.create 512 in
+  Machine.Phys.read ~paddr:data2 out ~off:0 ~len:512;
+  check "read returns written data" true (Bytes.equal payload out);
+  check_int "two requests completed" 2 (Machine.Virtio_blk.requests_completed blk)
+
+let test_virtio_blk_iommu_blocks_dma () =
+  setup ();
+  Machine.Iommu.set_enabled true;
+  let blk =
+    Machine.Virtio_blk.create ~capacity_sectors:64 ~mmio_base:Machine.Board.pci_hole_base
+      ~dev_id:1 ~vector:40
+  in
+  let desc = 0x40000 in
+  Machine.Phys.write_u32 desc 0;
+  Machine.Phys.write_u32 (desc + 4) 512;
+  Machine.Phys.write_u64 (desc + 8) 0L;
+  Machine.Phys.write_u64 (desc + 16) 0x41000L;
+  Machine.Mmio.write
+    ~addr:(Machine.Board.pci_hole_base + Machine.Virtio_blk.reg_queue_notify)
+    ~len:8 (Int64.of_int desc);
+  run_all_events ();
+  check_int "request dropped" 0 (Machine.Virtio_blk.requests_completed blk);
+  check "fault recorded" true (Sim.Stats.get "iommu.fault" > 0)
+
+let test_virtio_net_tx_rx () =
+  setup ();
+  let guest, host = Machine.Wire.create_pair ~latency_us:2.0 ~bytes_per_cycle:4. in
+  let net =
+    Machine.Virtio_net.create ~mmio_base:(Machine.Board.pci_hole_base + 0x1000) ~dev_id:2
+      ~vector:41 ~endpoint:guest
+  in
+  let host_got = ref [] in
+  Machine.Wire.on_receive host (fun pkt -> host_got := Bytes.to_string pkt :: !host_got);
+  (* TX: descriptor 0x40000, payload "ping" at 0x41000 *)
+  Machine.Phys.write ~paddr:0x41000 (Bytes.of_string "ping") ~off:0 ~len:4;
+  Machine.Phys.write_u32 0x40000 4;
+  Machine.Phys.write_u64 (0x40000 + 8) 0x41000L;
+  Machine.Mmio.write
+    ~addr:(Machine.Board.pci_hole_base + 0x1000 + Machine.Virtio_net.reg_queue_tx)
+    ~len:8 0x40000L;
+  run_all_events ();
+  Alcotest.(check (list string)) "host received" [ "ping" ] !host_got;
+  check_int "tx count" 1 (Machine.Virtio_net.tx_count net);
+  (* RX: post a buffer, then host sends *)
+  Machine.Phys.write_u32 0x50000 2048;
+  Machine.Phys.write_u32 (0x50000 + 4) 0xFFFF;
+  Machine.Phys.write_u64 (0x50000 + 8) 0x51000L;
+  Machine.Mmio.write
+    ~addr:(Machine.Board.pci_hole_base + 0x1000 + Machine.Virtio_net.reg_queue_rx)
+    ~len:8 0x50000L;
+  Machine.Wire.send host (Bytes.of_string "pong!");
+  run_all_events ();
+  check_int "used length" 5 (Machine.Phys.read_u32 (0x50000 + 4));
+  let out = Bytes.create 5 in
+  Machine.Phys.read ~paddr:0x51000 out ~off:0 ~len:5;
+  Alcotest.(check string) "payload" "pong!" (Bytes.to_string out)
+
+let test_virtio_net_backlog () =
+  setup ();
+  let guest, host = Machine.Wire.create_pair ~latency_us:1.0 ~bytes_per_cycle:4. in
+  ignore
+    (Machine.Virtio_net.create ~mmio_base:(Machine.Board.pci_hole_base + 0x1000) ~dev_id:2
+       ~vector:41 ~endpoint:guest);
+  (* Packet arrives before any buffer is posted: held in backlog. *)
+  Machine.Wire.send host (Bytes.of_string "early");
+  run_all_events ();
+  Machine.Phys.write_u32 0x50000 2048;
+  Machine.Phys.write_u64 (0x50000 + 8) 0x51000L;
+  Machine.Mmio.write
+    ~addr:(Machine.Board.pci_hole_base + 0x1000 + Machine.Virtio_net.reg_queue_rx)
+    ~len:8 0x50000L;
+  run_all_events ();
+  check_int "delivered from backlog" 5 (Machine.Phys.read_u32 (0x50000 + 4))
+
+let prop_phys_roundtrip =
+  QCheck.Test.make ~name:"phys_random_roundtrips" ~count:200
+    QCheck.(pair (int_range 0 100000) (string_of_size (QCheck.Gen.int_range 1 9000)))
+    (fun (paddr, s) ->
+      setup ();
+      let len = String.length s in
+      let data = Bytes.of_string s in
+      Machine.Phys.write ~paddr data ~off:0 ~len;
+      let out = Bytes.create len in
+      Machine.Phys.read ~paddr out ~off:0 ~len;
+      Bytes.equal data out)
+
+let prop_iommu_pages =
+  QCheck.Test.make ~name:"iommu_grant_covers_exact_pages" ~count:100
+    QCheck.(pair (int_range 0 200) (int_range 1 16384))
+    (fun (pageno, len) ->
+      setup ();
+      Machine.Iommu.set_enabled true;
+      let paddr = pageno * 4096 in
+      Machine.Iommu.map ~dev:1 ~paddr ~len;
+      let ok_inside = Machine.Iommu.access ~dev:1 ~paddr ~len = Ok () in
+      let after = paddr + (((len + 4095) / 4096) * 4096) in
+      let fails_after =
+        match Machine.Iommu.access ~dev:1 ~paddr:after ~len:1 with
+        | Error _ -> true
+        | Ok () -> false
+      in
+      ok_inside && fails_after)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "phys",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_phys_roundtrip;
+          Alcotest.test_case "cross_page" `Quick test_phys_cross_page;
+          Alcotest.test_case "zero_fill" `Quick test_phys_zero_fill;
+          Alcotest.test_case "out_of_range" `Quick test_phys_out_of_range;
+          Alcotest.test_case "scalars" `Quick test_phys_scalars;
+        ] );
+      ( "mmio",
+        [
+          Alcotest.test_case "dispatch" `Quick test_mmio_dispatch;
+          Alcotest.test_case "overlap" `Quick test_mmio_overlap_rejected;
+          Alcotest.test_case "sensitive_labels" `Quick test_board_sensitive_labels;
+        ] );
+      ( "irq_iommu",
+        [
+          Alcotest.test_case "remapping" `Quick test_irq_remapping;
+          Alcotest.test_case "fault_and_grant" `Quick test_iommu_fault_and_grant;
+          Alcotest.test_case "iotlb" `Quick test_iotlb_hit_miss;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "wire" `Quick test_wire_delivery;
+          Alcotest.test_case "virtio_blk_rw" `Quick test_virtio_blk_write_read;
+          Alcotest.test_case "virtio_blk_iommu" `Quick test_virtio_blk_iommu_blocks_dma;
+          Alcotest.test_case "virtio_net_tx_rx" `Quick test_virtio_net_tx_rx;
+          Alcotest.test_case "virtio_net_backlog" `Quick test_virtio_net_backlog;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_phys_roundtrip; prop_iommu_pages ] );
+    ]

@@ -1,0 +1,194 @@
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let test_clock_charge () =
+  Sim.Clock.reset ();
+  Sim.Clock.charge 100;
+  Sim.Clock.charge 50;
+  Alcotest.(check int64) "sum" 150L (Sim.Clock.now ());
+  check "to_us" true (abs_float (Sim.Clock.to_us 3000L -. 1.0) < 1e-9);
+  check_int "us" 3000 (Sim.Clock.us 1.0)
+
+let test_clock_advance () =
+  Sim.Clock.reset ();
+  Sim.Clock.advance_to 500L;
+  Sim.Clock.advance_to 200L;
+  Alcotest.(check int64) "monotone" 500L (Sim.Clock.now ())
+
+let test_clock_negative_charge () =
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.charge: negative cost") (fun () ->
+      Sim.Clock.charge (-1))
+
+let test_events_order () =
+  Sim.Clock.reset ();
+  Sim.Events.clear ();
+  let log = ref [] in
+  ignore (Sim.Events.schedule_at 300L (fun () -> log := 3 :: !log));
+  ignore (Sim.Events.schedule_at 100L (fun () -> log := 1 :: !log));
+  ignore (Sim.Events.schedule_at 200L (fun () -> log := 2 :: !log));
+  while Sim.Events.run_next () do
+    ()
+  done;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int64) "clock at last event" 300L (Sim.Clock.now ())
+
+let test_events_same_time_fifo () =
+  Sim.Clock.reset ();
+  Sim.Events.clear ();
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Events.schedule_at 50L (fun () -> log := i :: !log))
+  done;
+  while Sim.Events.run_next () do
+    ()
+  done;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_events_cancel () =
+  Sim.Clock.reset ();
+  Sim.Events.clear ();
+  let fired = ref false in
+  let h = Sim.Events.schedule_at 10L (fun () -> fired := true) in
+  Sim.Events.cancel h;
+  check_int "pending" 0 (Sim.Events.pending ());
+  while Sim.Events.run_next () do
+    ()
+  done;
+  check "not fired" false !fired
+
+let test_events_run_due () =
+  Sim.Clock.reset ();
+  Sim.Events.clear ();
+  let fired = ref 0 in
+  ignore (Sim.Events.schedule_at 10L (fun () -> incr fired));
+  ignore (Sim.Events.schedule_at 99999L (fun () -> incr fired));
+  Sim.Clock.advance_to 10L;
+  check "ran due" true (Sim.Events.run_due ());
+  check_int "only the due one" 1 !fired;
+  check_int "pending keeps future" 1 (Sim.Events.pending ())
+
+let test_events_cascade () =
+  (* An event scheduling another event at the same instant runs it within
+     the same run_next call. *)
+  Sim.Clock.reset ();
+  Sim.Events.clear ();
+  let log = ref [] in
+  ignore
+    (Sim.Events.schedule_at 5L (fun () ->
+         log := "a" :: !log;
+         ignore (Sim.Events.schedule_after 0 (fun () -> log := "b" :: !log))));
+  ignore (Sim.Events.run_next ());
+  Alcotest.(check (list string)) "cascade" [ "a"; "b" ] (List.rev !log)
+
+let test_stats () =
+  Sim.Stats.reset ();
+  Sim.Stats.incr "x";
+  Sim.Stats.add "x" 4;
+  check_int "counter" 5 (Sim.Stats.get "x");
+  check_int "missing" 0 (Sim.Stats.get "y");
+  Sim.Stats.sample "s" 2.0;
+  Sim.Stats.sample "s" 8.0;
+  check "mean" true (abs_float (Sim.Stats.mean "s" -. 5.0) < 1e-9)
+
+let test_geomean () =
+  check "geomean" true (abs_float (Sim.Stats.geomean [ 2.0; 8.0 ] -. 4.0) < 1e-9);
+  check "empty" true (Sim.Stats.geomean [] = 0.)
+
+let test_profile_switch () =
+  Sim.Profile.set Sim.Profile.linux;
+  check "no checks" false (Sim.Profile.checks_on ());
+  Sim.Clock.reset ();
+  Sim.Cost.charge_safety (fun s -> s.Sim.Profile.boundary_check);
+  Alcotest.(check int64) "no charge" 0L (Sim.Clock.now ());
+  Sim.Profile.set Sim.Profile.asterinas;
+  check "checks" true (Sim.Profile.checks_on ());
+  Sim.Cost.charge_safety (fun s -> s.Sim.Profile.boundary_check);
+  Alcotest.(check int64) "charged" 3L (Sim.Clock.now ())
+
+let test_profile_variants () =
+  check "aster iommu" true Sim.Profile.asterinas.Sim.Profile.iommu;
+  check "no-iommu variant" false Sim.Profile.asterinas_no_iommu.Sim.Profile.iommu;
+  check "linux has cc" true Sim.Profile.linux.Sim.Profile.tcp_congestion_control;
+  check "aster lacks cc" false Sim.Profile.asterinas.Sim.Profile.tcp_congestion_control;
+  let unchecked = Sim.Profile.with_safety_checks false Sim.Profile.asterinas in
+  check "toggled" false unchecked.Sim.Profile.safety_checks;
+  check "costs zeroed" true
+    (unchecked.Sim.Profile.costs.Sim.Profile.safety.Sim.Profile.boundary_check = 0)
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng_int_within_bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_deterministic =
+  QCheck.Test.make ~name:"rng_deterministic" ~count:100 QCheck.int64 (fun seed ->
+      let a = Sim.Rng.create seed and b = Sim.Rng.create seed in
+      List.for_all
+        (fun _ -> Sim.Rng.next a = Sim.Rng.next b)
+        [ 1; 2; 3; 4; 5 ])
+
+let prop_events_fire_in_order =
+  QCheck.Test.make ~name:"events_fire_in_time_order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 0 10000))
+    (fun times ->
+      Sim.Clock.reset ();
+      Sim.Events.clear ();
+      let fired = ref [] in
+      List.iter
+        (fun t ->
+          ignore (Sim.Events.schedule_at (Int64.of_int t) (fun () -> fired := t :: !fired)))
+        times;
+      while Sim.Events.run_next () do
+        ()
+      done;
+      let order = List.rev !fired in
+      order = List.sort compare order && List.length order = List.length times)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle_preserves_elements" ~count:200
+    QCheck.(pair int64 (list small_int))
+    (fun (seed, l) ->
+      let arr = Array.of_list l in
+      Sim.Rng.shuffle (Sim.Rng.create seed) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "charge" `Quick test_clock_charge;
+          Alcotest.test_case "advance_monotone" `Quick test_clock_advance;
+          Alcotest.test_case "negative_charge" `Quick test_clock_negative_charge;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "order" `Quick test_events_order;
+          Alcotest.test_case "fifo_ties" `Quick test_events_same_time_fifo;
+          Alcotest.test_case "cancel" `Quick test_events_cancel;
+          Alcotest.test_case "run_due" `Quick test_events_run_due;
+          Alcotest.test_case "cascade" `Quick test_events_cascade;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters_samples" `Quick test_stats;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "switch" `Quick test_profile_switch;
+          Alcotest.test_case "variants" `Quick test_profile_variants;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_rng_bounds;
+            prop_rng_deterministic;
+            prop_events_fire_in_order;
+            prop_shuffle_is_permutation;
+          ] );
+    ]

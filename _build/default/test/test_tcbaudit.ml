@@ -1,0 +1,147 @@
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let mk ?(unsafe = false) ?(toolchain = false) ?(deps = []) ?(frac = 1.0) name loc =
+  {
+    Tcbaudit.Crate_graph.name;
+    loc;
+    linked_fraction = frac;
+    uses_unsafe = unsafe;
+    toolchain;
+    deps;
+  }
+
+let test_rule2_unsafe_in_tcb () =
+  let g = Tcbaudit.Crate_graph.build [ mk ~unsafe:true "a" 100; mk "b" 200 ] in
+  check "a in tcb" true (Tcbaudit.Crate_graph.is_tcb g "a");
+  check "b out" false (Tcbaudit.Crate_graph.is_tcb g "b")
+
+let test_rule3_deps_join () =
+  let g =
+    Tcbaudit.Crate_graph.build
+      [ mk ~unsafe:true ~deps:[ "util" ] "driver" 100; mk "util" 50; mk "app" 70 ]
+  in
+  check "dep joins tcb" true (Tcbaudit.Crate_graph.is_tcb g "util");
+  check "unrelated stays out" false (Tcbaudit.Crate_graph.is_tcb g "app")
+
+let test_rule3_transitive () =
+  let g =
+    Tcbaudit.Crate_graph.build
+      [ mk ~unsafe:true ~deps:[ "b" ] "a" 10; mk ~deps:[ "c" ] "b" 10; mk "c" 10 ]
+  in
+  check "transitive dep" true (Tcbaudit.Crate_graph.is_tcb g "c")
+
+let test_rule1_toolchain_excluded () =
+  let g =
+    Tcbaudit.Crate_graph.build
+      [ mk ~unsafe:true ~deps:[ "core" ] "k" 100; mk ~unsafe:true ~toolchain:true "core" 90000 ]
+  in
+  check "toolchain not in tcb" false (Tcbaudit.Crate_graph.is_tcb g "core");
+  check_int "toolchain excluded from totals" 100 (Tcbaudit.Crate_graph.total_lcs g)
+
+let test_lcs_fraction () =
+  let g = Tcbaudit.Crate_graph.build [ mk ~frac:0.25 "x" 1000 ] in
+  check_int "linked fraction applies" 250 (Tcbaudit.Crate_graph.lcs g "x")
+
+let test_duplicate_rejected () =
+  check "duplicate raises" true
+    (try
+       ignore (Tcbaudit.Crate_graph.build [ mk "a" 1; mk "a" 2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_missing_dep_rejected () =
+  check "missing dep raises" true
+    (try
+       ignore (Tcbaudit.Crate_graph.build [ mk ~deps:[ "ghost" ] "a" 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table9_matches_paper () =
+  List.iter
+    (fun (name, total, tcb) ->
+      let g = List.assoc name Tcbaudit.Datasets.table9 in
+      check_int (name ^ " total") total (Tcbaudit.Crate_graph.total_lcs g);
+      check_int (name ^ " tcb") tcb (Tcbaudit.Crate_graph.tcb_lcs g))
+    [
+      ("RedLeaf", 25992, 17182);
+      ("Theseus", 70468, 43978);
+      ("Tock", 6628, 2903);
+      ("Asterinas", 75285, 10571);
+    ]
+
+let test_table1_fractions () =
+  List.iter
+    (fun (name, u, t) ->
+      let g = List.assoc name Tcbaudit.Datasets.table1 in
+      let mu, mt = Tcbaudit.Crate_graph.unsafe_crate_fraction g in
+      check_int (name ^ " unsafe") u mu;
+      check_int (name ^ " total") t mt)
+    [ ("Linux", 6, 11); ("Tock", 91, 98); ("RedLeaf", 36, 58); ("Theseus", 54, 171) ]
+
+let test_growth_shapes () =
+  let fa = Tcbaudit.Growth.fit_quadratic Tcbaudit.Growth.asterinas_series in
+  let fo = Tcbaudit.Growth.fit_linear Tcbaudit.Growth.ostd_series in
+  check "kernel growth is super-linear" true (fa.Tcbaudit.Growth.quadratic > 0.01);
+  check "ostd slope is small" true (fo.Tcbaudit.Growth.slope < 0.5);
+  let last l = List.nth l (List.length l - 1) in
+  check "final sizes match the paper's Fig. 7 scale" true
+    ((last Tcbaudit.Growth.asterinas_series).Tcbaudit.Growth.kloc > 80.
+    && (last Tcbaudit.Growth.ostd_series).Tcbaudit.Growth.kloc < 12.)
+
+let test_growth_fit_quality () =
+  let fa = Tcbaudit.Growth.fit_quadratic Tcbaudit.Growth.asterinas_series in
+  check "quadratic fits its own generator" true (fa.Tcbaudit.Growth.rmse < 0.01);
+  let p36 = Tcbaudit.Growth.project fa 36 in
+  check "projection hits the end point" true (abs_float (p36 -. 89.9) < 1.0)
+
+let test_self_audit () =
+  let r = Tcbaudit.Self_audit.run () in
+  check "repo found" true (r.Tcbaudit.Self_audit.total_loc > 1000);
+  check "core is TCB" true
+    (List.exists
+       (fun (e : Tcbaudit.Self_audit.entry) -> e.library = "core" && e.tcb)
+       r.Tcbaudit.Self_audit.entries);
+  check "aster is not TCB" true
+    (List.exists
+       (fun (e : Tcbaudit.Self_audit.entry) -> e.library = "aster" && not e.tcb)
+       r.Tcbaudit.Self_audit.entries);
+  check "relative sane" true
+    (r.Tcbaudit.Self_audit.relative > 0. && r.Tcbaudit.Self_audit.relative < 1.)
+
+let prop_tcb_monotone =
+  QCheck.Test.make ~name:"adding_unsafe_crate_never_shrinks_tcb" ~count:50
+    QCheck.(int_range 1 20)
+    (fun n ->
+      let crates = List.init n (fun i -> mk ~unsafe:(i mod 3 = 0) (Printf.sprintf "c%d" i) 10) in
+      let g1 = Tcbaudit.Crate_graph.build crates in
+      let g2 = Tcbaudit.Crate_graph.build (mk ~unsafe:true "extra" 10 :: crates) in
+      Tcbaudit.Crate_graph.tcb_lcs g2 >= Tcbaudit.Crate_graph.tcb_lcs g1)
+
+let () =
+  Alcotest.run "tcbaudit"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "rule2" `Quick test_rule2_unsafe_in_tcb;
+          Alcotest.test_case "rule3" `Quick test_rule3_deps_join;
+          Alcotest.test_case "rule3_transitive" `Quick test_rule3_transitive;
+          Alcotest.test_case "rule1" `Quick test_rule1_toolchain_excluded;
+          Alcotest.test_case "lcs" `Quick test_lcs_fraction;
+          Alcotest.test_case "duplicate" `Quick test_duplicate_rejected;
+          Alcotest.test_case "missing_dep" `Quick test_missing_dep_rejected;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "table9" `Quick test_table9_matches_paper;
+          Alcotest.test_case "table1" `Quick test_table1_fractions;
+        ] );
+      ( "growth",
+        [
+          Alcotest.test_case "shapes" `Quick test_growth_shapes;
+          Alcotest.test_case "fit_quality" `Quick test_growth_fit_quality;
+        ] );
+      ("self_audit", [ Alcotest.test_case "repo" `Quick test_self_audit ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_tcb_monotone ]);
+    ]
