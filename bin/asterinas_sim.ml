@@ -113,6 +113,47 @@ let cmd_run =
   Cmd.v (Cmd.info "run" ~doc:"Run a workload on the simulated kernel.")
     Term.(const run $ workload_arg $ profile_arg $ requests_arg)
 
+let cmd_chaos =
+  let seed_arg =
+    Arg.(
+      value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Fault-plane RNG seed.")
+  in
+  let log_arg =
+    Arg.(value & flag & info [ "log" ] ~doc:"Print the full deterministic fault log.")
+  in
+  let run profile seed show_log =
+    let o = Apps.Chaos.run ~profile ~seed:(Int64.of_int seed) () in
+    Printf.printf "chaos soak (profile %s, seed %d):\n" profile.Sim.Profile.name seed;
+    Printf.printf "  workloads: %d completed, %d failed with errno, %d hung\n" o.Apps.Chaos.completed
+      o.Apps.Chaos.failed_errno o.Apps.Chaos.hung;
+    Printf.printf "  containment: %d kernel panics, %d corrupt reads\n" o.Apps.Chaos.panics
+      o.Apps.Chaos.corrupt;
+    Printf.printf "  durability: sync %s, %d/%d blocks match the device\n"
+      (if o.Apps.Chaos.sync_ok then "ok" else "FAILED")
+      (o.Apps.Chaos.blocks_checked - o.Apps.Chaos.mismatches)
+      o.Apps.Chaos.blocks_checked;
+    Printf.printf "  faults: %s\n"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) o.Apps.Chaos.report));
+    let injected = List.sort compare (Sim.Fault.summary ()) in
+    List.iter (fun (site, n) -> Printf.printf "    %-16s %d\n" site n) injected;
+    Printf.printf "  top syscalls under fault:\n";
+    List.iter
+      (fun (name, n) -> Printf.printf "    %-16s %d\n" name n)
+      (Aster.Strace.top 6);
+    if show_log then List.iter print_endline o.Apps.Chaos.fault_log;
+    let healthy =
+      o.Apps.Chaos.hung = 0 && o.Apps.Chaos.panics = 0 && o.Apps.Chaos.corrupt = 0
+      && (not o.Apps.Chaos.sync_ok || o.Apps.Chaos.mismatches = 0)
+    in
+    Printf.printf "verdict: %s\n" (if healthy then "graceful" else "DEGRADED BADLY");
+    if not healthy then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the chaos soak: workloads under a seeded fault schedule, then audit.")
+    Term.(const run $ profile_arg $ seed_arg $ log_arg)
+
 let cmd_syscalls =
   let run () =
     Printf.printf "advertised ABI surface: %d syscalls\n" Aster.Syscall_nr.registered_count;
@@ -129,4 +170,4 @@ let () =
   (* Make sure the dispatch table exists for `syscalls` without a boot. *)
   Aster.Syscalls.install ();
   let info = Cmd.info "asterinas_sim" ~doc:"Asterinas framekernel simulator." in
-  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_run; cmd_syscalls ]))
+  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_run; cmd_chaos; cmd_syscalls ]))

@@ -1,0 +1,137 @@
+type outcome = {
+  seed : int64;
+  completed : int;
+  failed_errno : int;
+  hung : int;
+  corrupt : int;
+  panics : int;
+  sync_ok : bool;
+  blocks_checked : int;
+  mismatches : int;
+  fault_log : string list;
+  report : (string * int) list;
+}
+
+(* Soak-tuned: high enough that every degradation path fires in a short
+   run, low enough that bounded retry (5 bio attempts, 4 alloc attempts)
+   makes an unrecoverable failure vanishingly rare — the soak asserts
+   graceful handling, not behaviour under guaranteed data loss. *)
+let default_schedule =
+  [
+    ("blk.io_error", 0.02);
+    ("blk.drop", 0.01);
+    ("blk.delay", 0.05);
+    ("net.drop", 0.03);
+    ("net.corrupt", 0.02);
+    ("net.dup", 0.02);
+    ("iommu.fault", 0.002);
+    ("irq.spurious", 0.01);
+    ("irq.storm", 0.002);
+    ("alloc.fail", 0.01);
+  ]
+
+let nfiles = 4
+
+let chunk = 1024
+
+let file_size = 8 * chunk
+
+let pattern_byte ~file ~off = Char.chr (((file * 37) + (off * 11) + 5) land 0xff)
+
+let errno_ok rc = rc < 0 && -rc >= 1 && -rc <= 133
+
+(* Write a patterned file, fsync it, read it back and verify. Returns
+   0 on success, the first negative errno otherwise; read-back
+   mismatches bump [corrupt] but still count as completion (the
+   interesting signal is silent corruption, tracked separately). *)
+let fs_workload c ~i ~corrupt =
+  let path = Printf.sprintf "/ext2/chaos%d.dat" i in
+  let fd = Libc.openf c path ~flags:0o102 ~mode:0o644 in
+  if fd < 0 then fd
+  else begin
+    let rc = ref 0 in
+    let off = ref 0 in
+    while !rc = 0 && !off < file_size do
+      let b = Bytes.init chunk (fun j -> pattern_byte ~file:i ~off:(!off + j)) in
+      let w = Libc.pwrite c ~fd ~vaddr:(Libc.put_bytes c b) ~len:chunk ~off:!off in
+      if w < 0 then rc := w
+      else if w <> chunk then rc := -Aster.Errno.eio
+      else off := !off + chunk
+    done;
+    if !rc = 0 then begin
+      let f = Libc.fsync c fd in
+      if f < 0 then rc := f
+    end;
+    if !rc = 0 then begin
+      let off = ref 0 in
+      while !rc = 0 && !off < file_size do
+        let vaddr = Libc.put_bytes c (Bytes.create chunk) in
+        let r = Libc.pread c ~fd ~vaddr ~len:chunk ~off:!off in
+        if r < 0 then rc := r
+        else if r <> chunk then rc := -Aster.Errno.eio
+        else begin
+          let got = Libc.get_bytes c vaddr chunk in
+          let bad = ref false in
+          for j = 0 to chunk - 1 do
+            if Bytes.get got j <> pattern_byte ~file:i ~off:(!off + j) then bad := true
+          done;
+          if !bad then incr corrupt;
+          off := !off + chunk
+        end
+      done
+    end;
+    ignore (Libc.close c fd);
+    !rc
+  end
+
+let run ?(profile = Sim.Profile.asterinas) ?(schedule = default_schedule) ~seed () =
+  let k = Runner.boot ~profile in
+  let host = Aster.Kernel.attach_host k in
+  (* Arm the plane only once the kernel is up: boot is common to every
+     seed, and mkfs failures are not the degradation story under test. *)
+  Sim.Fault.configure ~seed schedule;
+  let fs_res = Array.make nfiles None in
+  let corrupt = ref 0 in
+  for i = 0 to nfiles - 1 do
+    Runner.spawn
+      ~name:(Printf.sprintf "chaos-fs%d" i)
+      (fun c ->
+        let rc = fs_workload c ~i ~corrupt in
+        fs_res.(i) <- Some rc;
+        if rc = 0 then 0 else 1)
+  done;
+  let net_done = ref None in
+  Mini_redis.spawn ();
+  Redis_bench.run_op ~host ~op:"SET" ~clients:4 ~requests:120 ~on_done:(fun r ->
+      net_done := Some r);
+  let panics = ref 0 in
+  (try Runner.run ()
+   with Ostd.Panic.Kernel_panic msg ->
+     incr panics;
+     Logs.err (fun m -> m "chaos: kernel panic escaped: %s" msg));
+  (* Disarm before the audit: the final sync and the cache-vs-device
+     crosscheck are the oracle, not part of the experiment. *)
+  Sim.Fault.disable ();
+  let sync_ok = match Aster.Block.sync () with Ok () -> true | Error _ -> false in
+  let blocks_checked, mismatches = Aster.Block.verify_cache_against_device () in
+  let completed = ref 0 and failed_errno = ref 0 and hung = ref 0 in
+  Array.iter
+    (function
+      | Some 0 -> incr completed
+      | Some rc when errno_ok rc -> incr failed_errno
+      | Some _ | None -> incr hung)
+    fs_res;
+  (match !net_done with Some _ -> incr completed | None -> incr hung);
+  {
+    seed;
+    completed = !completed;
+    failed_errno = !failed_errno;
+    hung = !hung;
+    corrupt = !corrupt;
+    panics = !panics;
+    sync_ok;
+    blocks_checked;
+    mismatches;
+    fault_log = Sim.Fault.log ();
+    report = Sim.Stats.fault_report ();
+  }

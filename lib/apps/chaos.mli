@@ -1,0 +1,34 @@
+(** Chaos soak: mini-app workloads under a deterministic fault schedule.
+
+    Boots a kernel, arms {!Sim.Fault} with the given seed and schedule,
+    runs file-system writers (write / fsync / read-back-verify) alongside
+    a redis-style network workload, then disarms the plane and audits the
+    wreckage: every workload must have completed or failed with a proper
+    errno (liveness), a final sync must leave the buffer cache
+    byte-identical to the device (durability), and no [Kernel_panic] may
+    escape (containment). Shared by the [chaos] CLI subcommand and the
+    [@chaos] test alias. *)
+
+type outcome = {
+  seed : int64;
+  completed : int;  (** workloads that ran to the end successfully *)
+  failed_errno : int;  (** workloads that failed with a sane errno — graceful *)
+  hung : int;  (** workloads that never finished: a liveness violation *)
+  corrupt : int;  (** read-back verification mismatches seen by user code *)
+  panics : int;  (** [Kernel_panic] escapes — must be zero *)
+  sync_ok : bool;  (** the final sync reported success *)
+  blocks_checked : int;
+  mismatches : int;  (** cache-vs-device diffs; must be 0 when [sync_ok] *)
+  fault_log : string list;  (** deterministic: same seed, same schedule => same log *)
+  report : (string * int) list;  (** {!Sim.Stats.fault_report} quartet *)
+}
+
+val default_schedule : (string * float) list
+(** Every fault site armed at soak-tuned probabilities. *)
+
+val nfiles : int
+(** Number of file-system writer workloads the soak spawns (the network
+    bench adds one more tracked workload). *)
+
+val run :
+  ?profile:Sim.Profile.t -> ?schedule:(string * float) list -> seed:int64 -> unit -> outcome

@@ -36,6 +36,7 @@ let complete_bio bio ~status =
 module type DRIVER = sig
   val capacity_sectors : unit -> int
   val submit : bio -> unit
+  val cancel : bio -> unit
 end
 
 let driver : (module DRIVER) option ref = ref None
@@ -53,22 +54,89 @@ let capacity_sectors () =
   let (module D) = the_driver () in
   D.capacity_sectors ()
 
+(* --- Per-bio deadlines with bounded retry ---
+
+   A request that the device errors, delays past its deadline, or drops
+   outright (no status write, no interrupt — the hostile-device
+   behaviour Inv. 6 anticipates) is retried with an exponentially
+   growing deadline and backoff; after [bio_max_attempts] the bio fails
+   with the device's errno (EIO for a timeout). Nothing below the block
+   layer can therefore hang or panic a caller. *)
+
+let bio_max_attempts = 5
+
+let bio_deadline_cycles attempt =
+  (* 8 ms virtual for the first try, doubling, capped at 64 ms. *)
+  Sim.Clock.us (8000. *. float_of_int (1 lsl min attempt 3))
+
+let backoff_cycles attempt = Sim.Clock.us (100. *. float_of_int (1 lsl attempt))
+
+let clone_bio bio = make_bio bio.op ~sector:bio.sector ?frame:bio.frame ~len:bio.len ()
+
+(* Wait until the bio completes or the deadline passes. In task context
+   we sleep on the bio's wait queue with a timer; at early boot (mkfs /
+   mount before tasks exist) we poll the event loop. *)
+let wait_with_deadline bio ~cycles =
+  match Ostd.Task.current_opt () with
+  | Some _ ->
+    let timed_out = ref false in
+    let ev =
+      Sim.Events.schedule_after cycles (fun () ->
+          timed_out := true;
+          ignore (Ostd.Wait_queue.wake_all bio.wq))
+    in
+    Ostd.Wait_queue.sleep_until bio.wq (fun () -> bio.status <> None || !timed_out);
+    Sim.Events.cancel ev;
+    if bio.status <> None then `Done else `Timeout
+  | None ->
+    let deadline = Int64.add (Sim.Clock.now ()) (Int64.of_int cycles) in
+    let rec poll () =
+      if bio.status <> None then `Done
+      else if Int64.compare (Sim.Clock.now ()) deadline > 0 then `Timeout
+      else if Sim.Events.run_next () then poll ()
+      else `Timeout (* the device went silent: no completion will ever come *)
+    in
+    poll ()
+
 let submit_and_wait bio =
   let (module D) = the_driver () in
-  Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.blk_issue;
-  D.submit bio;
-  (match Ostd.Task.current_opt () with
-  | Some _ -> Ostd.Wait_queue.sleep_until bio.wq (fun () -> bio.status <> None)
-  | None ->
-    (* Early boot (mkfs/mount before tasks exist): poll the device. *)
-    while bio.status = None do
-      if not (Sim.Events.run_next ()) then
-        Ostd.Panic.panic "Block: device never completed a boot-time request"
-    done);
-  match bio.status with
-  | Some 0 -> Ok ()
-  | Some e -> Error e
-  | None -> assert false
+  (* Each attempt submits a fresh clone; the caller's bio is completed
+     exactly once, with the final outcome, whatever the attempts did. *)
+  let rec attempt n =
+    let b = clone_bio bio in
+    Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.blk_issue;
+    D.submit b;
+    match wait_with_deadline b ~cycles:(bio_deadline_cycles n) with
+    | `Done -> (
+      match b.status with
+      | Some 0 ->
+        if n > 0 then Sim.Stats.incr "blk.bio_recovered";
+        complete_bio bio ~status:0;
+        Ok ()
+      | Some e -> retry_or_fail n e
+      | None -> assert false)
+    | `Timeout ->
+      Sim.Stats.incr "blk.bio_timeout";
+      (* The device may still complete the stale request later; the
+         driver quarantines its buffers so late DMA cannot land in
+         reused memory. *)
+      D.cancel b;
+      retry_or_fail n Errno.eio
+  and retry_or_fail n e =
+    if n + 1 >= bio_max_attempts then begin
+      Sim.Stats.incr "blk.bio_gave_up";
+      complete_bio bio ~status:e;
+      Error e
+    end
+    else begin
+      Sim.Stats.incr "blk.bio_retried";
+      (match Ostd.Task.current_opt () with
+      | Some _ -> Ostd.Task.sleep_cycles (backoff_cycles n)
+      | None -> ());
+      attempt (n + 1)
+    end
+  in
+  attempt 0
 
 (* --- Buffer cache --- *)
 
@@ -89,6 +157,13 @@ let bg_dirty_threshold = 768
 
 let hard_dirty_limit = 4096
 
+(* Sticky writeback error, errseq-lite: background writeback runs in
+   softirq context and cannot raise, so a block whose retries are
+   exhausted records its errno here (and the data is dropped — counted
+   as [blk.writeback_lost]). The next [sync]/[sync_blocks] consumes and
+   reports it, exactly how Linux surfaces lost writeback at fsync. *)
+let wb_err : int option ref = ref None
+
 let reset () =
   throttle_wq := Ostd.Wait_queue.create ();
   driver := None;
@@ -96,7 +171,8 @@ let reset () =
   Hashtbl.reset cache;
   Queue.clear dirty_fifo;
   ndirty := 0;
-  flusher_running := false
+  flusher_running := false;
+  wb_err := None
 
 let entry_of blockno ~fill =
   match Hashtbl.find_opt cache blockno with
@@ -109,7 +185,12 @@ let entry_of blockno ~fill =
       in
       match submit_and_wait bio with
       | Ok () -> ()
-      | Error e -> Ostd.Panic.panicf "buffer cache: read of block %d failed (%d)" blockno e
+      | Error e ->
+        (* A read the device cannot serve even after retries is a
+           service failure, not an invariant violation: the frame is
+           dropped and EIO propagates to whoever asked. *)
+        Ostd.Frame.drop cframe;
+        Ostd.Panic.failf ~errno:e "buffer cache: read of block %d failed" blockno
     end
     else Ostd.Untyped.fill cframe ~off:0 ~len:block_size '\000';
     let e = { cframe; dirty = false } in
@@ -148,7 +229,12 @@ and writeback blockno e =
     in
     (match submit_and_wait bio with
     | Ok () -> ()
-    | Error err -> Ostd.Panic.panicf "buffer cache: writeback of block %d failed (%d)" blockno err);
+    | Error err ->
+      (* Retries exhausted. Softirq context cannot raise and cannot
+         keep the block dirty forever (the flusher would spin on it);
+         the data is lost and the error sticks until the next sync. *)
+      Sim.Stats.incr "blk.writeback_lost";
+      wb_err := Some err);
     e.dirty <- false;
     decr ndirty
   end
@@ -195,15 +281,24 @@ let cached_blocks () = Hashtbl.length cache
 
 let flush_device () =
   let bio = make_bio Flush ~sector:0 ~len:0 () in
-  match submit_and_wait bio with
-  | Ok () -> ()
-  | Error e -> Ostd.Panic.panicf "buffer cache: device flush failed (%d)" e
+  submit_and_wait bio
+
+(* Consume the sticky writeback error, errseq check-and-advance style:
+   the first sync after a lost writeback reports it, later ones start
+   clean. *)
+let consume_wb_err () =
+  match !wb_err with
+  | Some e ->
+    wb_err := None;
+    Error e
+  | None -> Ok ()
 
 let sync () =
   let dirty = Hashtbl.fold (fun b e acc -> if e.dirty then (b, e) :: acc else acc) cache [] in
   let dirty = List.sort (fun (a, _) (b, _) -> compare a b) dirty in
   List.iter (fun (b, e) -> writeback b e) dirty;
-  if dirty <> [] then flush_device ()
+  let flushed = if dirty <> [] then flush_device () else Ok () in
+  match consume_wb_err () with Error _ as e -> e | Ok () -> flushed
 
 let sync_blocks blocks =
   let wrote = ref false in
@@ -215,4 +310,41 @@ let sync_blocks blocks =
         wrote := true
       | Some _ | None -> ())
     (List.sort_uniq compare blocks);
-  if !wrote then flush_device ()
+  let flushed = if !wrote then flush_device () else Ok () in
+  match consume_wb_err () with Error _ as e -> e | Ok () -> flushed
+
+(* Durability crosscheck for the chaos soak: re-read every clean cached
+   block straight from the device and byte-compare against the cache.
+   Right after a successful [sync] every block is clean, so a non-zero
+   mismatch count means data was lost or corrupted on its way to
+   stable storage. Runs in polling mode too (after [Kernel.run]
+   returns). Returns [(blocks_checked, mismatches)]. *)
+let verify_cache_against_device () =
+  let entries = Hashtbl.fold (fun b e acc -> (b, e) :: acc) cache [] in
+  let entries = List.sort (fun (a, _) (b, _) -> compare a b) entries in
+  let scratch = Ostd.Frame.alloc ~untyped:true () in
+  let want = Bytes.create block_size in
+  let got = Bytes.create block_size in
+  let checked = ref 0 in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (blockno, e) ->
+      if not e.dirty then begin
+        let bio =
+          make_bio Read ~sector:(blockno * sectors_per_block) ~frame:scratch ~len:block_size ()
+        in
+        match submit_and_wait bio with
+        | Ok () ->
+          incr checked;
+          Ostd.Untyped.read_bytes e.cframe ~off:0 ~buf:want ~pos:0 ~len:block_size;
+          Ostd.Untyped.read_bytes scratch ~off:0 ~buf:got ~pos:0 ~len:block_size;
+          if not (Bytes.equal want got) then incr mismatches
+        | Error _ ->
+          (* Can't read it back at all: that is a mismatch with stable
+             storage as far as durability is concerned. *)
+          incr checked;
+          incr mismatches
+      end)
+    entries;
+  Ostd.Frame.drop scratch;
+  (!checked, !mismatches)

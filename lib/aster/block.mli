@@ -32,6 +32,11 @@ module type DRIVER = sig
 
   val submit : bio -> unit
   (** Begin servicing; completion arrives via [complete_bio]. *)
+
+  val cancel : bio -> unit
+  (** The block layer timed this bio out. The driver must stop waiting
+      on it and quarantine any DMA buffers still exposed to the device,
+      so a late completion cannot land in reused memory. *)
 end
 
 val register_driver : (module DRIVER) -> unit
@@ -39,7 +44,11 @@ val have_driver : unit -> bool
 val capacity_sectors : unit -> int
 
 val submit_and_wait : bio -> (unit, int) result
-(** Sleep the current task until the bio completes. *)
+(** Sleep the current task until the bio completes, retrying on error or
+    timeout with exponential backoff (deadline 8 ms doubling to 64 ms,
+    up to 5 attempts). The caller's bio is completed exactly once with
+    the final outcome; [Error errno] (EIO for a device that went silent)
+    is returned once every attempt is exhausted. *)
 
 (** {2 Buffer cache} *)
 
@@ -62,11 +71,22 @@ val mark_dirty : int -> unit
 val dirty_blocks : unit -> int
 val cached_blocks : unit -> int
 
-val sync : unit -> unit
-(** Write back every dirty block and issue a device flush. *)
+val sync : unit -> (unit, int) result
+(** Write back every dirty block and issue a device flush.
+    [Error errno] reports a flush failure or a sticky writeback error:
+    background writeback cannot raise, so a block it had to drop after
+    exhausting retries is recorded and surfaced at the next sync
+    (errseq-style, consumed once reported). *)
 
-val sync_blocks : int list -> unit
-(** Write back specific blocks (fsync of one file), then flush. *)
+val sync_blocks : int list -> (unit, int) result
+(** Write back specific blocks (fsync of one file), then flush. Reports
+    errors as [sync] does. *)
+
+val verify_cache_against_device : unit -> int * int
+(** Durability crosscheck: re-read every clean cached block from the
+    device and byte-compare with the cache. Returns
+    [(blocks_checked, mismatches)]; after a successful [sync] a non-zero
+    mismatch count means data never reached stable storage. *)
 
 val reset : unit -> unit
 (** Forget the driver and drop the cache (new boot). *)

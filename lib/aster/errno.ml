@@ -28,6 +28,7 @@ let econnrefused = 111
 let enotconn = 107
 let econnreset = 104
 let eafnosupport = 97
+let etimedout = 110
 
 let names =
   [
@@ -61,6 +62,7 @@ let names =
     (enotconn, "ENOTCONN");
     (econnreset, "ECONNRESET");
     (eafnosupport, "EAFNOSUPPORT");
+    (etimedout, "ETIMEDOUT");
   ]
 
 let name e = match List.assoc_opt e names with Some n -> n | None -> Printf.sprintf "E%d" e

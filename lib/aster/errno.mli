@@ -30,6 +30,7 @@ val econnrefused : int
 val enotconn : int
 val econnreset : int
 val eafnosupport : int
+val etimedout : int
 
 val name : int -> string
 (** [name 2] is ["ENOENT"]. *)

@@ -403,8 +403,9 @@ and ops =
         Ok ());
     fsync =
       (fun f ->
-        Block.sync_blocks (file_blocks (dino_of f));
-        Ok ());
+        match Block.sync_blocks (file_blocks (dino_of f)) with
+        | Ok () -> Ok ()
+        | Error e -> Error e);
     rename =
       (fun src_dir src_name dst_dir dst_name ->
         let sdino = dino_of src_dir and ddino = dino_of dst_dir in
@@ -477,7 +478,9 @@ let mkfs () =
   di_write root_ino di_mode (kind_bits Vfs.Dir lor 0o755);
   di_write root_ino di_size 0;
   di_write root_ino di_nlink 2;
-  Block.sync ()
+  match Block.sync () with
+  | Ok () -> ()
+  | Error e -> Ostd.Panic.panicf "ext2: mkfs could not reach the device (errno %d)" e
 
 let mount () =
   Hashtbl.reset icache;

@@ -19,9 +19,24 @@ let fin = 4
 let rst = 8
 let psh = 16
 
-let header_size = 32
+let header_size = 36
+
+let cksum_off = 32
 
 let mss = 1448
+
+(* FNV-1a over the whole datagram with the checksum field skipped.
+   Catches any single flipped byte — which is exactly what a noisy link
+   (or the fault plane's [net.corrupt]) produces. *)
+let cksum b =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Bytes.length b - 1 do
+    if i < cksum_off || i >= cksum_off + 4 then begin
+      h := !h lxor Char.code (Bytes.unsafe_get b i);
+      h := !h * 0x01000193 land 0xffffffff
+    end
+  done;
+  !h
 
 let encode p =
   let len = Bytes.length p.payload in
@@ -37,6 +52,7 @@ let encode p =
   Bytes.set_int32_le b 24 (Int32.of_int p.win);
   Bytes.set_int32_le b 28 (Int32.of_int len);
   Bytes.blit p.payload 0 b header_size len;
+  Bytes.set_int32_le b cksum_off (Int32.of_int (cksum b));
   b
 
 let decode b =
@@ -45,6 +61,13 @@ let decode b =
     let u32 off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff in
     let len = u32 28 in
     if Bytes.length b < header_size + len then None
+    else if u32 cksum_off <> cksum (Bytes.sub b 0 (header_size + len)) then begin
+      (* Damaged in flight. Dropping it is the graceful path: TCP's
+         retransmit timer resends the segment, UDP callers accepted
+         lossy delivery when they picked UDP. *)
+      Sim.Stats.incr "net.checksum_drop";
+      None
+    end
     else
       let proto = match Bytes.get b 8 with '\006' -> Some Tcp | '\017' -> Some Udp | _ -> None in
       match proto with

@@ -27,7 +27,13 @@ val mss : int
 (** Maximum segment payload carried per packet. *)
 
 val encode : t -> bytes
+(** Serialize, stamping a 32-bit checksum over header and payload. *)
+
 val decode : bytes -> t option
+(** [None] for truncated datagrams, unknown protocols, or a checksum
+    mismatch (counted as [net.checksum_drop]) — corrupted frames are
+    dropped so retransmission, not garbled data, is what the caller
+    sees. *)
 
 val make :
   src_ip:int -> dst_ip:int -> proto:proto -> src_port:int -> dst_port:int ->

@@ -981,8 +981,7 @@ let sys_fchdir proc args =
     | _ -> err Errno.enotdir)
 
 let sys_sync _proc _args =
-  Block.sync ();
-  ok 0
+  match Block.sync () with Ok () -> ok 0 | Error e -> err e
 
 let sys_fork proc args =
   match Process.resolve_child args.(0) with
@@ -1240,7 +1239,18 @@ let dispatch proc nr args =
   in
   match Hashtbl.find_opt handlers nr with
   | Some h -> (
-    match h proc args with
+    (* Containment boundary: a service-level failure raised anywhere
+       below (a block read the device could not serve, say) surfaces
+       here as the syscall's errno instead of taking the kernel down.
+       Invariant violations (Kernel_panic) still propagate. *)
+    let res =
+      match Ostd.Panic.contain (fun () -> h proc args) with
+      | Ok r -> r
+      | Error errno ->
+        Sim.Stats.incr "syscall.contained_failure";
+        Error errno
+    in
+    match res with
     | Ok v when v = Int64.min_int && nr = N.execve -> Process.Exec_done
     | Ok v -> Process.Ret v
     | Error e -> Process.Ret (Int64.of_int (-e)))

@@ -77,6 +77,7 @@ and conn = {
   mutable peer_fin : bool;
   mutable local_closed : bool;
   mutable reset : bool;
+  mutable timed_out : bool; (* handshake retries exhausted *)
   rcv_wq : Ostd.Wait_queue.t;
   conn_wq : Ostd.Wait_queue.t;
   mutable delack_event : Sim.Events.handle option;
@@ -86,6 +87,11 @@ and conn = {
 }
 
 let rto_cycles = Sim.Clock.us 40_000. (* 40 ms *)
+
+(* A lossy or fault-injected link can eat SYN / SYN-ACK; data has the
+   RTO to cover it, the handshake needs its own bounded retransmit or a
+   connect sleeps forever. *)
+let handshake_max_tries = 8
 
 let initial_cwnd = 10 * mss
 
@@ -144,6 +150,7 @@ let make_conn eng ~lip ~lport ~rip ~rport ~state =
     peer_fin = false;
     local_closed = false;
     reset = false;
+    timed_out = false;
     rcv_wq = Ostd.Wait_queue.create ();
     conn_wq = Ostd.Wait_queue.create ();
     delack_event = None;
@@ -346,7 +353,18 @@ let engine_rx eng (p : Packet.t) =
             ~rport:p.Packet.src_port ~state:Syn_rcvd
         in
         Hashtbl.replace eng.conns (key conn) conn;
-        emit conn ~flags:(Packet.syn lor Packet.ack_flag) Bytes.empty
+        emit conn ~flags:(Packet.syn lor Packet.ack_flag) Bytes.empty;
+        let rec rexmit n () =
+          if conn.state = Syn_rcvd then begin
+            if n >= handshake_max_tries then Hashtbl.remove eng.conns (key conn)
+            else begin
+              Sim.Stats.incr "tcp.synack_rexmit";
+              emit conn ~flags:(Packet.syn lor Packet.ack_flag) Bytes.empty;
+              ignore (Sim.Events.schedule_after rto_cycles (rexmit (n + 1)))
+            end
+          end
+        in
+        ignore (Sim.Events.schedule_after rto_cycles (rexmit 1))
       | None ->
         (* Connection refused. *)
         Netstack.send eng.stack
@@ -394,10 +412,25 @@ let connect eng ~dst_ip ~dst_port =
   let conn = make_conn eng ~lip ~lport ~rip:dst_ip ~rport:dst_port ~state:Syn_sent in
   Hashtbl.replace eng.conns (key conn) conn;
   emit conn ~flags:Packet.syn Bytes.empty;
-  Ostd.Wait_queue.sleep_until conn.conn_wq (fun () -> conn.state <> Syn_sent || conn.reset);
-  if conn.reset then begin
+  let rec rexmit n () =
+    if conn.state = Syn_sent && not conn.reset then begin
+      if n >= handshake_max_tries then begin
+        conn.timed_out <- true;
+        ignore (Ostd.Wait_queue.wake_all conn.conn_wq)
+      end
+      else begin
+        Sim.Stats.incr "tcp.syn_rexmit";
+        emit conn ~flags:Packet.syn Bytes.empty;
+        ignore (Sim.Events.schedule_after rto_cycles (rexmit (n + 1)))
+      end
+    end
+  in
+  ignore (Sim.Events.schedule_after rto_cycles (rexmit 1));
+  Ostd.Wait_queue.sleep_until conn.conn_wq (fun () ->
+      conn.state <> Syn_sent || conn.reset || conn.timed_out);
+  if conn.reset || conn.timed_out then begin
     Hashtbl.remove eng.conns (key conn);
-    Error Errno.econnrefused
+    Error (if conn.reset then Errno.econnrefused else Errno.etimedout)
   end
   else Ok conn
 

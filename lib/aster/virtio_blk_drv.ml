@@ -103,6 +103,25 @@ let submit bio =
       (Int64.of_int (Ostd.Dma.Stream.paddr desc))
   end
 
+(* Timeout path: the block layer has given up on this bio, but the
+   device may still DMA into its buffers later. Quarantine them — unmap
+   both streams without ever returning them to a pool, so a late write
+   faults at the IOMMU instead of landing in reused memory (the Inv. 6
+   story: hostile or stuck devices cannot corrupt kernel state). The
+   leaked pool slots are the price of that safety. *)
+let cancel bio =
+  let s = st () in
+  let stale, keep = List.partition (fun p -> p.bio == bio) s.pending in
+  s.pending <- keep;
+  List.iter
+    (fun p ->
+      Sim.Stats.incr "virtio_blk.quarantined";
+      (match p.data with
+      | Some (Pooled b) | Some (Dynamic b) -> Ostd.Dma.Stream.unmap b
+      | None -> ());
+      Ostd.Dma.Stream.unmap p.desc)
+    stale
+
 (* Bottom half: reap every descriptor the device has finished. *)
 let reap () =
   let s = st () in
@@ -159,5 +178,7 @@ let init () =
       let capacity_sectors () = (st ()).capacity
 
       let submit = submit
+
+      let cancel = cancel
     end in
     Block.register_driver (module D)

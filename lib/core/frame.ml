@@ -82,16 +82,29 @@ let from_unused ~paddr ~pages ~untyped =
     end
   end
 
+(* Transient failures (fault plane) and momentary exhaustion get a
+   bounded retry before we declare real OOM; a recovered attempt is the
+   graceful-degradation path, a persistent one still panics. *)
+let alloc_max_attempts = 4
+
 let alloc ?(pages = 1) ~untyped () =
   Probe.hit "frame.alloc";
   Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.alloc_frame;
   let (module A) = Falloc.injected () in
-  match A.alloc ~pages with
-  | None -> Panic.panicf "Frame.alloc: out of memory (%d pages requested)" pages
-  | Some paddr -> (
-    match from_unused ~paddr ~pages ~untyped with
-    | Ok f -> f
-    | Error e -> Panic.panicf "Frame.alloc: injected allocator violated Inv. 1: %s" e)
+  let attempt () = if Sim.Fault.roll "alloc.fail" then None else A.alloc ~pages in
+  let rec go n =
+    match attempt () with
+    | Some paddr -> (
+      if n > 0 then Sim.Stats.incr "alloc.recovered";
+      match from_unused ~paddr ~pages ~untyped with
+      | Ok f -> f
+      | Error e -> Panic.panicf "Frame.alloc: injected allocator violated Inv. 1: %s" e)
+    | None when n + 1 < alloc_max_attempts ->
+      Sim.Stats.incr "alloc.transient_retry";
+      go (n + 1)
+    | None -> Panic.panicf "Frame.alloc: out of memory (%d pages requested)" pages
+  in
+  go 0
 
 let ensure_live t op = if not t.live then Panic.panicf "Frame.%s: use of dropped handle" op
 

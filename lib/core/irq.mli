@@ -35,3 +35,16 @@ val reset : unit -> unit
 
 val delivered : unit -> int
 (** Interrupts dispatched since boot. *)
+
+(** {2 Storm throttling}
+
+    Vectors delivering faster than a threshold inside a sliding window
+    are masked and serviced by a polled fallback: a timer event runs the
+    handler once, unmasks, and resets the window. Counters:
+    ["irq.storm_masked"], ["irq.masked_dropped"], ["irq.polled"],
+    ["irq.handler_contained"]. *)
+
+val is_masked : vector:int -> bool
+
+val masked_count : unit -> int
+(** Vectors currently masked by the storm throttle. *)

@@ -1,5 +1,7 @@
 exception Kernel_panic of string
 
+exception Service_failure of { msg : string; errno : int }
+
 let panic msg =
   Sim.Stats.incr "kernel.panic";
   raise (Kernel_panic msg)
@@ -7,3 +9,16 @@ let panic msg =
 let panicf fmt = Format.kasprintf panic fmt
 
 let check cond msg = if not cond then panic msg
+
+let fail ?(errno = 5) msg =
+  Sim.Stats.incr "service.failure";
+  raise (Service_failure { msg; errno })
+
+let failf ?errno fmt = Format.kasprintf (fail ?errno) fmt
+
+let contain f =
+  try Ok (f ())
+  with Service_failure { msg; errno } ->
+    Sim.Stats.incr "service.contained";
+    Logs.debug (fun m -> m "contained service failure (errno %d): %s" errno msg);
+    Error errno

@@ -1,14 +1,31 @@
-(** Kernel panic: raised when a safety invariant is about to be violated.
+(** Kernel panic vs. contained service failure.
 
-    In the paper's framekernel, OSTD panics rather than let de-privileged
-    code break memory safety; here every Inv. 1-10 enforcement point
-    raises {!Kernel_panic} with the invariant named, and the test suite
-    asserts both directions. *)
+    The framekernel split, applied to failure handling. {!Kernel_panic}
+    is for OSTD safety-invariant violations (Inv. 1-10): the kernel must
+    abort rather than run on with memory safety in doubt, and nothing may
+    catch it. {!Service_failure} is for everything above the TCB line —
+    an I/O request that exhausted its retries, a driver that lost a
+    device — where the architecture promises *containment*: the failure
+    is translated to an errno at the nearest syscall boundary, or kills
+    only the offending task, and the kernel keeps running. *)
 
 exception Kernel_panic of string
+
+exception Service_failure of { msg : string; errno : int }
 
 val panic : string -> 'a
 val panicf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 val check : bool -> string -> unit
 (** [check cond msg] panics with [msg] when [cond] is false. *)
+
+val fail : ?errno:int -> string -> 'a
+(** Raise a contained {!Service_failure}. [errno] defaults to 5 (EIO);
+    the numeric value is used because errno names live above OSTD. *)
+
+val failf : ?errno:int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val contain : (unit -> 'a) -> ('a, int) result
+(** Run [f], translating {!Service_failure} to [Error errno]. A
+    {!Kernel_panic} still propagates — containment never masks an
+    invariant violation. *)

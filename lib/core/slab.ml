@@ -132,6 +132,13 @@ let kmalloc ~size v =
   | None -> Panic.panic "Slab.kmalloc: no global heap injected"
   | Some (module H) ->
     Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.kmalloc;
+    (* Fault plane: a transient heap failure costs a retry (second
+       kmalloc charge models the slow path re-entry), then succeeds. *)
+    if Sim.Fault.roll "alloc.fail" then begin
+      Sim.Stats.incr "alloc.transient_retry";
+      Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.kmalloc;
+      Sim.Stats.incr "alloc.recovered"
+    end;
     into_box (H.alloc ~size) ~size ~align:8 v
 
 let kfree b =

@@ -147,7 +147,17 @@ let handler (t : t) : (unit, unit) Effect.Deep.handler =
     exnc =
       (fun e ->
         on_death t;
-        match e with Task_exit -> () | e -> raise e);
+        match e with
+        | Task_exit -> ()
+        | Panic.Service_failure { msg; errno } ->
+          (* Containment backstop: a service failure that nobody above
+             translated kills only this task. Invariant violations
+             (Kernel_panic) still unwind the whole simulation. *)
+          Sim.Stats.incr "task.contained_failure";
+          Logs.debug (fun m ->
+              m "task %s (tid %d) died of contained failure (errno %d): %s" t.tname t.tid
+                errno msg)
+        | e -> raise e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with

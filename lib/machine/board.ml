@@ -49,6 +49,7 @@ let reset ?(frames = 16384) () =
   Sim.Clock.reset ();
   Sim.Events.clear ();
   Sim.Stats.reset ();
+  Sim.Fault.reset ();
   Phys.init ~frames;
   Mmio.reset ();
   Pio.reset ();

@@ -91,6 +91,14 @@ let translate_page dev page =
 
 let access ~dev ~paddr ~len =
   if not !enabled_flag then Ok ()
+  else if Sim.Fault.roll "iommu.fault" then begin
+    (* Injected translation fault: the walk spuriously fails even for a
+       mapped page, as after a lost invalidation or a table corruption.
+       The device sees the same dropped-DMA behaviour as a real fault. *)
+    Sim.Stats.incr "iommu.fault";
+    Sim.Stats.incr "iommu.injected_fault";
+    Error (Printf.sprintf "iommu: injected fault for dev %d at %#x" dev paddr)
+  end
   else begin
     let rec check = function
       | [] -> Ok ()

@@ -29,9 +29,32 @@ let permitted source vector =
   | Core -> true
   | Device dev -> (not !remapping) || Hashtbl.mem grants (dev, vector)
 
+(* An unclaimed vector well above the device range; delivering it models
+   a spurious LAPIC/chipset interrupt. *)
+let spurious_vector = 0xDD
+
 let raise_irq source ~vector =
-  if permitted source vector then
-    ignore (Sim.Events.schedule_after 0 (fun () -> !dispatcher vector))
+  if permitted source vector then begin
+    ignore (Sim.Events.schedule_after 0 (fun () -> !dispatcher vector));
+    (* Fault plane (device-originated interrupts only, so the timer tick
+       stays clean): a misbehaving device can fire a burst of duplicate
+       interrupts — an IRQ storm the kernel must throttle — or trigger a
+       spurious vector nobody claimed. *)
+    match source with
+    | Core -> ()
+    | Device _ ->
+      let storm = Sim.Fault.burst "irq.storm" ~max:256 in
+      if storm > 0 then begin
+        Sim.Stats.add "irq.injected_storm" storm;
+        for _ = 1 to storm do
+          ignore (Sim.Events.schedule_after 0 (fun () -> !dispatcher vector))
+        done
+      end;
+      if Sim.Fault.roll "irq.spurious" then begin
+        Sim.Stats.incr "irq.injected_spurious";
+        ignore (Sim.Events.schedule_after 0 (fun () -> !dispatcher spurious_vector))
+      end
+  end
   else begin
     incr spoofs;
     Sim.Stats.incr "irq.spoof_blocked"

@@ -30,3 +30,7 @@ val raise_irq : source -> vector:int -> unit
 
 val blocked_spoofs : unit -> int
 (** Number of device interrupts dropped by the remapping table. *)
+
+val spurious_vector : int
+(** The unclaimed vector the fault plane delivers for ["irq.spurious"]
+    injections. *)

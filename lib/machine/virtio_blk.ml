@@ -82,9 +82,19 @@ let execute t desc_paddr =
     let sector = Int64.to_int (Bytes.get_int64_le hdr 8) in
     let data_paddr = Int64.to_int (Bytes.get_int64_le hdr 16) in
     let finish status =
-      Phys.write_u32 (desc_paddr + 24) status;
-      if status = 0 then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
-      raise_coalesced t
+      (* Fault plane: a hostile/flaky disk. An injected error completes
+         with status 1; an injected drop never writes the status word and
+         never interrupts — the kernel's per-bio deadline must notice. *)
+      if Sim.Fault.roll "blk.drop" then begin
+        t.failed <- t.failed + 1;
+        Sim.Stats.incr "virtio_blk.dropped_completion"
+      end
+      else begin
+        let status = if status = 0 && Sim.Fault.roll "blk.io_error" then 1 else status in
+        Phys.write_u32 (desc_paddr + 24) status;
+        if status = 0 then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
+        raise_coalesced t
+      end
     in
     let nsect = len / sector_size in
     let in_range = sector >= 0 && nsect >= 0 && sector + nsect <= t.capacity in
@@ -133,8 +143,13 @@ let rec pump t =
     (* Peek the length for the latency model; a faulting descriptor still
        costs the base op latency. *)
     let len = try Phys.read_u32 (desc_paddr + 4) with Invalid_argument _ -> 0 in
+    (* Injected service-time jitter: up to ~2 ms of extra latency, enough
+       to trip a first-attempt bio deadline but not a retried one. *)
+    let jitter =
+      Sim.Fault.delay_cycles "blk.delay" ~max_cycles:(Sim.Clock.us 2000.)
+    in
     ignore
-      (Sim.Events.schedule_after (request_latency len) (fun () ->
+      (Sim.Events.schedule_after (request_latency len + jitter) (fun () ->
            execute t desc_paddr;
            pump t))
 

@@ -17,6 +17,33 @@ let rx_dropped t = t.dropped
 
 let tx_count t = t.sent
 
+(* Fault plane for a lossy/hostile link: a frame may be dropped, have a
+   byte flipped (caught by the packet checksum upstack), or be
+   duplicated (TCP must treat the copy as a stale segment). Returns the
+   list of frames that actually travel on. *)
+let mangle pkt =
+  if Sim.Fault.roll "net.drop" then begin
+    Sim.Stats.incr "virtio_net.injected_drop";
+    []
+  end
+  else begin
+    let pkt =
+      if Bytes.length pkt > 0 && Sim.Fault.roll "net.corrupt" then begin
+        Sim.Stats.incr "virtio_net.injected_corrupt";
+        let p = Bytes.copy pkt in
+        let i = Bytes.length p / 2 in
+        Bytes.set p i (Char.chr (Char.code (Bytes.get p i) lxor 0x55));
+        p
+      end
+      else pkt
+    in
+    if Sim.Fault.roll "net.dup" then begin
+      Sim.Stats.incr "virtio_net.injected_dup";
+      [ pkt; Bytes.copy pkt ]
+    end
+    else [ pkt ]
+  end
+
 (* Interrupt mitigation with a missed-work flag: completions landing
    while an interrupt is still pending re-raise once it has been taken,
    so no completion is ever silently lost. *)
@@ -48,7 +75,9 @@ let transmit t desc_paddr =
       let pkt = Bytes.create len in
       Phys.read ~paddr:data_paddr pkt ~off:0 ~len;
       t.sent <- t.sent + 1;
-      Wire.send t.endpoint pkt;
+      (* The descriptor still completes with success: the guest cannot
+         tell a frame lost on the wire from one that made it. *)
+      List.iter (Wire.send t.endpoint) (mangle pkt);
       Phys.write_u32 (desc_paddr + 4) 0);
     irq t
 
@@ -76,14 +105,17 @@ let pump_rx t =
   done
 
 let on_wire_packet t pkt =
-  if Queue.length t.backlog >= 1024 then begin
-    t.dropped <- t.dropped + 1;
-    Sim.Stats.incr "virtio_net.rx_dropped"
-  end
-  else begin
-    Queue.push pkt t.backlog;
-    pump_rx t
-  end
+  List.iter
+    (fun pkt ->
+      if Queue.length t.backlog >= 1024 then begin
+        t.dropped <- t.dropped + 1;
+        Sim.Stats.incr "virtio_net.rx_dropped"
+      end
+      else begin
+        Queue.push pkt t.backlog;
+        pump_rx t
+      end)
+    (mangle pkt)
 
 let create ~mmio_base ~dev_id ~vector ~endpoint =
   let t =

@@ -1,0 +1,85 @@
+type t = {
+  rng : Rng.t;
+  probs : (string, float) Hashtbl.t;
+  counts : (string, int ref) Hashtbl.t;
+  mutable log_rev : string list;
+  mutable nlog : int;
+}
+
+let plane : t option ref = ref None
+
+let armed = ref false
+
+let configure ~seed sites =
+  let probs = Hashtbl.create 16 in
+  List.iter
+    (fun (site, p) -> if p > 0. then Hashtbl.replace probs site (min p 1.))
+    sites;
+  plane :=
+    Some { rng = Rng.create seed; probs; counts = Hashtbl.create 16; log_rev = []; nlog = 0 };
+  armed := true
+
+let disable () = armed := false
+
+let reset () =
+  plane := None;
+  armed := false
+
+let enabled () = !armed && !plane <> None
+
+let prob t site = match Hashtbl.find_opt t.probs site with Some p -> p | None -> 0.
+
+let active site =
+  match !plane with Some t when !armed -> prob t site > 0. | Some _ | None -> false
+
+let record t site =
+  (match Hashtbl.find_opt t.counts site with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counts site (ref 1));
+  t.nlog <- t.nlog + 1;
+  t.log_rev <- Printf.sprintf "%Ld %s #%d" (Clock.now ()) site t.nlog :: t.log_rev;
+  Stats.incr ("fault.injected." ^ site)
+
+let roll site =
+  match !plane with
+  | Some t when !armed ->
+    let p = prob t site in
+    (* Unconfigured sites must not consume randomness: schedules stay
+       stable when new sites appear elsewhere in the tree. *)
+    if p <= 0. then false
+    else begin
+      let fire = Rng.float t.rng 1.0 < p in
+      if fire then record t site;
+      fire
+    end
+  | Some _ | None -> false
+
+let delay_cycles site ~max_cycles =
+  if max_cycles <= 0 then 0
+  else if roll site then
+    match !plane with
+    | Some t -> 1 + Rng.int t.rng max_cycles
+    | None -> 0
+  else 0
+
+let burst site ~max =
+  if max <= 0 then 0
+  else if roll site then
+    match !plane with Some t -> 1 + Rng.int t.rng max | None -> 0
+  else 0
+
+let injected site =
+  match !plane with
+  | Some t -> ( match Hashtbl.find_opt t.counts site with Some r -> !r | None -> 0)
+  | None -> 0
+
+let total_injected () = match !plane with Some t -> t.nlog | None -> 0
+
+let log () = match !plane with Some t -> List.rev t.log_rev | None -> []
+
+let summary () =
+  match !plane with
+  | None -> []
+  | Some t ->
+    Hashtbl.fold (fun site r acc -> (site, !r) :: acc) t.counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -41,6 +41,26 @@ let counters () =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let by_prefix prefix =
+  List.filter (fun (k, _) -> String.starts_with ~prefix k) (counters ())
+
+(* The chaos-observability quartet: how many faults were injected, how
+   many operations were retried because of them, how many ultimately
+   recovered, and how many were given up on. Fed by the fault plane and
+   the degradation paths (block layer, IRQ throttle, allocators). *)
+let fault_report () =
+  [
+    ("injected", List.fold_left (fun a (_, n) -> a + n) 0 (by_prefix "fault.injected."));
+    ( "retried",
+      get "blk.bio_retried" + get "alloc.transient_retry" + get "tcp.rto"
+      + get "tcp.syn_rexmit" + get "tcp.synack_rexmit" );
+    ( "recovered",
+      get "blk.bio_recovered" + get "alloc.recovered" + get "irq.polled" );
+    (* Deliveries dropped while a vector is masked are reaped by the
+       poll, not lost; only real data loss counts as giving up. *)
+    ("gave_up", get "blk.bio_gave_up" + get "blk.writeback_lost");
+  ]
+
 let geomean = function
   | [] -> 0.
   | xs ->

@@ -22,5 +22,12 @@ val mean : string -> float
 val counters : unit -> (string * int) list
 (** All counters, sorted by name. *)
 
+val by_prefix : string -> (string * int) list
+(** Counters whose name starts with the prefix, sorted by name. *)
+
+val fault_report : unit -> (string * int) list
+(** The chaos quartet: injected / retried / recovered / gave_up, summed
+    across the fault plane and every degradation path that reports. *)
+
 val geomean : float list -> float
 (** Geometric mean; 0 on the empty list. *)

@@ -255,6 +255,94 @@ let test_virtio_net_backlog () =
   run_all_events ();
   check_int "delivered from backlog" 5 (Machine.Phys.read_u32 (0x50000 + 4))
 
+(* --- Fault-injection plane at the device models --- *)
+
+let submit_blk_write ~desc ~data ~sector =
+  Machine.Phys.write_u32 desc 1;
+  Machine.Phys.write_u32 (desc + 4) 512;
+  Machine.Phys.write_u64 (desc + 8) (Int64.of_int sector);
+  Machine.Phys.write_u64 (desc + 16) (Int64.of_int data);
+  Machine.Phys.write_u32 (desc + 24) 0xff;
+  Machine.Mmio.write
+    ~addr:(Machine.Board.pci_hole_base + Machine.Virtio_blk.reg_queue_notify)
+    ~len:8 (Int64.of_int desc)
+
+let test_fault_blk_error_status () =
+  setup ();
+  ignore
+    (Machine.Virtio_blk.create ~capacity_sectors:64 ~mmio_base:Machine.Board.pci_hole_base
+       ~dev_id:1 ~vector:40);
+  let irqs = ref 0 in
+  Machine.Irq_chip.set_dispatcher (fun _ -> incr irqs);
+  Sim.Fault.configure ~seed:1L [ ("blk.io_error", 1.0) ];
+  submit_blk_write ~desc:0x40000 ~data:0x41000 ~sector:3;
+  run_all_events ();
+  check_int "error status written" 1 (Machine.Phys.read_u32 (0x40000 + 24));
+  check_int "completion irq still raised" 1 !irqs;
+  check "injection recorded" true (Sim.Fault.total_injected () > 0);
+  Sim.Fault.disable ()
+
+let test_fault_blk_dropped_completion () =
+  setup ();
+  ignore
+    (Machine.Virtio_blk.create ~capacity_sectors:64 ~mmio_base:Machine.Board.pci_hole_base
+       ~dev_id:1 ~vector:40);
+  let irqs = ref 0 in
+  Machine.Irq_chip.set_dispatcher (fun _ -> incr irqs);
+  Sim.Fault.configure ~seed:1L [ ("blk.drop", 1.0) ];
+  submit_blk_write ~desc:0x40000 ~data:0x41000 ~sector:3;
+  run_all_events ();
+  check_int "status stays pending" 0xff (Machine.Phys.read_u32 (0x40000 + 24));
+  check_int "no completion irq" 0 !irqs;
+  check "drop counted" true (Sim.Stats.get "virtio_blk.dropped_completion" > 0);
+  Sim.Fault.disable ()
+
+let test_fault_iommu_injected () =
+  setup ();
+  Machine.Iommu.set_enabled true;
+  Machine.Iommu.map ~dev:1 ~paddr:0x40000 ~len:4096;
+  check "mapped access passes clean" true (Machine.Iommu.access ~dev:1 ~paddr:0x40000 ~len:64 = Ok ());
+  Sim.Fault.configure ~seed:1L [ ("iommu.fault", 1.0) ];
+  (match Machine.Iommu.access ~dev:1 ~paddr:0x40000 ~len:64 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "injected translation fault passed");
+  check "fault counted" true (Sim.Stats.get "iommu.injected_fault" > 0);
+  Sim.Fault.disable ()
+
+let test_fault_spurious_vector () =
+  setup ();
+  let got = ref [] in
+  Machine.Irq_chip.set_dispatcher (fun v -> got := v :: !got);
+  Sim.Fault.configure ~seed:1L [ ("irq.spurious", 1.0) ];
+  Machine.Irq_chip.raise_irq (Machine.Irq_chip.Device 1) ~vector:40;
+  run_all_events ();
+  check "real vector delivered" true (List.mem 40 !got);
+  check "spurious vector injected" true (List.mem Machine.Irq_chip.spurious_vector !got);
+  Sim.Fault.disable ()
+
+let test_fault_irq_storm_burst () =
+  setup ();
+  let got = ref 0 in
+  Machine.Irq_chip.set_dispatcher (fun _ -> incr got);
+  Sim.Fault.configure ~seed:1L [ ("irq.storm", 1.0) ];
+  Machine.Irq_chip.raise_irq (Machine.Irq_chip.Device 1) ~vector:40;
+  run_all_events ();
+  check "burst multiplied the delivery" true (!got > 1);
+  Sim.Fault.disable ()
+
+let test_fault_determinism_and_isolation () =
+  (* Same seed, same sequence of rolls; and unconfigured sites consume
+     no randomness, so arming new sites later cannot shift old ones. *)
+  setup ();
+  Sim.Fault.configure ~seed:99L [ ("blk.io_error", 0.5) ];
+  let a = List.init 64 (fun _ -> Sim.Fault.roll "blk.io_error") in
+  let a' = List.init 64 (fun _ -> Sim.Fault.roll "net.drop") in
+  Sim.Fault.configure ~seed:99L [ ("blk.io_error", 0.5) ];
+  let b = List.init 64 (fun _ -> Sim.Fault.roll "blk.io_error") in
+  check "same seed, same rolls" true (a = b);
+  check "unconfigured sites never fire" true (List.for_all not a');
+  Sim.Fault.disable ()
+
 let prop_phys_roundtrip =
   QCheck.Test.make ~name:"phys_random_roundtrips" ~count:200
     QCheck.(pair (int_range 0 100000) (string_of_size (QCheck.Gen.int_range 1 9000)))
@@ -314,6 +402,15 @@ let () =
           Alcotest.test_case "virtio_blk_iommu" `Quick test_virtio_blk_iommu_blocks_dma;
           Alcotest.test_case "virtio_net_tx_rx" `Quick test_virtio_net_tx_rx;
           Alcotest.test_case "virtio_net_backlog" `Quick test_virtio_net_backlog;
+        ] );
+      ( "fault_plane",
+        [
+          Alcotest.test_case "blk_error_status" `Quick test_fault_blk_error_status;
+          Alcotest.test_case "blk_dropped_completion" `Quick test_fault_blk_dropped_completion;
+          Alcotest.test_case "iommu_injected" `Quick test_fault_iommu_injected;
+          Alcotest.test_case "spurious_vector" `Quick test_fault_spurious_vector;
+          Alcotest.test_case "irq_storm_burst" `Quick test_fault_irq_storm_burst;
+          Alcotest.test_case "determinism" `Quick test_fault_determinism_and_isolation;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_phys_roundtrip; prop_iommu_pages ] );

@@ -331,6 +331,86 @@ let prop_slab_alloc_free =
       Ostd.Slab.destroy s;
       ok)
 
+(* --- Graceful degradation: containment, IRQ storms, transient allocs --- *)
+
+let drain () =
+  while Sim.Events.run_next () do
+    ()
+  done
+
+let test_service_failure_contained () =
+  fresh ();
+  (match Ostd.Panic.contain (fun () -> Ostd.Panic.fail ~errno:5 "disk on fire") with
+  | Error 5 -> ()
+  | Error e -> Alcotest.failf "wrong errno %d" e
+  | Ok _ -> Alcotest.fail "failure was swallowed");
+  check_int "success passes through" 3
+    (match Ostd.Panic.contain (fun () -> 3) with Ok v -> v | Error _ -> -1);
+  (* Invariant violations must NOT be containable. *)
+  match Ostd.Panic.contain (fun () -> Ostd.Panic.panic "Inv. broken") with
+  | exception Ostd.Panic.Kernel_panic _ -> ()
+  | _ -> Alcotest.fail "Kernel_panic must escape containment"
+
+let test_task_contained_death () =
+  fresh ();
+  let survivor = ref false in
+  ignore (Ostd.Task.spawn ~name:"doomed" (fun () -> Ostd.Panic.fail "service hiccup"));
+  ignore (Ostd.Task.spawn ~name:"bystander" (fun () -> survivor := true));
+  Ostd.Task.run ();
+  check "bystander unaffected" true !survivor;
+  check "death recorded as contained" true (Sim.Stats.get "task.contained_failure" > 0)
+
+let test_irq_spurious_vector_absorbed () =
+  fresh ();
+  (* Nobody claims the spurious vector; delivery must be absorbed and
+     counted, never crash. Injected by the chip itself, so it bypasses
+     remapping exactly like real spurious interrupts do. *)
+  let line = Ostd.Irq.claim ~vector:77 ~name:"legit" () in
+  Ostd.Irq.set_handler line (fun () -> ());
+  Ostd.Irq.bind_device line ~dev:3;
+  Sim.Fault.configure ~seed:2L [ ("irq.spurious", 1.0) ];
+  Machine.Irq_chip.raise_irq (Machine.Irq_chip.Device 3) ~vector:77;
+  drain ();
+  Sim.Fault.disable ();
+  check "spurious delivery absorbed" true (Sim.Stats.get "irq.unhandled" > 0);
+  check "spurious injection recorded" true (Sim.Stats.get "irq.injected_spurious" > 0)
+
+let test_irq_storm_masked_and_polled () =
+  fresh ();
+  let line = Ostd.Irq.claim ~vector:88 ~name:"stormy" () in
+  let runs = ref 0 in
+  Ostd.Irq.set_handler line (fun () -> incr runs);
+  Ostd.Irq.bind_device line ~dev:4;
+  for _ = 1 to 200 do
+    Machine.Irq_chip.raise_irq (Machine.Irq_chip.Device 4) ~vector:88
+  done;
+  drain ();
+  check "handler shielded from the storm" true (!runs < 200);
+  check "storm masked the vector" true (Sim.Stats.get "irq.storm_masked" > 0);
+  check "excess deliveries dropped" true (Sim.Stats.get "irq.masked_dropped" > 0);
+  check "polled fallback serviced it" true (Sim.Stats.get "irq.polled" > 0);
+  check "vector unmasked after the poll" false (Ostd.Irq.is_masked ~vector:88);
+  check_int "no vector left masked" 0 (Ostd.Irq.masked_count ())
+
+let test_irq_handler_failure_contained () =
+  fresh ();
+  let line = Ostd.Irq.claim ~vector:99 ~name:"flaky" () in
+  Ostd.Irq.set_handler line (fun () -> Ostd.Panic.fail "device ate the buffer");
+  Ostd.Irq.bind_device line ~dev:5;
+  Machine.Irq_chip.raise_irq (Machine.Irq_chip.Device 5) ~vector:99;
+  drain ();
+  check "failure contained, kernel alive" true (Sim.Stats.get "irq.handler_contained" > 0)
+
+let test_alloc_transient_retry () =
+  fresh ();
+  Sim.Fault.configure ~seed:3L [ ("alloc.fail", 0.4) ];
+  for _ = 1 to 20 do
+    Ostd.Frame.drop (Ostd.Frame.alloc ~untyped:true ())
+  done;
+  Sim.Fault.disable ();
+  check "transient failures retried" true (Sim.Stats.get "alloc.transient_retry" > 0);
+  check "allocations recovered" true (Sim.Stats.get "alloc.recovered" > 0)
+
 let prop_vmspace_copy_matches =
   QCheck.Test.make ~name:"vmspace_copy_in_out_match" ~count:50
     QCheck.(string_of_size (QCheck.Gen.int_range 1 12000))
@@ -384,6 +464,15 @@ let () =
           Alcotest.test_case "demand_paging" `Quick test_user_demand_paging;
           Alcotest.test_case "rflags_mask" `Quick test_user_context_masks_sensitive_rflags;
           Alcotest.test_case "context_clone" `Quick test_user_context_clone;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "service_failure_contained" `Quick test_service_failure_contained;
+          Alcotest.test_case "task_contained_death" `Quick test_task_contained_death;
+          Alcotest.test_case "irq_spurious_absorbed" `Quick test_irq_spurious_vector_absorbed;
+          Alcotest.test_case "irq_storm_masked_polled" `Quick test_irq_storm_masked_and_polled;
+          Alcotest.test_case "irq_handler_contained" `Quick test_irq_handler_failure_contained;
+          Alcotest.test_case "alloc_transient_retry" `Quick test_alloc_transient_retry;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
