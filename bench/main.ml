@@ -14,6 +14,86 @@ let quick = ref false
 let section title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
 
+(* --- Machine-readable results (BENCH_results.json) ---
+
+   Every comparative benchmark records a row; the accumulated set is
+   written as JSON at exit so the perf trajectory is diffable run to
+   run. Schema documented in EXPERIMENTS.md. *)
+
+type pctls = { pcount : int; p50 : float; p90 : float; p99 : float; pmax : float }
+
+type result = {
+  benchmark : string;
+  unit_ : string;
+  linux : float option;
+  aster : float option;
+  norm : float option;
+  percentiles : pctls option;
+}
+
+let results : result list ref = ref []
+
+let add_result ?linux ?aster ?norm ?percentiles ~unit_ benchmark =
+  results := { benchmark; unit_; linux; aster; norm; percentiles } :: !results
+
+(* Syscall-latency percentiles of the most recent run. Each boot resets
+   the histograms, so calling this right after an aster-profile workload
+   captures exactly that run. *)
+let syscall_pctls () =
+  match Sim.Hist.find "syscall" with
+  | Some h when Sim.Hist.count h > 0 ->
+    Some
+      {
+        pcount = Sim.Hist.count h;
+        p50 = Sim.Hist.percentile h 50.;
+        p90 = Sim.Hist.percentile h 90.;
+        p99 = Sim.Hist.percentile h 99.;
+        pmax = Sim.Hist.max_value h;
+      }
+  | Some _ | None -> None
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "null"
+  else Printf.sprintf "%.6g" f
+
+let json_opt_float = function None -> "null" | Some f -> json_float f
+
+let json_of_result r =
+  let pj =
+    match r.percentiles with
+    | None -> "null"
+    | Some p ->
+      Printf.sprintf {|{"count": %d, "p50": %s, "p90": %s, "p99": %s, "max": %s}|} p.pcount
+        (json_float p.p50) (json_float p.p90) (json_float p.p99) (json_float p.pmax)
+  in
+  Printf.sprintf
+    {|    {"benchmark": "%s", "unit": "%s", "linux": %s, "aster": %s, "norm": %s, "percentiles": %s}|}
+    (json_escape r.benchmark) (json_escape r.unit_) (json_opt_float r.linux)
+    (json_opt_float r.aster) (json_opt_float r.norm) pj
+
+let write_json ~path ~targets =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"asterinas-sim-bench/1\",\n  \"quick\": %b,\n  \"targets\": [%s],\n  \"results\": [\n%s\n  ]\n}\n"
+    !quick
+    (String.concat ", " (List.map (fun t -> "\"" ^ json_escape t ^ "\"") targets))
+    (String.concat ",\n" (List.rev_map json_of_result !results));
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark results to %s\n" (List.length !results) path
+
 (* --- Paper reference values --- *)
 
 let table7_paper =
@@ -131,11 +211,13 @@ let table7 () =
         | None -> (nan, nan)
       in
       let p_norm = if row.higher_better then p_ast /. p_lin else p_lin /. p_ast in
+      add_result ~linux ~aster ~norm ~unit_:row.unit_ ("table7/" ^ row.name);
       Printf.printf "%-24s %10.3f %10.3f %6.2f | %9.3f %9.3f %6.2f  [%s]\n%!" row.name linux
         aster norm p_lin p_ast p_norm row.unit_)
     Apps.Lmbench.rows;
-  Printf.printf "%-24s %21s %6.2f | %20s %6.2f\n" "geometric mean" "" (Sim.Stats.geomean !norms)
-    "" 1.08
+  let gm = Sim.Stats.geomean !norms in
+  add_result ~norm:gm ~unit_:"ratio" "table7/geomean";
+  Printf.printf "%-24s %21s %6.2f | %20s %6.2f\n" "geometric mean" "" gm "" 1.08
 
 (* --- Table 8 --- *)
 
@@ -274,7 +356,10 @@ let fig5a () =
     (fun (file, n, paper) ->
       let lin = nginx_rps Sim.Profile.linux file n in
       let ast = nginx_rps Sim.Profile.asterinas file n in
+      let percentiles = syscall_pctls () in
       let noi = nginx_rps Sim.Profile.asterinas_no_iommu file n in
+      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ~unit_:"req/s"
+        ("fig5a/nginx_" ^ file);
       Printf.printf "%-8s %10.0f %10.0f %12.0f   norm=%.2f  %s\n%!" file lin ast noi (ast /. lin)
         paper)
     [
@@ -307,7 +392,10 @@ let redis_table ops =
       in
       let lin = redis_rps Sim.Profile.linux op n in
       let ast = redis_rps Sim.Profile.asterinas op n in
+      let percentiles = syscall_pctls () in
       let noi = redis_rps Sim.Profile.asterinas_no_iommu op n in
+      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ~unit_:"req/s"
+        ("redis/" ^ op);
       let p =
         match List.find_opt (fun (o, _, _, _) -> o = op) redis_paper with
         | Some (_, l, a, ni) -> Printf.sprintf "| %8.0f %8.0f %8.0f" l a ni
@@ -341,6 +429,7 @@ let table12 () =
   Aster.Strace.reset ();
   let ast = sqlite_run Sim.Profile.asterinas in
   let small = Aster.Strace.small_writes () in
+  let aster_pctls = syscall_pctls () in
   let noi = sqlite_run Sim.Profile.asterinas_no_iommu in
   Printf.printf "%4s %-44s %8s %8s %8s %6s | paper (s, ratio)\n" "num" "test" "linux" "aster"
     "noIOMMU" "ratio";
@@ -366,6 +455,8 @@ let table12 () =
         paper)
     lin;
   let x, y, z = !tot in
+  add_result ~linux:x ~aster:y ~norm:(y /. x) ?percentiles:aster_pctls ~unit_:"virtual s"
+    "table12/speedtest1_total";
   Printf.printf "%4s %-44s %8.3f %8.3f %8.3f %6.2f | 52.88 62.44 (1.18)\n" "" "TOTAL" x y z
     (y /. x);
   Printf.printf
@@ -560,6 +651,9 @@ let chaos_bench () =
   in
   let clean = fio_run ~faults:false in
   let faulty = fio_run ~faults:true in
+  add_result ~linux:clean.Apps.Fio.write_mb_s ~aster:faulty.Apps.Fio.write_mb_s
+    ~norm:(faulty.Apps.Fio.write_mb_s /. clean.Apps.Fio.write_mb_s)
+    ?percentiles:(syscall_pctls ()) ~unit_:"MB/s (clean vs faulted)" "chaos/fio_write";
   let pct a b = if a > 0. then 100. *. b /. a else nan in
   Printf.printf "%-22s %14s %14s\n" "variant" "fio write MB/s" "fio read MB/s";
   Printf.printf "%-22s %14.0f %14.0f\n" "clean" clean.Apps.Fio.write_mb_s
@@ -603,16 +697,21 @@ let default_order =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let json_path = ref "BENCH_results.json" in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--json" :: path :: rest ->
+      json_path := path;
+      parse acc rest
+    | "--json" :: [] ->
+      prerr_endline "--json requires a file argument";
+      exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   Apps.Libc.install_child_resolver ();
   let targets = if args = [] then default_order else args in
   List.iter
@@ -620,4 +719,5 @@ let () =
       match List.assoc_opt t all_targets with
       | Some f -> f ()
       | None -> Printf.printf "unknown target: %s\n" t)
-    targets
+    targets;
+  write_json ~path:!json_path ~targets

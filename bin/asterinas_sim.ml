@@ -56,6 +56,62 @@ let cmd_boot =
   Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and print a summary.")
     Term.(const run $ profile_arg)
 
+(* Shared by `run` and `trace run`; returns false for an unknown
+   workload so both callers can report it. *)
+let run_workload workload profile requests =
+  match workload with
+  | "nginx" ->
+    let _k, host = boot_summary profile in
+    Apps.Mini_nginx.spawn ~requests ~sizes:[ ("f4k", 4096); ("f64k", 65536) ];
+    let out = ref None in
+    Apps.Ab.run ~host ~path:"/f4k" ~concurrency:32 ~requests ~on_done:(fun r -> out := Some r);
+    Apps.Runner.run ();
+    (match !out with
+    | Some r -> Printf.printf "%s nginx 4k: %.0f requests/s\n" profile.Sim.Profile.name r.Apps.Ab.rps
+    | None -> print_endline "no result");
+    true
+  | "redis" ->
+    let _k, host = boot_summary profile in
+    Apps.Mini_redis.spawn ();
+    let out = ref None in
+    Apps.Redis_bench.run_op ~host ~op:"GET" ~clients:16 ~requests ~on_done:(fun r ->
+        out := Some r);
+    Apps.Runner.run ();
+    (match !out with
+    | Some r -> Printf.printf "%s redis GET: %.0f requests/s\n" profile.Sim.Profile.name r.Apps.Redis_bench.rps
+    | None -> print_endline "no result");
+    true
+  | "sqlite" ->
+    let _ = boot_summary profile in
+    let out = ref [] in
+    Apps.Runner.spawn ~name:"speedtest1" (fun c ->
+        out := Apps.Speedtest1.run ~size:10 c;
+        0);
+    Apps.Runner.run ();
+    let total = List.fold_left (fun a r -> a +. r.Apps.Speedtest1.seconds) 0. !out in
+    Printf.printf "%s speedtest1 total: %.4f virtual seconds over %d tests\n"
+      profile.Sim.Profile.name total (List.length !out);
+    true
+  | "fio" ->
+    let _ = boot_summary profile in
+    let out = ref { Apps.Fio.write_mb_s = nan; read_mb_s = nan } in
+    Apps.Runner.spawn ~name:"fio" (fun c ->
+        out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes:8;
+        0);
+    Apps.Runner.run ();
+    Printf.printf "%s fio: write %.0f MB/s, read %.0f MB/s\n" profile.Sim.Profile.name
+      !out.Apps.Fio.write_mb_s !out.Apps.Fio.read_mb_s;
+    true
+  | "lmbench" ->
+    List.iter
+      (fun (row : Apps.Lmbench.row) ->
+        Printf.printf "%-24s %10.3f %s\n" row.name (row.run profile) row.unit_)
+      Apps.Lmbench.rows;
+    true
+  | w ->
+    Printf.printf "unknown workload %s\n" w;
+    false
+
 let cmd_run =
   let workload_arg =
     Arg.(
@@ -63,55 +119,83 @@ let cmd_run =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"One of: nginx, redis, sqlite, fio, lmbench.")
   in
-  let run workload profile requests =
-    match workload with
-    | "nginx" ->
-      let _k, host = boot_summary profile in
-      Apps.Mini_nginx.spawn ~requests ~sizes:[ ("f4k", 4096); ("f64k", 65536) ];
-      let out = ref None in
-      Apps.Ab.run ~host ~path:"/f4k" ~concurrency:32 ~requests ~on_done:(fun r -> out := Some r);
-      Apps.Runner.run ();
-      (match !out with
-      | Some r -> Printf.printf "%s nginx 4k: %.0f requests/s\n" profile.Sim.Profile.name r.Apps.Ab.rps
-      | None -> print_endline "no result")
-    | "redis" ->
-      let _k, host = boot_summary profile in
-      Apps.Mini_redis.spawn ();
-      let out = ref None in
-      Apps.Redis_bench.run_op ~host ~op:"GET" ~clients:16 ~requests ~on_done:(fun r ->
-          out := Some r);
-      Apps.Runner.run ();
-      (match !out with
-      | Some r -> Printf.printf "%s redis GET: %.0f requests/s\n" profile.Sim.Profile.name r.Apps.Redis_bench.rps
-      | None -> print_endline "no result")
-    | "sqlite" ->
-      let _ = boot_summary profile in
-      let out = ref [] in
-      Apps.Runner.spawn ~name:"speedtest1" (fun c ->
-          out := Apps.Speedtest1.run ~size:10 c;
-          0);
-      Apps.Runner.run ();
-      let total = List.fold_left (fun a r -> a +. r.Apps.Speedtest1.seconds) 0. !out in
-      Printf.printf "%s speedtest1 total: %.4f virtual seconds over %d tests\n"
-        profile.Sim.Profile.name total (List.length !out)
-    | "fio" ->
-      let _ = boot_summary profile in
-      let out = ref { Apps.Fio.write_mb_s = nan; read_mb_s = nan } in
-      Apps.Runner.spawn ~name:"fio" (fun c ->
-          out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes:8;
-          0);
-      Apps.Runner.run ();
-      Printf.printf "%s fio: write %.0f MB/s, read %.0f MB/s\n" profile.Sim.Profile.name
-        !out.Apps.Fio.write_mb_s !out.Apps.Fio.read_mb_s
-    | "lmbench" ->
-      List.iter
-        (fun (row : Apps.Lmbench.row) ->
-          Printf.printf "%-24s %10.3f %s\n" row.name (row.run profile) row.unit_)
-        Apps.Lmbench.rows
-    | w -> Printf.printf "unknown workload %s\n" w
-  in
+  let run workload profile requests = ignore (run_workload workload profile requests) in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload on the simulated kernel.")
     Term.(const run $ workload_arg $ profile_arg $ requests_arg)
+
+(* --- ktrace: run a workload with tracing on, dump timeline + latency --- *)
+
+let cats_conv =
+  let parse s =
+    if s = "all" then Ok Sim.Trace.all_categories
+    else begin
+      let names = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+          match Sim.Trace.category_of_string (String.trim n) with
+          | Some c -> go (c :: acc) rest
+          | None -> Error (`Msg ("unknown trace category " ^ n)))
+      in
+      go [] names
+    end
+  in
+  let print fmt cs =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map Sim.Trace.category_name cs))
+  in
+  Arg.conv (parse, print)
+
+let cmd_trace =
+  let workload_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"One of: nginx, redis, sqlite, fio, lmbench.")
+  in
+  let cats_arg =
+    Arg.(
+      value
+      & opt cats_conv Sim.Trace.all_categories
+      & info [ "c"; "categories" ] ~docv:"CATS"
+          ~doc:
+            "Comma-separated tracepoint categories (syscall, sched, irq, softirq, pgfault, \
+             blk, net, dma, chaos) or 'all'.")
+  in
+  let tail_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "tail" ] ~docv:"N" ~doc:"Print only the newest N trace records.")
+  in
+  let run workload profile requests cats tail =
+    Sim.Trace.disable_all ();
+    List.iter Sim.Trace.enable cats;
+    if not (run_workload workload profile requests) then exit 2;
+    Printf.printf "\n--- ktrace: newest %d of %d records (%d dropped, %d total) ---\n" tail
+      (Sim.Trace.length ()) (Sim.Trace.dropped ()) (Sim.Trace.total ());
+    print_endline (Sim.Trace.render ~limit:tail ());
+    let hists = Sim.Hist.by_prefix "syscall" in
+    if hists <> [] then begin
+      Printf.printf "\n--- syscall latency (us) ---\n%s\n" Sim.Hist.summary_header;
+      (* Overall first, then per-syscall by descending count. *)
+      let overall, per = List.partition (fun (n, _) -> n = "syscall") hists in
+      let per =
+        List.sort (fun (_, a) (_, b) -> compare (Sim.Hist.count b) (Sim.Hist.count a)) per
+      in
+      List.iter (fun (n, h) -> print_endline (Sim.Hist.summary_line n h)) (overall @ per)
+    end;
+    (match Sim.Hist.find "blk.bio" with
+    | Some h ->
+      Printf.printf "\n--- block I/O latency (us) ---\n%s\n%s\n" Sim.Hist.summary_header
+        (Sim.Hist.summary_line "blk.bio" h)
+    | None -> ())
+  in
+  let sub =
+    Cmd.v
+      (Cmd.info "run" ~doc:"Run a workload with tracing enabled, print timeline + percentiles.")
+      Term.(const run $ workload_arg $ profile_arg $ requests_arg $ cats_arg $ tail_arg)
+  in
+  Cmd.group (Cmd.info "trace" ~doc:"ktrace: deterministic kernel tracing.") [ sub ]
 
 let cmd_chaos =
   let seed_arg =
@@ -170,4 +254,4 @@ let () =
   (* Make sure the dispatch table exists for `syscalls` without a boot. *)
   Aster.Syscalls.install ();
   let info = Cmd.info "asterinas_sim" ~doc:"Asterinas framekernel simulator." in
-  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_run; cmd_chaos; cmd_syscalls ]))
+  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_run; cmd_trace; cmd_chaos; cmd_syscalls ]))

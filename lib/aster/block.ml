@@ -98,19 +98,33 @@ let wait_with_deadline bio ~cycles =
     in
     poll ()
 
+let op_name = function Read -> "read" | Write -> "write" | Flush -> "flush"
+
+let bio_args bio =
+  Printf.sprintf "op=%s sector=%d len=%d" (op_name bio.op) bio.sector bio.len
+
 let submit_and_wait bio =
   let (module D) = the_driver () in
+  let t0 = Sim.Clock.now () in
+  let observe_latency () =
+    Sim.Hist.observe "blk.bio" (Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0))
+  in
   (* Each attempt submits a fresh clone; the caller's bio is completed
      exactly once, with the final outcome, whatever the attempts did. *)
   let rec attempt n =
     let b = clone_bio bio in
     Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.blk_issue;
+    Sim.Trace.emit Sim.Trace.Blk "issue" (fun () ->
+        Printf.sprintf "%s attempt=%d" (bio_args bio) n);
     D.submit b;
     match wait_with_deadline b ~cycles:(bio_deadline_cycles n) with
     | `Done -> (
       match b.status with
       | Some 0 ->
-        if n > 0 then Sim.Stats.incr "blk.bio_recovered";
+        if n > 0 then Sim.Stats.incr "degrade.recovered.blk_bio";
+        Sim.Trace.emit Sim.Trace.Blk "complete" (fun () ->
+            Printf.sprintf "%s attempts=%d" (bio_args bio) (n + 1));
+        observe_latency ();
         complete_bio bio ~status:0;
         Ok ()
       | Some e -> retry_or_fail n e
@@ -124,12 +138,17 @@ let submit_and_wait bio =
       retry_or_fail n Errno.eio
   and retry_or_fail n e =
     if n + 1 >= bio_max_attempts then begin
-      Sim.Stats.incr "blk.bio_gave_up";
+      Sim.Stats.incr "degrade.gave_up.blk_bio";
+      Sim.Trace.emit Sim.Trace.Blk "give_up" (fun () ->
+          Printf.sprintf "%s errno=%d" (bio_args bio) e);
+      observe_latency ();
       complete_bio bio ~status:e;
       Error e
     end
     else begin
-      Sim.Stats.incr "blk.bio_retried";
+      Sim.Stats.incr "degrade.retried.blk_bio";
+      Sim.Trace.emit Sim.Trace.Blk "retry" (fun () ->
+          Printf.sprintf "%s attempt=%d errno=%d" (bio_args bio) n e);
       (match Ostd.Task.current_opt () with
       | Some _ -> Ostd.Task.sleep_cycles (backoff_cycles n)
       | None -> ());
@@ -160,7 +179,7 @@ let hard_dirty_limit = 4096
 (* Sticky writeback error, errseq-lite: background writeback runs in
    softirq context and cannot raise, so a block whose retries are
    exhausted records its errno here (and the data is dropped — counted
-   as [blk.writeback_lost]). The next [sync]/[sync_blocks] consumes and
+   as [degrade.gave_up.writeback]). The next [sync]/[sync_blocks] consumes and
    reports it, exactly how Linux surfaces lost writeback at fsync. *)
 let wb_err : int option ref = ref None
 
@@ -233,7 +252,7 @@ and writeback blockno e =
       (* Retries exhausted. Softirq context cannot raise and cannot
          keep the block dirty forever (the flusher would spin on it);
          the data is lost and the error sticks until the next sync. *)
-      Sim.Stats.incr "blk.writeback_lost";
+      Sim.Stats.incr "degrade.gave_up.writeback";
       wb_err := Some err);
     e.dirty <- false;
     decr ndirty

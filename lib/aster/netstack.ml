@@ -33,14 +33,23 @@ let set_udp_rx t f = t.udp_rx <- f
 
 let charge t n = if not t.host then Sim.Cost.charge n
 
+let proto_name = function Packet.Tcp -> "tcp" | Packet.Udp -> "udp"
+
+let packet_args (p : Packet.t) =
+  Printf.sprintf "proto=%s sport=%d dport=%d len=%d" (proto_name p.Packet.proto)
+    p.Packet.src_port p.Packet.dst_port
+    (Bytes.length p.Packet.payload)
+
 let dispatch t (p : Packet.t) =
   t.nrx <- t.nrx + 1;
+  Sim.Trace.emit Sim.Trace.Net "rx" (fun () -> packet_args p);
   match p.Packet.proto with
   | Packet.Tcp -> t.tcp_rx p
   | Packet.Udp -> t.udp_rx p
 
 let send t p =
   t.ntx <- t.ntx + 1;
+  Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);
   let dst = p.Packet.dst_ip in
   if dst = loopback_ip || dst = t.addr then begin
     (* Loopback: softirq-style asynchronous hand-off. *)

@@ -66,6 +66,8 @@ let decode b =
          retransmit timer resends the segment, UDP callers accepted
          lossy delivery when they picked UDP. *)
       Sim.Stats.incr "net.checksum_drop";
+      Sim.Trace.emit Sim.Trace.Net "drop" (fun () ->
+          Printf.sprintf "reason=checksum len=%d" (Bytes.length b));
       None
     end
     else

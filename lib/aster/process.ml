@@ -112,7 +112,7 @@ let rec run_user proc resume =
   | Some ut -> (
     match Ostd.User.execute ut resume with
     | Ostd.User.Syscall { nr; args } -> (
-      Strace.record ~nr;
+      Strace.enter ~nr;
       (* Interrupt delivery point: a busy process cannot starve IRQs —
          hardware would have preempted it, so fire everything due. *)
       ignore (Sim.Events.run_due ());
@@ -121,13 +121,23 @@ let rec run_user proc resume =
       (match Signal.take_deliverable proc.sigs with
       | Some signal -> do_exit proc (128 + signal)
       | None -> ());
+      let t0 = Sim.Clock.now () in
       match !handler proc nr args with
-      | Ret v -> run_user proc (Ostd.User.Sysret v)
+      | Ret v ->
+        (* Latency covers kernel work only; a handler that never
+           returns (exit, fatal signal) records no exit event, exactly
+           like strace. *)
+        Strace.exit_ ~nr ~ret:v ~cycles:(Int64.sub (Sim.Clock.now ()) t0);
+        run_user proc (Ostd.User.Sysret v)
       | Exec_done -> run_user proc Ostd.User.Start
       | Terminated -> ())
     | Ostd.User.Page_fault { vaddr; write } ->
+      Sim.Trace.emit Sim.Trace.Pgfault "fault" (fun () ->
+          Printf.sprintf "vaddr=%#x write=%b" vaddr write);
       if Mm.handle_fault proc.mm_v ~vaddr ~write then run_user proc Ostd.User.Fault_resolved
       else begin
+        Sim.Trace.emit Sim.Trace.Pgfault "segv" (fun () ->
+            Printf.sprintf "vaddr=%#x write=%b" vaddr write);
         Logs.debug (fun m ->
             m "pid %d (%s): segfault at %#x" proc.pid_v proc.comm_v vaddr);
         do_exit proc 139

@@ -103,7 +103,52 @@ let standard_entries () =
       "Asterinas-OCaml framekernel reproduction (Linux ABI compatible)\n");
   register "syscalls" (fun () ->
       String.concat ""
-        (List.map (fun (n, c) -> Printf.sprintf "%s %d\n" n c) (Strace.top 50)))
+        (List.map (fun (n, c) -> Printf.sprintf "%s %d\n" n c) (Strace.top 50)));
+  (* --- ktrace observability surface --- *)
+  register "ktrace" (fun () ->
+      let cats =
+        match Sim.Trace.enabled_categories () with
+        | [] -> "none"
+        | cs -> String.concat "," (List.map Sim.Trace.category_name cs)
+      in
+      let header =
+        Printf.sprintf "# ktrace: %d/%d buffered, %d dropped, %d total; enabled: %s\n"
+          (Sim.Trace.length ()) (Sim.Trace.capacity ()) (Sim.Trace.dropped ())
+          (Sim.Trace.total ()) cats
+      in
+      let body = Sim.Trace.render () in
+      if body = "" then header else header ^ body ^ "\n");
+  register "kstat" (fun () ->
+      let counters =
+        List.map (fun (n, c) -> Printf.sprintf "%-40s %d\n" n c) (Sim.Stats.counters ())
+      in
+      let hists =
+        match Sim.Hist.all () with
+        | [] -> []
+        | hs ->
+          ("\n" ^ Sim.Hist.summary_header ^ "\n")
+          :: List.map (fun (n, h) -> Sim.Hist.summary_line n h ^ "\n") hs
+      in
+      String.concat "" (counters @ hists));
+  register "faults" (fun () ->
+      let quartet =
+        List.map (fun (k, v) -> Printf.sprintf "%-12s %d\n" k v) (Sim.Stats.fault_report ())
+      in
+      let sites =
+        match Sim.Stats.by_prefix "fault.injected." with
+        | [] -> []
+        | ss ->
+          "\nper-site injections:\n"
+          :: List.map
+               (fun (k, v) ->
+                 let site =
+                   String.sub k (String.length "fault.injected.")
+                     (String.length k - String.length "fault.injected.")
+                 in
+                 Printf.sprintf "%-24s %d\n" site v)
+               ss
+      in
+      String.concat "" (quartet @ sites))
 
 let create_root () =
   Hashtbl.reset file_cache;

@@ -11,7 +11,10 @@ let drain_softirqs () =
   while not (Queue.is_empty softirqs) do
     let f = Queue.pop softirqs in
     Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.softirq;
-    f ()
+    Sim.Trace.emit Sim.Trace.Softirq "entry" (fun () ->
+        Printf.sprintf "pending=%d" (Queue.length softirqs + 1));
+    f ();
+    Sim.Trace.emit Sim.Trace.Softirq "exit" (fun () -> "")
   done
 
 let raise_softirq f = Queue.push f softirqs

@@ -13,6 +13,27 @@ let bump tbl key =
 
 let record ~nr = bump counts nr
 
+(* ktrace rebase: the counters above stay, but entry/exit also feed the
+   trace ring and the latency histograms. Neither charges virtual
+   cycles, so instrumented runs time identically. *)
+
+let enter ~nr =
+  record ~nr;
+  Sim.Trace.emit Sim.Trace.Syscall "enter" (fun () ->
+      Printf.sprintf "nr=%d name=%s" nr (Syscall_nr.name nr))
+
+let exit_ ~nr ~ret ~cycles =
+  let us = Sim.Clock.to_us cycles in
+  Sim.Hist.observe "syscall" us;
+  Sim.Hist.observe ("syscall." ^ Syscall_nr.name nr) us;
+  Sim.Trace.emit Sim.Trace.Syscall "exit" (fun () ->
+      let result =
+        if Int64.compare ret 0L < 0 then
+          Printf.sprintf "err=%s" (Errno.name (Int64.to_int (Int64.neg ret)))
+        else Printf.sprintf "ret=%Ld" ret
+      in
+      Printf.sprintf "nr=%d name=%s %s lat_us=%.3f" nr (Syscall_nr.name nr) result us)
+
 let record_size ~nr ~size = if size <= 8 then bump small nr
 
 let count ~nr = match Hashtbl.find_opt counts nr with Some r -> !r | None -> 0

@@ -6,7 +6,19 @@
     same diagnosis. *)
 
 val reset : unit -> unit
+
 val record : nr:int -> unit
+(** Count only (no tracepoint); prefer [enter]/[exit_] on the
+    dispatch path. *)
+
+val enter : nr:int -> unit
+(** Count the call and emit a [syscall:enter] tracepoint. *)
+
+val exit_ : nr:int -> ret:int64 -> cycles:int64 -> unit
+(** Emit a [syscall:exit] tracepoint (ret or errno, latency) and feed
+    the ["syscall"] and ["syscall.<name>"] latency histograms with
+    [cycles] converted to microseconds. Charges no virtual cycles. *)
+
 val record_size : nr:int -> size:int -> unit
 val count : nr:int -> int
 val small_writes : unit -> int

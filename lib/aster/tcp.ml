@@ -206,7 +206,7 @@ let rec arm_rto conn =
 and on_rto conn =
   conn.rto_event <- None;
   if not (Queue.is_empty conn.inflight) then begin
-    Sim.Stats.incr "tcp.rto";
+    Sim.Stats.incr "degrade.retried.tcp_rto";
     (* Reno reaction. *)
     if conn.eng.cc then begin
       conn.ssthresh <- max ((conn.snd_nxt - conn.snd_una) / 2) (2 * mss);
@@ -358,7 +358,7 @@ let engine_rx eng (p : Packet.t) =
           if conn.state = Syn_rcvd then begin
             if n >= handshake_max_tries then Hashtbl.remove eng.conns (key conn)
             else begin
-              Sim.Stats.incr "tcp.synack_rexmit";
+              Sim.Stats.incr "degrade.retried.tcp_synack";
               emit conn ~flags:(Packet.syn lor Packet.ack_flag) Bytes.empty;
               ignore (Sim.Events.schedule_after rto_cycles (rexmit (n + 1)))
             end
@@ -419,7 +419,7 @@ let connect eng ~dst_ip ~dst_port =
         ignore (Ostd.Wait_queue.wake_all conn.conn_wq)
       end
       else begin
-        Sim.Stats.incr "tcp.syn_rexmit";
+        Sim.Stats.incr "degrade.retried.tcp_syn";
         emit conn ~flags:Packet.syn Bytes.empty;
         ignore (Sim.Events.schedule_after rto_cycles (rexmit (n + 1)))
       end

@@ -23,6 +23,8 @@ module Stream = struct
       Machine.Iommu.map ~dev ~paddr:(Frame.paddr frame) ~len:(Frame.size frame)
     end
     else Sim.Cost.charge 120;
+    Sim.Trace.emit Sim.Trace.Dma "map" (fun () ->
+        Printf.sprintf "dev=%d paddr=0x%x len=%d" dev (Frame.paddr frame) (Frame.size frame));
     { fr = frame; dev; live = true }
 
   let alive t op = if not t.live then Panic.panicf "Dma.Stream.%s: unmapped stream" op
@@ -53,6 +55,8 @@ module Stream = struct
       Machine.Iommu.unmap ~dev:t.dev ~paddr:(Frame.paddr t.fr) ~len:(Frame.size t.fr)
     end
     else Sim.Cost.charge 100;
+    Sim.Trace.emit Sim.Trace.Dma "unmap" (fun () ->
+        Printf.sprintf "dev=%d paddr=0x%x len=%d" t.dev (Frame.paddr t.fr) (Frame.size t.fr));
     t.live <- false;
     Frame.drop t.fr
 end

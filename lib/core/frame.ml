@@ -95,12 +95,12 @@ let alloc ?(pages = 1) ~untyped () =
   let rec go n =
     match attempt () with
     | Some paddr -> (
-      if n > 0 then Sim.Stats.incr "alloc.recovered";
+      if n > 0 then Sim.Stats.incr "degrade.recovered.alloc";
       match from_unused ~paddr ~pages ~untyped with
       | Ok f -> f
       | Error e -> Panic.panicf "Frame.alloc: injected allocator violated Inv. 1: %s" e)
     | None when n + 1 < alloc_max_attempts ->
-      Sim.Stats.incr "alloc.transient_retry";
+      Sim.Stats.incr "degrade.retried.alloc";
       go (n + 1)
     | None -> Panic.panicf "Frame.alloc: out of memory (%d pages requested)" pages
   in

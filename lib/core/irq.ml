@@ -65,7 +65,10 @@ let run_handler vector =
 
 let polled_service vector =
   let vs = vstat_of vector in
-  Sim.Stats.incr "irq.polled";
+  (* Degradation path: the storm was survived by polling, so this
+     counts toward the recovered leg of the chaos quartet. *)
+  Sim.Stats.incr "degrade.recovered.irq_poll";
+  Sim.Trace.emit Sim.Trace.Irq "poll" (fun () -> Printf.sprintf "vector=%d" vector);
   run_handler vector;
   vs.masked <- false;
   decr masked_vectors;
@@ -82,6 +85,7 @@ let dispatch vector =
     Sim.Stats.incr "irq.masked_dropped"
   else begin
     Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.irq_entry;
+    Sim.Trace.emit Sim.Trace.Irq "entry" (fun () -> Printf.sprintf "vector=%d" vector);
     let now = Sim.Clock.now () in
     let window = Int64.of_int (Sim.Clock.us storm_window_us) in
     if Int64.compare (Int64.sub now vs.wstart) window > 0 then begin
@@ -99,6 +103,7 @@ let dispatch vector =
              polled_service vector))
     end
     else run_handler vector;
+    Sim.Trace.emit Sim.Trace.Irq "exit" (fun () -> Printf.sprintf "vector=%d" vector);
     !post_hook ()
   end
 

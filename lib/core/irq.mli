@@ -41,8 +41,8 @@ val delivered : unit -> int
     Vectors delivering faster than a threshold inside a sliding window
     are masked and serviced by a polled fallback: a timer event runs the
     handler once, unmasks, and resets the window. Counters:
-    ["irq.storm_masked"], ["irq.masked_dropped"], ["irq.polled"],
-    ["irq.handler_contained"]. *)
+    ["irq.storm_masked"], ["irq.masked_dropped"],
+    ["degrade.recovered.irq_poll"], ["irq.handler_contained"]. *)
 
 val is_masked : vector:int -> bool
 

@@ -135,9 +135,9 @@ let kmalloc ~size v =
     (* Fault plane: a transient heap failure costs a retry (second
        kmalloc charge models the slow path re-entry), then succeeds. *)
     if Sim.Fault.roll "alloc.fail" then begin
-      Sim.Stats.incr "alloc.transient_retry";
+      Sim.Stats.incr "degrade.retried.alloc";
       Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.kmalloc;
-      Sim.Stats.incr "alloc.recovered"
+      Sim.Stats.incr "degrade.recovered.alloc"
     end;
     into_box (H.alloc ~size) ~size ~align:8 v
 

@@ -46,6 +46,12 @@ let sched : (module SCHEDULER) option ref = ref None
 
 let cur : t option ref = ref None
 
+(* ktrace names the task that emitted each record; outside task context
+   records attribute to the idle loop. *)
+let () =
+  Sim.Trace.set_task_provider (fun () ->
+      match !cur with Some t -> Printf.sprintf "%s/%d" t.tname t.tid | None -> "idle/0")
+
 let last_ran : int ref = ref (-1)
 
 let next_tid = ref 0
@@ -118,7 +124,10 @@ let spawn ?(name = "task") body =
 
 let wake t =
   match t.st with
-  | Blocked -> enqueue_ready t
+  | Blocked ->
+    Sim.Trace.emit Sim.Trace.Sched "wakeup" (fun () ->
+        Printf.sprintf "task=%s/%d" t.tname t.tid);
+    enqueue_ready t
   | Ready | Running | Dead -> ()
 
 let exit () = raise Task_exit
@@ -180,6 +189,8 @@ let dispatch t =
        register save/restore and cache refill of a real switch. *)
     if !last_ran = t.tid then Sim.Cost.charge 40
     else Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.context_switch;
+    Sim.Trace.emit Sim.Trace.Sched "switch" (fun () ->
+        Printf.sprintf "prev=%d next=%s/%d" !last_ran t.tname t.tid);
     last_ran := t.tid;
     t.st <- Running;
     t.running_flag <- true;

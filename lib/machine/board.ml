@@ -49,6 +49,10 @@ let reset ?(frames = 16384) () =
   Sim.Clock.reset ();
   Sim.Events.clear ();
   Sim.Stats.reset ();
+  Sim.Hist.reset ();
+  (* The ring empties with the machine, but the enable mask survives:
+     it is configuration, like the fault schedule, not run state. *)
+  Sim.Trace.clear ();
   Sim.Fault.reset ();
   Phys.init ~frames;
   Mmio.reset ();

@@ -77,11 +77,15 @@ let translate_page dev page =
   if Hashtbl.mem iotlb key then begin
     incr hit_count;
     Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.iotlb_hit;
+    Sim.Trace.emit Sim.Trace.Dma "iotlb_hit" (fun () ->
+        Printf.sprintf "dev=%d page=%#x" dev page);
     Ok ()
   end
   else begin
     incr miss_count;
     Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.iotlb_miss;
+    Sim.Trace.emit Sim.Trace.Dma "iotlb_miss" (fun () ->
+        Printf.sprintf "dev=%d page=%#x" dev page);
     if Hashtbl.mem (domain dev) page then begin
       iotlb_insert key;
       Ok ()
@@ -97,6 +101,8 @@ let access ~dev ~paddr ~len =
        The device sees the same dropped-DMA behaviour as a real fault. *)
     Sim.Stats.incr "iommu.fault";
     Sim.Stats.incr "iommu.injected_fault";
+    Sim.Trace.emit Sim.Trace.Dma "fault" (fun () ->
+        Printf.sprintf "dev=%d paddr=%#x injected" dev paddr);
     Error (Printf.sprintf "iommu: injected fault for dev %d at %#x" dev paddr)
   end
   else begin

@@ -38,7 +38,8 @@ let record t site =
   | None -> Hashtbl.add t.counts site (ref 1));
   t.nlog <- t.nlog + 1;
   t.log_rev <- Printf.sprintf "%Ld %s #%d" (Clock.now ()) site t.nlog :: t.log_rev;
-  Stats.incr ("fault.injected." ^ site)
+  Stats.incr ("fault.injected." ^ site);
+  Trace.emit Trace.Chaos "inject" (fun () -> Printf.sprintf "site=%s n=%d" site t.nlog)
 
 let roll site =
   match !plane with

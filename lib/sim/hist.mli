@@ -1,0 +1,35 @@
+(** Log-bucketed (HDR-style) latency histograms.
+
+    Replaces unbounded [Stats.sample] lists on hot paths: constant
+    memory, O(1) record, and percentile estimates whose relative error
+    is bounded by the sub-bucket width (1/16 of an octave). Buckets
+    track count and sum, so a percentile that lands in a bucket reports
+    that bucket's mean — exact for constant and two-point
+    distributions. Recording charges no virtual cycles. *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+val max_value : t -> float
+val min_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 99.] is the p99 estimate; 0 on an empty histogram. *)
+
+(** {2 Named registry (mirrors [Stats] counters)} *)
+
+val reset : unit -> unit
+val observe : string -> float -> unit
+val named : string -> t
+val find : string -> t option
+val all : unit -> (string * t) list
+val by_prefix : string -> (string * t) list
+
+val summary_line : string -> t -> string
+(** One table row: name, count, p50, p90, p99, max. *)
+
+val summary_header : string

@@ -25,9 +25,14 @@ val counters : unit -> (string * int) list
 val by_prefix : string -> (string * int) list
 (** Counters whose name starts with the prefix, sorted by name. *)
 
+val sum_prefix : string -> int
+(** Sum of all counters sharing a prefix. *)
+
 val fault_report : unit -> (string * int) list
-(** The chaos quartet: injected / retried / recovered / gave_up, summed
-    across the fault plane and every degradation path that reports. *)
+(** The chaos quartet: injected / retried / recovered / gave_up.
+    Computed by prefix — [fault.injected.*] and
+    [degrade.{retried,recovered,gave_up}.*] — so degradation paths
+    self-register by counter name alone. *)
 
 val geomean : float list -> float
 (** Geometric mean; 0 on the empty list. *)

@@ -1,0 +1,167 @@
+(* ktrace: a deterministic, bounded ring buffer of structured trace
+   records, in the spirit of ftrace's per-category tracepoints.
+
+   Every record carries the virtual clock, the current task's name, a
+   category, an event name, and a rendered argument string. Emission
+   charges no virtual cycles, so enabling tracing never perturbs a
+   benchmark number, and all inputs (clock, task names, event order)
+   are deterministic, so the same seed yields a byte-identical trace.
+
+   Categories are default-off: a disabled category's [emit] returns
+   before building the record (the args closure is never called), so
+   the ring stays empty and the run is bit-for-bit what it would have
+   been without ktrace. *)
+
+type category =
+  | Syscall
+  | Sched
+  | Irq
+  | Softirq
+  | Pgfault
+  | Blk
+  | Net
+  | Dma
+  | Chaos
+
+let all_categories = [ Syscall; Sched; Irq; Softirq; Pgfault; Blk; Net; Dma; Chaos ]
+
+let bit = function
+  | Syscall -> 1
+  | Sched -> 2
+  | Irq -> 4
+  | Softirq -> 8
+  | Pgfault -> 16
+  | Blk -> 32
+  | Net -> 64
+  | Dma -> 128
+  | Chaos -> 256
+
+let category_name = function
+  | Syscall -> "syscall"
+  | Sched -> "sched"
+  | Irq -> "irq"
+  | Softirq -> "softirq"
+  | Pgfault -> "pgfault"
+  | Blk -> "blk"
+  | Net -> "net"
+  | Dma -> "dma"
+  | Chaos -> "chaos"
+
+let category_of_string = function
+  | "syscall" -> Some Syscall
+  | "sched" -> Some Sched
+  | "irq" -> Some Irq
+  | "softirq" -> Some Softirq
+  | "pgfault" | "fault" -> Some Pgfault
+  | "blk" | "block" -> Some Blk
+  | "net" -> Some Net
+  | "dma" -> Some Dma
+  | "chaos" -> Some Chaos
+  | _ -> None
+
+type record = {
+  cycles : int64;
+  task : string;
+  cat : category;
+  name : string;
+  args : string;
+}
+
+(* --- Enable mask: all categories off by default --- *)
+
+let mask = ref 0
+
+let enabled cat = !mask land bit cat <> 0
+
+let enable cat = mask := !mask lor bit cat
+
+let disable cat = mask := !mask land lnot (bit cat)
+
+let enable_all () = List.iter enable all_categories
+
+let disable_all () = mask := 0
+
+let enabled_categories () = List.filter enabled all_categories
+
+(* --- Task-name provider, injected by the task layer (ostd) so sim
+   stays dependency-free. --- *)
+
+let task_provider : (unit -> string) ref = ref (fun () -> "-")
+
+let set_task_provider f = task_provider := f
+
+(* --- The ring --- *)
+
+let default_capacity = 8192
+
+let dummy = { cycles = 0L; task = ""; cat = Syscall; name = ""; args = "" }
+
+type ring = {
+  mutable buf : record array;
+  mutable head : int; (* next write slot *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable total : int;
+}
+
+let ring =
+  { buf = Array.make default_capacity dummy; head = 0; len = 0; dropped = 0; total = 0 }
+
+let capacity () = Array.length ring.buf
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  ring.buf <- Array.make n dummy;
+  ring.head <- 0;
+  ring.len <- 0
+
+let clear () =
+  Array.fill ring.buf 0 (Array.length ring.buf) dummy;
+  ring.head <- 0;
+  ring.len <- 0;
+  ring.dropped <- 0;
+  ring.total <- 0
+
+let reset () =
+  disable_all ();
+  if Array.length ring.buf <> default_capacity then ring.buf <- Array.make default_capacity dummy;
+  clear ()
+
+let push r =
+  let cap = Array.length ring.buf in
+  ring.buf.(ring.head) <- r;
+  ring.head <- (ring.head + 1) mod cap;
+  if ring.len < cap then ring.len <- ring.len + 1
+  else ring.dropped <- ring.dropped + 1 (* overwrote the oldest record *);
+  ring.total <- ring.total + 1
+
+let emit cat name args =
+  if enabled cat then
+    push { cycles = Clock.now (); task = !task_provider (); cat; name; args = args () }
+
+let dropped () = ring.dropped
+
+let total () = ring.total
+
+let length () = ring.len
+
+let records () =
+  let cap = Array.length ring.buf in
+  let first = (ring.head - ring.len + cap) mod cap in
+  List.init ring.len (fun i -> ring.buf.((first + i) mod cap))
+
+(* --- ftrace-style text renderer --- *)
+
+let render_record r =
+  Printf.sprintf "%-16s [%12Ld] %s:%s%s" r.task r.cycles (category_name r.cat) r.name
+    (if r.args = "" then "" else " " ^ r.args)
+
+let render ?limit () =
+  let rs = records () in
+  let rs =
+    match limit with
+    | Some n when n < List.length rs ->
+      List.filteri (fun i _ -> i >= List.length rs - n) rs
+    | Some _ | None -> rs
+  in
+  String.concat "\n" (List.map render_record rs)

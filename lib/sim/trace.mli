@@ -1,0 +1,79 @@
+(** ktrace: deterministic kernel-wide tracing.
+
+    A bounded ring buffer of structured records
+    [{cycles; task; category; name; args}] with per-category enable
+    masks, an overflow counter, and an ftrace-style text renderer.
+    Emission charges no virtual cycles and every input is
+    deterministic, so the same seed yields a byte-identical trace.
+    All categories are off by default: with a category disabled,
+    [emit] returns before evaluating the args closure and the ring
+    stays empty. *)
+
+type category =
+  | Syscall
+  | Sched
+  | Irq
+  | Softirq
+  | Pgfault
+  | Blk
+  | Net
+  | Dma
+  | Chaos
+
+val all_categories : category list
+val category_name : category -> string
+val category_of_string : string -> category option
+
+type record = {
+  cycles : int64;
+  task : string;
+  cat : category;
+  name : string;
+  args : string;
+}
+
+(** {2 Enable mask} *)
+
+val enabled : category -> bool
+val enable : category -> unit
+val disable : category -> unit
+val enable_all : unit -> unit
+val disable_all : unit -> unit
+val enabled_categories : unit -> category list
+
+(** {2 Emission} *)
+
+val emit : category -> string -> (unit -> string) -> unit
+(** [emit cat name args] appends a record if [cat] is enabled; [args]
+    is only evaluated (and the record only built) in that case. *)
+
+val set_task_provider : (unit -> string) -> unit
+(** Injected by the task layer; defaults to ["-"]. *)
+
+(** {2 The ring} *)
+
+val capacity : unit -> int
+val set_capacity : int -> unit
+(** Resize (and clear) the ring. *)
+
+val clear : unit -> unit
+(** Drop buffered records and zero the counters; keeps mask and size. *)
+
+val reset : unit -> unit
+(** [clear] + disable everything + restore the default capacity. *)
+
+val length : unit -> int
+val dropped : unit -> int
+(** Records overwritten because the ring was full. *)
+
+val total : unit -> int
+(** Records ever emitted (buffered + dropped). *)
+
+val records : unit -> record list
+(** Oldest first; at most [capacity ()] entries (newest are kept). *)
+
+(** {2 Rendering} *)
+
+val render_record : record -> string
+val render : ?limit:int -> unit -> string
+(** The buffered records, newest-[limit] (default all), one per line. *)

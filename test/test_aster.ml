@@ -517,6 +517,37 @@ let test_proc_read () =
   in
   check_int "exit code" 0 code
 
+let test_proc_observability_entries () =
+  (* The ktrace surface: /proc/ktrace (ring state), /proc/kstat
+     (counters + histograms), /proc/faults (chaos quartet). Each must
+     exist and render non-empty, with tracing left at its default. *)
+  let contents = ref [] in
+  let code =
+    run_user (fun c ->
+        let read_file name =
+          let fd = Apps.Libc.openf c ("/proc/" ^ name) ~flags:0 ~mode:0 in
+          if fd < 0 then None
+          else begin
+            let s = Apps.Libc.read_str c ~fd ~len:4096 in
+            ignore (Apps.Libc.close c fd);
+            Some (name, s)
+          end
+        in
+        match List.filter_map read_file [ "ktrace"; "kstat"; "faults" ] with
+        | [ _; _; _ ] as all ->
+          contents := all;
+          0
+        | _ -> 1)
+  in
+  check_int "exit code" 0 code;
+  List.iter
+    (fun (name, s) -> check (name ^ " renders non-empty") true (String.length s > 0))
+    !contents;
+  check "ktrace header reports the ring" true
+    (String.starts_with ~prefix:"# ktrace:" (List.assoc "ktrace" !contents));
+  check "faults shows the quartet" true
+    (String.starts_with ~prefix:"injected" (List.assoc "faults" !contents))
+
 let test_enosys_surface () =
   let code =
     run_user (fun c ->
@@ -817,6 +848,7 @@ let () =
           Alcotest.test_case "ext2_fsync" `Quick test_ext2_persistence_to_device;
           Alcotest.test_case "ext2_bigfile" `Quick test_ext2_bigfile_indirect;
           Alcotest.test_case "proc_read" `Quick test_proc_read;
+          Alcotest.test_case "proc_observability" `Quick test_proc_observability_entries;
         ] );
       ( "process",
         [

@@ -388,7 +388,7 @@ let test_irq_storm_masked_and_polled () =
   check "handler shielded from the storm" true (!runs < 200);
   check "storm masked the vector" true (Sim.Stats.get "irq.storm_masked" > 0);
   check "excess deliveries dropped" true (Sim.Stats.get "irq.masked_dropped" > 0);
-  check "polled fallback serviced it" true (Sim.Stats.get "irq.polled" > 0);
+  check "polled fallback serviced it" true (Sim.Stats.get "degrade.recovered.irq_poll" > 0);
   check "vector unmasked after the poll" false (Ostd.Irq.is_masked ~vector:88);
   check_int "no vector left masked" 0 (Ostd.Irq.masked_count ())
 
@@ -408,8 +408,8 @@ let test_alloc_transient_retry () =
     Ostd.Frame.drop (Ostd.Frame.alloc ~untyped:true ())
   done;
   Sim.Fault.disable ();
-  check "transient failures retried" true (Sim.Stats.get "alloc.transient_retry" > 0);
-  check "allocations recovered" true (Sim.Stats.get "alloc.recovered" > 0)
+  check "transient failures retried" true (Sim.Stats.get "degrade.retried.alloc" > 0);
+  check "allocations recovered" true (Sim.Stats.get "degrade.recovered.alloc" > 0)
 
 let prop_vmspace_copy_matches =
   QCheck.Test.make ~name:"vmspace_copy_in_out_match" ~count:50
