@@ -29,12 +29,19 @@ type result = {
   aster : float option;
   norm : float option;
   percentiles : pctls option;
+  cpu : Sim.Prof.frame_stat list option;
 }
 
 let results : result list ref = ref []
 
-let add_result ?linux ?aster ?norm ?percentiles ~unit_ benchmark =
-  results := { benchmark; unit_; linux; aster; norm; percentiles } :: !results
+let add_result ?linux ?aster ?norm ?percentiles ?cpu ~unit_ benchmark =
+  results := { benchmark; unit_; linux; aster; norm; percentiles; cpu } :: !results
+
+(* Top-3 kprof scopes of the most recent run. Like the histograms, each
+   boot clears attribution, so calling this right after an
+   aster-profile workload captures exactly that run. *)
+let prof_top3 () =
+  match Sim.Prof.top_scopes ~limit:3 () with [] -> None | fs -> Some fs
 
 (* Syscall-latency percentiles of the most recent run. Each boot resets
    the histograms, so calling this right after an aster-profile workload
@@ -79,15 +86,28 @@ let json_of_result r =
       Printf.sprintf {|{"count": %d, "p50": %s, "p90": %s, "p99": %s, "max": %s}|} p.pcount
         (json_float p.p50) (json_float p.p90) (json_float p.p99) (json_float p.pmax)
   in
+  let cj =
+    match r.cpu with
+    | None -> "null"
+    | Some fs ->
+      "["
+      ^ String.concat ", "
+          (List.map
+             (fun (s : Sim.Prof.frame_stat) ->
+               Printf.sprintf {|{"scope": "%s", "self": %Ld, "total": %Ld}|}
+                 (json_escape s.Sim.Prof.frame) s.Sim.Prof.self s.Sim.Prof.total)
+             fs)
+      ^ "]"
+  in
   Printf.sprintf
-    {|    {"benchmark": "%s", "unit": "%s", "linux": %s, "aster": %s, "norm": %s, "percentiles": %s}|}
+    {|    {"benchmark": "%s", "unit": "%s", "linux": %s, "aster": %s, "norm": %s, "percentiles": %s, "cpu": %s}|}
     (json_escape r.benchmark) (json_escape r.unit_) (json_opt_float r.linux)
-    (json_opt_float r.aster) (json_opt_float r.norm) pj
+    (json_opt_float r.aster) (json_opt_float r.norm) pj cj
 
 let write_json ~path ~targets =
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n  \"schema\": \"asterinas-sim-bench/1\",\n  \"quick\": %b,\n  \"targets\": [%s],\n  \"results\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": \"asterinas-sim-bench/2\",\n  \"quick\": %b,\n  \"targets\": [%s],\n  \"results\": [\n%s\n  ]\n}\n"
     !quick
     (String.concat ", " (List.map (fun t -> "\"" ^ json_escape t ^ "\"") targets))
     (String.concat ",\n" (List.rev_map json_of_result !results));
@@ -357,8 +377,9 @@ let fig5a () =
       let lin = nginx_rps Sim.Profile.linux file n in
       let ast = nginx_rps Sim.Profile.asterinas file n in
       let percentiles = syscall_pctls () in
+      let cpu = prof_top3 () in
       let noi = nginx_rps Sim.Profile.asterinas_no_iommu file n in
-      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ~unit_:"req/s"
+      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ?cpu ~unit_:"req/s"
         ("fig5a/nginx_" ^ file);
       Printf.printf "%-8s %10.0f %10.0f %12.0f   norm=%.2f  %s\n%!" file lin ast noi (ast /. lin)
         paper)
@@ -393,8 +414,9 @@ let redis_table ops =
       let lin = redis_rps Sim.Profile.linux op n in
       let ast = redis_rps Sim.Profile.asterinas op n in
       let percentiles = syscall_pctls () in
+      let cpu = prof_top3 () in
       let noi = redis_rps Sim.Profile.asterinas_no_iommu op n in
-      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ~unit_:"req/s"
+      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ?cpu ~unit_:"req/s"
         ("redis/" ^ op);
       let p =
         match List.find_opt (fun (o, _, _, _) -> o = op) redis_paper with
@@ -430,6 +452,7 @@ let table12 () =
   let ast = sqlite_run Sim.Profile.asterinas in
   let small = Aster.Strace.small_writes () in
   let aster_pctls = syscall_pctls () in
+  let aster_cpu = prof_top3 () in
   let noi = sqlite_run Sim.Profile.asterinas_no_iommu in
   Printf.printf "%4s %-44s %8s %8s %8s %6s | paper (s, ratio)\n" "num" "test" "linux" "aster"
     "noIOMMU" "ratio";
@@ -455,8 +478,8 @@ let table12 () =
         paper)
     lin;
   let x, y, z = !tot in
-  add_result ~linux:x ~aster:y ~norm:(y /. x) ?percentiles:aster_pctls ~unit_:"virtual s"
-    "table12/speedtest1_total";
+  add_result ~linux:x ~aster:y ~norm:(y /. x) ?percentiles:aster_pctls ?cpu:aster_cpu
+    ~unit_:"virtual s" "table12/speedtest1_total";
   Printf.printf "%4s %-44s %8.3f %8.3f %8.3f %6.2f | 52.88 62.44 (1.18)\n" "" "TOTAL" x y z
     (y /. x);
   Printf.printf
@@ -653,7 +676,8 @@ let chaos_bench () =
   let faulty = fio_run ~faults:true in
   add_result ~linux:clean.Apps.Fio.write_mb_s ~aster:faulty.Apps.Fio.write_mb_s
     ~norm:(faulty.Apps.Fio.write_mb_s /. clean.Apps.Fio.write_mb_s)
-    ?percentiles:(syscall_pctls ()) ~unit_:"MB/s (clean vs faulted)" "chaos/fio_write";
+    ?percentiles:(syscall_pctls ()) ?cpu:(prof_top3 ()) ~unit_:"MB/s (clean vs faulted)"
+    "chaos/fio_write";
   let pct a b = if a > 0. then 100. *. b /. a else nan in
   Printf.printf "%-22s %14s %14s\n" "variant" "fio write MB/s" "fio read MB/s";
   Printf.printf "%-22s %14.0f %14.0f\n" "clean" clean.Apps.Fio.write_mb_s
@@ -713,6 +737,9 @@ let () =
   in
   let args = parse [] args in
   Apps.Libc.install_child_resolver ();
+  (* kprof rides along for the cpu breakdown in the JSON: it charges no
+     virtual cycles, so measured numbers are unchanged. *)
+  Sim.Prof.enable ();
   let targets = if args = [] then default_order else args in
   List.iter
     (fun t ->

@@ -56,69 +56,93 @@ let cmd_boot =
   Cmd.v (Cmd.info "boot" ~doc:"Boot a kernel and print a summary.")
     Term.(const run $ profile_arg)
 
-(* Shared by `run` and `trace run`; returns false for an unknown
-   workload so both callers can report it. *)
+(* --- Workload runner table ---
+
+   One dispatch table shared by `run`, `trace run` and `prof run` (and
+   feeding the chaos soak in as just another workload), so adding a
+   workload is one entry here, not three copies of a match. *)
+
+let workload_table : (string * (Sim.Profile.t -> int -> unit)) list =
+  [
+    ( "nginx",
+      fun profile requests ->
+        let _k, host = boot_summary profile in
+        Apps.Mini_nginx.spawn ~requests ~sizes:[ ("f4k", 4096); ("f64k", 65536) ];
+        let out = ref None in
+        Apps.Ab.run ~host ~path:"/f4k" ~concurrency:32 ~requests ~on_done:(fun r ->
+            out := Some r);
+        Apps.Runner.run ();
+        match !out with
+        | Some r ->
+          Printf.printf "%s nginx 4k: %.0f requests/s\n" profile.Sim.Profile.name r.Apps.Ab.rps
+        | None -> print_endline "no result" );
+    ( "redis",
+      fun profile requests ->
+        let _k, host = boot_summary profile in
+        Apps.Mini_redis.spawn ();
+        let out = ref None in
+        Apps.Redis_bench.run_op ~host ~op:"GET" ~clients:16 ~requests ~on_done:(fun r ->
+            out := Some r);
+        Apps.Runner.run ();
+        match !out with
+        | Some r ->
+          Printf.printf "%s redis GET: %.0f requests/s\n" profile.Sim.Profile.name
+            r.Apps.Redis_bench.rps
+        | None -> print_endline "no result" );
+    ( "sqlite",
+      fun profile _requests ->
+        let _ = boot_summary profile in
+        let out = ref [] in
+        Apps.Runner.spawn ~name:"speedtest1" (fun c ->
+            out := Apps.Speedtest1.run ~size:10 c;
+            0);
+        Apps.Runner.run ();
+        let total = List.fold_left (fun a r -> a +. r.Apps.Speedtest1.seconds) 0. !out in
+        Printf.printf "%s speedtest1 total: %.4f virtual seconds over %d tests\n"
+          profile.Sim.Profile.name total (List.length !out) );
+    ( "fio",
+      fun profile _requests ->
+        let _ = boot_summary profile in
+        let out = ref { Apps.Fio.write_mb_s = nan; read_mb_s = nan } in
+        Apps.Runner.spawn ~name:"fio" (fun c ->
+            out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes:8;
+            0);
+        Apps.Runner.run ();
+        Printf.printf "%s fio: write %.0f MB/s, read %.0f MB/s\n" profile.Sim.Profile.name
+          !out.Apps.Fio.write_mb_s !out.Apps.Fio.read_mb_s );
+    ( "lmbench",
+      fun profile _requests ->
+        List.iter
+          (fun (row : Apps.Lmbench.row) ->
+            Printf.printf "%-24s %10.3f %s\n" row.name (row.run profile) row.unit_)
+          Apps.Lmbench.rows );
+    ( "chaos",
+      fun profile _requests ->
+        let o = Apps.Chaos.run ~profile ~seed:42L () in
+        Printf.printf "%s chaos: %d completed, %d errno, %d hung, %d panics\n"
+          profile.Sim.Profile.name o.Apps.Chaos.completed o.Apps.Chaos.failed_errno
+          o.Apps.Chaos.hung o.Apps.Chaos.panics );
+  ]
+
+let workload_names = String.concat ", " (List.map fst workload_table)
+
+(* Returns false for an unknown workload so callers can report it. *)
 let run_workload workload profile requests =
-  match workload with
-  | "nginx" ->
-    let _k, host = boot_summary profile in
-    Apps.Mini_nginx.spawn ~requests ~sizes:[ ("f4k", 4096); ("f64k", 65536) ];
-    let out = ref None in
-    Apps.Ab.run ~host ~path:"/f4k" ~concurrency:32 ~requests ~on_done:(fun r -> out := Some r);
-    Apps.Runner.run ();
-    (match !out with
-    | Some r -> Printf.printf "%s nginx 4k: %.0f requests/s\n" profile.Sim.Profile.name r.Apps.Ab.rps
-    | None -> print_endline "no result");
+  match List.assoc_opt workload workload_table with
+  | Some f ->
+    f profile requests;
     true
-  | "redis" ->
-    let _k, host = boot_summary profile in
-    Apps.Mini_redis.spawn ();
-    let out = ref None in
-    Apps.Redis_bench.run_op ~host ~op:"GET" ~clients:16 ~requests ~on_done:(fun r ->
-        out := Some r);
-    Apps.Runner.run ();
-    (match !out with
-    | Some r -> Printf.printf "%s redis GET: %.0f requests/s\n" profile.Sim.Profile.name r.Apps.Redis_bench.rps
-    | None -> print_endline "no result");
-    true
-  | "sqlite" ->
-    let _ = boot_summary profile in
-    let out = ref [] in
-    Apps.Runner.spawn ~name:"speedtest1" (fun c ->
-        out := Apps.Speedtest1.run ~size:10 c;
-        0);
-    Apps.Runner.run ();
-    let total = List.fold_left (fun a r -> a +. r.Apps.Speedtest1.seconds) 0. !out in
-    Printf.printf "%s speedtest1 total: %.4f virtual seconds over %d tests\n"
-      profile.Sim.Profile.name total (List.length !out);
-    true
-  | "fio" ->
-    let _ = boot_summary profile in
-    let out = ref { Apps.Fio.write_mb_s = nan; read_mb_s = nan } in
-    Apps.Runner.spawn ~name:"fio" (fun c ->
-        out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes:8;
-        0);
-    Apps.Runner.run ();
-    Printf.printf "%s fio: write %.0f MB/s, read %.0f MB/s\n" profile.Sim.Profile.name
-      !out.Apps.Fio.write_mb_s !out.Apps.Fio.read_mb_s;
-    true
-  | "lmbench" ->
-    List.iter
-      (fun (row : Apps.Lmbench.row) ->
-        Printf.printf "%-24s %10.3f %s\n" row.name (row.run profile) row.unit_)
-      Apps.Lmbench.rows;
-    true
-  | w ->
-    Printf.printf "unknown workload %s\n" w;
+  | None ->
+    Printf.printf "unknown workload %s (try: %s)\n" workload workload_names;
     false
 
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:(Printf.sprintf "One of: %s." workload_names))
+
 let cmd_run =
-  let workload_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD" ~doc:"One of: nginx, redis, sqlite, fio, lmbench.")
-  in
   let run workload profile requests = ignore (run_workload workload profile requests) in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload on the simulated kernel.")
     Term.(const run $ workload_arg $ profile_arg $ requests_arg)
@@ -147,12 +171,6 @@ let cats_conv =
   Arg.conv (parse, print)
 
 let cmd_trace =
-  let workload_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD" ~doc:"One of: nginx, redis, sqlite, fio, lmbench.")
-  in
   let cats_arg =
     Arg.(
       value
@@ -160,7 +178,7 @@ let cmd_trace =
       & info [ "c"; "categories" ] ~docv:"CATS"
           ~doc:
             "Comma-separated tracepoint categories (syscall, sched, irq, softirq, pgfault, \
-             blk, net, dma, chaos) or 'all'.")
+             blk, net, dma, lock, chaos) or 'all'.")
   in
   let tail_arg =
     Arg.(
@@ -196,6 +214,48 @@ let cmd_trace =
       Term.(const run $ workload_arg $ profile_arg $ requests_arg $ cats_arg $ tail_arg)
   in
   Cmd.group (Cmd.info "trace" ~doc:"ktrace: deterministic kernel tracing.") [ sub ]
+
+(* --- kprof: run a workload under the cycle-attribution profiler --- *)
+
+let cmd_prof =
+  let top_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"N" ~doc:"Print the top N frames by total cycles.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Exit nonzero unless folded output is non-empty and sums exactly to elapsed \
+                virtual cycles.")
+  in
+  let run workload profile requests top check =
+    Sim.Prof.enable ();
+    if not (run_workload workload profile requests) then exit 2;
+    let elapsed = Sim.Prof.elapsed () in
+    let attributed = Sim.Prof.total_attributed () in
+    let conserved = Sim.Prof.conserved () in
+    let nonempty = Sim.Prof.folded () <> [] in
+    Printf.printf "\n--- kprof folded stacks (flamegraph.pl-compatible, cycles) ---\n";
+    print_endline (Sim.Prof.render_folded ());
+    Printf.printf "\n--- kprof top frames ---\n";
+    print_endline (Sim.Prof.render_top ~limit:top ());
+    Printf.printf "\nconservation: elapsed=%Ld attributed=%Ld -> %s\n" elapsed attributed
+      (if conserved then "EXACT" else "VIOLATED");
+    if check && not (conserved && nonempty) then begin
+      prerr_endline
+        (if not nonempty then "kprof: no folded output" else "kprof: conservation violated");
+      exit 1
+    end
+  in
+  let sub =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Run a workload under kprof, print folded stacks + top table + conservation.")
+      Term.(const run $ workload_arg $ profile_arg $ requests_arg $ top_arg $ check_arg)
+  in
+  Cmd.group (Cmd.info "prof" ~doc:"kprof: deterministic cycle-attribution profiling.") [ sub ]
 
 let cmd_chaos =
   let seed_arg =
@@ -254,4 +314,6 @@ let () =
   (* Make sure the dispatch table exists for `syscalls` without a boot. *)
   Aster.Syscalls.install ();
   let info = Cmd.info "asterinas_sim" ~doc:"Asterinas framekernel simulator." in
-  exit (Cmd.eval (Cmd.group info [ cmd_boot; cmd_run; cmd_trace; cmd_chaos; cmd_syscalls ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ cmd_boot; cmd_run; cmd_trace; cmd_prof; cmd_chaos; cmd_syscalls ]))

@@ -171,6 +171,52 @@ let clock_monotonic_ns t =
   let sec, nsec = Aster.Abi.decode_timespec (get_bytes t ts 16) in
   Int64.add (Int64.mul sec 1_000_000_000L) nsec
 
+(* CLOCK_PROCESS_CPUTIME_ID: CPU time consumed, in nanoseconds. *)
+let clock_process_cputime_ns t =
+  let ts = scratch_alloc t 16 in
+  ignore (syscall t N.clock_gettime [| 2L; i64 ts |]);
+  let sec, nsec = Aster.Abi.decode_timespec (get_bytes t ts 16) in
+  Int64.add (Int64.mul sec 1_000_000_000L) nsec
+
+type rusage = {
+  ru_utime_us : int64;
+  ru_stime_us : int64;
+  ru_nvcsw : int64;
+  ru_nivcsw : int64;
+}
+
+let getrusage ?(who = 0) t =
+  let buf = scratch_alloc t 144 in
+  let r = syscall t N.getrusage [| i64 who; i64 buf |] in
+  if r < 0 then None
+  else begin
+    let b = get_bytes t buf 144 in
+    let timeval off =
+      Int64.add
+        (Int64.mul (Bytes.get_int64_le b off) 1_000_000L)
+        (Bytes.get_int64_le b (off + 8))
+    in
+    Some
+      {
+        ru_utime_us = timeval 0;
+        ru_stime_us = timeval 16;
+        ru_nvcsw = Bytes.get_int64_le b 128;
+        ru_nivcsw = Bytes.get_int64_le b 136;
+      }
+  end
+
+type tms = { tms_utime : int64; tms_stime : int64; tms_uptime : int64 (* return value *) }
+
+let times t =
+  let buf = scratch_alloc t 32 in
+  let r = syscall t N.times [| i64 buf |] in
+  let b = get_bytes t buf 32 in
+  {
+    tms_utime = Bytes.get_int64_le b 0;
+    tms_stime = Bytes.get_int64_le b 8;
+    tms_uptime = Int64.of_int r;
+  }
+
 let uname t =
   let buf = scratch_alloc t 128 in
   ignore (syscall t N.uname [| i64 buf |]);

@@ -76,6 +76,25 @@ val getppid : t -> int
 val sched_yield : t -> int
 val nanosleep_us : t -> float -> int
 val clock_monotonic_ns : t -> int64
+
+val clock_process_cputime_ns : t -> int64
+(** clock_gettime(CLOCK_PROCESS_CPUTIME_ID): CPU time consumed, ns. *)
+
+type rusage = {
+  ru_utime_us : int64;
+  ru_stime_us : int64;
+  ru_nvcsw : int64;
+  ru_nivcsw : int64;
+}
+
+val getrusage : ?who:int -> t -> rusage option
+(** getrusage(2); [who] defaults to RUSAGE_SELF. *)
+
+type tms = { tms_utime : int64; tms_stime : int64; tms_uptime : int64 }
+
+val times : t -> tms
+(** times(2): utime/stime and uptime in CLK_TCK (100Hz) ticks. *)
+
 val uname : t -> string
 
 val fork : t -> (Ostd.User.uapi -> int) -> int

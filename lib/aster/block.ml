@@ -155,7 +155,8 @@ let submit_and_wait bio =
       attempt (n + 1)
     end
   in
-  attempt 0
+  (* kprof: block-layer time (issue, waits, retries) folds under "blk". *)
+  Sim.Prof.scope "blk" (fun () -> attempt 0)
 
 (* --- Buffer cache --- *)
 

@@ -311,24 +311,27 @@ and new_disk_inode kind ~mode =
 
 and ops =
   {
+    (* kprof: the hot vnode operations fold their cycles under "ext2". *)
     lookup =
       (fun dir name ->
-        let dino = dino_of dir in
-        match List.assoc_opt name (dir_entries dino) with
-        | Some e_ino -> Some (vnode_of e_ino)
-        | None -> None);
+        Sim.Prof.scope "ext2" (fun () ->
+            let dino = dino_of dir in
+            match List.assoc_opt name (dir_entries dino) with
+            | Some e_ino -> Some (vnode_of e_ino)
+            | None -> None));
     create =
       (fun dir name kind ~mode ->
-        let dino = dino_of dir in
-        let entries = dir_entries dino in
-        if List.mem_assoc name entries then Error Errno.eexist
-        else begin
-          let ino = new_disk_inode kind ~mode in
-          dir_write_entries dino (entries @ [ (name, ino) ]);
-          dir.Vfs.size <- di_read dino di_size;
-          Vfs.touch_mtime dir;
-          Ok (vnode_of ino)
-        end);
+        Sim.Prof.scope "ext2" (fun () ->
+            let dino = dino_of dir in
+            let entries = dir_entries dino in
+            if List.mem_assoc name entries then Error Errno.eexist
+            else begin
+              let ino = new_disk_inode kind ~mode in
+              dir_write_entries dino (entries @ [ (name, ino) ]);
+              dir.Vfs.size <- di_read dino di_size;
+              Vfs.touch_mtime dir;
+              Ok (vnode_of ino)
+            end));
     unlink =
       (fun dir name ->
         let dino = dino_of dir in
@@ -362,16 +365,18 @@ and ops =
     read =
       (fun f ~pos ~buf ~boff ~len ->
         if f.Vfs.kind = Vfs.Dir then Error Errno.eisdir
-        else Ok (data_read (dino_of f) ~pos ~buf ~boff ~len));
+        else
+          Sim.Prof.scope "ext2" (fun () ->
+              Ok (data_read (dino_of f) ~pos ~buf ~boff ~len)));
     write =
       (fun f ~pos ~buf ~boff ~len ->
         if f.Vfs.kind = Vfs.Dir then Error Errno.eisdir
-        else begin
-          let n = data_write (dino_of f) ~pos ~buf ~boff ~len in
-          f.Vfs.size <- di_read (dino_of f) di_size;
-          Vfs.touch_mtime f;
-          Ok n
-        end);
+        else
+          Sim.Prof.scope "ext2" (fun () ->
+              let n = data_write (dino_of f) ~pos ~buf ~boff ~len in
+              f.Vfs.size <- di_read (dino_of f) di_size;
+              Vfs.touch_mtime f;
+              Ok n));
     truncate =
       (fun f n ->
         let ino = dino_of f in

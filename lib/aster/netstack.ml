@@ -40,23 +40,26 @@ let packet_args (p : Packet.t) =
     p.Packet.src_port p.Packet.dst_port
     (Bytes.length p.Packet.payload)
 
+(* kprof: protocol processing on both paths folds under "net". *)
 let dispatch t (p : Packet.t) =
-  t.nrx <- t.nrx + 1;
-  Sim.Trace.emit Sim.Trace.Net "rx" (fun () -> packet_args p);
-  match p.Packet.proto with
-  | Packet.Tcp -> t.tcp_rx p
-  | Packet.Udp -> t.udp_rx p
+  Sim.Prof.scope "net" (fun () ->
+      t.nrx <- t.nrx + 1;
+      Sim.Trace.emit Sim.Trace.Net "rx" (fun () -> packet_args p);
+      match p.Packet.proto with
+      | Packet.Tcp -> t.tcp_rx p
+      | Packet.Udp -> t.udp_rx p)
 
 let send t p =
-  t.ntx <- t.ntx + 1;
-  Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);
-  let dst = p.Packet.dst_ip in
-  if dst = loopback_ip || dst = t.addr then begin
-    (* Loopback: softirq-style asynchronous hand-off. *)
-    charge t (Sim.Cost.c ()).Sim.Profile.loopback_delivery;
-    ignore (Sim.Events.schedule_after 0 (fun () -> dispatch t p))
-  end
-  else t.ext_tx p
+  Sim.Prof.scope "net" (fun () ->
+      t.ntx <- t.ntx + 1;
+      Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);
+      let dst = p.Packet.dst_ip in
+      if dst = loopback_ip || dst = t.addr then begin
+        (* Loopback: softirq-style asynchronous hand-off. *)
+        charge t (Sim.Cost.c ()).Sim.Profile.loopback_delivery;
+        ignore (Sim.Events.schedule_after 0 (fun () -> dispatch t p))
+      end
+      else t.ext_tx p)
 
 let rx t p = dispatch t p
 

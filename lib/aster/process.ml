@@ -54,6 +54,14 @@ let reset () =
 
 let by_pid p = Hashtbl.find_opt table p
 
+let task t = t.task
+
+let all () =
+  Hashtbl.fold (fun _ p acc -> p :: acc) table []
+  |> List.sort (fun a b -> compare a.pid_v b.pid_v)
+
+let spawned_count () = !next_pid
+
 let alive_count () =
   Hashtbl.fold (fun _ p n -> if p.status = Running then n + 1 else n) table 0
 
@@ -110,7 +118,13 @@ let rec run_user proc resume =
   match proc.ut with
   | None -> ()
   | Some ut -> (
-    match Ostd.User.execute ut resume with
+    (* CPU-accounting boundary: cycles charged while user code runs
+       (between here and the next trap) accrue as utime; everything on
+       the kernel side of the trap accrues as stime. *)
+    Ostd.Task.account_user_entry ();
+    let trap = Ostd.User.execute ut resume in
+    Ostd.Task.account_kernel_entry ();
+    match trap with
     | Ostd.User.Syscall { nr; args } -> (
       Strace.enter ~nr;
       (* Interrupt delivery point: a busy process cannot starve IRQs —
@@ -122,7 +136,9 @@ let rec run_user proc resume =
       | Some signal -> do_exit proc (128 + signal)
       | None -> ());
       let t0 = Sim.Clock.now () in
-      match !handler proc nr args with
+      (* Implicit kprof scope per syscall nr: kernel-side cycles of this
+         call attribute to syscall.<name> under the calling task. *)
+      match Sim.Prof.scope (Syscall_nr.scope_name nr) (fun () -> !handler proc nr args) with
       | Ret v ->
         (* Latency covers kernel work only; a handler that never
            returns (exit, fatal signal) records no exit event, exactly
@@ -134,7 +150,8 @@ let rec run_user proc resume =
     | Ostd.User.Page_fault { vaddr; write } ->
       Sim.Trace.emit Sim.Trace.Pgfault "fault" (fun () ->
           Printf.sprintf "vaddr=%#x write=%b" vaddr write);
-      if Mm.handle_fault proc.mm_v ~vaddr ~write then run_user proc Ostd.User.Fault_resolved
+      if Sim.Prof.scope "pgfault" (fun () -> Mm.handle_fault proc.mm_v ~vaddr ~write) then
+        run_user proc Ostd.User.Fault_resolved
       else begin
         Sim.Trace.emit Sim.Trace.Pgfault "segv" (fun () ->
             Printf.sprintf "vaddr=%#x write=%b" vaddr write);

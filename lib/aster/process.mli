@@ -65,4 +65,14 @@ val current : unit -> t
 
 val by_pid : int -> t option
 val alive_count : unit -> int
+
+val task : t -> Ostd.Task.t option
+(** The kernel task carrying this process (None before start). *)
+
+val all : unit -> t list
+(** Every live or zombie process, sorted by pid. *)
+
+val spawned_count : unit -> int
+(** Processes ever created (the /proc/stat [processes] line). *)
+
 val reset : unit -> unit

@@ -52,14 +52,48 @@ let pid_status pid () =
 let pid_comm pid () =
   match Process.by_pid pid with None -> "" | Some p -> Process.comm p ^ "\n"
 
+(* CLK_TCK = 100: /proc times are reported in 10ms ticks. *)
+let cycles_per_tick = Int64.of_int (Sim.Clock.cycles_per_us * 10_000)
+
+let ticks c = Int64.div c cycles_per_tick
+
+(* /proc/<pid>/stat, the first 17 of Linux's fields (through cstime):
+   what matters here is utime (field 14) and stime (field 15). *)
+let pid_stat pid () =
+  match Process.by_pid pid with
+  | None -> ""
+  | Some p ->
+    let ut, st =
+      match Process.task p with Some t -> Ostd.Task.cpu_times t | None -> (0L, 0L)
+    in
+    Printf.sprintf "%d (%s) R %d 0 0 0 0 0 0 0 0 0 %Ld %Ld 0 0\n" pid (Process.comm p)
+      (Process.parent_pid p) (ticks ut) (ticks st)
+
+let pid_schedstat pid () =
+  match Process.by_pid pid with
+  | None -> ""
+  | Some p -> (
+    match Process.task p with
+    | None -> "0 0 0\n"
+    | Some t ->
+      let ut, st = Ostd.Task.cpu_times t in
+      let cnt, sum, _ = Ostd.Task.sched_delay t in
+      (* Linux schedstat: cputime_ns rundelay_ns timeslices. *)
+      let to_ns c = Int64.div (Int64.mul c 1000L) (Int64.of_int Sim.Clock.cycles_per_us) in
+      Printf.sprintf "%Ld %Ld %d\n" (to_ns (Int64.add ut st)) (to_ns sum) cnt)
+
 let pid_dir pid =
   match Hashtbl.find_opt pid_dir_cache pid with
   | Some d -> d
   | None ->
     let status_name = Printf.sprintf "pid.%d.status" pid in
     let comm_name = Printf.sprintf "pid.%d.comm" pid in
+    let stat_name = Printf.sprintf "pid.%d.stat" pid in
+    let schedstat_name = Printf.sprintf "pid.%d.schedstat" pid in
     register status_name (pid_status pid);
     register comm_name (pid_comm pid);
+    register stat_name (pid_stat pid);
+    register schedstat_name (pid_schedstat pid);
     let ops =
       {
         Vfs.default_ops with
@@ -68,10 +102,17 @@ let pid_dir pid =
             match name with
             | "status" -> Some (file_inode status_name)
             | "comm" -> Some (file_inode comm_name)
+            | "stat" -> Some (file_inode stat_name)
+            | "schedstat" -> Some (file_inode schedstat_name)
             | _ -> None);
         readdir =
           (fun _ ->
-            [ ("status", file_inode status_name); ("comm", file_inode comm_name) ]);
+            [
+              ("status", file_inode status_name);
+              ("comm", file_inode comm_name);
+              ("stat", file_inode stat_name);
+              ("schedstat", file_inode schedstat_name);
+            ]);
       }
     in
     let d = Vfs.make_inode ~fsname:"procfs" ~kind:Vfs.Dir ~mode:0o555 ~ops () in
@@ -130,6 +171,64 @@ let standard_entries () =
           :: List.map (fun (n, h) -> Sim.Hist.summary_line n h ^ "\n") hs
       in
       String.concat "" (counters @ hists));
+  (* --- kprof observability surface --- *)
+  register "stat" (fun () ->
+      let ut, st = Ostd.Task.aggregate_cpu_times () in
+      let elapsed = Sim.Clock.now () in
+      let busy = Int64.add ut st in
+      let idle = if Int64.compare elapsed busy > 0 then Int64.sub elapsed busy else 0L in
+      String.concat ""
+        [
+          Printf.sprintf "cpu  %Ld 0 %Ld %Ld 0 0 0 0 0 0\n" (ticks ut) (ticks st)
+            (ticks idle);
+          Printf.sprintf "ctxt %d\n" (Ostd.Task.context_switches ());
+          Printf.sprintf "btime %.0f\n" Ktime.boot_epoch_seconds;
+          Printf.sprintf "processes %d\n" (Process.spawned_count ());
+          Printf.sprintf "procs_running %d\n" (Process.alive_count ());
+        ]);
+  register "schedstat" (fun () ->
+      let per_pid =
+        List.filter_map
+          (fun p ->
+            match Process.task p with
+            | None -> None
+            | Some t ->
+              let cnt, sum, mx = Ostd.Task.sched_delay t in
+              let nv, niv = Ostd.Task.ctx_switches t in
+              Some
+                (Printf.sprintf "pid %d comm %s dispatches %d delay_us %.1f max_us %.1f nvcsw %d nivcsw %d\n"
+                   (Process.pid p) (Process.comm p) cnt (Sim.Clock.to_us sum)
+                   (Sim.Clock.to_us mx) nv niv))
+          (Process.all ())
+      in
+      String.concat ""
+        (Printf.sprintf "version 15\nctxt %d\n" (Ostd.Task.context_switches ()) :: per_pid));
+  register "lock_stat" (fun () ->
+      let counters = Sim.Stats.by_prefix "lock." in
+      let hists =
+        List.filter
+          (fun (n, _) -> String.length n >= 5 && String.sub n 0 5 = "lock.")
+          (Sim.Hist.all ())
+      in
+      if counters = [] && hists = [] then "lock_stat version 0.4\n"
+      else
+        String.concat ""
+          ("lock_stat version 0.4\n"
+           :: (List.map (fun (n, c) -> Printf.sprintf "%-40s %d\n" n c) counters
+              @
+              match hists with
+              | [] -> []
+              | hs ->
+                ("\n" ^ Sim.Hist.summary_header ^ "\n")
+                :: List.map (fun (n, h) -> Sim.Hist.summary_line n h ^ "\n") hs)));
+  register "kprof" (fun () ->
+      let header =
+        Printf.sprintf "# kprof: enabled=%b elapsed=%Ld attributed=%Ld conserved=%b\n"
+          (Sim.Prof.enabled ()) (Sim.Prof.elapsed ()) (Sim.Prof.total_attributed ())
+          (Sim.Prof.conserved ())
+      in
+      let body = Sim.Prof.render_folded () in
+      if body = "" then header else header ^ body ^ "\n");
   register "faults" (fun () ->
       let quartet =
         List.map (fun (k, v) -> Printf.sprintf "%-12s %d\n" k v) (Sim.Stats.fault_report ())

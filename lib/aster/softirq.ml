@@ -10,11 +10,14 @@ let kworker_wq = ref (Ostd.Wait_queue.create ())
 let drain_softirqs () =
   while not (Queue.is_empty softirqs) do
     let f = Queue.pop softirqs in
-    Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.softirq;
-    Sim.Trace.emit Sim.Trace.Softirq "entry" (fun () ->
-        Printf.sprintf "pending=%d" (Queue.length softirqs + 1));
-    f ();
-    Sim.Trace.emit Sim.Trace.Softirq "exit" (fun () -> "")
+    (* Implicit kprof scope: bottom-half cycles attribute to "softirq"
+       in whichever context drains them (irq exit or idle). *)
+    Sim.Prof.scope "softirq" (fun () ->
+        Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.softirq;
+        Sim.Trace.emit Sim.Trace.Softirq "entry" (fun () ->
+            Printf.sprintf "pending=%d" (Queue.length softirqs + 1));
+        f ();
+        Sim.Trace.emit Sim.Trace.Softirq "exit" (fun () -> ""))
   done
 
 let raise_softirq f = Queue.push f softirqs

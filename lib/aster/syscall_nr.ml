@@ -65,6 +65,7 @@ let umask = 95
 let gettimeofday = 96
 let getrlimit = 97
 let getrusage = 98
+let times = 100
 let getuid = 102
 let getgid = 104
 let geteuid = 107
@@ -111,7 +112,8 @@ let named =
     (rename, "rename"); (mkdir, "mkdir"); (rmdir, "rmdir"); (creat, "creat"); (link, "link");
     (unlink, "unlink"); (symlink, "symlink"); (readlink, "readlink"); (chmod, "chmod");
     (chown, "chown"); (umask, "umask"); (gettimeofday, "gettimeofday");
-    (getrlimit, "getrlimit"); (getrusage, "getrusage"); (getuid, "getuid"); (getgid, "getgid");
+    (getrlimit, "getrlimit"); (getrusage, "getrusage"); (times, "times"); (getuid, "getuid");
+    (getgid, "getgid");
     (geteuid, "geteuid"); (getegid, "getegid"); (getppid, "getppid"); (setsid, "setsid");
     (gettid, "gettid"); (time, "time"); (getdents64, "getdents64");
     (clock_gettime, "clock_gettime"); (clock_nanosleep, "clock_nanosleep");
@@ -139,3 +141,15 @@ let registered_count = List.length registered
 
 let name n =
   match List.assoc_opt n named with Some s -> s | None -> Printf.sprintf "sys_%d" n
+
+(* kprof scope label per syscall nr, memoized so the dispatch hot path
+   never allocates. *)
+let scope_names : (int, string) Hashtbl.t = Hashtbl.create 128
+
+let scope_name n =
+  match Hashtbl.find_opt scope_names n with
+  | Some s -> s
+  | None ->
+    let s = "syscall." ^ name n in
+    Hashtbl.add scope_names n s;
+    s

@@ -73,6 +73,7 @@ val umask : int
 val gettimeofday : int
 val getrlimit : int
 val getrusage : int
+val times : int
 val getuid : int
 val getgid : int
 val geteuid : int
@@ -103,6 +104,10 @@ val dup3 : int
 
 val name : int -> string
 (** Symbolic name for a registered number; "sys_<n>" otherwise. *)
+
+val scope_name : int -> string
+(** Memoized kprof scope label, ["syscall.<name>"]; the dispatch hot
+    path never allocates. *)
 
 val registered : int list
 (** Every syscall number in the advertised ABI surface. *)

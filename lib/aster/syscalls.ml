@@ -1013,12 +1013,80 @@ let sys_uname proc args =
   | Ok () -> ok 0
   | Error e -> err e
 
+(* --- CPU-time exports from task accounting (kprof) --- *)
+
+let cycles_to_ns c = Int64.div (Int64.mul c 1000L) (Int64.of_int Sim.Clock.cycles_per_us)
+
+let cycles_to_usec c = Int64.div c (Int64.of_int Sim.Clock.cycles_per_us)
+
+(* CLK_TCK = 100: one clock tick is 10ms of virtual time. *)
+let cycles_per_tick = Int64.of_int (Sim.Clock.cycles_per_us * 10_000)
+
+let cycles_to_ticks c = Int64.div c cycles_per_tick
+
+let proc_cpu_times proc =
+  match Process.task proc with Some t -> Ostd.Task.cpu_times t | None -> (0L, 0L)
+
 let sys_clock_gettime proc args =
-  let ns = if int_arg args 0 = 1 then Ktime.monotonic_ns () else Ktime.realtime_ns () in
+  let clk = int_arg args 0 in
+  let ns =
+    if clk = 1 then Ktime.monotonic_ns ()
+    else if clk = 2 || clk = 3 then begin
+      (* CLOCK_PROCESS_CPUTIME_ID / CLOCK_THREAD_CPUTIME_ID: one task
+         per process here, so both read the task's utime + stime. *)
+      let ut, st = proc_cpu_times proc in
+      cycles_to_ns (Int64.add ut st)
+    end
+    else Ktime.realtime_ns ()
+  in
   let sec = Int64.div ns 1_000_000_000L and nsec = Int64.rem ns 1_000_000_000L in
   match user_write proc ~vaddr:(int_arg args 1) (Abi.encode_timespec ~sec ~nsec) with
   | Ok () -> ok 0
   | Error e -> err e
+
+let sys_getrusage proc args =
+  (* struct rusage: two timevals then 14 longs (144 bytes). The fields
+     the simulator accounts are real: ru_utime, ru_stime, ru_nvcsw,
+     ru_nivcsw. who = RUSAGE_CHILDREN (-1) reports zeros — child times
+     are not folded back into the parent. *)
+  let who = Int64.to_int args.(0) in
+  let b = Bytes.make 144 '\000' in
+  let put_timeval off cycles =
+    let usec = cycles_to_usec cycles in
+    Bytes.set_int64_le b off (Int64.div usec 1_000_000L);
+    Bytes.set_int64_le b (off + 8) (Int64.rem usec 1_000_000L)
+  in
+  if who >= 0 then begin
+    let ut, st = proc_cpu_times proc in
+    put_timeval 0 ut;
+    put_timeval 16 st;
+    match Process.task proc with
+    | Some t ->
+      let nv, niv = Ostd.Task.ctx_switches t in
+      Bytes.set_int64_le b 128 (Int64.of_int nv);
+      Bytes.set_int64_le b 136 (Int64.of_int niv)
+    | None -> ()
+  end;
+  match user_write proc ~vaddr:(int_arg args 1) b with
+  | Ok () -> ok 0
+  | Error e -> err e
+
+let sys_times proc args =
+  (* struct tms: four clock_t at CLK_TCK = 100; the return value is
+     ticks of uptime. A NULL buffer just returns the tick count. *)
+  let uptime_ticks = cycles_to_ticks (Sim.Clock.now ()) in
+  let ptr = int_arg args 0 in
+  if ptr = 0 then ok64 uptime_ticks
+  else begin
+    let ut, st = proc_cpu_times proc in
+    let b = Bytes.make 32 '\000' in
+    Bytes.set_int64_le b 0 (cycles_to_ticks ut);
+    Bytes.set_int64_le b 8 (cycles_to_ticks st);
+    (* tms_cutime / tms_cstime stay zero: no child-time folding. *)
+    match user_write proc ~vaddr:ptr b with
+    | Ok () -> ok64 uptime_ticks
+    | Error e -> err e
+  end
 
 let sys_gettimeofday proc args =
   let ns = Ktime.realtime_ns () in
@@ -1221,7 +1289,8 @@ let register_all () =
   reg N.getrandom sys_getrandom;
   reg N.poll sys_poll;
   reg N.getrlimit const_ok;
-  reg N.getrusage const_ok
+  reg N.getrusage sys_getrusage;
+  reg N.times sys_times
 
 let implemented_count () = Hashtbl.length handlers
 

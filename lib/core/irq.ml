@@ -42,6 +42,17 @@ let reset () =
   count := 0;
   masked_vectors := 0
 
+(* kprof scope per vector, memoized so the hot path never formats. *)
+let scope_names : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let irq_scope vector =
+  match Hashtbl.find_opt scope_names vector with
+  | Some s -> s
+  | None ->
+    let s = "irq" ^ string_of_int vector in
+    Hashtbl.add scope_names vector s;
+    s
+
 let vstat_of vector =
   match Hashtbl.find_opt vstats vector with
   | Some v -> v
@@ -69,7 +80,7 @@ let polled_service vector =
      counts toward the recovered leg of the chaos quartet. *)
   Sim.Stats.incr "degrade.recovered.irq_poll";
   Sim.Trace.emit Sim.Trace.Irq "poll" (fun () -> Printf.sprintf "vector=%d" vector);
-  run_handler vector;
+  Sim.Prof.scope (irq_scope vector) (fun () -> run_handler vector);
   vs.masked <- false;
   decr masked_vectors;
   vs.wstart <- Sim.Clock.now ();
@@ -83,29 +94,31 @@ let dispatch vector =
     (* Deliveries while masked are dropped on the floor; the pending
        poll will reap whatever they signalled. *)
     Sim.Stats.incr "irq.masked_dropped"
-  else begin
-    Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.irq_entry;
-    Sim.Trace.emit Sim.Trace.Irq "entry" (fun () -> Printf.sprintf "vector=%d" vector);
-    let now = Sim.Clock.now () in
-    let window = Int64.of_int (Sim.Clock.us storm_window_us) in
-    if Int64.compare (Int64.sub now vs.wstart) window > 0 then begin
-      vs.wstart <- now;
-      vs.n <- 0
-    end;
-    vs.n <- vs.n + 1;
-    if vs.n > storm_threshold then begin
-      vs.masked <- true;
-      incr masked_vectors;
-      Sim.Stats.incr "irq.storm_masked";
-      Logs.debug (fun m -> m "irq: vector %d storming, masked + polling" vector);
-      ignore
-        (Sim.Events.schedule_after (Sim.Clock.us poll_delay_us) (fun () ->
-             polled_service vector))
-    end
-    else run_handler vector;
-    Sim.Trace.emit Sim.Trace.Irq "exit" (fun () -> Printf.sprintf "vector=%d" vector);
-    !post_hook ()
-  end
+  else
+    (* Implicit kprof scope: everything spent servicing the delivery —
+       entry cost included — attributes to irq<vector>. *)
+    Sim.Prof.scope (irq_scope vector) (fun () ->
+        Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.irq_entry;
+        Sim.Trace.emit Sim.Trace.Irq "entry" (fun () -> Printf.sprintf "vector=%d" vector);
+        let now = Sim.Clock.now () in
+        let window = Int64.of_int (Sim.Clock.us storm_window_us) in
+        if Int64.compare (Int64.sub now vs.wstart) window > 0 then begin
+          vs.wstart <- now;
+          vs.n <- 0
+        end;
+        vs.n <- vs.n + 1;
+        if vs.n > storm_threshold then begin
+          vs.masked <- true;
+          incr masked_vectors;
+          Sim.Stats.incr "irq.storm_masked";
+          Logs.debug (fun m -> m "irq: vector %d storming, masked + polling" vector);
+          ignore
+            (Sim.Events.schedule_after (Sim.Clock.us poll_delay_us) (fun () ->
+                 polled_service vector))
+        end
+        else run_handler vector;
+        Sim.Trace.emit Sim.Trace.Irq "exit" (fun () -> Printf.sprintf "vector=%d" vector);
+        !post_hook ())
 
 let install_dispatcher () = Machine.Irq_chip.set_dispatcher dispatch
 

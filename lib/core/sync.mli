@@ -8,6 +8,18 @@
     acquisition panics as the self-deadlock it is, and RCU tracks read
     sections and grace periods. *)
 
+module Lock_stat : sig
+  val set_hold_watchdog_us : float -> unit
+  (** Threshold (virtual µs) above which releasing a lock emits a
+      [lock:long_hold] tracepoint and bumps
+      ["lock.watchdog.long_hold"]. Default 1000µs.
+
+      Every lock reports under its [create] name: acquisition and
+      contention counts as [lock.<name>.acquire] /
+      [lock.<name>.contended] in {!Sim.Stats}, hold/wait µs histograms
+      as [lock.<name>.hold] / [lock.<name>.wait] in {!Sim.Hist}. *)
+end
+
 module Spin_lock : sig
   type t
 

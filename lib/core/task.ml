@@ -11,6 +11,17 @@ type t = {
   mutable nice_val : int;
   kstack : Kstack.t;
   mutable resume : resume option;
+  (* --- kprof CPU accounting (observability only: never charges) --- *)
+  mutable utime : int64; (* cycles accounted to user mode *)
+  mutable stime : int64; (* cycles accounted to kernel mode *)
+  mutable user_mode : bool; (* which bucket accrues right now *)
+  mutable acct_mark : int64; (* clock at last accounting flush *)
+  mutable nvcsw : int; (* voluntary context switches (blocked) *)
+  mutable nivcsw : int; (* involuntary context switches (yielded) *)
+  mutable runnable_at : int64; (* enqueue instant, -1 once dispatched *)
+  mutable sdelay_sum : int64; (* total runqueue-wait cycles *)
+  mutable sdelay_cnt : int; (* dispatches with a measured wait *)
+  mutable sdelay_max : int64;
 }
 
 and resume = Start of (unit -> unit) | Cont of (unit, unit) Effect.Deep.continuation
@@ -58,6 +69,68 @@ let next_tid = ref 0
 
 let live = ref 0
 
+(* --- CPU accounting ---
+
+   Virtual time only moves through [Sim.Cost] charges and event jumps,
+   so accounting is a matter of marks: while a task runs, the cycles
+   between its dispatch mark and the next flush belong to it, split
+   into utime/stime by the [user_mode] flag the user-return boundary
+   flips. Whole-system totals accumulate alongside so /proc/stat can
+   report user/system/idle without walking dead tasks. *)
+
+let total_utime = ref 0L
+
+let total_stime = ref 0L
+
+let switch_count = ref 0
+
+let acct_flush t =
+  let now = Sim.Clock.now () in
+  let d = Int64.sub now t.acct_mark in
+  if Int64.compare d 0L > 0 then
+    if t.user_mode then begin
+      t.utime <- Int64.add t.utime d;
+      total_utime := Int64.add !total_utime d
+    end
+    else begin
+      t.stime <- Int64.add t.stime d;
+      total_stime := Int64.add !total_stime d
+    end;
+  t.acct_mark <- now
+
+(* utime/stime including the live span of a currently-running task. *)
+let cpu_times t =
+  if t.running_flag then begin
+    let d = Int64.sub (Sim.Clock.now ()) t.acct_mark in
+    let d = if Int64.compare d 0L > 0 then d else 0L in
+    if t.user_mode then (Int64.add t.utime d, t.stime) else (t.utime, Int64.add t.stime d)
+  end
+  else (t.utime, t.stime)
+
+let ctx_switches t = (t.nvcsw, t.nivcsw)
+
+let sched_delay t = (t.sdelay_cnt, t.sdelay_sum, t.sdelay_max)
+
+let aggregate_cpu_times () = (!total_utime, !total_stime)
+
+let context_switches () = !switch_count
+
+(* The user/kernel boundary, called by the user-return loop: flush the
+   elapsed span into the old bucket, then flip. *)
+let account_user_entry () =
+  match !cur with
+  | Some t ->
+    acct_flush t;
+    t.user_mode <- true
+  | None -> ()
+
+let account_kernel_entry () =
+  match !cur with
+  | Some t ->
+    acct_flush t;
+    t.user_mode <- false
+  | None -> ()
+
 let idle_hook : (unit -> unit) ref = ref (fun () -> ())
 
 let inject_scheduler m =
@@ -89,6 +162,9 @@ let reset () =
   last_ran := -1;
   next_tid := 0;
   live := 0;
+  total_utime := 0L;
+  total_stime := 0L;
+  switch_count := 0;
   idle_hook := (fun () -> ());
   Atomic_mode.reset ()
 
@@ -102,6 +178,8 @@ let current () =
 let enqueue_ready t =
   let (module S) = scheduler () in
   t.st <- Ready;
+  (* Runqueue-wait starts now; dispatch measures the delta. *)
+  t.runnable_at <- Sim.Clock.now ();
   S.enqueue t
 
 let spawn ?(name = "task") body =
@@ -117,6 +195,16 @@ let spawn ?(name = "task") body =
       nice_val = 0;
       kstack = Kstack.create ();
       resume = Some (Start body);
+      utime = 0L;
+      stime = 0L;
+      user_mode = false;
+      acct_mark = 0L;
+      nvcsw = 0;
+      nivcsw = 0;
+      runnable_at = -1L;
+      sdelay_sum = 0L;
+      sdelay_cnt = 0;
+      sdelay_max = 0L;
     }
   in
   enqueue_ready t;
@@ -142,13 +230,15 @@ let kill t =
 (* Marks the dispatched task finished; runs inside the handler when the
    task body returns or raises. *)
 let on_death t =
+  acct_flush t;
   if t.st <> Dead then begin
     t.st <- Dead;
     decr live;
     Kstack.destroy t.kstack
   end;
   t.running_flag <- false;
-  cur := None
+  cur := None;
+  Sim.Prof.switch_idle ()
 
 let handler (t : t) : (unit, unit) Effect.Deep.handler =
   {
@@ -175,9 +265,11 @@ let handler (t : t) : (unit, unit) Effect.Deep.handler =
             (fun (k : (a, unit) Effect.Deep.continuation) ->
               (* The task suspends: record where to resume, hand control
                  back to the dispatch loop. *)
+              acct_flush t;
               t.resume <- Some (Cont k);
               t.running_flag <- false;
-              cur := None)
+              cur := None;
+              Sim.Prof.switch_idle ())
         | _ -> None);
   }
 
@@ -185,6 +277,26 @@ let dispatch t =
   Sim.Cost.charge_safety (fun s -> s.Sim.Profile.running_flag);
   if t.running_flag then Panic.panic "Inv. 8 violated: task is already running on another CPU";
   if t.st <> Dead then begin
+    (* Profile attribution follows the incoming task from here on: the
+       switch cost below is charged to the task being switched in, as
+       is its accounting mark. *)
+    if Sim.Prof.enabled () then
+      Sim.Prof.switch_to (Printf.sprintf "%s/%d" t.tname t.tid);
+    t.acct_mark <- Sim.Clock.now ();
+    (* Runqueue wait: from the enqueue that made the task runnable to
+       this dispatch. Fed to the sched.delay histogram (microseconds)
+       and the per-task schedstat totals; costs nothing in virtual
+       time. *)
+    if Int64.compare t.runnable_at 0L >= 0 then begin
+      let d = Int64.sub (Sim.Clock.now ()) t.runnable_at in
+      let d = if Int64.compare d 0L > 0 then d else 0L in
+      t.runnable_at <- -1L;
+      t.sdelay_sum <- Int64.add t.sdelay_sum d;
+      t.sdelay_cnt <- t.sdelay_cnt + 1;
+      if Int64.compare d t.sdelay_max > 0 then t.sdelay_max <- d;
+      Sim.Hist.observe "sched.delay" (Sim.Clock.to_us d)
+    end;
+    incr switch_count;
     (* Re-dispatching the task that just ran (a solo yield) skips the
        register save/restore and cache refill of a real switch. *)
     if !last_ran = t.tid then Sim.Cost.charge 40
@@ -210,6 +322,9 @@ let suspend () = Effect.perform Suspend
 
 let yield_now () =
   let t = current () in
+  (* In the cooperative simulator a yield is the preemption point, so
+     it counts as the involuntary switch (Linux: nivcsw). *)
+  t.nivcsw <- t.nivcsw + 1;
   let (module S) = scheduler () in
   S.update_curr ();
   enqueue_ready t;
@@ -218,6 +333,7 @@ let yield_now () =
 let block () =
   Atomic_mode.assert_sleepable "Task.block";
   let t = current () in
+  t.nvcsw <- t.nvcsw + 1;
   let (module S) = scheduler () in
   S.update_curr ();
   S.dequeue_curr ();

@@ -86,3 +86,33 @@ val run_until : (unit -> bool) -> unit
 (** Dispatch until the predicate holds (checked between switches). *)
 
 val live_tasks : unit -> int
+
+(** {2 CPU accounting} (kprof; observability only — never charges)
+
+    Cycles are split into utime/stime by a per-task mode flag that the
+    user-return loop flips at the user/kernel boundary. All readings are
+    virtual cycles. *)
+
+val cpu_times : t -> int64 * int64
+(** [(utime, stime)], including the live span of a running task. *)
+
+val ctx_switches : t -> int * int
+(** [(nvcsw, nivcsw)]: voluntary (blocked) vs involuntary (yielded). *)
+
+val sched_delay : t -> int * int64 * int64
+(** [(dispatches, total_wait_cycles, max_wait_cycles)] — runqueue wait
+    from wake-up/enqueue to dispatch; also fed to the ["sched.delay"]
+    histogram in microseconds. *)
+
+val aggregate_cpu_times : unit -> int64 * int64
+(** Whole-system [(utime, stime)] including dead tasks. *)
+
+val context_switches : unit -> int
+(** Dispatches since boot (the /proc/stat [ctxt] line). *)
+
+val account_user_entry : unit -> unit
+(** Called by the user-return loop when control is about to enter user
+    mode: flushes the elapsed span into stime, then accrues utime. *)
+
+val account_kernel_entry : unit -> unit
+(** The reverse boundary: flushes into utime, then accrues stime. *)

@@ -50,6 +50,10 @@ let reset ?(frames = 16384) () =
   Sim.Events.clear ();
   Sim.Stats.reset ();
   Sim.Hist.reset ();
+  (* Attribution restarts with the clock (conservation is anchored at
+     the boot instant), but the enabled flag survives like the trace
+     mask: it is configuration, not run state. *)
+  Sim.Prof.clear ();
   (* The ring empties with the machine, but the enable mask survives:
      it is configuration, like the fault schedule, not run state. *)
   Sim.Trace.clear ();

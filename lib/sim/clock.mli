@@ -22,6 +22,14 @@ val advance_to : int64 -> unit
 (** Jump forward to an absolute cycle count (used by the event queue when
     the machine is idle). Moving backwards is ignored. *)
 
+val set_on_advance : (int64 -> unit) -> unit
+(** Install the clock observer: called with the delta on every forward
+    movement of virtual time ([charge] or [advance_to]). There is one
+    slot — kprof owns it. The observer must not charge cycles. *)
+
+val clear_on_advance : unit -> unit
+(** Restore the no-op observer. *)
+
 val to_us : int64 -> float
 (** Convert a cycle count to microseconds. *)
 

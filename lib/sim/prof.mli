@@ -1,0 +1,78 @@
+(** kprof: deterministic cycle-attribution profiling.
+
+    Turns the simulator's charge points into a profiler: every forward
+    movement of the virtual clock is attributed to the current
+    execution context (a task, or the idle/event loop) and its stack of
+    named scopes, accumulated under folded-stack keys ["ctx;a;b"] — the
+    format flamegraph.pl consumes.
+
+    Invariants:
+    - {b Conservation}: folded totals sum to exactly the virtual cycles
+      elapsed since the last [clear]/boot.
+    - {b Zero cost}: kprof never charges cycles and never consumes
+      randomness, so a profiled same-seed run is byte-identical to an
+      unprofiled one and ends at the same virtual timestamp.
+    - {b Determinism}: rendering sorts keys, so same-seed profiled runs
+      produce byte-identical folded output. *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Start attributing. Clears prior attribution and re-anchors
+    conservation at the current virtual time. *)
+
+val disable : unit -> unit
+(** Stop attributing; accumulated totals remain readable. *)
+
+val reset : unit -> unit
+(** [disable] + drop all attribution. *)
+
+val clear : unit -> unit
+(** Drop attribution and re-anchor at the current virtual time; the
+    enabled flag survives (configuration, not run state). Called by
+    the board at boot, after the clock rewinds. *)
+
+(** {2 Context switching} (driven by the task layer) *)
+
+val switch_to : string -> unit
+(** Subsequent cycles attribute to this context (e.g. ["nginx/3"]). *)
+
+val switch_idle : unit -> unit
+(** Subsequent cycles attribute to the idle/event-loop context. *)
+
+(** {2 Scopes} *)
+
+val scope : string -> (unit -> 'a) -> 'a
+(** [scope name f] runs [f] with [name] pushed on the current context's
+    scope stack. The stack lives on the context, not the host call
+    stack, so it survives task suspension; the pop targets the context
+    that was pushed to. No-op (beyond calling [f]) when disabled. *)
+
+(** {2 Reporting} *)
+
+val elapsed : unit -> int64
+(** Cycles since the conservation anchor. *)
+
+val total_attributed : unit -> int64
+
+val conserved : unit -> bool
+(** Whether [total_attributed () = elapsed ()] — exact, not approximate. *)
+
+val folded : unit -> (string * int64) list
+(** Nonzero folded stacks, sorted by key. *)
+
+val render_folded : unit -> string
+(** One ["ctx;a;b CYCLES"] line per folded stack. *)
+
+type frame_stat = { frame : string; self : int64; total : int64; depth0 : bool }
+
+val frame_stats : unit -> frame_stat list
+(** Per-frame rollup, descending by total: [self] is cycles with the
+    frame innermost; [total] counts each folded key once per distinct
+    frame on it; [depth0] marks context roots. *)
+
+val top_scopes : ?limit:int -> unit -> frame_stat list
+(** Named scopes only (context roots filtered out). *)
+
+val render_top : ?limit:int -> unit -> string
+(** Table of top frames: self, self%%, total, total%%. *)

@@ -21,9 +21,10 @@ type category =
   | Blk
   | Net
   | Dma
+  | Lock
   | Chaos
 
-let all_categories = [ Syscall; Sched; Irq; Softirq; Pgfault; Blk; Net; Dma; Chaos ]
+let all_categories = [ Syscall; Sched; Irq; Softirq; Pgfault; Blk; Net; Dma; Lock; Chaos ]
 
 let bit = function
   | Syscall -> 1
@@ -34,7 +35,8 @@ let bit = function
   | Blk -> 32
   | Net -> 64
   | Dma -> 128
-  | Chaos -> 256
+  | Lock -> 256
+  | Chaos -> 512
 
 let category_name = function
   | Syscall -> "syscall"
@@ -45,6 +47,7 @@ let category_name = function
   | Blk -> "blk"
   | Net -> "net"
   | Dma -> "dma"
+  | Lock -> "lock"
   | Chaos -> "chaos"
 
 let category_of_string = function
@@ -56,6 +59,7 @@ let category_of_string = function
   | "blk" | "block" -> Some Blk
   | "net" -> Some Net
   | "dma" -> Some Dma
+  | "lock" -> Some Lock
   | "chaos" -> Some Chaos
   | _ -> None
 

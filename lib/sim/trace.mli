@@ -18,6 +18,7 @@ type category =
   | Blk
   | Net
   | Dma
+  | Lock
   | Chaos
 
 val all_categories : category list
