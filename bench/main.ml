@@ -493,7 +493,7 @@ let fig6 () =
   section "Fig. 6: IOMMU overhead, pooled vs dynamic DMA mappings";
   let fio_run profile =
     ignore (Apps.Runner.boot ~profile);
-    let out = ref { Apps.Fio.write_mb_s = nan; read_mb_s = nan } in
+    let out = ref { Apps.Fio.write_mb_s = nan; read_cold_mb_s = nan; read_mb_s = nan } in
     Apps.Runner.spawn ~name:"fio" (fun c ->
         out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes:(if !quick then 4 else 8);
         0);
@@ -510,14 +510,14 @@ let fig6 () =
       ("no IOMMU", Sim.Profile.asterinas_no_iommu);
     ]
   in
-  Printf.printf "%-18s %14s %14s %14s\n" "variant" "fio write MB/s" "fio read MB/s"
-    "bw_tcp64k MB/s";
+  Printf.printf "%-18s %14s %14s %14s %14s\n" "variant" "fio write MB/s" "fio cold MB/s"
+    "fio warm MB/s" "bw_tcp64k MB/s";
   List.iter
     (fun (name, profile) ->
       let f = fio_run profile in
       let bw = bw_row.Apps.Lmbench.run profile in
-      Printf.printf "%-18s %14.0f %14.0f %14.0f\n%!" name f.Apps.Fio.write_mb_s
-        f.Apps.Fio.read_mb_s bw)
+      Printf.printf "%-18s %14.0f %14.0f %14.0f %14.0f\n%!" name f.Apps.Fio.write_mb_s
+        f.Apps.Fio.read_cold_mb_s f.Apps.Fio.read_mb_s bw)
     variants;
   print_endline "(paper: switching from pooled to dynamic degrades both block and network I/O)"
 
@@ -664,7 +664,7 @@ let chaos_bench () =
   let fio_run ~faults =
     ignore (Apps.Runner.boot ~profile:Sim.Profile.asterinas);
     if faults then Sim.Fault.configure ~seed:42L Apps.Chaos.default_schedule;
-    let out = ref { Apps.Fio.write_mb_s = nan; read_mb_s = nan } in
+    let out = ref { Apps.Fio.write_mb_s = nan; read_cold_mb_s = nan; read_mb_s = nan } in
     Apps.Runner.spawn ~name:"fio" (fun c ->
         out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes:(if !quick then 4 else 8);
         0);
@@ -692,6 +692,174 @@ let chaos_bench () =
   print_endline
     "(retries and backoff trade throughput for liveness: no hangs, no corruption)"
 
+(* --- fio sequential I/O: batching/readahead ablation --- *)
+
+(* One fio run plus the blk.* counters that attribute the win: doorbells
+   and completion IRQs per MiB, merged bios, readahead hits. Stats reset
+   at boot, so the counters cover exactly this run. *)
+let fio_stats_run ~mbytes profile =
+  ignore (Apps.Runner.boot ~profile);
+  let out = ref { Apps.Fio.write_mb_s = nan; read_cold_mb_s = nan; read_mb_s = nan } in
+  Apps.Runner.spawn ~name:"fio" (fun c ->
+      out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes;
+      0);
+  Apps.Runner.run ();
+  let per_mb n = float_of_int n /. float_of_int mbytes in
+  ( !out,
+    per_mb (Sim.Stats.get "blk.doorbell"),
+    per_mb (Sim.Stats.get "blk.irq"),
+    Sim.Stats.get "blk.merge",
+    Sim.Stats.get "blk.readahead.hit" )
+
+let fio_seq () =
+  section "fio sequential I/O: batching + readahead ablation (ext2, cold cache)";
+  let mbytes = if !quick then 4 else 8 in
+  let base = Sim.Profile.asterinas in
+  let variants =
+    [
+      ("batching+readahead", base);
+      ("batching only", Sim.Profile.with_blk_readahead false base);
+      ( "neither",
+        Sim.Profile.with_blk_readahead false (Sim.Profile.with_blk_batching false base) );
+    ]
+  in
+  let tbl = List.map (fun (name, p) -> (name, fio_stats_run ~mbytes p)) variants in
+  Printf.printf "%-20s %11s %11s %11s %10s %8s %7s %7s\n" "variant" "write MB/s" "cold MB/s"
+    "warm MB/s" "doorbl/MB" "irq/MB" "merged" "ra hit";
+  List.iter
+    (fun (name, (f, db, irq, merged, hit)) ->
+      Printf.printf "%-20s %11.0f %11.0f %11.0f %10.1f %8.1f %7d %7d\n%!" name
+        f.Apps.Fio.write_mb_s f.Apps.Fio.read_cold_mb_s f.Apps.Fio.read_mb_s db irq merged hit)
+    tbl;
+  let full, fdb, firq, _, _ = List.assoc "batching+readahead" tbl in
+  let none, ndb, nirq, _, _ = List.assoc "neither" tbl in
+  (* The "linux" column holds the ablated (off) variant, "aster" the full
+     pipeline, so norm > 1 is the batching+readahead speedup. *)
+  add_result ~linux:none.Apps.Fio.read_cold_mb_s ~aster:full.Apps.Fio.read_cold_mb_s
+    ~norm:(full.Apps.Fio.read_cold_mb_s /. none.Apps.Fio.read_cold_mb_s)
+    ~unit_:"MB/s" "table12/fio_seq_read_cold";
+  add_result ~linux:none.Apps.Fio.write_mb_s ~aster:full.Apps.Fio.write_mb_s
+    ~norm:(full.Apps.Fio.write_mb_s /. none.Apps.Fio.write_mb_s)
+    ~unit_:"MB/s" "table12/fio_seq_write";
+  add_result ~linux:ndb ~aster:fdb ~norm:(fdb /. ndb) ~unit_:"per MB"
+    "table12/fio_doorbells_per_mb";
+  add_result ~linux:nirq ~aster:firq ~norm:(firq /. nirq) ~unit_:"per MB"
+    "table12/fio_irqs_per_mb";
+  Printf.printf
+    "batching+readahead vs neither: cold read %.2fx, write %.2fx; doorbells/MB %.0f -> %.0f, irqs/MB %.0f -> %.0f\n"
+    (full.Apps.Fio.read_cold_mb_s /. none.Apps.Fio.read_cold_mb_s)
+    (full.Apps.Fio.write_mb_s /. none.Apps.Fio.write_mb_s)
+    ndb fdb nirq firq
+
+(* --- Smoke: fast CI gate over the batched pipeline (@bench-smoke) --- *)
+
+let smoke () =
+  section "bench smoke: batched block pipeline sanity";
+  let mbytes = 2 in
+  let base = Sim.Profile.asterinas in
+  let full, fdb, firq, merged, hit = fio_stats_run ~mbytes base in
+  let none, ndb, nirq, _, _ =
+    fio_stats_run ~mbytes
+      (Sim.Profile.with_blk_readahead false (Sim.Profile.with_blk_batching false base))
+  in
+  let speedup = full.Apps.Fio.read_cold_mb_s /. none.Apps.Fio.read_cold_mb_s in
+  Printf.printf
+    "cold read %.0f -> %.0f MB/s (%.2fx); doorbells/MB %.0f -> %.0f; irqs/MB %.0f -> %.0f; merged %d; ra hits %d\n"
+    none.Apps.Fio.read_cold_mb_s full.Apps.Fio.read_cold_mb_s speedup ndb fdb nirq firq merged
+    hit;
+  let fail = ref false in
+  let expect name ok = if not ok then begin fail := true; Printf.printf "FAIL: %s\n" name end in
+  expect "batching+readahead speeds cold sequential read by >=1.2x" (speedup >= 1.2);
+  expect "batching merges bios" (merged > 0);
+  expect "readahead window produces demand hits" (hit > 0);
+  expect "batching cuts doorbells per MB" (fdb < ndb);
+  expect "batching cuts completion IRQs per MB" (firq < nirq);
+  if !fail then exit 1 else print_endline "bench smoke: OK"
+
+(* --- Regression gate: bench --compare BASELINE.json --- *)
+
+(* Minimal parser for the JSON this harness writes: each result object
+   sits on its own line, so field extraction is line-local. Only the
+   fields the gate needs are read. *)
+let str_find s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  go 0
+
+let line_field_string line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  match str_find line pat with
+  | None -> None
+  | Some i -> (
+    let start = i + String.length pat in
+    match String.index_from_opt line start '"' with
+    | None -> None
+    | Some j -> Some (String.sub line start (j - start)))
+
+let line_field_number line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  match str_find line pat with
+  | None -> None
+  | Some i ->
+    let start = i + String.length pat in
+    let j = ref start in
+    let num c = match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false in
+    while !j < String.length line && num line.[!j] do
+      incr j
+    done;
+    if !j = start then None else float_of_string_opt (String.sub line start (!j - start))
+
+let read_baseline path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match (line_field_string line "benchmark", line_field_number line "aster") with
+       | Some b, Some v ->
+         let u = Option.value ~default:"" (line_field_string line "unit") in
+         rows := (b, (u, v)) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !rows
+
+let gated_metric b =
+  let pre p = String.length b >= String.length p && String.sub b 0 (String.length p) = p in
+  pre "table7/" || pre "table12/"
+
+(* Latency-style units regress upward, throughput-style downward. *)
+let lower_is_better u =
+  let u = String.lowercase_ascii u in
+  str_find u "mb/s" = None && str_find u "req/s" = None && str_find u "ops" = None
+
+let compare_with_baseline path =
+  let base = read_baseline path in
+  let checked = ref 0 in
+  let regressions = ref [] in
+  List.iter
+    (fun r ->
+      match r.aster with
+      | Some v when gated_metric r.benchmark -> (
+        match List.assoc_opt r.benchmark base with
+        | Some (u, bv) when Float.abs bv > 1e-9 ->
+          incr checked;
+          let delta = if lower_is_better u then (v -. bv) /. bv else (bv -. v) /. bv in
+          if delta > 0.10 then regressions := (r.benchmark, u, bv, v, delta) :: !regressions
+        | _ -> ())
+      | _ -> ())
+    !results;
+  Printf.printf "\ncompare vs %s: %d table7/table12 metrics checked, %d regressed >10%%\n" path
+    !checked
+    (List.length !regressions);
+  List.iter
+    (fun (b, u, bv, v, d) ->
+      Printf.printf "  REGRESSION %-40s %s: baseline %.4g -> %.4g (%.0f%% worse)\n" b u bv v
+        (100. *. d))
+    (List.rev !regressions);
+  if !regressions <> [] then exit 1
+
 let all_targets =
   [
     ("table1", table1);
@@ -711,17 +879,20 @@ let all_targets =
     ("ablations", ablations);
     ("bechamel", bechamel_table8);
     ("chaos", chaos_bench);
+    ("fio_seq", fio_seq);
+    ("smoke", smoke);
   ]
 
 let default_order =
   [
     "table1"; "table3"; "table7"; "table8"; "table9"; "table10"; "fig5a"; "table11"; "table12";
-    "fig6"; "fig7"; "fig9"; "ablations"; "bechamel";
+    "fig6"; "fio_seq"; "fig7"; "fig9"; "ablations"; "bechamel";
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json_path = ref "BENCH_results.json" in
+  let baseline = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "quick" :: rest ->
@@ -732,6 +903,12 @@ let () =
       parse acc rest
     | "--json" :: [] ->
       prerr_endline "--json requires a file argument";
+      exit 2
+    | "--compare" :: path :: rest ->
+      baseline := Some path;
+      parse acc rest
+    | "--compare" :: [] ->
+      prerr_endline "--compare requires a baseline JSON file argument";
       exit 2
     | a :: rest -> parse (a :: acc) rest
   in
@@ -747,4 +924,8 @@ let () =
       | Some f -> f ()
       | None -> Printf.printf "unknown target: %s\n" t)
     targets;
-  write_json ~path:!json_path ~targets
+  write_json ~path:!json_path ~targets;
+  (* Regression gate last, after the JSON is safely on disk: exits
+     non-zero when any table7/table12 metric is >10% worse than the
+     baseline. *)
+  match !baseline with None -> () | Some path -> compare_with_baseline path

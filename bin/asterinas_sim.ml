@@ -103,13 +103,14 @@ let workload_table : (string * (Sim.Profile.t -> int -> unit)) list =
     ( "fio",
       fun profile _requests ->
         let _ = boot_summary profile in
-        let out = ref { Apps.Fio.write_mb_s = nan; read_mb_s = nan } in
+        let out = ref { Apps.Fio.write_mb_s = nan; read_cold_mb_s = nan; read_mb_s = nan } in
         Apps.Runner.spawn ~name:"fio" (fun c ->
             out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes:8;
             0);
         Apps.Runner.run ();
-        Printf.printf "%s fio: write %.0f MB/s, read %.0f MB/s\n" profile.Sim.Profile.name
-          !out.Apps.Fio.write_mb_s !out.Apps.Fio.read_mb_s );
+        Printf.printf "%s fio: write %.0f MB/s, cold read %.0f MB/s, warm read %.0f MB/s\n"
+          profile.Sim.Profile.name !out.Apps.Fio.write_mb_s !out.Apps.Fio.read_cold_mb_s
+          !out.Apps.Fio.read_mb_s );
     ( "lmbench",
       fun profile _requests ->
         List.iter

@@ -1,8 +1,10 @@
 (** FIO-style block-device bandwidth workload (Fig. 6): sequential writes
-    with periodic fsync so every byte crosses the virtio-blk driver, and
-    direct-ish sequential reads that defeat the buffer cache. Used to
-    compare pooled vs dynamic DMA mapping. *)
+    with periodic fsync so every byte crosses the virtio-blk driver, then
+    a cold sequential read (buffer cache evicted first — exercises the
+    batched submission + readahead pipeline) and a warm cached read.
+    Used to compare pooled vs dynamic DMA mapping and the
+    batching/readahead ablations. *)
 
-type result = { write_mb_s : float; read_mb_s : float }
+type result = { write_mb_s : float; read_cold_mb_s : float; read_mb_s : float }
 
 val run : Libc.t -> file:string -> mbytes:int -> result

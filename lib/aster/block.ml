@@ -36,6 +36,7 @@ let complete_bio bio ~status =
 module type DRIVER = sig
   val capacity_sectors : unit -> int
   val submit : bio -> unit
+  val submit_many : bio list -> unit
   val cancel : bio -> unit
 end
 
@@ -158,9 +159,112 @@ let submit_and_wait bio =
   (* kprof: block-layer time (issue, waits, retries) folds under "blk". *)
   Sim.Prof.scope "blk" (fun () -> attempt 0)
 
+(* --- Batched submission (the plug/unplug request queue) ---
+
+   [submit_batch] sector-sorts its bios and merges adjacent same-op bios
+   into multi-request descriptor chains, each issued with one
+   [blk_issue] charge, one doorbell, and one completion interrupt, under
+   a single shared deadline. A batch in which any request errors or
+   times out is split back into per-bio [submit_and_wait] attempts, so
+   the retry/EIO story stays exactly the single-bio one. *)
+
+let max_batch = 32
+
+let op_rank = function Read -> 0 | Write -> 1 | Flush -> 2
+
+(* One deadline for the whole chain: first-attempt bio deadline plus a
+   per-request allowance comfortably above the device's per-descriptor
+   service time. *)
+let batch_deadline_cycles n = Sim.Clock.us (8000. +. (250. *. float_of_int n))
+
+(* Wait for every clone against one shared absolute deadline, reusing
+   the per-bio wait (works in task context and boot-time polling). *)
+let wait_batch clones ~cycles =
+  let deadline = Int64.add (Sim.Clock.now ()) (Int64.of_int cycles) in
+  List.iter
+    (fun b ->
+      if b.status = None then begin
+        let remaining = Int64.to_int (Int64.sub deadline (Sim.Clock.now ())) in
+        if remaining > 0 then ignore (wait_with_deadline b ~cycles:remaining)
+      end)
+    clones
+
+(* Split sorted bios into runs of same-op, sector-adjacent requests. *)
+let merge_runs bios =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare (op_rank a.op) (op_rank b.op) with
+        | 0 -> compare a.sector b.sector
+        | c -> c)
+      bios
+  in
+  let flush_run acc run = match run with [] -> acc | _ -> List.rev run :: acc in
+  let acc, run, _ =
+    List.fold_left
+      (fun (acc, run, prev) b ->
+        match prev with
+        | Some p
+          when p.op = b.op && b.op <> Flush
+               && b.sector = p.sector + (p.len / 512)
+               && List.length run < max_batch -> (acc, b :: run, Some b)
+        | _ -> (flush_run acc run, [ b ], Some b))
+      ([], [], None) sorted
+  in
+  List.rev (flush_run acc run)
+
+let issue_run run =
+  let (module D) = the_driver () in
+  match run with
+  | [] -> ()
+  | [ bio ] -> ignore (submit_and_wait bio)
+  | first :: _ ->
+    let n = List.length run in
+    Sim.Stats.add "blk.merge" (n - 1);
+    Sim.Stats.incr "blk.batch";
+    Sim.Prof.scope "blk" (fun () ->
+        let t0 = Sim.Clock.now () in
+        Sim.Trace.emit Sim.Trace.Blk "batch_issue" (fun () ->
+            Printf.sprintf "op=%s sector=%d nreq=%d" (op_name first.op) first.sector n);
+        let clones = List.map clone_bio run in
+        Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.blk_issue;
+        D.submit_many clones;
+        wait_batch clones ~cycles:(batch_deadline_cycles n);
+        if List.for_all (fun c -> c.status = Some 0) clones then begin
+          let lat = Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0) in
+          Sim.Trace.emit Sim.Trace.Blk "batch_complete" (fun () ->
+              Printf.sprintf "op=%s sector=%d nreq=%d" (op_name first.op) first.sector n);
+          List.iter
+            (fun bio ->
+              Sim.Hist.observe "blk.bio" lat;
+              complete_bio bio ~status:0)
+            run
+        end
+        else begin
+          (* Mid-batch error or timeout: quarantine what never completed
+             and fall back to per-bio submission, whose retry ladder and
+             EIO propagation the callers already rely on. *)
+          Sim.Stats.incr "blk.batch_split";
+          Sim.Trace.emit Sim.Trace.Blk "batch_split" (fun () ->
+              Printf.sprintf "op=%s sector=%d nreq=%d" (op_name first.op) first.sector n);
+          List.iter (fun c -> if c.status = None then D.cancel c) clones;
+          List.iter2
+            (fun bio c ->
+              match c.status with
+              | Some 0 ->
+                Sim.Hist.observe "blk.bio" (Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0));
+                complete_bio bio ~status:0
+              | _ -> ignore (submit_and_wait bio))
+            run clones
+        end)
+
+let submit_batch bios =
+  if (Sim.Profile.get ()).Sim.Profile.blk_batching then List.iter issue_run (merge_runs bios)
+  else List.iter (fun bio -> ignore (submit_and_wait bio)) bios
+
 (* --- Buffer cache --- *)
 
-type centry = { cframe : Ostd.Frame.t; mutable dirty : bool }
+type centry = { cframe : Ostd.Frame.t; mutable dirty : bool; mutable prefetched : bool }
 
 let cache : (int, centry) Hashtbl.t = Hashtbl.create 1024
 
@@ -196,10 +300,17 @@ let reset () =
 
 let entry_of blockno ~fill =
   match Hashtbl.find_opt cache blockno with
-  | Some e -> e
+  | Some e ->
+    (* A demand hit on a block readahead brought in: the window paid off. *)
+    if e.prefetched then begin
+      e.prefetched <- false;
+      Sim.Stats.incr "blk.readahead.hit"
+    end;
+    e
   | None ->
     let cframe = Ostd.Frame.alloc ~untyped:true () in
     if fill then begin
+      Sim.Stats.incr "blk.readahead.miss";
       let bio =
         make_bio Read ~sector:(blockno * sectors_per_block) ~frame:cframe ~len:block_size ()
       in
@@ -213,7 +324,7 @@ let entry_of blockno ~fill =
         Ostd.Panic.failf ~errno:e "buffer cache: read of block %d failed" blockno
     end
     else Ostd.Untyped.fill cframe ~off:0 ~len:block_size '\000';
-    let e = { cframe; dirty = false } in
+    let e = { cframe; dirty = false; prefetched = false } in
     Hashtbl.add cache blockno e;
     e
 
@@ -224,40 +335,102 @@ let read_from_block blockno ~off ~buf ~pos ~len =
   Sim.Cost.charge_memcpy len;
   Ostd.Untyped.read_bytes e.cframe ~off ~buf ~pos ~len
 
+(* Readahead / plug back end: pull a set of not-yet-cached blocks in
+   with one batched submission and insert the successes as clean
+   entries. Failures are dropped silently — this is a hint, and the
+   demand read that eventually wants the block will retry (and report)
+   on its own. [mark] distinguishes speculative readahead (entries
+   tagged so a later demand hit counts [blk.readahead.hit]) from
+   batching the demand range itself, which is not speculation. *)
+let prefetch_blocks ?(mark = true) blocknos =
+  let blocknos =
+    List.filter (fun b -> not (Hashtbl.mem cache b)) (List.sort_uniq compare blocknos)
+  in
+  if blocknos <> [] then begin
+    if mark then Sim.Stats.add "blk.readahead.issued" (List.length blocknos)
+    else Sim.Stats.add "blk.plug_read" (List.length blocknos);
+    let reqs =
+      List.map
+        (fun b ->
+          let f = Ostd.Frame.alloc ~untyped:true () in
+          (b, f, make_bio Read ~sector:(b * sectors_per_block) ~frame:f ~len:block_size ()))
+        blocknos
+    in
+    submit_batch (List.map (fun (_, _, bio) -> bio) reqs);
+    List.iter
+      (fun (b, f, bio) ->
+        if bio_status bio = Some 0 && not (Hashtbl.mem cache b) then
+          Hashtbl.add cache b { cframe = f; dirty = false; prefetched = mark }
+        else Ostd.Frame.drop f)
+      reqs
+  end
+
+(* Drop every clean entry (used by cold-cache benchmark phases). Dirty
+   blocks stay — dropping them would lose data. Returns the count. *)
+let drop_clean () =
+  let victims =
+    Hashtbl.fold (fun b e acc -> if not e.dirty then (b, e) :: acc else acc) cache []
+  in
+  List.iter
+    (fun (b, e) ->
+      Hashtbl.remove cache b;
+      Ostd.Frame.drop e.cframe)
+    victims;
+  List.length victims
+
+(* Write back a sorted [(blockno, entry)] list as merged, batched
+   writes. [submit_batch] guarantees every bio is complete on return; a
+   block whose write failed even after the per-bio retry ladder is
+   dropped with the errseq-style sticky error (softirq context cannot
+   raise, and keeping it dirty would make the flusher spin on it). *)
+let writeback_many pairs =
+  (* Sort (so adjacent dirty blocks merge) and dedup: the FIFO can name
+     a block twice, and writing it twice would corrupt [ndirty]. *)
+  let pairs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) pairs in
+  match List.filter (fun (_, e) -> e.dirty) pairs with
+  | [] -> ()
+  | dirty ->
+    let reqs =
+      List.map
+        (fun (b, e) ->
+          (make_bio Write ~sector:(b * sectors_per_block) ~frame:e.cframe ~len:block_size (), e))
+        dirty
+    in
+    submit_batch (List.map fst reqs);
+    List.iter
+      (fun (bio, e) ->
+        (match bio_status bio with
+        | Some 0 -> ()
+        | Some err ->
+          Sim.Stats.incr "degrade.gave_up.writeback";
+          wb_err := Some err
+        | None -> assert false);
+        e.dirty <- false;
+        decr ndirty)
+      reqs
+
+let dirty_count () = !ndirty
+
+(* Background flusher: drain up to 512 dirty blocks from the FIFO per
+   round, sorted and merged into batched writes (writeback coalescing —
+   adjacent dirty blocks of a sequential writer become one chain). *)
 let rec flush_batch () =
   let budget = ref 512 in
   let continue = ref true in
+  let victims = ref [] in
   while !continue && !budget > 0 do
     match Queue.take_opt dirty_fifo with
     | None -> continue := false
     | Some blockno -> (
       match Hashtbl.find_opt cache blockno with
       | Some e when e.dirty ->
-        writeback blockno e;
+        victims := (blockno, e) :: !victims;
         decr budget
       | Some _ | None -> ())
   done;
+  writeback_many !victims;
   ignore (Ostd.Wait_queue.wake_all !throttle_wq);
   if dirty_count () > bg_dirty_threshold then flush_batch () else flusher_running := false
-
-and dirty_count () = !ndirty
-
-and writeback blockno e =
-  if e.dirty then begin
-    let bio =
-      make_bio Write ~sector:(blockno * sectors_per_block) ~frame:e.cframe ~len:block_size ()
-    in
-    (match submit_and_wait bio with
-    | Ok () -> ()
-    | Error err ->
-      (* Retries exhausted. Softirq context cannot raise and cannot
-         keep the block dirty forever (the flusher would spin on it);
-         the data is lost and the error sticks until the next sync. *)
-      Sim.Stats.incr "degrade.gave_up.writeback";
-      wb_err := Some err);
-    e.dirty <- false;
-    decr ndirty
-  end
 
 let maybe_start_writeback () =
   if !ndirty > bg_dirty_threshold && not !flusher_running then begin
@@ -315,22 +488,21 @@ let consume_wb_err () =
 
 let sync () =
   let dirty = Hashtbl.fold (fun b e acc -> if e.dirty then (b, e) :: acc else acc) cache [] in
-  let dirty = List.sort (fun (a, _) (b, _) -> compare a b) dirty in
-  List.iter (fun (b, e) -> writeback b e) dirty;
+  writeback_many dirty;
   let flushed = if dirty <> [] then flush_device () else Ok () in
   match consume_wb_err () with Error _ as e -> e | Ok () -> flushed
 
 let sync_blocks blocks =
-  let wrote = ref false in
-  List.iter
-    (fun b ->
-      match Hashtbl.find_opt cache b with
-      | Some e when e.dirty ->
-        writeback b e;
-        wrote := true
-      | Some _ | None -> ())
-    (List.sort_uniq compare blocks);
-  let flushed = if !wrote then flush_device () else Ok () in
+  let dirty =
+    List.filter_map
+      (fun b ->
+        match Hashtbl.find_opt cache b with
+        | Some e when e.dirty -> Some (b, e)
+        | Some _ | None -> None)
+      (List.sort_uniq compare blocks)
+  in
+  writeback_many dirty;
+  let flushed = if dirty <> [] then flush_device () else Ok () in
   match consume_wb_err () with Error _ as e -> e | Ok () -> flushed
 
 (* Durability crosscheck for the chaos soak: re-read every clean cached

@@ -33,6 +33,13 @@ module type DRIVER = sig
   val submit : bio -> unit
   (** Begin servicing; completion arrives via [complete_bio]. *)
 
+  val submit_many : bio list -> unit
+  (** Scatter-gather: begin servicing a merged run of bios (same op,
+      adjacent sectors, already sorted) as one descriptor chain with a
+      single doorbell; the device completes the chain with one
+      interrupt. Each bio still completes individually via
+      [complete_bio]. *)
+
   val cancel : bio -> unit
   (** The block layer timed this bio out. The driver must stop waiting
       on it and quarantine any DMA buffers still exposed to the device,
@@ -49,6 +56,18 @@ val submit_and_wait : bio -> (unit, int) result
     up to 5 attempts). The caller's bio is completed exactly once with
     the final outcome; [Error errno] (EIO for a device that went silent)
     is returned once every attempt is exhausted. *)
+
+val submit_batch : bio list -> unit
+(** The plug/unplug request queue: sector-sort the bios, merge adjacent
+    same-op requests into descriptor chains (up to 32 per chain), and
+    issue each chain with one submission charge, one doorbell, and one
+    completion interrupt, under a single shared deadline. On a mid-batch
+    error or timeout the chain is split back into per-bio
+    [submit_and_wait] attempts, preserving the single-bio retry and EIO
+    semantics. Every bio is complete when this returns — callers inspect
+    [bio_status]. With [blk_batching] off in the profile, degenerates to
+    per-bio submission. Counters: [blk.merge] (bios saved a doorbell),
+    [blk.batch], [blk.batch_split]. *)
 
 (** {2 Buffer cache} *)
 
@@ -70,6 +89,20 @@ val zero_block : int -> unit
 val mark_dirty : int -> unit
 val dirty_blocks : unit -> int
 val cached_blocks : unit -> int
+
+val prefetch_blocks : ?mark:bool -> int list -> unit
+(** Readahead back end: batch-read the given blocks (misses only) into
+    the cache as clean entries. Read failures are dropped silently —
+    readahead is a hint; the demand read retries on its own. With [mark]
+    (default), entries are tagged speculative: a later demand hit counts
+    [blk.readahead.hit], and blocks issued here count
+    [blk.readahead.issued]. [~mark:false] is the plug path — batching
+    the demand range itself, counted under [blk.plug_read]. Demand reads
+    that reach the device synchronously count [blk.readahead.miss]. *)
+
+val drop_clean : unit -> int
+(** Evict every clean cache entry (cold-cache benchmark phases); dirty
+    blocks stay. Returns the number of entries dropped. *)
 
 val sync : unit -> (unit, int) result
 (** Write back every dirty block and issue a device flush.

@@ -203,6 +203,57 @@ let file_blocks ino =
   end;
   !out
 
+(* --- Sequential-stream detection and readahead ---
+
+   Per-inode window state machine: [next_fb] is the file block a
+   strictly sequential reader would demand next, [window] the current
+   readahead size in blocks. A demand read starting at [next_fb] is
+   sequential — the window doubles (1 -> 32) and that many blocks past
+   the demanded range are prefetched as one batch. Any other access
+   pattern collapses the window back to 1 (random reads never pay for
+   speculation). The table is forgotten on mkfs/mount. *)
+
+let ra_max_window = 32
+
+type ra_state = { mutable next_fb : int; mutable window : int }
+
+let ra_table : (int, ra_state) Hashtbl.t = Hashtbl.create 64
+
+let ra_reset () = Hashtbl.reset ra_table
+
+(* Device blocks backing file blocks [first, stop) — holes skipped. *)
+let mapped_range ino ~first ~stop =
+  let blocks = ref [] in
+  for fb = first to stop - 1 do
+    match bmap ino fb ~alloc:false with
+    | Some b -> blocks := b :: !blocks
+    | None -> ()
+  done;
+  !blocks
+
+let readahead ino ~first_fb ~nblocks =
+  if (Sim.Profile.get ()).Sim.Profile.blk_readahead then begin
+    let st =
+      match Hashtbl.find_opt ra_table ino with
+      | Some st -> st
+      | None ->
+        let st = { next_fb = 0; window = 1 } in
+        Hashtbl.add ra_table ino st;
+        st
+    in
+    let sequential = first_fb = st.next_fb in
+    if sequential then st.window <- min ra_max_window (max 2 (st.window * 2))
+    else st.window <- 1;
+    st.next_fb <- first_fb + nblocks;
+    if sequential && st.window > 1 then begin
+      let size = di_read ino di_size in
+      let file_nb = (size + block_size - 1) / block_size in
+      let start = first_fb + nblocks in
+      let stop = min file_nb (start + st.window) in
+      if stop > start then Block.prefetch_blocks (mapped_range ino ~first:start ~stop)
+    end
+  end
+
 (* --- File data I/O over the buffer cache --- *)
 
 let data_read ino ~pos ~buf ~boff ~len =
@@ -210,6 +261,14 @@ let data_read ino ~pos ~buf ~boff ~len =
   if pos >= size then 0
   else begin
     let len = min len (size - pos) in
+    let first_fb = pos / block_size in
+    let last_fb = (pos + len - 1) / block_size in
+    (* Plug: a demand read spanning several blocks fetches its misses as
+       one merged chain instead of one synchronous bio per block... *)
+    if last_fb > first_fb then
+      Block.prefetch_blocks ~mark:false (mapped_range ino ~first:first_fb ~stop:(last_fb + 1));
+    (* ...and a sequential stream speculates past it. *)
+    readahead ino ~first_fb ~nblocks:(last_fb - first_fb + 1);
     let moved = ref 0 in
     while !moved < len do
       let p = pos + !moved in
@@ -217,7 +276,9 @@ let data_read ino ~pos ~buf ~boff ~len =
       let chunk = min (len - !moved) (block_size - off) in
       (match bmap ino fb ~alloc:false with
       | Some b -> Block.read_from_block b ~off ~buf ~pos:(boff + !moved) ~len:chunk
-      | None -> Bytes.fill buf (boff + !moved) chunk '\000');
+      | None ->
+        Sim.Cost.charge_zero_fill chunk;
+        Bytes.fill buf (boff + !moved) chunk '\000');
       moved := !moved + chunk
     done;
     len
@@ -459,6 +520,7 @@ and ops =
 
 let mkfs () =
   Hashtbl.reset icache;
+  ra_reset ();
   alloc_hint := first_data_block;
   (* Superblock. *)
   Block.zero_block sb_block;
@@ -489,6 +551,7 @@ let mkfs () =
 
 let mount () =
   Hashtbl.reset icache;
+  ra_reset ();
   alloc_hint := first_data_block;
   if sb_magic () <> magic then Ostd.Panic.panic "ext2: bad magic (not formatted?)";
   vnode_of root_ino

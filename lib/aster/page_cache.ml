@@ -52,7 +52,10 @@ let read t ~pos ~buf ~boff ~len =
   iter_range pos len (fun idx off moved chunk ->
       match Hashtbl.find_opt t.frames idx with
       | Some frame -> Ostd.Untyped.read_bytes frame ~off ~buf ~pos:(boff + moved) ~len:chunk
-      | None -> Bytes.fill buf (boff + moved) chunk '\000')
+      | None ->
+        (* A hole still costs the memset that materialises its zeroes. *)
+        Sim.Cost.charge_zero_fill chunk;
+        Bytes.fill buf (boff + moved) chunk '\000')
 
 let write t ~pos ~buf ~boff ~len =
   alive t;
@@ -68,6 +71,9 @@ let truncate t n =
   alive t;
   let keep = (n + page_size - 1) / page_size in
   let victims = Hashtbl.fold (fun idx f acc -> if idx >= keep then (idx, f) :: acc else acc) t.frames [] in
+  (* Dropping a page is not free: each victim pays the removal cost
+     (unmap bookkeeping, free-list return). *)
+  Sim.Cost.charge_page_drop (List.length victims);
   List.iter
     (fun (idx, f) ->
       Ostd.Frame.drop f;

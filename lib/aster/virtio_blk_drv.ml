@@ -4,6 +4,7 @@ let desc_len = 4
 let desc_sector = 8
 let desc_data = 16
 let desc_status = 24
+let desc_next = 32
 let status_pending = 0xff
 
 type data_buf = Pooled of Ostd.Dma.Stream.t | Dynamic of Ostd.Dma.Stream.t
@@ -60,8 +61,10 @@ let release_data_buf s = function
   | Some (Pooled b) -> Ostd.Dma.Pool.release s.data_pool b
   | Some (Dynamic b) -> Ostd.Dma.Stream.unmap b
 
-let submit bio =
-  let s = st () in
+(* Build the DMA descriptor (and data buffer) for one bio. Writes every
+   descriptor field including a zero chain link; [link] stitches chains
+   afterwards. Does not ring the doorbell. *)
+let prepare s bio =
   let desc, desc_pooled = take_desc_buf s in
   let dframe = stream_frame desc in
   let op_code, data_buf =
@@ -88,27 +91,64 @@ let submit bio =
   Ostd.Untyped.write_u64 dframe ~off:desc_sector (Int64.of_int (Block.bio_sector bio));
   Ostd.Untyped.write_u64 dframe ~off:desc_data (Int64.of_int data_paddr);
   Ostd.Untyped.write_u32 dframe ~off:desc_status status_pending;
-  let device_idle = s.pending = [] in
-  s.pending <- { bio; desc; desc_pooled; data = data_buf } :: s.pending;
-  (* Doorbell suppression, as with the NIC: a busy device keeps pulling
-     from its queue without another VM exit. *)
-  if device_idle then
-    Ostd.Io_mem.doorbell s.window ~off:Machine.Virtio_blk.reg_queue_notify
-      (Int64.of_int (Ostd.Dma.Stream.paddr desc))
+  Ostd.Untyped.write_u64 dframe ~off:desc_next 0L;
+  { bio; desc; desc_pooled; data = data_buf }
+
+let link prev next =
+  Ostd.Untyped.write_u64 (stream_frame prev.desc) ~off:desc_next
+    (Int64.of_int (Ostd.Dma.Stream.paddr next.desc))
+
+(* Ring the doorbell for the chain head — with suppression, as with the
+   NIC: a busy device keeps pulling from its queue without another VM
+   exit. [device_idle] must be sampled before the requests are added to
+   [s.pending]. *)
+let ring s ~device_idle head =
+  let head_paddr = Int64.of_int (Ostd.Dma.Stream.paddr head.desc) in
+  if device_idle then begin
+    Sim.Stats.incr "blk.doorbell";
+    Ostd.Io_mem.doorbell s.window ~off:Machine.Virtio_blk.reg_queue_notify head_paddr
+  end
   else begin
+    Sim.Stats.incr "blk.notify_suppressed";
     Sim.Cost.charge 60;
     Machine.Mmio.write
       ~addr:(Ostd.Io_mem.base s.window + Machine.Virtio_blk.reg_queue_notify)
-      ~len:8
-      (Int64.of_int (Ostd.Dma.Stream.paddr desc))
+      ~len:8 head_paddr
   end
+
+let submit bio =
+  let s = st () in
+  let p = prepare s bio in
+  let device_idle = s.pending = [] in
+  s.pending <- p :: s.pending;
+  ring s ~device_idle p
+
+(* Scatter-gather submission: one descriptor chain, one doorbell, and —
+   on the device side — one completion interrupt for the whole run.
+   Each bio still completes (or times out) individually via [reap]. *)
+let submit_many bios =
+  let s = st () in
+  match List.map (prepare s) bios with
+  | [] -> ()
+  | head :: _ as ps ->
+    let rec link_all = function
+      | a :: (b :: _ as tl) ->
+        link a b;
+        link_all tl
+      | _ -> ()
+    in
+    link_all ps;
+    let device_idle = s.pending = [] in
+    s.pending <- List.rev_append ps s.pending;
+    ring s ~device_idle head
 
 (* Timeout path: the block layer has given up on this bio, but the
    device may still DMA into its buffers later. Quarantine them — unmap
    both streams without ever returning them to a pool, so a late write
    faults at the IOMMU instead of landing in reused memory (the Inv. 6
    story: hostile or stuck devices cannot corrupt kernel state). The
-   leaked pool slots are the price of that safety. *)
+   leaked pool slots are the price of that safety, counted under
+   [blk.pool_leaked] so /proc/kstat makes the shrinkage observable. *)
 let cancel bio =
   let s = st () in
   let stale, keep = List.partition (fun p -> p.bio == bio) s.pending in
@@ -116,8 +156,12 @@ let cancel bio =
   List.iter
     (fun p ->
       Sim.Stats.incr "virtio_blk.quarantined";
+      if p.desc_pooled then Sim.Stats.incr "blk.pool_leaked";
       (match p.data with
-      | Some (Pooled b) | Some (Dynamic b) -> Ostd.Dma.Stream.unmap b
+      | Some (Pooled b) ->
+        Sim.Stats.incr "blk.pool_leaked";
+        Ostd.Dma.Stream.unmap b
+      | Some (Dynamic b) -> Ostd.Dma.Stream.unmap b
       | None -> ());
       Ostd.Dma.Stream.unmap p.desc)
     stale
@@ -172,12 +216,16 @@ let init () =
     in
     state := Some s;
     let line = Ostd.Irq.claim ~vector:dev.Ostd.Bus_probe.vector ~name:"virtio-blk" () in
-    Ostd.Irq.set_handler line (fun () -> Softirq.raise_softirq reap);
+    Ostd.Irq.set_handler line (fun () ->
+        Sim.Stats.incr "blk.irq";
+        Softirq.raise_softirq reap);
     Ostd.Irq.bind_device line ~dev:dev_id;
     let module D = struct
       let capacity_sectors () = (st ()).capacity
 
       let submit = submit
+
+      let submit_many = submit_many
 
       let cancel = cancel
     end in

@@ -6,7 +6,16 @@
     notes blk-side pooling is *incomplete*, so data pages are still
     mapped/unmapped per request unless [blk_pooling_complete] is set —
     this is what makes SQLite more IOMMU-sensitive than Nginx/Redis
-    (§6.1.4). *)
+    (§6.1.4).
+
+    Besides single-bio [submit], the driver implements the block layer's
+    [submit_many]: a sorted run of bios becomes one descriptor chain
+    (linked through the descriptor's [next] field) rung with a single
+    doorbell; the device answers the whole chain with one completion
+    interrupt. Doorbells actually rung are counted under [blk.doorbell],
+    suppressed notifies under [blk.notify_suppressed], completion
+    interrupts under [blk.irq], and pool slots quarantined by bio
+    give-up under [blk.pool_leaked]. *)
 
 val init : unit -> unit
 (** Probe the bus, claim the device window/vector, build pools, and

@@ -5,15 +5,26 @@ let reg_device_id = 0x04
 let reg_capacity = 0x08
 let reg_queue_notify = 0x10
 
+(* Bytes of one request descriptor, including the chain link at off 32.
+   A notify may name the head of a chain: the device walks [next]
+   pointers (bounded, loop-safe) and services the whole chain with one
+   completion interrupt — the per-batch doorbell/IRQ economy the
+   batched block pipeline banks on. *)
+let desc_size = 40
+
+let max_chain = 128
+
 type t = {
   dev_id : int;
   vector : int;
   capacity : int;
   store : (int, Bytes.t) Hashtbl.t; (* sector -> 512 bytes, sparse *)
-  queue : int Queue.t; (* pending descriptor paddrs *)
+  queue : int Queue.t; (* pending descriptor (chain head) paddrs *)
   mutable busy : bool;
   mutable completed : int;
   mutable failed : int;
+  mutable chains : int;
+  mutable irqs_raised : int;
   mutable irq_pending : bool;
   mutable irq_missed : bool;
 }
@@ -47,6 +58,10 @@ let requests_completed t = t.completed
 
 let requests_failed t = t.failed
 
+let chains_processed t = t.chains
+
+let irqs_raised t = t.irqs_raised
+
 let dma_fault t what e =
   t.failed <- t.failed + 1;
   Sim.Stats.incr "virtio_blk.dma_fault";
@@ -59,6 +74,7 @@ let rec raise_coalesced t =
   if t.irq_pending then t.irq_missed <- true
   else begin
     t.irq_pending <- true;
+    t.irqs_raised <- t.irqs_raised + 1;
     Irq_chip.raise_irq (Irq_chip.Device t.dev_id) ~vector:t.vector;
     ignore
       (Sim.Events.schedule_after 1 (fun () ->
@@ -69,12 +85,16 @@ let rec raise_coalesced t =
            end))
   end
 
-(* Complete one request: DMA the descriptor, move the data, write status,
-   raise the interrupt. Runs as a device event, not kernel code. *)
-let execute t desc_paddr =
+(* Service one descriptor: DMA the descriptor, move the data, write
+   status. Runs as a device event, not kernel code. Returns [true] when
+   the status word was written (the request deserves an interrupt) —
+   the caller raises one interrupt per chain, not per descriptor. *)
+let execute_one t desc_paddr =
   let hdr = Bytes.create 24 in
-  match Iommu.access ~dev:t.dev_id ~paddr:desc_paddr ~len:32 with
-  | Error e -> dma_fault t "descriptor" e
+  match Iommu.access ~dev:t.dev_id ~paddr:desc_paddr ~len:desc_size with
+  | Error e ->
+    dma_fault t "descriptor" e;
+    false
   | Ok () ->
     Phys.read ~paddr:desc_paddr hdr ~off:0 ~len:24;
     let typ = Int32.to_int (Bytes.get_int32_le hdr 0) in
@@ -83,17 +103,19 @@ let execute t desc_paddr =
     let data_paddr = Int64.to_int (Bytes.get_int64_le hdr 16) in
     let finish status =
       (* Fault plane: a hostile/flaky disk. An injected error completes
-         with status 1; an injected drop never writes the status word and
-         never interrupts — the kernel's per-bio deadline must notice. *)
+         with status 1; an injected drop never writes the status word —
+         the kernel's per-bio deadline must notice. Mid-chain, a drop or
+         error hits only this descriptor; its neighbours complete. *)
       if Sim.Fault.roll "blk.drop" then begin
         t.failed <- t.failed + 1;
-        Sim.Stats.incr "virtio_blk.dropped_completion"
+        Sim.Stats.incr "virtio_blk.dropped_completion";
+        false
       end
       else begin
         let status = if status = 0 && Sim.Fault.roll "blk.io_error" then 1 else status in
         Phys.write_u32 (desc_paddr + 24) status;
         if status = 0 then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
-        raise_coalesced t
+        true
       end
     in
     let nsect = len / sector_size in
@@ -130,27 +152,63 @@ let execute t desc_paddr =
       | _ -> finish 1
     end
 
-let request_latency len =
+(* Walk the [next] pointers from a chain head. Bounded at [max_chain]
+   and tolerant of garbage pointers (a hostile kernel can link the chain
+   anywhere; the walk just ends). Security-relevant accesses — the
+   descriptor body and the data buffer — still go through the IOMMU in
+   [execute_one]. *)
+let chain_of head =
+  let rec go acc paddr n =
+    if paddr = 0 || n >= max_chain then List.rev acc
+    else begin
+      let next =
+        if Phys.valid ~paddr ~len:desc_size then Int64.to_int (Phys.read_u64 (paddr + 32))
+        else 0
+      in
+      go (paddr :: acc) next (n + 1)
+    end
+  in
+  go [] head 0
+
+(* Latency model: the first request of a chain pays the full per-op
+   device latency; each chained descriptor adds only the smaller
+   per-descriptor cost. The per-byte (bandwidth) part is paid in full
+   either way — batching amortises overheads, not the media. *)
+let chain_latency descs =
   let c = Sim.Cost.c () in
-  Sim.Clock.us c.Sim.Profile.blk_us_per_op
-  + int_of_float (float_of_int len /. max 0.001 c.Sim.Profile.blk_dev_bpc)
+  let byte_cycles len = int_of_float (float_of_int len /. max 0.001 c.Sim.Profile.blk_dev_bpc) in
+  List.fold_left
+    (fun (i, acc) paddr ->
+      let len = try Phys.read_u32 (paddr + 4) with Invalid_argument _ -> 0 in
+      let base =
+        if i = 0 then Sim.Clock.us c.Sim.Profile.blk_us_per_op
+        else Sim.Clock.us c.Sim.Profile.blk_us_per_desc
+      in
+      (i + 1, acc + base + byte_cycles len))
+    (0, 0) descs
+  |> snd
 
 let rec pump t =
   match Queue.take_opt t.queue with
   | None -> t.busy <- false
-  | Some desc_paddr ->
+  | Some head ->
     t.busy <- true;
-    (* Peek the length for the latency model; a faulting descriptor still
-       costs the base op latency. *)
-    let len = try Phys.read_u32 (desc_paddr + 4) with Invalid_argument _ -> 0 in
+    let descs = chain_of head in
+    if List.length descs > 1 then t.chains <- t.chains + 1;
     (* Injected service-time jitter: up to ~2 ms of extra latency, enough
-       to trip a first-attempt bio deadline but not a retried one. *)
-    let jitter =
-      Sim.Fault.delay_cycles "blk.delay" ~max_cycles:(Sim.Clock.us 2000.)
-    in
+       to trip a first-attempt bio deadline but not a retried one.
+       Charged once per chain, like the real head-of-line blocking it
+       models. *)
+    let jitter = Sim.Fault.delay_cycles "blk.delay" ~max_cycles:(Sim.Clock.us 2000.) in
     ignore
-      (Sim.Events.schedule_after (request_latency len + jitter) (fun () ->
-           execute t desc_paddr;
+      (Sim.Events.schedule_after
+         (chain_latency descs + jitter)
+         (fun () ->
+           let any =
+             List.fold_left (fun acc d -> if execute_one t d then true else acc) false descs
+           in
+           (* One completion interrupt for the whole chain. *)
+           if any then raise_coalesced t;
            pump t))
 
 let notify t desc_paddr =
@@ -168,6 +226,8 @@ let create ~capacity_sectors ~mmio_base ~dev_id ~vector =
       busy = false;
       completed = 0;
       failed = 0;
+      chains = 0;
+      irqs_raised = 0;
       irq_pending = false;
       irq_missed = false;
     }

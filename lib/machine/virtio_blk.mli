@@ -1,6 +1,6 @@
 (** Virtio block device model (single queue, like the paper's VM config).
 
-    The driver communicates through a 32-byte request descriptor placed in
+    The driver communicates through a 40-byte request descriptor placed in
     DMA-visible physical memory:
 
     {v
@@ -9,14 +9,19 @@
       off  8  u64  sector
       off 16  u64  data paddr
       off 24  u32  status    written by the device: 0 ok, 1 io error
+      off 32  u64  next      paddr of the next chained descriptor, 0 = end
     v}
 
-    Writing the descriptor's physical address to the QUEUE_NOTIFY register
-    enqueues the request. The device DMAs through the {!Iommu}; a
-    translation fault aborts the request (and, if the status word itself
-    is unreachable, drops it silently — exactly the hostile-device
-    behaviour Inv. 6 defends the rest of memory against). Completion
-    raises the device's interrupt vector. *)
+    Writing a descriptor's physical address to the QUEUE_NOTIFY register
+    enqueues that descriptor — or, when its [next] field links further
+    descriptors, the whole chain: the device walks the chain (bounded,
+    loop-safe) and services every request with a single completion
+    interrupt, which is where batched submission earns its doorbell/IRQ
+    economy. The device DMAs through the {!Iommu}; a translation fault
+    aborts the request (and, if the status word itself is unreachable,
+    drops it silently — exactly the hostile-device behaviour Inv. 6
+    defends the rest of memory against). Completion raises the device's
+    interrupt vector. *)
 
 type t
 
@@ -40,3 +45,9 @@ val read_backing : t -> sector:int -> len:int -> bytes
 
 val requests_completed : t -> int
 val requests_failed : t -> int
+
+val chains_processed : t -> int
+(** Number of multi-descriptor chains serviced (length > 1). *)
+
+val irqs_raised : t -> int
+(** Completion interrupts actually raised (after coalescing). *)

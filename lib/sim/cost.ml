@@ -8,6 +8,10 @@ let charge_user_copy n = Clock.charge (per_byte (c ()).Profile.user_copy_bpc n)
 
 let charge_memcpy n = Clock.charge (per_byte (c ()).Profile.memcpy_bpc n)
 
+let charge_zero_fill n = Clock.charge (per_byte (c ()).Profile.zero_fill_bpc n)
+
+let charge_page_drop n = Clock.charge (n * (c ()).Profile.page_drop)
+
 let charge_safety select =
   if Profile.checks_on () then Clock.charge (select (c ()).Profile.safety)
 

@@ -12,6 +12,12 @@ val charge_user_copy : int -> unit
 val charge_memcpy : int -> unit
 (** Charge an in-kernel copy of [n] bytes. *)
 
+val charge_zero_fill : int -> unit
+(** Charge a memset of [n] zero bytes (hole reads, fresh pages). *)
+
+val charge_page_drop : int -> unit
+(** Charge the page-cache removal of [n] pages (truncate). *)
+
 val charge_safety : (Profile.safety_costs -> int) -> unit
 (** Charge one safety check, but only when the installed profile runs
     OSTD safety checks; selects the per-check cost from the table. *)

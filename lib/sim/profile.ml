@@ -36,6 +36,7 @@ type costs = {
   net_wake : int;
   blk_issue : int;
   blk_us_per_op : float;
+  blk_us_per_desc : float;
   blk_dev_bpc : float;
   net_us_per_pkt : float;
   net_dev_bpc : float;
@@ -51,6 +52,8 @@ type costs = {
   kmalloc : int;
   stat_fill : int;
   fs_new_page : int;
+  page_drop : int;
+  zero_fill_bpc : int;
   sched_pick : int;
   timer_program : int;
   safety : safety_costs;
@@ -62,6 +65,8 @@ type t = {
   iommu : bool;
   dma_pooling : bool;
   blk_pooling_complete : bool;
+  blk_batching : bool;
+  blk_readahead : bool;
   tcp_congestion_control : bool;
   tcp_gso : bool;
   rcu_walk : bool;
@@ -126,6 +131,7 @@ let linux_costs =
     net_wake = 4400;
     blk_issue = 1400;
     blk_us_per_op = 2.5;
+    blk_us_per_desc = 0.35;
     blk_dev_bpc = 0.7;
     net_us_per_pkt = 3.8;
     net_dev_bpc = 0.38;
@@ -141,6 +147,8 @@ let linux_costs =
     kmalloc = 147;
     stat_fill = 450;
     fs_new_page = 1200;
+    page_drop = 220;
+    zero_fill_bpc = 16;
     sched_pick = 120;
     timer_program = 80;
     safety = no_safety;
@@ -187,6 +195,8 @@ let linux =
     iommu = false;
     dma_pooling = false;
     blk_pooling_complete = false;
+    blk_batching = true;
+    blk_readahead = true;
     tcp_congestion_control = true;
     tcp_gso = true;
     rcu_walk = true;
@@ -205,6 +215,8 @@ let asterinas =
     iommu = true;
     dma_pooling = true;
     blk_pooling_complete = false;
+    blk_batching = true;
+    blk_readahead = true;
     tcp_congestion_control = false;
     tcp_gso = false;
     rcu_walk = false;
@@ -225,6 +237,10 @@ let with_safety_checks b t =
 let with_iommu b t = { t with iommu = b }
 
 let with_dma_pooling b t = { t with dma_pooling = b }
+
+let with_blk_batching b t = { t with blk_batching = b }
+
+let with_blk_readahead b t = { t with blk_readahead = b }
 
 let current = ref asterinas
 

@@ -50,6 +50,7 @@ type costs = {
   net_wake : int;            (** blocking-receive wakeup path (schedule, restore) *)
   blk_issue : int;           (** build + submit one virtio-blk request *)
   blk_us_per_op : float;     (** device latency per request, microseconds *)
+  blk_us_per_desc : float;   (** device latency per extra chained descriptor *)
   blk_dev_bpc : float;       (** device streaming bandwidth, bytes/cycle *)
   net_us_per_pkt : float;    (** virtio-net wire + host latency per packet *)
   net_dev_bpc : float;       (** virtio-net wire bandwidth, bytes/cycle *)
@@ -65,6 +66,8 @@ type costs = {
   kmalloc : int;
   stat_fill : int;           (** fill struct stat from an inode *)
   fs_new_page : int;         (** page-cache insertion of a freshly allocated page *)
+  page_drop : int;           (** page-cache removal of one page (truncate) *)
+  zero_fill_bpc : int;       (** memset bytes/cycle for hole reads / fresh pages *)
   sched_pick : int;
   timer_program : int;
   safety : safety_costs;
@@ -76,6 +79,9 @@ type t = {
   iommu : bool;                  (** DMA + interrupt remapping active *)
   dma_pooling : bool;            (** persistent DMA mappings (pooled) *)
   blk_pooling_complete : bool;   (** paper: blk driver pooling is partial *)
+  blk_batching : bool;           (** merge adjacent bios into descriptor chains:
+                                     one doorbell + one completion IRQ per batch *)
+  blk_readahead : bool;          (** sequential-stream readahead into the buffer cache *)
   tcp_congestion_control : bool; (** Reno; smoltcp-style stack lacks it *)
   tcp_gso : bool;                (** segmentation offload: per-64K instead of per-MSS costs *)
   rcu_walk : bool;               (** fast-path name lookup *)
@@ -98,6 +104,8 @@ val asterinas_no_iommu : t
 val with_safety_checks : bool -> t -> t
 val with_iommu : bool -> t -> t
 val with_dma_pooling : bool -> t -> t
+val with_blk_batching : bool -> t -> t
+val with_blk_readahead : bool -> t -> t
 
 val set : t -> unit
 (** Install the profile consulted by the simulated kernel. *)

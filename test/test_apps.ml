@@ -368,7 +368,7 @@ let test_speedtest1_structure () =
 
 let test_fio_sane () =
   ignore (boot ());
-  let out = ref { Apps.Fio.write_mb_s = nan; read_mb_s = nan } in
+  let out = ref { Apps.Fio.write_mb_s = nan; read_cold_mb_s = nan; read_mb_s = nan } in
   ignore
     (Aster.Process.spawn_kernel_style ~name:"fio" (fun uapi ->
          out := Apps.Fio.run (Apps.Libc.make uapi) ~file:"/ext2/fio.dat" ~mbytes:2;
