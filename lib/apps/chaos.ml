@@ -135,3 +135,117 @@ let run ?(profile = Sim.Profile.asterinas) ?(schedule = default_schedule) ~seed 
     fault_log = Sim.Fault.log ();
     report = Sim.Stats.fault_report ();
   }
+
+(* --- Batched-TX network chaos ---
+
+   Two concurrent guest->host streams while the TX fault plane is hot:
+   injected mid-burst failures must split bursts and ride the retry
+   ladder, injected drops must quarantine buffers, and every resulting
+   soft error must be attributed to the connection that owned the frame
+   — never a neighbour sharing the descriptor chain, never dropped on
+   the floor. The app-level oracle is each sink being byte-identical to
+   its own pattern. *)
+
+type net_outcome = {
+  nseed : int64;
+  rcs : int * int;  (** client exit codes; 0 = wrote everything *)
+  sinks : string * string;  (** bytes each host sink application received *)
+  eofs : bool * bool;  (** each sink saw a clean FIN *)
+  npanics : int;
+  splits : int;  (** net.burst_split: mid-burst errors that split a chain *)
+  quarantined : int;  (** buffers leaked to the deadline quarantine *)
+  gave_up : int;  (** frames abandoned after the retry ladder *)
+  soft_err : int;  (** tcp.tx_soft_err: errors claimed by the owning socket *)
+  unclaimed : int;  (** net.tx_err_unclaimed: must stay 0 — no misattribution *)
+  injected : int;  (** tx_fail + tx_drop rolls that fired *)
+  nfault_log : string list;
+}
+
+(* Hot enough that both degradation paths (burst split + quarantine)
+   fire within two 96 KiB streams; cold enough that TCP's RTO repairs
+   every loss and both streams complete. *)
+let net_schedule = [ ("net.tx_fail", 0.06); ("net.tx_drop", 0.03) ]
+
+let net_size = 96 * 1024
+
+let net_chunk = 8192
+
+let net_pattern ~stream len =
+  Bytes.init len (fun i -> Char.chr (((stream * 53) + (i * 17) + 11) land 0xff))
+
+let net_batch_run ?(profile = Sim.Profile.asterinas) ?(schedule = net_schedule) ~seed () =
+  let k = Runner.boot ~profile in
+  let host = Aster.Kernel.attach_host k in
+  (* Arm only once the kernel is up (boot resets the plane); the armed
+     window then covers both handshakes and both full streams. *)
+  Sim.Fault.configure ~seed schedule;
+  let sinks = [| Buffer.create net_size; Buffer.create net_size |] in
+  let eofs = [| false; false |] in
+  let rcs = [| -1; -1 |] in
+  let start_sink i ~port =
+    match Aster.Tcp.listen host.Aster.Kernel.htcp ~port with
+    | Error _ -> ()
+    | Ok l ->
+      ignore
+        (Ostd.Task.spawn
+           ~name:(Printf.sprintf "chaos-sink%d" i)
+           (fun () ->
+             let conn = Aster.Tcp.accept l in
+             let buf = Bytes.create 16384 in
+             let continue = ref true in
+             while !continue do
+               match Aster.Tcp.recv conn ~buf ~pos:0 ~len:16384 with
+               | Ok 0 ->
+                 eofs.(i) <- true;
+                 continue := false
+               | Ok n -> Buffer.add_subbytes sinks.(i) buf 0 n
+               | Error _ -> continue := false
+             done;
+             Aster.Tcp.close conn))
+  in
+  let start_client i ~port =
+    Runner.spawn
+      ~name:(Printf.sprintf "chaos-net%d" i)
+      (fun c ->
+        let fd = Libc.socket c ~domain:2 ~typ:1 in
+        if Libc.connect_inet c ~fd ~ip:Aster.Kernel.host_ip ~port < 0 then begin
+          rcs.(i) <- 1;
+          1
+        end
+        else begin
+          let data = net_pattern ~stream:i net_size in
+          let sent = ref 0 in
+          let ok = ref true in
+          while !ok && !sent < net_size do
+            let len = min net_chunk (net_size - !sent) in
+            let b = Bytes.sub data !sent len in
+            let n = Libc.write c ~fd ~vaddr:(Libc.put_bytes c b) ~len in
+            if n <= 0 then ok := false else sent := !sent + n
+          done;
+          ignore (Libc.close c fd);
+          rcs.(i) <- (if !ok then 0 else 2);
+          rcs.(i)
+        end)
+  in
+  start_sink 0 ~port:6001;
+  start_sink 1 ~port:6002;
+  start_client 0 ~port:6001;
+  start_client 1 ~port:6002;
+  let npanics = ref 0 in
+  (try Runner.run () with Ostd.Panic.Kernel_panic _ -> incr npanics);
+  Sim.Fault.disable ();
+  {
+    nseed = seed;
+    rcs = (rcs.(0), rcs.(1));
+    sinks = (Buffer.contents sinks.(0), Buffer.contents sinks.(1));
+    eofs = (eofs.(0), eofs.(1));
+    npanics = !npanics;
+    splits = Sim.Stats.get "net.burst_split";
+    quarantined = Sim.Stats.get "virtio_net.quarantined";
+    gave_up = Sim.Stats.get "degrade.gave_up.net_tx";
+    soft_err = Sim.Stats.get "tcp.tx_soft_err";
+    unclaimed = Sim.Stats.get "net.tx_err_unclaimed";
+    injected =
+      Sim.Stats.get "fault.injected.net.tx_fail" + Sim.Stats.get "fault.injected.net.tx_drop";
+    nfault_log = Sim.Fault.log ();
+  }

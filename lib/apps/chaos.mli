@@ -32,3 +32,38 @@ val nfiles : int
 
 val run :
   ?profile:Sim.Profile.t -> ?schedule:(string * float) list -> seed:int64 -> unit -> outcome
+
+(** Batched-TX network chaos: two concurrent guest→host streams with the
+    TX fault plane (tx_fail / tx_drop) hot for the whole run. Mid-burst
+    failures must split descriptor chains onto the retry ladder, dropped
+    completions must quarantine buffers, and every soft error must be
+    claimed by the socket that owned the frame ([unclaimed] stays 0).
+    App-level oracle: each sink byte-identical to its own pattern. *)
+type net_outcome = {
+  nseed : int64;
+  rcs : int * int;  (** client exit codes; 0 = wrote everything *)
+  sinks : string * string;  (** bytes each host sink application received *)
+  eofs : bool * bool;  (** each sink saw a clean FIN *)
+  npanics : int;
+  splits : int;  (** net.burst_split: mid-burst errors that split a chain *)
+  quarantined : int;  (** buffers leaked to the deadline quarantine *)
+  gave_up : int;  (** frames abandoned after the retry ladder *)
+  soft_err : int;  (** tcp.tx_soft_err: errors claimed by the owning socket *)
+  unclaimed : int;  (** net.tx_err_unclaimed: must stay 0 — no misattribution *)
+  injected : int;  (** tx_fail + tx_drop rolls that fired *)
+  nfault_log : string list;
+}
+
+val net_schedule : (string * float) list
+(** tx_fail / tx_drop probabilities tuned so both degradation paths fire
+    while TCP still repairs every loss. *)
+
+val net_pattern : stream:int -> int -> Bytes.t
+(** The per-stream payload pattern (distinct per stream id). *)
+
+val net_batch_run :
+  ?profile:Sim.Profile.t ->
+  ?schedule:(string * float) list ->
+  seed:int64 ->
+  unit ->
+  net_outcome

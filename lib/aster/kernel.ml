@@ -11,6 +11,7 @@ let host_ip = Packet.ip_of_string "10.0.2.2"
 
 let reset_services () =
   Vfs.reset ();
+  Netstack.reset_registry ();
   Block.reset ();
   Unix_sock.reset_namespace ();
   Strace.reset ();

@@ -1,25 +1,50 @@
 let loopback_ip = Packet.ip_of_string "127.0.0.1"
 
+(* A plugged TX queue flushes when the burst reaches this many segments,
+   mirroring the block layer's 32-bio descriptor-chain limit. *)
+let burst_limit = 32
+
 type t = {
   addr : int;
   host : bool;
   mutable ext_tx : Packet.t -> unit;
+  mutable ext_tx_many : (Packet.t list -> unit) option;
   mutable tcp_rx : Packet.t -> unit;
   mutable udp_rx : Packet.t -> unit;
+  mutable tx_err : Packet.t -> unit;
+  mutable plug : Packet.t list; (* reversed burst under collection *)
+  mutable plug_n : int;
+  mutable flush_scheduled : bool;
   mutable ntx : int;
   mutable nrx : int;
 }
 
+(* Every live stack, so the syscall boundary can flush pending bursts
+   without knowing who owns them. Reset at boot: stale stacks from a
+   previous machine must not be flushed into recycled device state. *)
+let stacks : t list ref = ref []
+
+let reset_registry () = stacks := []
+
 let create ~ip ~host =
-  {
-    addr = ip;
-    host;
-    ext_tx = (fun _ -> ());
-    tcp_rx = (fun _ -> ());
-    udp_rx = (fun _ -> ());
-    ntx = 0;
-    nrx = 0;
-  }
+  let t =
+    {
+      addr = ip;
+      host;
+      ext_tx = (fun _ -> ());
+      ext_tx_many = None;
+      tcp_rx = (fun _ -> ());
+      udp_rx = (fun _ -> ());
+      tx_err = (fun _ -> ());
+      plug = [];
+      plug_n = 0;
+      flush_scheduled = false;
+      ntx = 0;
+      nrx = 0;
+    }
+  in
+  stacks := t :: !stacks;
+  t
 
 let ip t = t.addr
 
@@ -27,9 +52,15 @@ let is_host t = t.host
 
 let set_ext_tx t f = t.ext_tx <- f
 
+let set_ext_tx_many t f = t.ext_tx_many <- Some f
+
 let set_tcp_rx t f = t.tcp_rx <- f
 
 let set_udp_rx t f = t.udp_rx <- f
+
+let set_tx_err t f = t.tx_err <- f
+
+let tx_error t p = t.tx_err p
 
 let charge t n = if not t.host then Sim.Cost.charge n
 
@@ -40,28 +71,84 @@ let packet_args (p : Packet.t) =
     p.Packet.src_port p.Packet.dst_port
     (Bytes.length p.Packet.payload)
 
+let burst_args ps =
+  let bytes = List.fold_left (fun a (p : Packet.t) -> a + Bytes.length p.Packet.payload) 0 ps in
+  Printf.sprintf "nseg=%d bytes=%d" (List.length ps) bytes
+
+let dispatch_proto t (p : Packet.t) =
+  t.nrx <- t.nrx + 1;
+  match p.Packet.proto with
+  | Packet.Tcp -> t.tcp_rx p
+  | Packet.Udp -> t.udp_rx p
+
 (* kprof: protocol processing on both paths folds under "net". *)
 let dispatch t (p : Packet.t) =
   Sim.Prof.scope "net" (fun () ->
-      t.nrx <- t.nrx + 1;
       Sim.Trace.emit Sim.Trace.Net "rx" (fun () -> packet_args p);
-      match p.Packet.proto with
-      | Packet.Tcp -> t.tcp_rx p
-      | Packet.Udp -> t.udp_rx p)
+      dispatch_proto t p)
+
+let rx t p = dispatch t p
+
+(* NAPI-coalesced delivery from the driver's bottom half: one tracepoint
+   for the whole reaped batch, not one per segment. *)
+let rx_many t ps =
+  if ps <> [] then
+    Sim.Prof.scope "net" (fun () ->
+        Sim.Trace.emit Sim.Trace.Net "rx" (fun () -> burst_args ps);
+        List.iter (dispatch_proto t) ps)
+
+let batching_on t =
+  (not t.host)
+  && t.ext_tx_many <> None
+  && (Sim.Profile.get ()).Sim.Profile.net_tx_batching
+
+(* Hand the collected burst to the driver's scatter-gather path: one
+   descriptor chain, one doorbell, one tracepoint. *)
+let flush t =
+  if t.plug_n > 0 then begin
+    let ps = List.rev t.plug in
+    t.plug <- [];
+    t.plug_n <- 0;
+    Sim.Prof.scope "net" (fun () ->
+        Sim.Stats.incr "net.burst";
+        Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> burst_args ps);
+        match t.ext_tx_many with
+        | Some f -> f ps
+        | None -> List.iter t.ext_tx ps)
+  end
+
+let flush_all () = List.iter flush !stacks
 
 let send t p =
   Sim.Prof.scope "net" (fun () ->
       t.ntx <- t.ntx + 1;
-      Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);
       let dst = p.Packet.dst_ip in
       if dst = loopback_ip || dst = t.addr then begin
+        Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);
         (* Loopback: softirq-style asynchronous hand-off. *)
         charge t (Sim.Cost.c ()).Sim.Profile.loopback_delivery;
         ignore (Sim.Events.schedule_after 0 (fun () -> dispatch t p))
       end
-      else t.ext_tx p)
-
-let rx t p = dispatch t p
+      else if batching_on t then begin
+        (* Plug: collect the segment; the burst flushes at the syscall
+           boundary, at [burst_limit], or via the scheduled fallback for
+           segments emitted from event context (RTO, delayed ACK). *)
+        Sim.Stats.incr "net.tx_queued";
+        t.plug <- p :: t.plug;
+        t.plug_n <- t.plug_n + 1;
+        if t.plug_n >= burst_limit then flush t
+        else if not t.flush_scheduled then begin
+          t.flush_scheduled <- true;
+          ignore
+            (Sim.Events.schedule_after 0 (fun () ->
+                 t.flush_scheduled <- false;
+                 flush t))
+        end
+      end
+      else begin
+        Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);
+        t.ext_tx p
+      end)
 
 let packets_tx t = t.ntx
 

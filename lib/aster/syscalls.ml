@@ -1319,6 +1319,11 @@ let dispatch proc nr args =
         Sim.Stats.incr "syscall.contained_failure";
         Error errno
     in
+    (* Syscall exit unplugs the TX queue: segments collected during the
+       handler leave as one burst (block-layer plug/flush, ported to the
+       NIC). Runs on success and error alike — an errno must not strand
+       a half-collected burst. *)
+    Netstack.flush_all ();
     match res with
     | Ok v when v = Int64.min_int && nr = N.execve -> Process.Exec_done
     | Ok v -> Process.Ret v

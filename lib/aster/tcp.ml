@@ -84,6 +84,7 @@ and conn = {
   mutable unacked : int; (* bytes received since the last ACK we sent *)
   mutable rx_segments : int; (* data segments received on this connection *)
   mutable nodelay : bool; (* TCP_NODELAY: disable the Nagle hold *)
+  mutable tx_soft_errors : int; (* driver gave up on a frame; RTO repairs it *)
 }
 
 let rto_cycles = Sim.Clock.us 40_000. (* 40 ms *)
@@ -157,6 +158,7 @@ let make_conn eng ~lip ~lport ~rip ~rport ~state =
     unacked = 0;
     rx_segments = 0;
     nodelay = false;
+    tx_soft_errors = 0;
   }
 
 let emit conn ?(flags = Packet.ack_flag) ?(seq = 0) payload =
@@ -378,11 +380,28 @@ let engine_rx eng (p : Packet.t) =
            ~src_port:p.Packet.dst_port ~dst_port:p.Packet.src_port ~flags:Packet.rst
            Bytes.empty))
 
+(* The driver exhausted its retries (or quarantined the buffer) for an
+   outgoing frame. The byte stream is repaired by the normal RTO
+   machinery; here we only attribute the soft error to the owning
+   connection so it lands on the right socket, not a neighbour sharing
+   the burst. *)
+let on_tx_error eng (p : Packet.t) =
+  match p.Packet.proto with
+  | Packet.Tcp -> (
+    let k = (p.Packet.src_port, p.Packet.dst_ip, p.Packet.dst_port) in
+    match Hashtbl.find_opt eng.conns k with
+    | Some conn ->
+      conn.tx_soft_errors <- conn.tx_soft_errors + 1;
+      Sim.Stats.incr "tcp.tx_soft_err"
+    | None -> Sim.Stats.incr "net.tx_err_unclaimed")
+  | Packet.Udp -> Sim.Stats.incr "net.tx_err_unclaimed"
+
 let create_engine stack ~cc =
   let eng =
     { stack; cc; conns = Hashtbl.create 64; listeners = Hashtbl.create 8; next_ephemeral = 33000 }
   in
   Netstack.set_tcp_rx stack (engine_rx eng);
+  Netstack.set_tx_err stack (on_tx_error eng);
   eng
 
 (* --- Public API --- *)
@@ -495,3 +514,5 @@ let peer_of conn = (conn.rip, conn.rport)
 let local_port conn = conn.lport
 
 let cwnd_bytes conn = if conn.eng.cc then conn.cwnd else max_int
+
+let tx_soft_errors conn = conn.tx_soft_errors

@@ -52,3 +52,9 @@ val local_port : conn -> int
 val cwnd_bytes : conn -> int
 (** Current congestion window ([max_int] when congestion control is
     off). *)
+
+val tx_soft_errors : conn -> int
+(** Frames this connection lost to driver give-ups or buffer
+    quarantines (all repaired by retransmission). A mid-burst fault must
+    land here on the owning socket, never on a neighbour that shared the
+    burst. *)

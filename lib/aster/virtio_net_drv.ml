@@ -1,5 +1,6 @@
-(* Buffer layout: descriptor (16 bytes) at offset 0, packet data at 64.
-   Buffers span several pages so GSO-sized frames fit. *)
+(* Buffer layout: descriptor (24 bytes, incl. the chain link at off 16)
+   at offset 0, packet data at 64. Buffers span several pages so
+   GSO-sized frames fit. *)
 let data_off = 64
 
 let buf_pages = 5
@@ -8,7 +9,22 @@ let data_cap = (buf_pages * Machine.Phys.page_size) - data_off
 
 let unused_marker = 0xFFFF
 
-type buf = { stream : Ostd.Dma.Stream.t; pooled : bool }
+let desc_len = 0
+let desc_status = 4
+let desc_data = 8
+let desc_next = 16
+
+(* One individual resubmission after a mid-burst failure; then give up
+   and report the frame to the stack (TCP repairs by retransmission). *)
+let tx_max_tries = 2
+
+type buf = {
+  stream : Ostd.Dma.Stream.t;
+  pooled : bool;
+  pkt : Packet.t option; (* TX only: for error reporting upstack *)
+  mutable tries : int;
+  mutable epoch : int; (* bumped per (re)submission; stale deadlines skip *)
+}
 
 type state = {
   stack : Netstack.t;
@@ -19,6 +35,7 @@ type state = {
   mutable rx_posted : buf list;
   mutable ntx : int;
   mutable nrx : int;
+  mutable polling : bool; (* NAPI: a poll chain is active, interrupts masked *)
 }
 
 let state : state option ref = ref None
@@ -32,17 +49,19 @@ let tx_packets () = match !state with Some s -> s.ntx | None -> 0
 
 let rx_packets () = match !state with Some s -> s.nrx | None -> 0
 
-let take_buf s =
+let tx_in_flight () = match !state with Some s -> List.length s.tx_pending | None -> 0
+
+let take_buf s ~pkt =
   if (Sim.Profile.get ()).Sim.Profile.dma_pooling then
     match Ostd.Dma.Pool.alloc s.pool with
-    | Some stream -> { stream; pooled = true }
+    | Some stream -> { stream; pooled = true; pkt; tries = 0; epoch = 0 }
     | None ->
       Sim.Stats.incr "virtio_net.pool_exhausted";
       { stream = Ostd.Dma.Stream.map (Ostd.Frame.alloc ~pages:buf_pages ~untyped:true ()) ~dev:s.dev_id;
-        pooled = false }
+        pooled = false; pkt; tries = 0; epoch = 0 }
   else
     { stream = Ostd.Dma.Stream.map (Ostd.Frame.alloc ~pages:buf_pages ~untyped:true ()) ~dev:s.dev_id;
-      pooled = false }
+      pooled = false; pkt; tries = 0; epoch = 0 }
 
 let release_buf s b =
   if b.pooled then Ostd.Dma.Pool.release s.pool b.stream else Ostd.Dma.Stream.unmap b.stream
@@ -50,11 +69,11 @@ let release_buf s b =
 let frame_of b = Ostd.Dma.Stream.frame b.stream
 
 let post_rx s =
-  let b = take_buf s in
+  let b = take_buf s ~pkt:None in
   let f = frame_of b in
-  Ostd.Untyped.write_u32 f ~off:0 data_cap;
-  Ostd.Untyped.write_u32 f ~off:4 unused_marker;
-  Ostd.Untyped.write_u64 f ~off:8 (Int64.of_int (Ostd.Dma.Stream.paddr b.stream + data_off));
+  Ostd.Untyped.write_u32 f ~off:desc_len data_cap;
+  Ostd.Untyped.write_u32 f ~off:desc_status unused_marker;
+  Ostd.Untyped.write_u64 f ~off:desc_data (Int64.of_int (Ostd.Dma.Stream.paddr b.stream + data_off));
   let ring_was_empty = s.rx_posted = [] in
   s.rx_posted <- s.rx_posted @ [ b ];
   (* Reposting into a non-empty RX ring is a ring update, not a kick. *)
@@ -62,70 +81,215 @@ let post_rx s =
     Ostd.Io_mem.doorbell s.window ~off:Machine.Virtio_net.reg_queue_rx
       (Int64.of_int (Ostd.Dma.Stream.paddr b.stream))
   else begin
-    Netstack.charge s.stack 60;
+    if not (Netstack.is_host s.stack) then Sim.Cost.charge_ring_update ();
     Machine.Mmio.write
       ~addr:(Ostd.Io_mem.base s.window + Machine.Virtio_net.reg_queue_rx)
       ~len:8
       (Int64.of_int (Ostd.Dma.Stream.paddr b.stream))
   end
 
-let transmit s pkt =
+(* Build the DMA descriptor for one outgoing frame, data copied in,
+   chain link zeroed; [link] stitches chains afterwards. Does not ring
+   the doorbell. *)
+let prepare_tx s pkt =
   let encoded = Packet.encode pkt in
   let len = Bytes.length encoded in
   if len > data_cap then Ostd.Panic.panic "virtio-net: packet exceeds buffer";
   Netstack.charge s.stack 500;
-  let b = take_buf s in
+  let b = take_buf s ~pkt:(Some pkt) in
   let f = frame_of b in
   (* Copy into the DMA buffer: a real data movement. *)
   if not (Netstack.is_host s.stack) then Sim.Cost.charge_memcpy len;
   Ostd.Untyped.write_bytes f ~off:data_off ~buf:encoded ~pos:0 ~len;
-  Ostd.Untyped.write_u32 f ~off:0 len;
-  Ostd.Untyped.write_u32 f ~off:4 unused_marker;
-  Ostd.Untyped.write_u64 f ~off:8 (Int64.of_int (Ostd.Dma.Stream.paddr b.stream + data_off));
-  let device_idle = s.tx_pending = [] in
-  s.tx_pending <- s.tx_pending @ [ b ];
+  Ostd.Untyped.write_u32 f ~off:desc_len len;
+  Ostd.Untyped.write_u32 f ~off:desc_status unused_marker;
+  Ostd.Untyped.write_u64 f ~off:desc_data (Int64.of_int (Ostd.Dma.Stream.paddr b.stream + data_off));
+  Ostd.Untyped.write_u64 f ~off:desc_next 0L;
   s.ntx <- s.ntx + 1;
-  (* Virtio event suppression: kick only an idle device (full VM-exit
-     cost); while it is busy, adding descriptors is a cheap ring update
-     and the device keeps consuming. *)
-  if device_idle then
-    Ostd.Io_mem.doorbell s.window ~off:Machine.Virtio_net.reg_queue_tx
-      (Int64.of_int (Ostd.Dma.Stream.paddr b.stream))
+  b
+
+let link prev next =
+  Ostd.Untyped.write_u64 (frame_of prev) ~off:desc_next
+    (Int64.of_int (Ostd.Dma.Stream.paddr next.stream))
+
+(* Ring the TX doorbell for a chain head. With the batched pipeline the
+   driver uses virtio event suppression: kick only an idle device (full
+   VM-exit cost); while it is busy, adding descriptors is a cheap ring
+   update and the device keeps consuming. The unbatched baseline is the
+   naive driver: every frame pays the full kick — exactly the per-packet
+   doorbell economy the TX plug exists to amortise. [device_idle] must
+   be sampled before the buffers are added to [s.tx_pending]. *)
+let ring s ~device_idle head =
+  let head_paddr = Int64.of_int (Ostd.Dma.Stream.paddr head.stream) in
+  if device_idle || not (Sim.Profile.get ()).Sim.Profile.net_tx_batching then begin
+    Sim.Stats.incr "net.doorbell";
+    Ostd.Io_mem.doorbell s.window ~off:Machine.Virtio_net.reg_queue_tx head_paddr
+  end
   else begin
-    Netstack.charge s.stack 60;
+    Sim.Stats.incr "net.notify_suppressed";
+    if not (Netstack.is_host s.stack) then Sim.Cost.charge_ring_update ();
     Machine.Mmio.write
       ~addr:(Ostd.Io_mem.base s.window + Machine.Virtio_net.reg_queue_tx)
-      ~len:8
-      (Int64.of_int (Ostd.Dma.Stream.paddr b.stream))
+      ~len:8 head_paddr
   end
 
-(* Bottom half: reap TX completions and deliver RX arrivals. *)
-let reap () =
-  let s = st () in
+(* Timeout path: the device never wrote a status word for these buffers
+   (a stuck or hostile NIC). Quarantine them — unmap the stream without
+   ever returning it to the pool, so a late DMA faults at the IOMMU
+   instead of landing in reused memory. The leaked pool slots are the
+   price of that safety, counted under [net.pool_leaked] so /proc/kstat
+   makes the shrinkage observable. The frames themselves are reported
+   upstack and repaired by retransmission. *)
+let tx_deadline_cycles n = Sim.Clock.us (500. +. (20. *. float_of_int n))
+
+let arm_tx_deadline s bufs =
+  let watched = List.map (fun b -> (b, b.epoch)) bufs in
+  ignore
+    (Sim.Events.schedule_after
+       (tx_deadline_cycles (List.length bufs))
+       (fun () ->
+         List.iter
+           (fun (b, epoch) ->
+             if
+               b.epoch = epoch
+               && List.memq b s.tx_pending
+               && Ostd.Untyped.read_u32 (frame_of b) ~off:desc_status = unused_marker
+             then begin
+               s.tx_pending <- List.filter (fun x -> not (x == b)) s.tx_pending;
+               Sim.Stats.incr "virtio_net.quarantined";
+               if b.pooled then Sim.Stats.incr "net.pool_leaked";
+               Ostd.Dma.Stream.unmap b.stream;
+               match b.pkt with
+               | Some p -> Netstack.tx_error s.stack p
+               | None -> ()
+             end)
+           watched))
+
+let submit_one s b =
+  b.epoch <- b.epoch + 1;
+  let device_idle = s.tx_pending = [] in
+  s.tx_pending <- s.tx_pending @ [ b ];
+  ring s ~device_idle b;
+  arm_tx_deadline s [ b ]
+
+let transmit s pkt = submit_one s (prepare_tx s pkt)
+
+(* Scatter-gather submission: one descriptor chain, one doorbell, and —
+   on the device side — one completion interrupt for the whole burst. *)
+let submit_many s pkts =
+  match List.map (prepare_tx s) pkts with
+  | [] -> ()
+  | head :: _ as bufs ->
+    let rec link_all = function
+      | a :: (b :: _ as tl) ->
+        link a b;
+        link_all tl
+      | _ -> ()
+    in
+    link_all bufs;
+    List.iter (fun b -> b.epoch <- b.epoch + 1) bufs;
+    let device_idle = s.tx_pending = [] in
+    s.tx_pending <- s.tx_pending @ bufs;
+    ring s ~device_idle head;
+    arm_tx_deadline s bufs
+
+(* A mid-burst transmit error splits the burst: the failing frame is
+   resubmitted individually (its own descriptor, its own doorbell
+   economy); its neighbours' completions are untouched. After
+   [tx_max_tries] the driver gives up and reports the frame upstack. *)
+let retry_or_give_up s b =
+  if b.tries < tx_max_tries then begin
+    b.tries <- b.tries + 1;
+    Sim.Stats.incr "net.burst_split";
+    Sim.Stats.incr "degrade.retried.net_tx";
+    let f = frame_of b in
+    Ostd.Untyped.write_u32 f ~off:desc_status unused_marker;
+    Ostd.Untyped.write_u64 f ~off:desc_next 0L;
+    submit_one s b
+  end
+  else begin
+    Sim.Stats.incr "degrade.gave_up.net_tx";
+    (match b.pkt with
+    | Some p -> Netstack.tx_error s.stack p
+    | None -> ());
+    release_buf s b
+  end
+
+(* One bottom-half pass: reap TX completions, deliver RX arrivals.
+   Returns how many descriptors it serviced so the NAPI loop can decide
+   whether to keep polling. *)
+let reap_once s =
   let done_tx, still_tx =
-    List.partition (fun b -> Ostd.Untyped.read_u32 (frame_of b) ~off:4 <> unused_marker)
+    List.partition (fun b -> Ostd.Untyped.read_u32 (frame_of b) ~off:desc_status <> unused_marker)
       s.tx_pending
   in
   s.tx_pending <- still_tx;
-  List.iter (release_buf s) done_tx;
+  List.iter
+    (fun b ->
+      if Ostd.Untyped.read_u32 (frame_of b) ~off:desc_status = 0 then release_buf s b
+      else retry_or_give_up s b)
+    done_tx;
   let done_rx, still_rx =
-    List.partition (fun b -> Ostd.Untyped.read_u32 (frame_of b) ~off:4 <> unused_marker)
+    List.partition (fun b -> Ostd.Untyped.read_u32 (frame_of b) ~off:desc_status <> unused_marker)
       s.rx_posted
   in
   s.rx_posted <- still_rx;
-  List.iter
-    (fun b ->
-      let used = Ostd.Untyped.read_u32 (frame_of b) ~off:4 in
-      let data = Bytes.create used in
-      if not (Netstack.is_host s.stack) then Sim.Cost.charge_memcpy used;
-      Ostd.Untyped.read_bytes (frame_of b) ~off:data_off ~buf:data ~pos:0 ~len:used;
-      s.nrx <- s.nrx + 1;
-      release_buf s b;
-      post_rx s;
-      match Packet.decode data with
-      | Some pkt -> Netstack.rx s.stack pkt
-      | None -> Sim.Stats.incr "virtio_net.bad_packet")
-    done_rx
+  let pkts =
+    List.filter_map
+      (fun b ->
+        let used = Ostd.Untyped.read_u32 (frame_of b) ~off:desc_status in
+        let data = Bytes.create used in
+        if not (Netstack.is_host s.stack) then Sim.Cost.charge_memcpy used;
+        Ostd.Untyped.read_bytes (frame_of b) ~off:data_off ~buf:data ~pos:0 ~len:used;
+        s.nrx <- s.nrx + 1;
+        release_buf s b;
+        post_rx s;
+        match Packet.decode data with
+        | Some pkt -> Some pkt
+        | None ->
+          Sim.Stats.incr "virtio_net.bad_packet";
+          None)
+      done_rx
+  in
+  if (Sim.Profile.get ()).Sim.Profile.net_irq_coalesce then Netstack.rx_many s.stack pkts
+  else List.iter (Netstack.rx s.stack) pkts;
+  List.length done_tx + List.length done_rx
+
+(* NAPI poll cadence while completions keep arriving. *)
+let napi_poll_us = 3.0
+
+(* NAPI proper: the interrupt line stays asserted (masked, from the
+   CPU's point of view) for as long as each poll pass finds work; only
+   an *empty* pass re-enables interrupts by acking the device. A bulk
+   transfer is then serviced by one interrupt plus a chain of timer
+   polls, and everything arriving meanwhile folds into the asserted
+   line (counted as net.coalesced_rx by the device). *)
+let rec napi_poll s =
+  if reap_once s > 0 then begin
+    Sim.Stats.incr "net.napi_poll";
+    ignore (Sim.Events.schedule_after (Sim.Clock.us napi_poll_us) (fun () -> napi_poll s))
+  end
+  else begin
+    s.polling <- false;
+    if not (Netstack.is_host s.stack) then Sim.Cost.charge_ring_update ();
+    Machine.Mmio.write
+      ~addr:(Ostd.Io_mem.base s.window + Machine.Virtio_net.reg_irq_ack)
+      ~len:4 1L
+  end
+
+(* Top of the bottom half. Coalesced mode enters the NAPI loop (at most
+   one active per device); the unbatched baseline services exactly the
+   one interrupt — per-completion interrupts, no ack protocol (the
+   device auto-clears its line). *)
+let reap () =
+  let s = st () in
+  if (Sim.Profile.get ()).Sim.Profile.net_irq_coalesce then begin
+    if not s.polling then begin
+      s.polling <- true;
+      napi_poll s
+    end
+  end
+  else ignore (reap_once s)
 
 let rx_ring_depth = 16
 
@@ -150,13 +314,17 @@ let init stack =
         rx_posted = [];
         ntx = 0;
         nrx = 0;
+        polling = false;
       }
     in
     state := Some s;
     let line = Ostd.Irq.claim ~vector:dev.Ostd.Bus_probe.vector ~name:"virtio-net" () in
-    Ostd.Irq.set_handler line (fun () -> Softirq.raise_softirq reap);
+    Ostd.Irq.set_handler line (fun () ->
+        Sim.Stats.incr "net.irq";
+        Softirq.raise_softirq reap);
     Ostd.Irq.bind_device line ~dev:s.dev_id;
     for _ = 1 to rx_ring_depth do
       post_rx s
     done;
-    Netstack.set_ext_tx stack (transmit s)
+    Netstack.set_ext_tx stack (transmit s);
+    Netstack.set_ext_tx_many stack (submit_many s)

@@ -1,23 +1,31 @@
 (** Virtio network device model, attached to one end of a {!Wire}.
 
-    Transmit descriptor (16 bytes):
+    Transmit descriptor (24 bytes):
     {v
-      off 0  u32  len
-      off 4  u32  status   written by the device: 0 sent, 1 dma fault
-      off 8  u64  data paddr
+      off 0   u32  len
+      off 4   u32  status   written by the device: 0 sent, 1 dma fault / tx error
+      off 8   u64  data paddr
+      off 16  u64  next descriptor paddr (0 = end of chain)
     v}
 
     Receive descriptor (16 bytes):
     {v
       off 0  u32  capacity
-      off 4  u32  used len  written by the device (0xffffffff until used)
+      off 4  u32  used len  written by the device (0xffff until used)
       off 8  u64  data paddr
     v}
 
-    The driver posts receive buffers ahead of time; inbound packets that
-    find no posted buffer are dropped and counted, like a NIC with an
-    empty RX ring. All data movement goes through the {!Iommu}. One
-    interrupt vector signals both TX completions and RX arrivals. *)
+    A TX notify names the head of a descriptor chain; the device walks
+    the [next] links (bounded), pays one per-kick latency plus a smaller
+    per-descriptor latency, puts every frame on the wire, and raises ONE
+    completion interrupt for the whole chain. The driver posts receive
+    buffers ahead of time; inbound packets that find no posted buffer
+    are dropped and counted, like a NIC with an empty RX ring. All data
+    movement goes through the {!Iommu}. One interrupt vector signals
+    both TX completions and RX arrivals; with the [net_irq_coalesce]
+    profile knob the line stays asserted until the driver acks it
+    ([reg_irq_ack]), NAPI-style, so arrivals landing before the bottom
+    half runs fold into one interrupt. *)
 
 type t
 
@@ -26,6 +34,9 @@ val create :
 
 val reg_queue_tx : int
 val reg_queue_rx : int
+val reg_irq_ack : int
 
 val rx_dropped : t -> int
 val tx_count : t -> int
+val chains_processed : t -> int
+val irqs_raised : t -> int

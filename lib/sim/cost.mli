@@ -24,3 +24,6 @@ val charge_safety : (Profile.safety_costs -> int) -> unit
 
 val charge_us : float -> unit
 (** Charge a duration given in microseconds. *)
+
+val charge_ring_update : unit -> unit
+(** Charge a suppressed-notify virtqueue ring update (no VM exit). *)

@@ -39,6 +39,8 @@ type costs = {
   blk_us_per_desc : float;
   blk_dev_bpc : float;
   net_us_per_pkt : float;
+  net_us_per_kick : float;
+  net_us_per_desc : float;
   net_dev_bpc : float;
   mmio_access : int;
   doorbell : int;
@@ -67,6 +69,8 @@ type t = {
   blk_pooling_complete : bool;
   blk_batching : bool;
   blk_readahead : bool;
+  net_tx_batching : bool;
+  net_irq_coalesce : bool;
   tcp_congestion_control : bool;
   tcp_gso : bool;
   rcu_walk : bool;
@@ -134,6 +138,8 @@ let linux_costs =
     blk_us_per_desc = 0.35;
     blk_dev_bpc = 0.7;
     net_us_per_pkt = 3.8;
+    net_us_per_kick = 0.3;
+    net_us_per_desc = 0.15;
     net_dev_bpc = 0.38;
     mmio_access = 10818;
     doorbell = 2500;
@@ -197,6 +203,8 @@ let linux =
     blk_pooling_complete = false;
     blk_batching = true;
     blk_readahead = true;
+    net_tx_batching = true;
+    net_irq_coalesce = true;
     tcp_congestion_control = true;
     tcp_gso = true;
     rcu_walk = true;
@@ -217,6 +225,8 @@ let asterinas =
     blk_pooling_complete = false;
     blk_batching = true;
     blk_readahead = true;
+    net_tx_batching = true;
+    net_irq_coalesce = true;
     tcp_congestion_control = false;
     tcp_gso = false;
     rcu_walk = false;
@@ -241,6 +251,10 @@ let with_dma_pooling b t = { t with dma_pooling = b }
 let with_blk_batching b t = { t with blk_batching = b }
 
 let with_blk_readahead b t = { t with blk_readahead = b }
+
+let with_net_tx_batching b t = { t with net_tx_batching = b }
+
+let with_net_irq_coalesce b t = { t with net_irq_coalesce = b }
 
 let current = ref asterinas
 

@@ -53,6 +53,8 @@ type costs = {
   blk_us_per_desc : float;   (** device latency per extra chained descriptor *)
   blk_dev_bpc : float;       (** device streaming bandwidth, bytes/cycle *)
   net_us_per_pkt : float;    (** virtio-net wire + host latency per packet *)
+  net_us_per_kick : float;   (** virtio-net TX queue processing per doorbell/burst *)
+  net_us_per_desc : float;   (** virtio-net TX processing per extra chained descriptor *)
   net_dev_bpc : float;       (** virtio-net wire bandwidth, bytes/cycle *)
   mmio_access : int;       (** one MMIO register access (VM-exit class cost) *)
   doorbell : int;          (** ioeventfd-style virtio kick *)
@@ -82,6 +84,10 @@ type t = {
   blk_batching : bool;           (** merge adjacent bios into descriptor chains:
                                      one doorbell + one completion IRQ per batch *)
   blk_readahead : bool;          (** sequential-stream readahead into the buffer cache *)
+  net_tx_batching : bool;        (** plug outgoing TCP/UDP segments into descriptor-chain
+                                     bursts: one doorbell per burst instead of per packet *)
+  net_irq_coalesce : bool;       (** one TX-complete IRQ per chain and NAPI-style
+                                     RX: one IRQ per delivered backlog drain *)
   tcp_congestion_control : bool; (** Reno; smoltcp-style stack lacks it *)
   tcp_gso : bool;                (** segmentation offload: per-64K instead of per-MSS costs *)
   rcu_walk : bool;               (** fast-path name lookup *)
@@ -106,6 +112,8 @@ val with_iommu : bool -> t -> t
 val with_dma_pooling : bool -> t -> t
 val with_blk_batching : bool -> t -> t
 val with_blk_readahead : bool -> t -> t
+val with_net_tx_batching : bool -> t -> t
+val with_net_irq_coalesce : bool -> t -> t
 
 val set : t -> unit
 (** Install the profile consulted by the simulated kernel. *)

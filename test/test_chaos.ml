@@ -119,6 +119,57 @@ let mid_batch_determinism () =
   let _, _, _, log3 = batch_fault_run 7L in
   check "different seed, different schedule" true (log1 <> log3)
 
+(* --- Mid-burst TX faults on the network path ---
+
+   Two concurrent guest->host streams with net.tx_fail / net.tx_drop hot
+   for the whole run (handshakes included). An injected mid-burst failure
+   must split the descriptor chain onto the retry ladder (net.burst_split),
+   a dropped completion must quarantine the buffer, and every resulting
+   soft error must land on the socket that owned the frame — never a
+   neighbour sharing the burst, never the floor. The app-level oracle is
+   each sink being byte-identical to its own pattern despite the
+   wreckage. *)
+
+let net_pattern_str ~stream len = Bytes.to_string (Apps.Chaos.net_pattern ~stream len)
+
+let net_batch_fault () =
+  let o = Apps.Chaos.net_batch_run ~seed:42L () in
+  let r0, r1 = o.Apps.Chaos.rcs in
+  let s0, s1 = o.Apps.Chaos.sinks in
+  let e0, e1 = o.Apps.Chaos.eofs in
+  check_int "stream 0 client wrote everything" 0 r0;
+  check_int "stream 1 client wrote everything" 0 r1;
+  check "stream 0 sink saw a clean FIN" true e0;
+  check "stream 1 sink saw a clean FIN" true e1;
+  check "no kernel panic escaped" true (o.Apps.Chaos.npanics = 0);
+  check "faults were injected into the TX path" true (o.Apps.Chaos.injected > 0);
+  check "a mid-burst error split a descriptor chain" true (o.Apps.Chaos.splits > 0);
+  check "dropped completions were quarantined" true (o.Apps.Chaos.quarantined > 0);
+  check "stream 0 byte-identical to its pattern" true
+    (String.equal s0 (net_pattern_str ~stream:0 (String.length s0)) && String.length s0 > 0);
+  check "stream 1 byte-identical to its pattern" true
+    (String.equal s1 (net_pattern_str ~stream:1 (String.length s1)) && String.length s1 > 0);
+  (* Attribution: every abandoned/quarantined frame surfaces as exactly
+     one soft error on the owning socket, and none go unclaimed. *)
+  check_int "every TX casualty claimed by its owning socket"
+    (o.Apps.Chaos.gave_up + o.Apps.Chaos.quarantined)
+    o.Apps.Chaos.soft_err;
+  check_int "no soft error misattributed or dropped" 0 o.Apps.Chaos.unclaimed
+
+let net_batch_determinism () =
+  let a = Apps.Chaos.net_batch_run ~seed:42L () in
+  let b = Apps.Chaos.net_batch_run ~seed:42L () in
+  Alcotest.(check (list string))
+    "same seed, byte-identical fault log" a.Apps.Chaos.nfault_log b.Apps.Chaos.nfault_log;
+  check "same seed, identical sink bytes" true (a.Apps.Chaos.sinks = b.Apps.Chaos.sinks);
+  check "same seed, identical degradation counters" true
+    (a.Apps.Chaos.splits = b.Apps.Chaos.splits
+    && a.Apps.Chaos.quarantined = b.Apps.Chaos.quarantined
+    && a.Apps.Chaos.soft_err = b.Apps.Chaos.soft_err);
+  let c = Apps.Chaos.net_batch_run ~seed:7L () in
+  check "different seed, different schedule" true
+    (a.Apps.Chaos.nfault_log <> c.Apps.Chaos.nfault_log)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -131,5 +182,10 @@ let () =
         [
           Alcotest.test_case "mid_batch_fault" `Slow mid_batch_fault;
           Alcotest.test_case "mid_batch_determinism" `Slow mid_batch_determinism;
+        ] );
+      ( "net-batch",
+        [
+          Alcotest.test_case "mid_burst_tx_fault" `Slow net_batch_fault;
+          Alcotest.test_case "net_batch_determinism" `Slow net_batch_determinism;
         ] );
     ]

@@ -127,6 +127,31 @@ let test_profiled_run_same_virtual_time () =
   check "profile actually recorded" true (String.length out > 0);
   check "profiling is free in virtual time" true (Int64.equal bare_end prof_end)
 
+(* --- Conservation under the batched net TX pipeline ---
+
+   Batching moves TX work out of the syscall path into softirq reaps,
+   NAPI poll events and burst flushes; every cycle spent there must
+   still be attributed to exactly one scope stack, and the "net" scope
+   must actually appear in the profile. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+  go 0
+
+let test_net_batch_conservation () =
+  Sim.Prof.enable ();
+  let row = Apps.Lmbench.find "bw_tcp 64k (virtio)" in
+  let mbs = row.Apps.Lmbench.run Sim.Profile.asterinas in
+  let out = Sim.Prof.render_folded () in
+  let elapsed = Sim.Prof.elapsed () in
+  let attributed = Sim.Prof.total_attributed () in
+  Sim.Prof.reset ();
+  check "throughput was measured" true (mbs > 0.);
+  check "bursts were submitted" true (Sim.Stats.get "net.burst" > 0);
+  check "the net scope appears in the folded profile" true (contains ~needle:";net" out);
+  check_i64 "attributed cycles sum exactly to elapsed" elapsed attributed
+
 (* --- Linux-ABI accounting surface --- *)
 
 let run_user body =
@@ -259,6 +284,7 @@ let () =
             test_same_seed_identical_profiles;
           Alcotest.test_case "profiled_run_same_virtual_time" `Quick
             test_profiled_run_same_virtual_time;
+          Alcotest.test_case "net_batch_conservation" `Quick test_net_batch_conservation;
         ] );
       ( "abi",
         [

@@ -1,0 +1,184 @@
+(* Network conformance suite for the batched virtio-net TX/RX pipeline.
+
+   The batching/coalescing knobs are performance knobs, not behaviour
+   knobs: the application-visible byte stream must be identical with
+   them on or off, error paths (handshake timeout, checksum rejection)
+   must survive burst submission, and a stuck NIC must leak — not
+   recycle — the DMA buffers it still owns. *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let pattern len = Bytes.init len (fun i -> Char.chr (((i * 31) + 7) land 0xff))
+
+(* Guest -> host transfer of [size] patterned bytes over the virtio NIC.
+   Returns (client exit, bytes the host application received, clean EOF
+   seen). Boots its own kernel, so Stats cover exactly this run; the
+   fault plane (armed after boot, which resets it) covers the whole
+   transfer including the handshake. *)
+let transfer ?(profile = Sim.Profile.asterinas) ?(port = 9009) ?(chunk = 8192) ?faults ~size () =
+  let k = Apps.Runner.boot ~profile in
+  let host = Aster.Kernel.attach_host k in
+  (match faults with Some (seed, schedule) -> Sim.Fault.configure ~seed schedule | None -> ());
+  let sink = Buffer.create size in
+  let eof = ref false in
+  (match Aster.Tcp.listen host.Aster.Kernel.htcp ~port with
+  | Error _ -> Alcotest.fail "host listen"
+  | Ok l ->
+    ignore
+      (Ostd.Task.spawn ~name:"host-sink" (fun () ->
+           let conn = Aster.Tcp.accept l in
+           let buf = Bytes.create 16384 in
+           let continue = ref true in
+           while !continue do
+             match Aster.Tcp.recv conn ~buf ~pos:0 ~len:16384 with
+             | Ok 0 ->
+               eof := true;
+               continue := false
+             | Ok n -> Buffer.add_subbytes sink buf 0 n
+             | Error _ -> continue := false
+           done;
+           Aster.Tcp.close conn)));
+  let rc = ref (-1) in
+  Apps.Runner.spawn ~name:"guest-src" (fun c ->
+      let fd = Apps.Libc.socket c ~domain:2 ~typ:1 in
+      if Apps.Libc.connect_inet c ~fd ~ip:Aster.Kernel.host_ip ~port < 0 then begin
+        rc := 1;
+        1
+      end
+      else begin
+        let data = pattern size in
+        let sent = ref 0 in
+        let ok = ref true in
+        while !ok && !sent < size do
+          let len = min chunk (size - !sent) in
+          let b = Bytes.sub data !sent len in
+          let n = Apps.Libc.write c ~fd ~vaddr:(Apps.Libc.put_bytes c b) ~len in
+          if n <= 0 then ok := false else sent := !sent + n
+        done;
+        ignore (Apps.Libc.close c fd);
+        rc := (if !ok then 0 else 2);
+        !rc
+      end);
+  Apps.Runner.run ();
+  (!rc, Buffer.contents sink, !eof)
+
+(* --- Conformance: batching is invisible at the application layer --- *)
+
+let test_batched_matches_unbatched () =
+  let size = 192 * 1024 in
+  let rc_b, bytes_b, eof_b = transfer ~size () in
+  let bursts = Sim.Stats.get "net.burst" in
+  let queued = Sim.Stats.get "net.tx_queued" in
+  let rc_u, bytes_u, eof_u =
+    transfer
+      ~profile:
+        (Sim.Profile.with_net_irq_coalesce false
+           (Sim.Profile.with_net_tx_batching false Sim.Profile.asterinas))
+      ~size ()
+  in
+  let bursts_u = Sim.Stats.get "net.burst" in
+  check_int "batched client exits cleanly" 0 rc_b;
+  check_int "unbatched client exits cleanly" 0 rc_u;
+  check "batched sink saw EOF" true eof_b;
+  check "unbatched sink saw EOF" true eof_u;
+  check "batched payload matches the pattern" true
+    (String.equal bytes_b (Bytes.to_string (pattern size)));
+  check "batched and unbatched payloads byte-identical" true (String.equal bytes_b bytes_u);
+  check "batched run submitted bursts" true (bursts > 0);
+  check "bursts amortise segments" true (bursts < queued);
+  check_int "unbatched run submitted no bursts" 0 bursts_u
+
+(* --- Handshake timeout survives batching ---
+
+   With the link dropping every frame, connect's SYN retransmission
+   ladder — segments emitted from event context, flushed through the
+   plugged TX queue — must still run its course and surface ETIMEDOUT,
+   not hang and not error differently. *)
+
+let test_etimedout_under_batching () =
+  ignore (Apps.Runner.boot ~profile:Sim.Profile.asterinas);
+  Sim.Fault.configure ~seed:3L [ ("net.drop", 1.0) ];
+  let rc = ref 0 in
+  Apps.Runner.spawn ~name:"guest-conn" (fun c ->
+      let fd = Apps.Libc.socket c ~domain:2 ~typ:1 in
+      rc := Apps.Libc.connect_inet c ~fd ~ip:Aster.Kernel.host_ip ~port:7;
+      0);
+  Apps.Runner.run ();
+  Sim.Fault.disable ();
+  check_int "connect fails with ETIMEDOUT" (-Aster.Errno.etimedout) !rc;
+  check "the SYN was retransmitted before giving up" true
+    (Sim.Stats.get "degrade.retried.tcp_syn" > 0);
+  check "drops were actually injected" true (Sim.Stats.get "virtio_net.injected_drop" > 0)
+
+(* --- Checksum rejection mid-burst ---
+
+   Frames corrupted inside a descriptor chain are rejected by the
+   packet checksum at the receiver and repaired by retransmission; the
+   stream stays byte-exact and the corruption never reaches the
+   application. *)
+
+let test_checksum_rejects_corrupt_mid_burst () =
+  let size = 128 * 1024 in
+  let rc, bytes, _eof = transfer ~faults:(9L, [ ("net.corrupt", 0.02) ]) ~size () in
+  Sim.Fault.disable ();
+  check_int "client exits cleanly despite corruption" 0 rc;
+  check "corruption was actually injected" true
+    (Sim.Stats.get "virtio_net.injected_corrupt" > 0);
+  check "receiver checksum rejected the mangled frames" true
+    (Sim.Stats.get "net.checksum_drop" > 0);
+  check "bursts were in flight while the plane was armed" true (Sim.Stats.get "net.burst" > 0);
+  check "payload repaired to byte-exactness" true
+    (String.equal bytes (Bytes.to_string (pattern size)))
+
+(* --- Quarantine accounting: a stuck NIC leaks pool slots ---
+
+   An injected tx_drop means the device never writes the status word.
+   The driver's burst deadline must quarantine the buffer: unmap it
+   without returning it to the DMA pool (a late DMA must fault at the
+   IOMMU, not land in reused memory), count the leak under
+   net.pool_leaked, and report the frame upstack — where, with no
+   owning connection, it lands in net.tx_err_unclaimed. *)
+
+let test_tx_drop_quarantines_and_leaks_pool () =
+  let k = Apps.Runner.boot ~profile:Sim.Profile.asterinas in
+  ignore (Aster.Kernel.attach_host k);
+  let nseg = 4 in
+  Sim.Fault.configure ~seed:5L [ ("net.tx_drop", 1.0) ];
+  Apps.Runner.spawn ~name:"raw-tx" (fun c ->
+      for i = 0 to nseg - 1 do
+        Aster.Netstack.send k.Aster.Kernel.stack
+          (Aster.Packet.make ~src_ip:Aster.Kernel.guest_ip ~dst_ip:Aster.Kernel.host_ip
+             ~proto:Aster.Packet.Tcp ~src_port:555 ~dst_port:556 ~flags:0
+             (Bytes.make 64 (Char.chr (65 + i))))
+      done;
+      Aster.Netstack.flush_all ();
+      (* Sleep past the burst deadline (500 us + 20 us/desc) so the
+         quarantine event fires while the clock still advances. *)
+      ignore (Apps.Libc.nanosleep_us c 2000.);
+      0);
+  Apps.Runner.run ();
+  Sim.Fault.disable ();
+  check_int "every frame of the burst was quarantined" nseg
+    (Sim.Stats.get "virtio_net.quarantined");
+  check_int "every quarantined pooled buffer is a leaked slot" nseg
+    (Sim.Stats.get "net.pool_leaked");
+  check_int "orphan frames reported but unclaimed by any socket" nseg
+    (Sim.Stats.get "net.tx_err_unclaimed");
+  check_int "no frame reached the wire" 0 (Sim.Stats.get "virtio_net.dma_fault")
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "conformance",
+        [
+          Alcotest.test_case "batched_matches_unbatched" `Quick test_batched_matches_unbatched;
+          Alcotest.test_case "etimedout_under_batching" `Quick test_etimedout_under_batching;
+          Alcotest.test_case "checksum_mid_burst" `Quick test_checksum_rejects_corrupt_mid_burst;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "tx_drop_leaks_pool" `Quick test_tx_drop_quarantines_and_leaks_pool;
+        ] );
+    ]

@@ -159,6 +159,51 @@ let test_traced_run_same_virtual_time () =
   check "tracing is free in virtual time" true (Int64.equal untraced_end traced_end);
   check "and the trace actually recorded" true (traced_total > 0)
 
+(* --- Batched TX: one tracepoint per burst, and tracing stays free ---
+
+   The plug/flush pipeline emits its Net "tx" record at flush time with
+   burst-shaped args ("nseg=... bytes=..."), so a traced transfer shows
+   one record per descriptor chain — not one per segment. The per-burst
+   count must agree exactly with the net.burst stat, and enabling the
+   tracepoints must not move the virtual clock. *)
+
+let bw_tcp_row () = Apps.Lmbench.find "bw_tcp 64k (virtio)"
+
+let is_tx_burst r =
+  r.Sim.Trace.cat = Sim.Trace.Net
+  && String.equal r.Sim.Trace.name "tx"
+  && String.length r.Sim.Trace.args >= 5
+  && String.equal (String.sub r.Sim.Trace.args 0 5) "nseg="
+
+let test_net_tx_trace_once_per_burst () =
+  Sim.Trace.reset ();
+  Sim.Trace.set_capacity 262144;
+  Sim.Trace.enable Sim.Trace.Net;
+  ignore ((bw_tcp_row ()).Apps.Lmbench.run Sim.Profile.asterinas);
+  let tx_burst_recs = List.length (List.filter is_tx_burst (Sim.Trace.records ())) in
+  let bursts = Sim.Stats.get "net.burst" in
+  let queued = Sim.Stats.get "net.tx_queued" in
+  let drops = Sim.Trace.dropped () in
+  Sim.Trace.reset ();
+  check_int "nothing fell out of the ring" 0 drops;
+  check "bursts were submitted" true (bursts > 0);
+  check_int "exactly one tx tracepoint per burst" bursts tx_burst_recs;
+  check "bursts amortise the queued segments" true (bursts < queued)
+
+let test_net_traced_run_same_virtual_time () =
+  Sim.Trace.reset ();
+  ignore ((bw_tcp_row ()).Apps.Lmbench.run Sim.Profile.asterinas);
+  let untraced_end = Sim.Clock.now () in
+  Sim.Trace.set_capacity 262144;
+  List.iter Sim.Trace.enable Sim.Trace.all_categories;
+  ignore ((bw_tcp_row ()).Apps.Lmbench.run Sim.Profile.asterinas);
+  let traced_end = Sim.Clock.now () in
+  let total = Sim.Trace.total () in
+  Sim.Trace.reset ();
+  check "tracing the batched pipeline is free in virtual time" true
+    (Int64.equal untraced_end traced_end);
+  check "and the trace actually recorded" true (total > 0)
+
 let () =
   Alcotest.run "trace"
     [
@@ -181,5 +226,11 @@ let () =
           Alcotest.test_case "same_seed_identical_traces" `Quick test_same_seed_identical_traces;
           Alcotest.test_case "traced_run_same_virtual_time" `Quick
             test_traced_run_same_virtual_time;
+        ] );
+      ( "net-batch",
+        [
+          Alcotest.test_case "tx_trace_once_per_burst" `Quick test_net_tx_trace_once_per_burst;
+          Alcotest.test_case "traced_bw_tcp_same_virtual_time" `Quick
+            test_net_traced_run_same_virtual_time;
         ] );
     ]
