@@ -751,6 +751,44 @@ let fio_seq () =
     (full.Apps.Fio.write_mb_s /. none.Apps.Fio.write_mb_s)
     ndb fdb nirq firq
 
+(* --- fio fsync-per-write: what a journal commit costs --- *)
+
+(* The fsync-heavy variant prices the crash-consistency plane: every
+   4 KiB write is followed by fsync, so with the journal on each one is
+   a full transaction commit (data sync + descriptor/content barrier +
+   FUA commit record). Stats reset at boot; the counters cover exactly
+   this run. *)
+let fio_fsync_run ~mbytes profile =
+  ignore (Apps.Runner.boot ~profile);
+  let out = ref (nan, 0) in
+  Apps.Runner.spawn ~name:"fio-fsync" (fun c ->
+      out := Apps.Fio.run_fsync c ~file:"/ext2/fiof.dat" ~mbytes;
+      0);
+  Apps.Runner.run ();
+  let mb_s, fsyncs = !out in
+  ( mb_s,
+    fsyncs,
+    Sim.Stats.get "jbd.commit",
+    Sim.Stats.get "blk.flush",
+    Sim.Stats.get "blk.fua" )
+
+let fio_fsync () =
+  section "fio fsync-per-write: ext2 journal commit cost";
+  let mbytes = if !quick then 1 else 2 in
+  let mb_on, fs_on, commits, flush_on, fua_on = fio_fsync_run ~mbytes Sim.Profile.asterinas in
+  let mb_off, fs_off, _, flush_off, _ =
+    fio_fsync_run ~mbytes (Sim.Profile.with_ext2_journal false Sim.Profile.asterinas)
+  in
+  Printf.printf "%-12s %9s %8s %9s %9s %6s\n" "journal" "MB/s" "fsyncs" "commits" "flushes" "FUA";
+  Printf.printf "%-12s %9.1f %8d %9d %9d %6d\n" "on" mb_on fs_on commits flush_on fua_on;
+  Printf.printf "%-12s %9.1f %8d %9d %9d %6d\n%!" "off" mb_off fs_off 0 flush_off 0;
+  add_result ~linux:mb_off ~aster:mb_on ~norm:(mb_on /. mb_off) ~unit_:"MB/s"
+    "crash/fio_fsync_write";
+  Printf.printf
+    "journaling costs %.0f%% on the fsync-per-write path (%d commits, %d FUA records)\n"
+    (100. *. (1. -. (mb_on /. mb_off)))
+    commits fua_on
+
 (* --- bw_tcp: TX batching / IRQ coalescing ablation --- *)
 
 (* One bw_tcp run plus the net.* counters that attribute the win:
@@ -863,6 +901,23 @@ let smoke () =
   in
   Printf.printf "lat_tcp batching on %.2f us vs off %.2f us\n" lat_on lat_off;
   expect "TX batching does not tax single-segment latency (>5%)" (lat_on <= lat_off *. 1.05);
+  print_endline "bench smoke: crash-consistency plane cost";
+  (* [full] above already runs with the journal on (the default
+     profile); only the cold-read path is gated — journaling is a
+     write-side mechanism and must stay off the read path. *)
+  let nojournal, _, _, _, _ =
+    fio_stats_run ~mbytes (Sim.Profile.with_ext2_journal false base)
+  in
+  Printf.printf "fio_seq cold read: journal on %.0f MB/s vs off %.0f MB/s (%.2fx)\n"
+    full.Apps.Fio.read_cold_mb_s nojournal.Apps.Fio.read_cold_mb_s
+    (full.Apps.Fio.read_cold_mb_s /. nojournal.Apps.Fio.read_cold_mb_s);
+  expect "journaling costs <=15% on the fio_seq cold-read path"
+    (full.Apps.Fio.read_cold_mb_s >= 0.85 *. nojournal.Apps.Fio.read_cold_mb_s);
+  let fmb, ffs, fcommits, _, ffua = fio_fsync_run ~mbytes:1 base in
+  Printf.printf "fio fsync-per-write: %.1f MB/s, %d fsyncs -> %d commits, %d FUA records\n"
+    fmb ffs fcommits ffua;
+  expect "fsync-heavy run commits once per fsync" (ffs > 0 && fcommits >= ffs);
+  expect "commit records are written FUA" (ffua > 0);
   if !fail then exit 1 else print_endline "bench smoke: OK"
 
 (* --- Regression gate: bench --compare BASELINE.json --- *)
@@ -969,6 +1024,7 @@ let all_targets =
     ("bechamel", bechamel_table8);
     ("chaos", chaos_bench);
     ("fio_seq", fio_seq);
+    ("fio_fsync", fio_fsync);
     ("bw_tcp_batch", bw_tcp_batch);
     ("smoke", smoke);
   ]
@@ -976,7 +1032,7 @@ let all_targets =
 let default_order =
   [
     "table1"; "table3"; "table7"; "table8"; "table9"; "table10"; "fig5a"; "table11"; "table12";
-    "fig6"; "fio_seq"; "bw_tcp_batch"; "fig7"; "fig9"; "ablations"; "bechamel";
+    "fig6"; "fio_seq"; "fio_fsync"; "bw_tcp_batch"; "fig7"; "fig9"; "ablations"; "bechamel";
   ]
 
 let () =

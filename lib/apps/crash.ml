@@ -1,0 +1,415 @@
+(* Deterministic crash-point replay harness.
+
+   A crash point is a write boundary: the k-th sector the virtio-blk
+   device would persist after the workload starts. [run ~cut_after:(Some
+   k)] arms the one-shot [blk.power_cut] trigger so the device dies with
+   exactly [k] sectors on stable storage, runs a seeded workload to
+   completion (post-cut syscalls degrade to EIO), and captures the
+   surviving disk image plus the host-side oracle: exactly which bytes
+   each fsync that returned 0 promised to keep.
+
+   [recover] boots a fresh kernel against a clone of that image — mount
+   replays the journal — then runs fsck and byte-compares every file
+   against the oracle. [sweep] enumerates every boundary for a seed and
+   recovers each twice, asserting the recovery logs are byte-identical
+   (same seed, same crash point, same replay — always).
+
+   Everything here is deterministic: same seed in, same boundary count,
+   same verdicts out. *)
+
+type workload = Fs | Sqlite
+
+let workload_name = function Fs -> "fs" | Sqlite -> "sqlite"
+
+let profile ~journal = Sim.Profile.with_ext2_journal journal Sim.Profile.asterinas
+
+(* --- Oracle state, kept on the host side of the simulation --- *)
+
+type fs_file = {
+  path : string;
+  written : Buffer.t;  (* everything a successful pwrite covered *)
+  mutable durable : string;  (* prefix promised by the last fsync that returned 0 *)
+}
+
+type sq_txn = {
+  txn_id : int;
+  rows : (int * string) list;
+  mutable txn_durable : bool;  (* every commit barrier succeeded *)
+}
+
+type crashed = {
+  seed : int64;
+  journal : bool;
+  workload : workload;
+  mutable disk : Machine.Virtio_blk.disk;  (* pristine post-crash image *)
+  mutable boundaries : int;  (* sectors persisted between arming and idle *)
+  mutable cut : bool;
+  mutable run_panics : int;
+  files : fs_file array;
+  mutable cfg_written : int list;  (* generations renamed into place, newest first *)
+  mutable cfg_durable : int;  (* newest generation a later successful fsync covered *)
+  mutable txns : sq_txn list;  (* commit order *)
+}
+
+(* --- The fs workload: patterned appends, periodic fsync, and an
+   atomic-replace config file (write tmp, fsync, rename) --- *)
+
+let record = 512
+let fs_steps = 12
+let fsync_every = 3
+let cfg_every = 5
+let nfiles = 2
+let cfg_len = 256
+
+let rec_byte ~seed ~file ~off =
+  let s = Int64.to_int (Int64.rem seed 251L) in
+  Char.chr ((s + (file * 97) + (off * 7) + 13) land 0xff)
+
+let cfg_content ~seed g =
+  let hdr = Printf.sprintf "gen:%06d:%Ld:" g seed in
+  Bytes.init cfg_len (fun i ->
+      if i < String.length hdr then hdr.[i]
+      else Char.chr (((g * 29) + (i * 3)) land 0xff))
+
+let fs_task st c =
+  let fds =
+    Array.map (fun f -> Libc.openf c f.path ~flags:0o102 ~mode:0o644) st.files
+  in
+  if Array.exists (fun fd -> fd < 0) fds then 1
+  else begin
+    (* Generation renamed into place but not yet covered by a fsync. *)
+    let pending_gen = ref 0 in
+    let note_fsync_ok () =
+      (* With the journal on, any commit also commits the rename's
+         dirent transaction (the journal is file-system-global). *)
+      if st.journal && !pending_gen > st.cfg_durable then
+        st.cfg_durable <- !pending_gen
+    in
+    for step = 1 to fs_steps do
+      let f = step mod nfiles in
+      let file = st.files.(f) in
+      let off = Buffer.length file.written in
+      let b = Bytes.init record (fun j -> rec_byte ~seed:st.seed ~file:f ~off:(off + j)) in
+      let w = Libc.pwrite c ~fd:fds.(f) ~vaddr:(Libc.put_bytes c b) ~len:record ~off in
+      if w > 0 then Buffer.add_subbytes file.written b 0 w;
+      if step mod fsync_every = 0 && Libc.fsync c fds.(f) = 0 then begin
+        file.durable <- Buffer.contents file.written;
+        note_fsync_ok ()
+      end;
+      if step mod cfg_every = 0 then begin
+        let g = step / cfg_every in
+        let tmp = Libc.openf c "/ext2/cfg.tmp" ~flags:0o1102 ~mode:0o644 in
+        if tmp >= 0 then begin
+          let content = cfg_content ~seed:st.seed g in
+          let w = Libc.pwrite c ~fd:tmp ~vaddr:(Libc.put_bytes c content) ~len:cfg_len ~off:0 in
+          let synced = if w = cfg_len then Libc.fsync c tmp else -1 in
+          ignore (Libc.close c tmp);
+          if synced = 0 && Libc.rename c "/ext2/cfg.tmp" "/ext2/cfg" = 0 then begin
+            st.cfg_written <- g :: st.cfg_written;
+            pending_gen := g
+          end
+        end
+      end
+    done;
+    Array.iteri
+      (fun i fd ->
+        if Libc.fsync c fd = 0 then begin
+          st.files.(i).durable <- Buffer.contents st.files.(i).written;
+          note_fsync_ok ()
+        end;
+        ignore (Libc.close c fd))
+      fds;
+    0
+  end
+
+(* --- The sqlite workload: transactions through the rollback-journal
+   protocol, with a VACUUM (temp-file rebuild + rename) mid-stream --- *)
+
+let sq_ntxns = 5
+let sq_rows = 8
+let sq_vacuum_after = 2
+
+let sq_value ~seed id = Printf.sprintf "v%d:%Ld:%s" id seed (String.make (8 + (id mod 7)) 'x')
+
+let sq_task st c =
+  let db = Mini_sqlite.open_db c "/ext2/cr.db" in
+  for t = 0 to sq_ntxns - 1 do
+    Mini_sqlite.begin_txn db;
+    if t = 0 then Mini_sqlite.create_table db "t";
+    let rows =
+      List.init sq_rows (fun r ->
+          let id = (t * sq_rows) + r in
+          (id, sq_value ~seed:st.seed id))
+    in
+    List.iter
+      (fun (id, v) -> Mini_sqlite.insert db ~table:"t" (Mini_sqlite.K_int id) v)
+      rows;
+    let durable = Mini_sqlite.commit_durable db in
+    st.txns <- st.txns @ [ { txn_id = t; rows; txn_durable = durable } ];
+    if t = sq_vacuum_after then Mini_sqlite.vacuum db
+  done;
+  Mini_sqlite.close_db db;
+  0
+
+(* --- Running a (possibly cut) workload --- *)
+
+let run ~seed ~journal ~workload ~cut_after =
+  let k = Aster.Kernel.boot ~profile:(profile ~journal) () in
+  Libc.install_child_resolver ();
+  let dev = k.Aster.Kernel.devices.Machine.Board.blk in
+  let p0 = Machine.Virtio_blk.persist_count dev in
+  (* Board reset during boot clears all triggers; arm only now, so the
+     crash-point count excludes mkfs and is the same for every k. *)
+  (match cut_after with
+  | Some n -> Sim.Fault.set_trigger "blk.power_cut" ~after:n
+  | None -> ());
+  let st =
+    {
+      seed;
+      journal;
+      workload;
+      disk = Machine.Virtio_blk.disk_image dev;
+      boundaries = 0;
+      cut = false;
+      run_panics = 0;
+      files =
+        [|
+          { path = "/ext2/cr0.dat"; written = Buffer.create 4096; durable = "" };
+          { path = "/ext2/cr1.dat"; written = Buffer.create 4096; durable = "" };
+        |];
+      cfg_written = [];
+      cfg_durable = 0;
+      txns = [];
+    }
+  in
+  Runner.spawn ~name:"crash-wl" (fun c ->
+      match workload with Fs -> fs_task st c | Sqlite -> sq_task st c);
+  (try Aster.Kernel.run ()
+   with _ -> st.run_panics <- st.run_panics + 1);
+  Sim.Fault.clear_trigger "blk.power_cut";
+  st.boundaries <- Machine.Virtio_blk.persist_count dev - p0;
+  st.cut <- Machine.Virtio_blk.is_dead dev;
+  (* Clone so repeated recoveries each start from the same image. *)
+  st.disk <- Machine.Virtio_blk.clone_disk (Machine.Virtio_blk.disk_image dev);
+  st
+
+(* --- Recovery + verification --- *)
+
+type verdict = {
+  fsck : string list;
+  violations : string list;
+  recovery_log : string list;
+  panicked : bool;
+}
+
+let read_whole c fd size =
+  let buf = Bytes.create size in
+  let off = ref 0 in
+  let short = ref false in
+  while (not !short) && !off < size do
+    let want = min 4096 (size - !off) in
+    let vaddr = Libc.put_bytes c (Bytes.create want) in
+    let n = Libc.pread c ~fd ~vaddr ~len:want ~off:!off in
+    if n <= 0 then short := true
+    else begin
+      Bytes.blit (Libc.get_bytes c vaddr n) 0 buf !off n;
+      off := !off + n
+    end
+  done;
+  if !short then None else Some buf
+
+let fs_verify st c add =
+  Array.iter
+    (fun f ->
+      let dlen = String.length f.durable in
+      let wlen = Buffer.length f.written in
+      let wbytes = Buffer.contents f.written in
+      let fd = Libc.openf c f.path ~flags:0 ~mode:0 in
+      if fd < 0 then begin
+        if dlen > 0 then
+          add (Printf.sprintf "%s: missing, but %d bytes were fsync'd" f.path dlen)
+      end
+      else begin
+        (match Libc.stat c f.path with
+        | Error e -> add (Printf.sprintf "%s: stat failed (%d)" f.path e)
+        | Ok s ->
+          let size = s.Aster.Abi.size in
+          if size < dlen then
+            add (Printf.sprintf "%s: size %d < fsync'd %d bytes" f.path size dlen);
+          if size > wlen then
+            add (Printf.sprintf "%s: size %d beyond the %d bytes ever written" f.path size wlen);
+          match read_whole c fd (min size wlen) with
+          | None -> add (Printf.sprintf "%s: short read during verify" f.path)
+          | Some got ->
+            let n = Bytes.length got in
+            let bad_durable = ref (-1) and bad_tail = ref (-1) in
+            for i = 0 to n - 1 do
+              let g = Bytes.get got i in
+              if i < dlen then begin
+                if g <> f.durable.[i] && !bad_durable < 0 then bad_durable := i
+              end
+              else if g <> wbytes.[i] && g <> '\000' && !bad_tail < 0 then bad_tail := i
+            done;
+            if !bad_durable >= 0 then
+              add (Printf.sprintf "%s: fsync'd byte %d lost" f.path !bad_durable);
+            if !bad_tail >= 0 then
+              add (Printf.sprintf "%s: foreign data at byte %d" f.path !bad_tail));
+        ignore (Libc.close c fd)
+      end)
+    st.files;
+  (* The config file: any surviving version must be one complete
+     generation, and at least [cfg_durable] once a commit covered it. *)
+  let cfg_fd = Libc.openf c "/ext2/cfg" ~flags:0 ~mode:0 in
+  if cfg_fd < 0 then begin
+    if st.cfg_durable > 0 then
+      add (Printf.sprintf "cfg: missing, but generation %d was committed" st.cfg_durable)
+  end
+  else begin
+    (match Libc.stat c "/ext2/cfg" with
+    | Error e -> add (Printf.sprintf "cfg: stat failed (%d)" e)
+    | Ok s ->
+      let size = s.Aster.Abi.size in
+      let matches g =
+        size = cfg_len
+        &&
+        match read_whole c cfg_fd cfg_len with
+        | None -> false
+        | Some got -> Bytes.equal got (cfg_content ~seed:st.seed g)
+      in
+      (match List.find_opt matches st.cfg_written with
+      | None -> add (Printf.sprintf "cfg: torn (size %d matches no complete generation)" size)
+      | Some g ->
+        if st.cfg_durable > 0 && g < st.cfg_durable then
+          add
+            (Printf.sprintf "cfg: rolled back to generation %d (< committed %d)" g
+               st.cfg_durable)));
+    ignore (Libc.close c cfg_fd)
+  end
+
+let sq_verify st c add =
+  try
+    let db = Mini_sqlite.open_db c "/ext2/cr.db" in
+    ignore (Mini_sqlite.integrity_check db);
+    let status t =
+      let found =
+        List.filter
+          (fun (id, v) ->
+            Mini_sqlite.lookup db ~table:"t" (Mini_sqlite.K_int id) = Some v)
+          t.rows
+      in
+      if List.length found = List.length t.rows then `Full
+      else if found = [] then `None
+      else `Partial
+    in
+    let seen_gap = ref false in
+    List.iter
+      (fun t ->
+        match status t with
+        | `Partial -> add (Printf.sprintf "sqlite: transaction %d torn" t.txn_id)
+        | `Full ->
+          if !seen_gap then
+            add (Printf.sprintf "sqlite: transaction %d visible after a gap" t.txn_id)
+        | `None ->
+          seen_gap := true;
+          if t.txn_durable then
+            add (Printf.sprintf "sqlite: durable transaction %d lost" t.txn_id))
+      st.txns;
+    Mini_sqlite.close_db db
+  with e ->
+    (* The catalog page itself may be garbage after an unjournaled
+       crash: opening the database then fails structurally. That is a
+       corruption verdict unless nothing was ever durable. *)
+    if List.exists (fun t -> t.txn_durable) st.txns then
+      add (Printf.sprintf "sqlite: unreadable after crash (%s)" (Printexc.to_string e))
+
+let recover (st : crashed) : verdict =
+  Sim.Fault.clear_trigger "blk.power_cut";
+  let disk = Machine.Virtio_blk.clone_disk st.disk in
+  match
+    try Some (Aster.Kernel.boot ~profile:(profile ~journal:st.journal) ~disk ~format_disk:false ())
+    with Ostd.Panic.Kernel_panic _ -> None
+  with
+  | None ->
+    {
+      fsck = [];
+      violations = [ "recovery: kernel panic during mount/replay" ];
+      recovery_log = [];
+      panicked = true;
+    }
+  | Some _k ->
+    Libc.install_child_resolver ();
+    let recovery_log = Aster.Jbd.recovery_log () in
+    let fsck = Aster.Fsck.check () in
+    let violations = ref [] in
+    let add msg = violations := msg :: !violations in
+    Runner.spawn ~name:"crash-verify" (fun c ->
+        (match st.workload with Fs -> fs_verify st c add | Sqlite -> sq_verify st c add);
+        0);
+    let panicked = ref false in
+    (* A sufficiently corrupt unjournaled image can blow up kernel code
+       on structurally impossible metadata (a dirent pointing past its
+       block, an inode size beyond any mapping). That is a detected
+       corruption, not a harness failure: record it and keep sweeping. *)
+    (try Aster.Kernel.run ()
+     with
+    | Ostd.Panic.Kernel_panic msg ->
+      panicked := true;
+      add (Printf.sprintf "recovery: kernel panic (%s)" msg)
+    | e -> add (Printf.sprintf "recovery: exception (%s)" (Printexc.to_string e)));
+    {
+      fsck;
+      violations = List.rev !violations;
+      recovery_log;
+      panicked = !panicked;
+    }
+
+(* --- The sweep --- *)
+
+type sweep_result = {
+  sseed : int64;
+  sjournal : bool;
+  sworkload : workload;
+  total_boundaries : int;
+  swept : int;
+  bad_points : (int * string list) list;  (* crash point -> fsck + oracle violations *)
+  nondet_points : int list;  (* recovery logs differed across identical recoveries *)
+  spanics : int;
+}
+
+let boundaries ~seed ~journal ~workload =
+  (run ~seed ~journal ~workload ~cut_after:None).boundaries
+
+let sweep ?(progress = fun _ _ -> ()) ?(stride = 1) ~seed ~journal ~workload () =
+  let clean = run ~seed ~journal ~workload ~cut_after:None in
+  let n = clean.boundaries in
+  let bad = ref [] in
+  let nondet = ref [] in
+  let panics = ref clean.run_panics in
+  let swept = ref 0 in
+  let k = ref 0 in
+  while !k < n do
+    let st = run ~seed ~journal ~workload ~cut_after:(Some !k) in
+    let v1 = recover st in
+    let v2 = recover st in
+    if v1.recovery_log <> v2.recovery_log then nondet := !k :: !nondet;
+    if st.run_panics > 0 || v1.panicked then incr panics;
+    let msgs =
+      (if st.cut then [] else [ "power cut never fired" ])
+      @ List.map (fun m -> "fsck: " ^ m) v1.fsck
+      @ v1.violations
+    in
+    if msgs <> [] then bad := (!k, msgs) :: !bad;
+    incr swept;
+    progress !k n;
+    k := !k + stride
+  done;
+  {
+    sseed = seed;
+    sjournal = journal;
+    sworkload = workload;
+    total_boundaries = n;
+    swept = !swept;
+    bad_points = List.rev !bad;
+    nondet_points = List.rev !nondet;
+    spanics = !panics;
+  }

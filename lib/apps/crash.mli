@@ -1,0 +1,78 @@
+(** Deterministic crash-point replay harness.
+
+    A crash point is a write boundary: the k-th sector the device
+    persists after the workload starts. The harness runs a seeded
+    workload with the one-shot [blk.power_cut] trigger armed at k,
+    captures the surviving disk image together with a host-side oracle
+    of exactly what each successful fsync promised, then remounts a
+    clone (journal replay), runs fsck, and byte-compares reality
+    against the oracle. Same seed in, same verdicts out. *)
+
+type workload =
+  | Fs  (** patterned appends + periodic fsync + atomic-replace config file *)
+  | Sqlite  (** mini_sqlite transactions with a mid-stream VACUUM *)
+
+val workload_name : workload -> string
+
+type crashed = {
+  seed : int64;
+  journal : bool;
+  workload : workload;
+  mutable disk : Machine.Virtio_blk.disk;
+  mutable boundaries : int;
+  mutable cut : bool;
+  mutable run_panics : int;
+  files : fs_file array;
+  mutable cfg_written : int list;
+  mutable cfg_durable : int;
+  mutable txns : sq_txn list;
+}
+
+and fs_file = { path : string; written : Buffer.t; mutable durable : string }
+and sq_txn = { txn_id : int; rows : (int * string) list; mutable txn_durable : bool }
+
+val run :
+  seed:int64 -> journal:bool -> workload:workload -> cut_after:int option -> crashed
+(** Boot fresh, arm the trigger (if any), run the workload to
+    completion — post-cut syscalls degrade to EIO — and capture the
+    post-crash disk image (cloned: safe to recover repeatedly). *)
+
+type verdict = {
+  fsck : string list;  (** invariant violations found by {!Aster.Fsck.check} *)
+  violations : string list;  (** oracle violations: lost fsync'd data, torn files… *)
+  recovery_log : string list;  (** {!Aster.Jbd.recovery_log} of the replay *)
+  panicked : bool;
+}
+
+val recover : crashed -> verdict
+(** Remount a clone of the crashed image (replaying the journal), fsck,
+    and verify every durability promise the oracle recorded. *)
+
+type sweep_result = {
+  sseed : int64;
+  sjournal : bool;
+  sworkload : workload;
+  total_boundaries : int;  (** write boundaries in the clean run *)
+  swept : int;  (** crash points actually exercised *)
+  bad_points : (int * string list) list;
+  nondet_points : int list;
+      (** points whose two recoveries produced different logs: must be [] *)
+  spanics : int;
+}
+
+val boundaries : seed:int64 -> journal:bool -> workload:workload -> int
+(** Boundary count of a clean (uncut) run. *)
+
+val sweep :
+  ?progress:(int -> int -> unit) ->
+  ?stride:int ->
+  seed:int64 ->
+  journal:bool ->
+  workload:workload ->
+  unit ->
+  sweep_result
+(** Crash at every [stride]-th boundary, recover each image twice
+    (recovery logs must be byte-identical), and collect every fsck or
+    oracle violation. With the journal on, [bad_points] must be empty;
+    with it off, a non-empty list is the sensitivity proof that the
+    sweep detects real corruption. *)

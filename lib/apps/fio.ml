@@ -42,3 +42,29 @@ let run c ~file ~mbytes =
      cached path like fio on a warm page cache. *)
   let read_mb_s = seq_read () in
   { write_mb_s = Runner.mb_per_s ~bytes_moved:total ~us:write_us; read_cold_mb_s; read_mb_s }
+
+(* fsync-heavy variant (fio --fsync=1): one fsync per chunk, the
+   commit-latency shape a database WAL generates. With the ext2 journal
+   on, every fsync is a full transaction commit — two barriers and an
+   FUA commit record — so this is the worst case for journaling
+   overhead, where the 4 KiB-granularity [write_mb_s] throughput prices
+   each barrier. *)
+let run_fsync c ~file ~mbytes =
+  let fchunk = 4096 in
+  let total = mbytes * 1024 * 1024 in
+  let buf = Libc.ualloc c fchunk in
+  let fd = Libc.openf c file ~flags:0o102 ~mode:0o644 in
+  let t0 = Sim.Clock.now () in
+  let written = ref 0 in
+  let fsyncs = ref 0 in
+  while !written < total do
+    let n = Libc.write c ~fd ~vaddr:buf ~len:fchunk in
+    if n <= 0 then written := total
+    else begin
+      written := !written + n;
+      if Libc.fsync c fd = 0 then incr fsyncs
+    end
+  done;
+  let us = Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0) in
+  ignore (Libc.close c fd);
+  (Runner.mb_per_s ~bytes_moved:total ~us, !fsyncs)

@@ -8,3 +8,8 @@
 type result = { write_mb_s : float; read_cold_mb_s : float; read_mb_s : float }
 
 val run : Libc.t -> file:string -> mbytes:int -> result
+
+val run_fsync : Libc.t -> file:string -> mbytes:int -> float * int
+(** fsync-per-4KiB-write variant (fio --fsync=1): the commit-latency
+    shape of a database WAL, pricing one journal commit (two barriers +
+    FUA commit record) per write. Returns (MB/s, fsyncs performed). *)

@@ -92,32 +92,65 @@ let get_node db page =
     cache_evict db;
     n
 
-(* --- Journal protocol (SQLite "delete" mode) --- *)
+(* --- Journal protocol (SQLite "delete" mode) ---
+
+   Rollback journal: before a page is first modified inside a
+   transaction its ORIGINAL content is appended to [path]-journal as
+   [page u32][content].  A journal found at open time means the last
+   transaction never reached its commit point (journal deletion), so
+   replaying it rolls the database back to the pre-transaction state. *)
 
 let journal_path db = db.path ^ "-journal"
+
+let journal_magic = 0x4D53_514A (* "MSQJ" *)
+
+let entry_size = 4 + page_size
 
 let journal_header db =
   (* The 12-byte header: magic plus the page count — updated with a tiny
      pwrite every time a page is added, exactly the pattern the paper's
      strace found dominating VACUUM. *)
-  let b = Bytes.create 4 in
-  Bytes.set_int32_le b 0 (Int32.of_int db.journal_count);
+  let b = Bytes.create 12 in
+  Bytes.set_int32_le b 0 (Int32.of_int journal_magic);
+  Bytes.set_int32_le b 8 (Int32.of_int db.journal_count);
   (Libc.raw db.c).Ostd.User.mem_write db.io_buf b;
-  ignore (Libc.pwrite db.c ~fd:db.journal_fd ~vaddr:db.io_buf ~len:4 ~off:8)
+  ignore (Libc.pwrite db.c ~fd:db.journal_fd ~vaddr:db.io_buf ~len:12 ~off:0)
+
+(* Append one [page u32][original bytes] record and bump the count. *)
+let journal_raw db page original =
+  let entry = Bytes.make entry_size '\000' in
+  Bytes.set_int32_le entry 0 (Int32.of_int page);
+  Bytes.blit original 0 entry 4 (min (Bytes.length original) page_size);
+  (Libc.raw db.c).Ostd.User.mem_write db.io_buf entry;
+  ignore
+    (Libc.pwrite db.c ~fd:db.journal_fd ~vaddr:db.io_buf ~len:entry_size
+       ~off:(12 + (db.journal_count * entry_size)));
+  db.journal_count <- db.journal_count + 1;
+  journal_header db
+
+let read_page_bytes db page =
+  let n = Libc.pread db.c ~fd:db.db_fd ~vaddr:db.io_buf ~len:page_size ~off:(page * page_size) in
+  if n <= 0 then Bytes.make page_size '\000'
+  else Libc.get_bytes db.c db.io_buf page_size
 
 let journal_page db page =
   if db.in_txn && not (Hashtbl.mem db.journaled page) then begin
     Hashtbl.replace db.journaled page ();
-    (* Append the original content, then bump the header count. *)
     let original = Marshal.to_bytes (get_node db page) [] in
-    let padded = Bytes.make page_size '\000' in
-    Bytes.blit original 0 padded 0 (min (Bytes.length original) page_size);
-    (Libc.raw db.c).Ostd.User.mem_write db.io_buf padded;
-    ignore
-      (Libc.pwrite db.c ~fd:db.journal_fd ~vaddr:db.io_buf ~len:page_size
-         ~off:(12 + (db.journal_count * page_size)));
-    db.journal_count <- db.journal_count + 1;
-    journal_header db
+    journal_raw db page original
+  end
+
+(* fsync the directory holding [path]: a file creation, deletion, or
+   rename is only durable once its parent directory is. Returns a
+   negative errno if the directory could not be made durable. *)
+let fsync_dir db path =
+  let dir = Filename.dirname path in
+  let dfd = Libc.openf db.c dir ~flags:0o200000 (* O_DIRECTORY *) ~mode:0 in
+  if dfd < 0 then dfd
+  else begin
+    let rc = Libc.fsync db.c dfd in
+    ignore (Libc.close db.c dfd);
+    rc
   end
 
 let put_node db page node =
@@ -136,49 +169,163 @@ let alloc_page db =
     db.next_page <- p + 1;
     p
 
+(* --- Catalog (page 0) ---
+
+   Table and index roots live in a marshalled catalog on page 0,
+   rewritten at every commit, so a database survives closing the handle
+   — or losing power — and reopening it. *)
+
+type catalog = {
+  cat_tables : (string * int * int) list; (* name, root, nrows *)
+  cat_indexes : (string * (string * int * int) list) list;
+  cat_next_page : int;
+  cat_free_pages : int list;
+}
+
+let catalog_of db =
+  {
+    cat_tables =
+      Hashtbl.fold (fun name t acc -> (name, t.root, t.nrows) :: acc) db.tables [];
+    cat_indexes =
+      Hashtbl.fold
+        (fun name its acc ->
+          (name, List.map (fun (n, (it : tree)) -> (n, it.root, it.nrows)) its) :: acc)
+        db.indexes [];
+    cat_next_page = db.next_page;
+    cat_free_pages = db.free_pages;
+  }
+
+let write_catalog db =
+  let b = Marshal.to_bytes (catalog_of db) [] in
+  if Bytes.length b > page_size then Ostd.Panic.panic "mini_sqlite: catalog exceeds page";
+  let padded = Bytes.make page_size '\000' in
+  Bytes.blit b 0 padded 0 (Bytes.length b);
+  (Libc.raw db.c).Ostd.User.mem_write db.io_buf padded;
+  ignore (Libc.pwrite db.c ~fd:db.db_fd ~vaddr:db.io_buf ~len:page_size ~off:0)
+
+let load_catalog db =
+  let n = Libc.pread db.c ~fd:db.db_fd ~vaddr:db.io_buf ~len:page_size ~off:0 in
+  if n > 0 then begin
+    let b = Libc.get_bytes db.c db.io_buf page_size in
+    match (try Some (Marshal.from_bytes b 0 : catalog) with _ -> None) with
+    | None -> ()
+    | Some cat ->
+      List.iter
+        (fun (name, root, nrows) -> Hashtbl.replace db.tables name { root; nrows })
+        cat.cat_tables;
+      List.iter
+        (fun (name, its) ->
+          Hashtbl.replace db.indexes name
+            (List.map (fun (n, root, nrows) -> (n, { root; nrows })) its))
+        cat.cat_indexes;
+      db.next_page <- cat.cat_next_page;
+      db.free_pages <- cat.cat_free_pages
+  end
+
 let begin_txn db =
   if not db.in_txn then begin
     db.in_txn <- true;
     db.journal_fd <- Libc.openf db.c (journal_path db) ~flags:0o102 (* O_CREAT|O_RDWR *) ~mode:0o644;
     db.journal_count <- 0;
-    journal_header db
+    journal_header db;
+    (* The catalog changes with every transaction; journal its
+       pre-transaction image so rollback restores the old roots. *)
+    Hashtbl.replace db.journaled 0 ();
+    journal_raw db 0 (read_page_bytes db 0)
   end
 
-let commit db =
-  if db.in_txn then begin
-    (* 1. Make the journal durable, 2. write dirty pages, 3. sync the db,
-       4. delete the journal (the commit point). *)
-    ignore (Libc.fsync db.c db.journal_fd);
+let commit_durable db =
+  if not db.in_txn then true
+  else begin
+    (* 1. Make the journal durable, 2. write dirty pages + catalog,
+       3. sync the db, 4. delete the journal (the commit point),
+       5. make the deletion itself durable. The transaction is durable
+       only if every barrier succeeded: a failed journal fsync means a
+       crash replays a stale journal; a failed directory fsync means the
+       commit point (the deletion) may not survive — either way the
+       rollback at next open undoes the transaction. *)
+    let ok = ref true in
+    let chk rc = if rc < 0 then ok := false in
+    chk (Libc.fsync db.c db.journal_fd);
     Hashtbl.iter (fun page () -> write_page_raw db page (Hashtbl.find db.cache page)) db.dirty;
-    ignore (Libc.fsync db.c db.db_fd);
+    write_catalog db;
+    chk (Libc.fsync db.c db.db_fd);
     ignore (Libc.close db.c db.journal_fd);
-    ignore (Libc.unlink db.c (journal_path db));
+    chk (Libc.unlink db.c (journal_path db));
+    chk (fsync_dir db db.path);
     db.in_txn <- false;
     db.journal_fd <- -1;
     Hashtbl.reset db.journaled;
-    Hashtbl.reset db.dirty
+    Hashtbl.reset db.dirty;
+    !ok
   end
+
+let commit db = ignore (commit_durable db)
+
+(* Roll back a half-committed transaction left behind by a crash: copy
+   every journalled original back into the database, then delete the
+   journal.  A torn journal (shorter than its header claims) marks a
+   transaction that never reached its first barrier — the database
+   pages were never touched, so it is simply discarded. *)
+let rollback_journal c path ~db_fd ~io_buf =
+  let jpath = path ^ "-journal" in
+  match Libc.stat c jpath with
+  | Error _ -> ()
+  | Ok st ->
+    let jfd = Libc.openf c jpath ~flags:0o2 ~mode:0o644 in
+    let hdr_n = Libc.pread c ~fd:jfd ~vaddr:io_buf ~len:12 ~off:0 in
+    (if hdr_n = 12 then begin
+       let hdr = Libc.get_bytes c io_buf 12 in
+       let magic = Int32.to_int (Bytes.get_int32_le hdr 0) land 0xffffffff in
+       let count = Int32.to_int (Bytes.get_int32_le hdr 8) in
+       if
+         magic = journal_magic && count >= 0
+         && st.Aster.Abi.size >= 12 + (count * entry_size)
+       then begin
+         for i = 0 to count - 1 do
+           let off = 12 + (i * entry_size) in
+           ignore (Libc.pread c ~fd:jfd ~vaddr:io_buf ~len:entry_size ~off);
+           let entry = Libc.get_bytes c io_buf entry_size in
+           let page = Int32.to_int (Bytes.get_int32_le entry 0) in
+           if page >= 0 && page < 1_000_000 then begin
+             let content = Bytes.sub entry 4 page_size in
+             (Libc.raw c).Ostd.User.mem_write io_buf content;
+             ignore (Libc.pwrite c ~fd:db_fd ~vaddr:io_buf ~len:page_size ~off:(page * page_size))
+           end
+         done;
+         ignore (Libc.fsync c db_fd)
+       end
+     end);
+    ignore (Libc.close c jfd);
+    ignore (Libc.unlink c jpath)
 
 let open_db c path =
   let db_fd = Libc.openf c path ~flags:0o102 ~mode:0o644 in
-  {
-    c;
-    path;
-    db_fd;
-    cache = Hashtbl.create 512;
-    lru = [];
-    cache_cap = 48;
-    next_page = 1;
-    free_pages = [];
-    tables = Hashtbl.create 8;
-    indexes = Hashtbl.create 8;
-    in_txn = false;
-    journal_fd = -1;
-    journal_count = 0;
-    journaled = Hashtbl.create 64;
-    dirty = Hashtbl.create 64;
-    io_buf = Libc.ualloc c page_size;
-  }
+  (* Sized for a whole journal entry, the largest single transfer. *)
+  let io_buf = Libc.ualloc c entry_size in
+  rollback_journal c path ~db_fd ~io_buf;
+  let db =
+    {
+      c;
+      path;
+      db_fd;
+      cache = Hashtbl.create 512;
+      lru = [];
+      cache_cap = 48;
+      next_page = 1;
+      free_pages = [];
+      tables = Hashtbl.create 8;
+      indexes = Hashtbl.create 8;
+      in_txn = false;
+      journal_fd = -1;
+      journal_count = 0;
+      journaled = Hashtbl.create 64;
+      dirty = Hashtbl.create 64;
+      io_buf;
+    }
+  in
+  load_catalog db;
+  db
 
 let close_db db =
   commit db;
@@ -399,8 +546,11 @@ let create_index db ~table ~name =
 let pages_in_file db = db.next_page
 
 let vacuum db =
-  (* Copy every row into a fresh file through journaled transactions —
-     dominated by journal-header pwrites and fsyncs, as in the paper. *)
+  (* Rebuild every table — and every index — compactly into a fresh
+     temp file, then atomically rename it over the database.  A crash
+     at any point leaves either the complete old file (rename not yet
+     durable) or the complete new one; never a half-rebuilt hybrid.
+     Still dominated by header pwrites and fsyncs, as in the paper. *)
   charge op_overhead;
   let rows = ref [] in
   Hashtbl.iter
@@ -409,32 +559,50 @@ let vacuum db =
       tree_iter db t.root (fun k v -> acc := (k, v) :: !acc);
       rows := (name, List.rev !acc) :: !rows)
     db.tables;
-  (* Reset the file: truncate, rebuild trees compactly. *)
+  let index_names =
+    Hashtbl.fold (fun tbl its acc -> (tbl, List.map fst its) :: acc) db.indexes []
+  in
   commit db;
-  ignore (Libc.ftruncate db.c ~fd:db.db_fd ~len:0);
+  let tmp_path = db.path ^ "-vacuum" in
+  let old_fd = db.db_fd in
+  db.db_fd <- Libc.openf db.c tmp_path ~flags:0o1102 (* O_CREAT|O_RDWR|O_TRUNC *) ~mode:0o644;
   Hashtbl.reset db.cache;
   db.lru <- [];
   db.next_page <- 1;
   db.free_pages <- [];
-  let batch = ref 0 in
-  begin_txn db;
+  Hashtbl.reset db.tables;
+  Hashtbl.reset db.indexes;
+  (* The temp file needs no journal: until the rename lands it is
+     invisible, and a crash simply discards it. *)
   List.iter
     (fun (name, entries) ->
       let root = alloc_page db in
       put_node db root (Leaf [||]);
       let t = { root; nrows = 0 } in
       Hashtbl.replace db.tables name t;
-      List.iter
-        (fun (k, v) ->
-          root_insert db t k v;
-          incr batch;
-          if !batch mod 200 = 0 then begin
-            commit db;
-            begin_txn db
-          end)
-        entries)
+      Hashtbl.replace db.indexes name [];
+      List.iter (fun (k, v) -> root_insert db t k v) entries)
     !rows;
-  commit db
+  List.iter
+    (fun (tbl, names) ->
+      List.iter
+        (fun iname ->
+          let root = alloc_page db in
+          put_node db root (Leaf [||]);
+          let it = { root; nrows = 0 } in
+          Hashtbl.replace db.indexes tbl ((iname, it) :: index_trees db tbl);
+          List.iter
+            (fun (k, v) -> ignore k; root_insert db it (K_text v) "1")
+            (List.assoc tbl !rows))
+        names)
+    index_names;
+  Hashtbl.iter (fun page () -> write_page_raw db page (Hashtbl.find db.cache page)) db.dirty;
+  Hashtbl.reset db.dirty;
+  write_catalog db;
+  ignore (Libc.fsync db.c db.db_fd);
+  ignore (Libc.rename db.c tmp_path db.path);
+  ignore (fsync_dir db db.path);
+  ignore (Libc.close db.c old_fd)
 
 let integrity_check db =
   charge op_overhead;

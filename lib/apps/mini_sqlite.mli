@@ -19,6 +19,11 @@ val close_db : db -> unit
 val begin_txn : db -> unit
 val commit : db -> unit
 
+val commit_durable : db -> bool
+(** [commit], reporting whether every durability barrier (journal
+    fsync, database fsync, journal unlink + directory fsync) succeeded.
+    [false] means the transaction may be rolled back at the next open. *)
+
 (** {2 Tables and indexes} *)
 
 val create_table : db -> string -> unit

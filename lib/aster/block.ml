@@ -2,7 +2,7 @@ let block_size = 4096
 
 let sectors_per_block = block_size / 512
 
-type op = Read | Write | Flush
+type op = Read | Write | Write_fua | Flush
 
 type bio = {
   op : op;
@@ -15,7 +15,8 @@ type bio = {
 
 let make_bio op ~sector ?frame ~len () =
   (match (op, frame) with
-  | (Read | Write), None -> Ostd.Panic.panic "Block.make_bio: data op without a buffer"
+  | (Read | Write | Write_fua), None ->
+    Ostd.Panic.panic "Block.make_bio: data op without a buffer"
   | _ -> ());
   { op; sector; frame; len; status = None; wq = Ostd.Wait_queue.create () }
 
@@ -99,7 +100,11 @@ let wait_with_deadline bio ~cycles =
     in
     poll ()
 
-let op_name = function Read -> "read" | Write -> "write" | Flush -> "flush"
+let op_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Write_fua -> "write_fua"
+  | Flush -> "flush"
 
 let bio_args bio =
   Printf.sprintf "op=%s sector=%d len=%d" (op_name bio.op) bio.sector bio.len
@@ -170,7 +175,7 @@ let submit_and_wait bio =
 
 let max_batch = 32
 
-let op_rank = function Read -> 0 | Write -> 1 | Flush -> 2
+let op_rank = function Read -> 0 | Write -> 1 | Write_fua -> 2 | Flush -> 3
 
 (* One deadline for the whole chain: first-attempt bio deadline plus a
    per-request allowance comfortably above the device's per-descriptor
@@ -281,12 +286,39 @@ let bg_dirty_threshold = 768
 
 let hard_dirty_limit = 4096
 
-(* Sticky writeback error, errseq-lite: background writeback runs in
-   softirq context and cannot raise, so a block whose retries are
-   exhausted records its errno here (and the data is dropped — counted
-   as [degrade.gave_up.writeback]). The next [sync]/[sync_blocks] consumes and
-   reports it, exactly how Linux surfaces lost writeback at fsync. *)
-let wb_err : int option ref = ref None
+(* Sticky writeback errors, errseq_t-style: background writeback runs
+   in softirq context and cannot raise, so a block whose retries are
+   exhausted bumps a global error sequence (and the data is dropped —
+   counted as [degrade.gave_up.writeback]). Every interested party
+   samples the sequence when it starts caring (a file at open(2), the
+   legacy sync(2) consumer at its last report) and later asks "did an
+   error happen since my sample?" — so an fsync on an affected file
+   observes the loss even if some other sync(2) caller reported it
+   first, exactly Linux's errseq_t semantics. *)
+let wb_err_seq = ref 0
+
+let wb_err_code = ref 0
+
+(* The module-level sample backing the legacy first-caller-consumes
+   behaviour of [sync]. *)
+let sync_sample = ref 0
+
+let record_wb_err e =
+  incr wb_err_seq;
+  wb_err_code := e
+
+let wb_errseq () = !wb_err_seq
+
+let wb_check ~since =
+  if !wb_err_seq > since then Error (!wb_err_seq, !wb_err_code) else Ok ()
+
+(* Journal-pinned blocks: the journal has logged these and not yet
+   checkpointed them, so their home location on disk must not be
+   overwritten — writeback (background or sync) skips them until the
+   journal unpins. *)
+let pinned : (int, unit) Hashtbl.t = Hashtbl.create 64
+
+let is_pinned blockno = Hashtbl.mem pinned blockno
 
 let reset () =
   throttle_wq := Ostd.Wait_queue.create ();
@@ -296,7 +328,10 @@ let reset () =
   Queue.clear dirty_fifo;
   ndirty := 0;
   flusher_running := false;
-  wb_err := None
+  Hashtbl.reset pinned;
+  wb_err_seq := 0;
+  wb_err_code := 0;
+  sync_sample := 0
 
 let entry_of blockno ~fill =
   match Hashtbl.find_opt cache blockno with
@@ -366,10 +401,14 @@ let prefetch_blocks ?(mark = true) blocknos =
   end
 
 (* Drop every clean entry (used by cold-cache benchmark phases). Dirty
-   blocks stay — dropping them would lose data. Returns the count. *)
+   blocks stay — dropping them would lose data — and so do journal-pinned
+   ones: their home location on disk is stale by definition, so a
+   re-read would resurrect pre-transaction bytes. Returns the count. *)
 let drop_clean () =
   let victims =
-    Hashtbl.fold (fun b e acc -> if not e.dirty then (b, e) :: acc else acc) cache []
+    Hashtbl.fold
+      (fun b e acc -> if (not e.dirty) && not (is_pinned b) then (b, e) :: acc else acc)
+      cache []
   in
   List.iter
     (fun (b, e) ->
@@ -385,9 +424,11 @@ let drop_clean () =
    raise, and keeping it dirty would make the flusher spin on it). *)
 let writeback_many pairs =
   (* Sort (so adjacent dirty blocks merge) and dedup: the FIFO can name
-     a block twice, and writing it twice would corrupt [ndirty]. *)
+     a block twice, and writing it twice would corrupt [ndirty].
+     Journal-pinned blocks are skipped: their home location must stay
+     untouched until the journal checkpoints them. *)
   let pairs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) pairs in
-  match List.filter (fun (_, e) -> e.dirty) pairs with
+  match List.filter (fun (b, e) -> e.dirty && not (is_pinned b)) pairs with
   | [] -> ()
   | dirty ->
     let reqs =
@@ -403,7 +444,7 @@ let writeback_many pairs =
         | Some 0 -> ()
         | Some err ->
           Sim.Stats.incr "degrade.gave_up.writeback";
-          wb_err := Some err
+          record_wb_err err
         | None -> assert false);
         e.dirty <- false;
         decr ndirty)
@@ -423,14 +464,21 @@ let rec flush_batch () =
     | None -> continue := false
     | Some blockno -> (
       match Hashtbl.find_opt cache blockno with
-      | Some e when e.dirty ->
+      (* A journal-pinned victim is parked: it leaves the FIFO (so the
+         flusher cannot spin on it) and is re-queued when the journal
+         unpins it at checkpoint. *)
+      | Some e when e.dirty && not (is_pinned blockno) ->
         victims := (blockno, e) :: !victims;
         decr budget
       | Some _ | None -> ())
   done;
   writeback_many !victims;
   ignore (Ostd.Wait_queue.wake_all !throttle_wq);
-  if dirty_count () > bg_dirty_threshold then flush_batch () else flusher_running := false
+  (* Recurse only while the FIFO can still make progress: with every
+     remaining dirty block pinned, another round would busy-spin. *)
+  if dirty_count () > bg_dirty_threshold && not (Queue.is_empty dirty_fifo) then
+    flush_batch ()
+  else flusher_running := false
 
 let maybe_start_writeback () =
   if !ndirty > bg_dirty_threshold && not !flusher_running then begin
@@ -472,24 +520,78 @@ let dirty_blocks () = !ndirty
 
 let cached_blocks () = Hashtbl.length cache
 
+(* Journal pinning. [unpin] re-queues a still-dirty block for
+   writeback: the flusher may have parked it (dropped it from the FIFO
+   without writing) while it was pinned. *)
+let pin blockno = Hashtbl.replace pinned blockno ()
+
+let unpin blockno =
+  if Hashtbl.mem pinned blockno then begin
+    Hashtbl.remove pinned blockno;
+    match Hashtbl.find_opt cache blockno with
+    | Some e when e.dirty -> Queue.push blockno dirty_fifo
+    | Some _ | None -> ()
+  end
+
 let flush_device () =
+  Sim.Stats.incr "blk.flush";
   let bio = make_bio Flush ~sector:0 ~len:0 () in
   submit_and_wait bio
 
-(* Consume the sticky writeback error, errseq check-and-advance style:
-   the first sync after a lost writeback reports it, later ones start
-   clean. *)
-let consume_wb_err () =
-  match !wb_err with
-  | Some e ->
-    wb_err := None;
-    Error e
-  | None -> Ok ()
+(* Write [buf] to [blockno] on the device, bypassing the cache entry
+   entirely. The journal checkpoints a frozen (committed) image this
+   way while the cache already holds newer uncommitted bytes. Reaches
+   the volatile device cache only — follow with [flush_device] (or a
+   [sync]) for durability. *)
+let write_through blockno buf =
+  let scratch = Ostd.Frame.alloc ~untyped:true () in
+  Ostd.Untyped.write_bytes scratch ~off:0 ~buf ~pos:0 ~len:block_size;
+  let bio =
+    make_bio Write ~sector:(blockno * sectors_per_block) ~frame:scratch ~len:block_size ()
+  in
+  let r = submit_and_wait bio in
+  Ostd.Frame.drop scratch;
+  r
 
+(* FUA write of one cached block: write-through, durable before this
+   returns. The journal's commit record rides on this — it must not
+   linger in the device's volatile cache behind the transaction it
+   seals. *)
+let write_block_fua blockno =
+  match Hashtbl.find_opt cache blockno with
+  | None -> Ok ()
+  | Some e ->
+    Sim.Stats.incr "blk.fua";
+    let bio =
+      make_bio Write_fua ~sector:(blockno * sectors_per_block) ~frame:e.cframe
+        ~len:block_size ()
+    in
+    let r = submit_and_wait bio in
+    (match r with
+    | Ok () ->
+      if e.dirty then begin
+        e.dirty <- false;
+        decr ndirty
+      end
+    | Error _ -> ());
+    r
+
+(* Legacy sync(2) consumption: report an error once to the first sync
+   caller after it happened, via the module-level errseq sample. *)
+let consume_wb_err () =
+  match wb_check ~since:!sync_sample with
+  | Error (seq, code) ->
+    sync_sample := seq;
+    Error code
+  | Ok () -> Ok ()
+
+(* [sync]/[sync_blocks] always end in a device flush: earlier
+   background writeback may have parked data in the device's volatile
+   cache, and pushing pages to the driver is not durability. *)
 let sync () =
   let dirty = Hashtbl.fold (fun b e acc -> if e.dirty then (b, e) :: acc else acc) cache [] in
   writeback_many dirty;
-  let flushed = if dirty <> [] then flush_device () else Ok () in
+  let flushed = flush_device () in
   match consume_wb_err () with Error _ as e -> e | Ok () -> flushed
 
 let sync_blocks blocks =
@@ -502,7 +604,7 @@ let sync_blocks blocks =
       (List.sort_uniq compare blocks)
   in
   writeback_many dirty;
-  let flushed = if dirty <> [] then flush_device () else Ok () in
+  let flushed = flush_device () in
   match consume_wb_err () with Error _ as e -> e | Ok () -> flushed
 
 (* Durability crosscheck for the chaos soak: re-read every clean cached

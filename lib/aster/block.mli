@@ -8,13 +8,14 @@
 val block_size : int
 val sectors_per_block : int
 
-type op = Read | Write | Flush
+type op = Read | Write | Write_fua | Flush
 
 type bio
 
 val make_bio : op -> sector:int -> ?frame:Ostd.Frame.t -> len:int -> unit -> bio
-(** [frame] carries the data for Read/Write; Flush takes none. The frame
-    is borrowed for the bio's lifetime. *)
+(** [frame] carries the data for Read/Write/Write_fua; Flush takes none.
+    The frame is borrowed for the bio's lifetime. A [Write_fua] is
+    write-through: the device persists the sectors before completing. *)
 
 val bio_status : bio -> int option
 (** [None] while in flight; [Some 0] on success; [Some errno] on error. *)
@@ -90,6 +91,33 @@ val mark_dirty : int -> unit
 val dirty_blocks : unit -> int
 val cached_blocks : unit -> int
 
+(** {2 Journal pinning}
+
+    The write-ahead journal pins a block once it has logged it:
+    writeback (background or sync) must not overwrite the block's home
+    location until the journal record is durable and checkpointed.
+    Pinned blocks the flusher meets are parked — removed from the
+    writeback queue but kept dirty — and re-queued on [unpin]. *)
+
+val pin : int -> unit
+val unpin : int -> unit
+val is_pinned : int -> bool
+
+val write_block_fua : int -> (unit, int) result
+(** Write one cached block with FUA (durable on return, bypassing the
+    device's volatile cache) and mark it clean. Counts [blk.fua]. A
+    block that is not cached is a no-op. *)
+
+val flush_device : unit -> (unit, int) result
+(** Issue a device flush barrier: everything the device acknowledged
+    before this is durable when it completes. Counts [blk.flush]. *)
+
+val write_through : int -> Bytes.t -> (unit, int) result
+(** Write the given bytes to a block on the device without touching its
+    cache entry (journal checkpoint of a frozen committed image while
+    the cache holds newer bytes). Reaches the device's volatile cache
+    only; follow with {!flush_device} for durability. *)
+
 val prefetch_blocks : ?mark:bool -> int list -> unit
 (** Readahead back end: batch-read the given blocks (misses only) into
     the cache as clean entries. Read failures are dropped silently —
@@ -105,15 +133,28 @@ val drop_clean : unit -> int
     blocks stay. Returns the number of entries dropped. *)
 
 val sync : unit -> (unit, int) result
-(** Write back every dirty block and issue a device flush.
-    [Error errno] reports a flush failure or a sticky writeback error:
-    background writeback cannot raise, so a block it had to drop after
-    exhausting retries is recorded and surfaced at the next sync
-    (errseq-style, consumed once reported). *)
+(** Write back every dirty block (journal-pinned blocks excepted) and
+    issue a device flush. [Error errno] reports a flush failure or a
+    sticky writeback error: background writeback cannot raise, so a
+    block it had to drop after exhausting retries is recorded and
+    surfaced at the next sync (errseq-style, consumed once reported
+    on this legacy path — per-file observers use {!wb_check}). *)
 
 val sync_blocks : int list -> (unit, int) result
 (** Write back specific blocks (fsync of one file), then flush. Reports
     errors as [sync] does. *)
+
+(** {2 Writeback error sequencing (errseq_t)} *)
+
+val wb_errseq : unit -> int
+(** Current writeback-error sequence; sample it when you start caring
+    (e.g. at open(2)). *)
+
+val wb_check : since:int -> (unit, int * int) result
+(** Has a writeback error happened after [since]? [Error (seq, errno)]
+    reports it along with the new sequence to remember — so every
+    observer (each open file, plus the legacy sync(2) consumer) sees an
+    error exactly once, independently of the others. *)
 
 val verify_cache_against_device : unit -> int * int
 (** Durability crosscheck: re-read every clean cached block from the

@@ -11,7 +11,11 @@ let inode_size = 128
 let inodes_per_block = block_size / inode_size
 let ninodes = 4096
 let inode_table_blocks = ninodes / inodes_per_block
-let first_data_block = inode_table_start + inode_table_blocks
+
+(* Write-ahead journal area, between the inode table and the data. *)
+let journal_start = inode_table_start + inode_table_blocks
+let journal_blocks = 64
+let first_data_block = journal_start + journal_blocks
 
 let ptrs_per_block = block_size / 4
 let ndirect = 12
@@ -52,7 +56,11 @@ let read_u32_at block off =
   Block.read_from_block block ~off ~buf:scratch4 ~pos:0 ~len:4;
   Int32.to_int (Bytes.get_int32_le scratch4 0) land 0xffffffff
 
+(* Every u32 metadata write (superblock, inode table, indirect blocks)
+   funnels through here, so hooking the journal at this choke point
+   puts all of them under transaction protection. *)
 let write_u32_at block off v =
+  Jbd.touch block;
   Bytes.set_int32_le scratch4 0 (Int32.of_int v);
   Block.write_to_block block ~off ~buf:scratch4 ~pos:0 ~len:4
 
@@ -76,6 +84,7 @@ let bit_get bitmap_block i =
   Char.code (Bytes.get byte 0) land (1 lsl (i mod 8)) <> 0
 
 let bit_set bitmap_block i v =
+  Jbd.touch bitmap_block;
   let byte = Bytes.create 1 in
   Block.read_from_block bitmap_block ~off:(i / 8) ~buf:byte ~pos:0 ~len:1;
   let b = Char.code (Bytes.get byte 0) in
@@ -139,16 +148,25 @@ let di_write ino field v =
 
 let di_metadata_block ino = fst (inode_loc ino)
 
-(* Map a file block index to a device block, optionally allocating. *)
+(* Map a file block index to a device block, optionally allocating.
+
+   Freshly allocated blocks are zeroed: a reused block still carries its
+   previous life's content (in the page cache or on disk), and a mapping
+   block consulted slot-by-slot would otherwise resurrect stale pointers
+   after truncate freed and recycled it. *)
+let zeroes = Bytes.make block_size '\000'
+
 let bmap ino fblock ~alloc =
   if fblock < 0 || fblock >= max_file_blocks then
     Ostd.Panic.panicf "ext2: file block %d beyond maximum" fblock;
-  let get_or_alloc read_slot write_slot =
+  let get_or_alloc ?(map = false) read_slot write_slot =
     let cur = read_slot () in
     if cur <> 0 then Some cur
     else if not alloc then None
     else begin
       let b = alloc_block () in
+      if map then Jbd.touch b;
+      Block.write_to_block b ~off:0 ~buf:zeroes ~pos:0 ~len:block_size;
       write_slot b;
       Some b
     end
@@ -160,7 +178,9 @@ let bmap ino fblock ~alloc =
   else if fblock < ndirect + ptrs_per_block then begin
     let idx = fblock - ndirect in
     match
-      get_or_alloc (fun () -> di_read ino di_indirect) (fun b -> di_write ino di_indirect b)
+      get_or_alloc ~map:true
+        (fun () -> di_read ino di_indirect)
+        (fun b -> di_write ino di_indirect b)
     with
     | None -> None
     | Some ind ->
@@ -170,12 +190,16 @@ let bmap ino fblock ~alloc =
     let idx = fblock - ndirect - ptrs_per_block in
     let hi = idx / ptrs_per_block and lo = idx mod ptrs_per_block in
     match
-      get_or_alloc (fun () -> di_read ino di_dindirect) (fun b -> di_write ino di_dindirect b)
+      get_or_alloc ~map:true
+        (fun () -> di_read ino di_dindirect)
+        (fun b -> di_write ino di_dindirect b)
     with
     | None -> None
     | Some dind -> (
       match
-        get_or_alloc (fun () -> read_u32_at dind (4 * hi)) (fun b -> write_u32_at dind (4 * hi) b)
+        get_or_alloc ~map:true
+          (fun () -> read_u32_at dind (4 * hi))
+          (fun b -> write_u32_at dind (4 * hi) b)
       with
       | None -> None
       | Some ind ->
@@ -284,14 +308,20 @@ let data_read ino ~pos ~buf ~boff ~len =
     len
   end
 
-let data_write ino ~pos ~buf ~boff ~len =
+(* [meta] marks content that is metadata living in file data blocks
+   (directory entries, symlink targets) — always journaled. Ordinary
+   file data is journaled only in data=journal mode. *)
+let data_write ?(meta = false) ino ~pos ~buf ~boff ~len =
+  let journal = meta || Jbd.journals_data () in
   let moved = ref 0 in
   while !moved < len do
     let p = pos + !moved in
     let fb = p / block_size and off = p mod block_size in
     let chunk = min (len - !moved) (block_size - off) in
     (match bmap ino fb ~alloc:true with
-    | Some b -> Block.write_to_block b ~off ~buf ~pos:(boff + !moved) ~len:chunk
+    | Some b ->
+      if journal then Jbd.touch b;
+      Block.write_to_block b ~off ~buf ~pos:(boff + !moved) ~len:chunk
     | None -> Ostd.Panic.panic "ext2: allocation failed during write");
     moved := !moved + chunk
   done;
@@ -329,7 +359,7 @@ let dir_write_entries ino entries =
     entries;
   let data = Buffer.to_bytes b in
   di_write ino di_size 0;
-  ignore (data_write ino ~pos:0 ~buf:data ~boff:0 ~len:(Bytes.length data));
+  ignore (data_write ~meta:true ino ~pos:0 ~buf:data ~boff:0 ~len:(Bytes.length data));
   di_write ino di_size (Bytes.length data)
 
 (* --- VFS glue --- *)
@@ -383,43 +413,46 @@ and ops =
     create =
       (fun dir name kind ~mode ->
         Sim.Prof.scope "ext2" (fun () ->
-            let dino = dino_of dir in
-            let entries = dir_entries dino in
-            if List.mem_assoc name entries then Error Errno.eexist
-            else begin
-              let ino = new_disk_inode kind ~mode in
-              dir_write_entries dino (entries @ [ (name, ino) ]);
-              dir.Vfs.size <- di_read dino di_size;
-              Vfs.touch_mtime dir;
-              Ok (vnode_of ino)
-            end));
+            Jbd.with_handle (fun () ->
+                let dino = dino_of dir in
+                let entries = dir_entries dino in
+                if List.mem_assoc name entries then Error Errno.eexist
+                else begin
+                  let ino = new_disk_inode kind ~mode in
+                  dir_write_entries dino (entries @ [ (name, ino) ]);
+                  dir.Vfs.size <- di_read dino di_size;
+                  Vfs.touch_mtime dir;
+                  Ok (vnode_of ino)
+                end)));
     unlink =
       (fun dir name ->
-        let dino = dino_of dir in
-        let entries = dir_entries dino in
-        match List.assoc_opt name entries with
-        | None -> Error Errno.enoent
-        | Some e_ino ->
-          let child = vnode_of e_ino in
-          if child.Vfs.kind = Vfs.Dir && dir_entries e_ino <> [] then Error Errno.enotempty
-          else begin
-            dir_write_entries dino (List.remove_assoc name entries);
-            dir.Vfs.size <- di_read dino di_size;
-            let nlink = di_read e_ino di_nlink - 1 in
-            di_write e_ino di_nlink nlink;
-            child.Vfs.nlink <- nlink;
-            if nlink = 0 then begin
-              (* Release data blocks. *)
-              List.iter
-                (fun b -> if b >= first_data_block then free_block b)
-                (file_blocks e_ino);
-              free_ino e_ino;
-              Hashtbl.remove icache e_ino
-            end;
-            Vfs.dcache_invalidate dir name;
-            Vfs.touch_mtime dir;
-            Ok ()
-          end);
+        Jbd.with_handle (fun () ->
+            let dino = dino_of dir in
+            let entries = dir_entries dino in
+            match List.assoc_opt name entries with
+            | None -> Error Errno.enoent
+            | Some e_ino ->
+              let child = vnode_of e_ino in
+              if child.Vfs.kind = Vfs.Dir && dir_entries e_ino <> [] then
+                Error Errno.enotempty
+              else begin
+                dir_write_entries dino (List.remove_assoc name entries);
+                dir.Vfs.size <- di_read dino di_size;
+                let nlink = di_read e_ino di_nlink - 1 in
+                di_write e_ino di_nlink nlink;
+                child.Vfs.nlink <- nlink;
+                if nlink = 0 then begin
+                  (* Release data blocks. *)
+                  List.iter
+                    (fun b -> if b >= first_data_block then free_block b)
+                    (file_blocks e_ino);
+                  free_ino e_ino;
+                  Hashtbl.remove icache e_ino
+                end;
+                Vfs.dcache_invalidate dir name;
+                Vfs.touch_mtime dir;
+                Ok ()
+              end));
     readdir =
       (fun dir ->
         List.map (fun (name, e_ino) -> (name, vnode_of e_ino)) (dir_entries (dino_of dir)));
@@ -434,70 +467,141 @@ and ops =
         if f.Vfs.kind = Vfs.Dir then Error Errno.eisdir
         else
           Sim.Prof.scope "ext2" (fun () ->
-              let n = data_write (dino_of f) ~pos ~buf ~boff ~len in
-              f.Vfs.size <- di_read (dino_of f) di_size;
-              Vfs.touch_mtime f;
-              Ok n));
+              Jbd.with_handle (fun () ->
+                  let n = data_write (dino_of f) ~pos ~buf ~boff ~len in
+                  f.Vfs.size <- di_read (dino_of f) di_size;
+                  Vfs.touch_mtime f;
+                  Ok n)));
     truncate =
       (fun f n ->
-        let ino = dino_of f in
-        let old_size = di_read ino di_size in
-        if n < old_size then begin
-          (* Free whole blocks beyond the new size. *)
-          let keep = (n + block_size - 1) / block_size in
-          let total = (old_size + block_size - 1) / block_size in
-          for fb = keep to total - 1 do
-            match bmap ino fb ~alloc:false with
-            | Some b when b >= first_data_block ->
-              free_block b;
-              if fb < ndirect then di_write ino (di_direct + (4 * fb)) 0
-            | Some _ | None -> ()
-          done
-        end
-        else if n > old_size then begin
-          let zero = Bytes.make (min block_size (n - old_size)) '\000' in
-          let pos = ref old_size in
-          while !pos < n do
-            let chunk = min (Bytes.length zero) (n - !pos) in
-            ignore (data_write ino ~pos:!pos ~buf:zero ~boff:0 ~len:chunk);
-            pos := !pos + chunk
-          done
-        end;
-        di_write ino di_size n;
-        f.Vfs.size <- n;
-        Vfs.touch_mtime f;
-        Ok ());
+        Jbd.with_handle (fun () ->
+            let ino = dino_of f in
+            let old_size = di_read ino di_size in
+            if n < old_size then begin
+              (* Free whole blocks beyond the new size, clearing every
+                 mapping slot — direct, indirect, and double-indirect —
+                 so no dangling pointer survives into a reused block. *)
+              let keep = (n + block_size - 1) / block_size in
+              let total = (old_size + block_size - 1) / block_size in
+              for fb = keep to total - 1 do
+                match bmap ino fb ~alloc:false with
+                | Some b when b >= first_data_block ->
+                  free_block b;
+                  if fb < ndirect then di_write ino (di_direct + (4 * fb)) 0
+                  else if fb < ndirect + ptrs_per_block then begin
+                    let ind = di_read ino di_indirect in
+                    if ind <> 0 then write_u32_at ind (4 * (fb - ndirect)) 0
+                  end
+                  else begin
+                    let idx = fb - ndirect - ptrs_per_block in
+                    let hi = idx / ptrs_per_block and lo = idx mod ptrs_per_block in
+                    let dind = di_read ino di_dindirect in
+                    if dind <> 0 then begin
+                      let ind = read_u32_at dind (4 * hi) in
+                      if ind <> 0 then write_u32_at ind (4 * lo) 0
+                    end
+                  end
+                | Some _ | None -> ()
+              done;
+              (* Indirect chain blocks whose whole range is gone. *)
+              let ind = di_read ino di_indirect in
+              if ind <> 0 && keep <= ndirect then begin
+                free_block ind;
+                di_write ino di_indirect 0
+              end;
+              let dind = di_read ino di_dindirect in
+              if dind <> 0 then begin
+                for hi = 0 to ptrs_per_block - 1 do
+                  let ind = read_u32_at dind (4 * hi) in
+                  if ind <> 0 && keep <= ndirect + ptrs_per_block + (hi * ptrs_per_block)
+                  then begin
+                    free_block ind;
+                    write_u32_at dind (4 * hi) 0
+                  end
+                done;
+                if keep <= ndirect + ptrs_per_block then begin
+                  free_block dind;
+                  di_write ino di_dindirect 0
+                end
+              end
+            end
+            else if n > old_size then begin
+              let zero = Bytes.make (min block_size (n - old_size)) '\000' in
+              let pos = ref old_size in
+              while !pos < n do
+                let chunk = min (Bytes.length zero) (n - !pos) in
+                ignore (data_write ino ~pos:!pos ~buf:zero ~boff:0 ~len:chunk);
+                pos := !pos + chunk
+              done
+            end;
+            di_write ino di_size n;
+            f.Vfs.size <- n;
+            Vfs.touch_mtime f;
+            Ok ()));
     fsync =
       (fun f ->
-        match Block.sync_blocks (file_blocks (dino_of f)) with
-        | Ok () -> Ok ()
-        | Error e -> Error e);
+        let ino = dino_of f in
+        if Jbd.is_enabled () then
+          (* Ordered mode: the commit itself writes all dirty data back
+             before the metadata transaction goes behind its barriers. *)
+          Jbd.commit ()
+        else Block.sync_blocks (file_blocks ino));
     rename =
       (fun src_dir src_name dst_dir dst_name ->
-        let sdino = dino_of src_dir and ddino = dino_of dst_dir in
-        let sentries = dir_entries sdino in
-        match List.assoc_opt src_name sentries with
-        | None -> Error Errno.enoent
-        | Some e_ino ->
-          dir_write_entries sdino (List.remove_assoc src_name sentries);
-          let dentries = dir_entries ddino in
-          dir_write_entries ddino ((dst_name, e_ino) :: List.remove_assoc dst_name dentries);
-          Vfs.dcache_invalidate src_dir src_name;
-          Vfs.dcache_invalidate dst_dir dst_name;
-          Ok ());
+        Jbd.with_handle (fun () ->
+            let sdino = dino_of src_dir and ddino = dino_of dst_dir in
+            let sentries = dir_entries sdino in
+            match List.assoc_opt src_name sentries with
+            | None -> Error Errno.enoent
+            | Some e_ino -> (
+              let dentries = dir_entries ddino in
+              let replaced =
+                match List.assoc_opt dst_name dentries with
+                | Some old_ino when old_ino <> e_ino -> Some old_ino
+                | Some _ | None -> None
+              in
+              match replaced with
+              | Some old_ino
+                when (vnode_of old_ino).Vfs.kind = Vfs.Dir && dir_entries old_ino <> [] ->
+                Error Errno.enotempty
+              | _ ->
+                dir_write_entries sdino (List.remove_assoc src_name sentries);
+                let dentries = dir_entries ddino in
+                dir_write_entries ddino
+                  ((dst_name, e_ino) :: List.remove_assoc dst_name dentries);
+                (* The replaced inode lost its last (or one) name: drop
+                   its link count and reclaim it like unlink would. *)
+                (match replaced with
+                | None -> ()
+                | Some old_ino ->
+                  let child = vnode_of old_ino in
+                  let nlink = di_read old_ino di_nlink - 1 in
+                  di_write old_ino di_nlink nlink;
+                  child.Vfs.nlink <- nlink;
+                  if nlink = 0 then begin
+                    List.iter
+                      (fun b -> if b >= first_data_block then free_block b)
+                      (file_blocks old_ino);
+                    free_ino old_ino;
+                    Hashtbl.remove icache old_ino
+                  end);
+                Vfs.dcache_invalidate src_dir src_name;
+                Vfs.dcache_invalidate dst_dir dst_name;
+                Ok ())));
     link =
       (fun dir name target ->
-        let dino = dino_of dir in
-        let entries = dir_entries dino in
-        if List.mem_assoc name entries then Error Errno.eexist
-        else begin
-          let t_ino = dino_of target in
-          dir_write_entries dino (entries @ [ (name, t_ino) ]);
-          let nl = di_read t_ino di_nlink + 1 in
-          di_write t_ino di_nlink nl;
-          target.Vfs.nlink <- nl;
-          Ok ()
-        end);
+        Jbd.with_handle (fun () ->
+            let dino = dino_of dir in
+            let entries = dir_entries dino in
+            if List.mem_assoc name entries then Error Errno.eexist
+            else begin
+              let t_ino = dino_of target in
+              dir_write_entries dino (entries @ [ (name, t_ino) ]);
+              let nl = di_read t_ino di_nlink + 1 in
+              di_write t_ino di_nlink nl;
+              target.Vfs.nlink <- nl;
+              Ok ()
+            end));
     symlink_target =
       (fun i ->
         if i.Vfs.kind <> Vfs.Lnk then None
@@ -510,18 +614,26 @@ and ops =
         end);
     set_symlink =
       (fun i target ->
-        let ino = dino_of i in
-        let b = Bytes.of_string target in
-        ignore (data_write ino ~pos:0 ~buf:b ~boff:0 ~len:(Bytes.length b));
-        di_write ino di_size (Bytes.length b);
-        i.Vfs.size <- Bytes.length b;
-        Ok ());
+        Jbd.with_handle (fun () ->
+            let ino = dino_of i in
+            let b = Bytes.of_string target in
+            ignore (data_write ~meta:true ino ~pos:0 ~buf:b ~boff:0 ~len:(Bytes.length b));
+            di_write ino di_size (Bytes.length b);
+            i.Vfs.size <- Bytes.length b;
+            Ok ()));
   }
+
+let journaling_wanted () =
+  let p = Sim.Profile.get () in
+  p.Sim.Profile.ext2_journal
 
 let mkfs () =
   Hashtbl.reset icache;
   ra_reset ();
   alloc_hint := first_data_block;
+  (* mkfs writes everything directly; the journal covers mounted
+     operation, not format time. *)
+  Jbd.disable_journal ();
   (* Superblock. *)
   Block.zero_block sb_block;
   write_u32_at sb_block 0 magic;
@@ -529,7 +641,8 @@ let mkfs () =
   write_u32_at sb_block 8 ninodes;
   write_u32_at sb_block 12 (device_blocks () - first_data_block);
   write_u32_at sb_block 16 (ninodes - root_ino - 1);
-  (* Bitmaps: mark metadata + reserved inodes used. *)
+  (* Bitmaps: mark metadata (journal area included) + reserved inodes
+     used. *)
   Block.zero_block block_bitmap;
   Block.zero_block inode_bitmap;
   for b = 0 to first_data_block - 1 do
@@ -545,6 +658,12 @@ let mkfs () =
   di_write root_ino di_mode (kind_bits Vfs.Dir lor 0o755);
   di_write root_ino di_size 0;
   di_write root_ino di_nlink 2;
+  (if journaling_wanted () then begin
+     Jbd.configure ~start:journal_start ~blocks:journal_blocks
+       ~data:(Sim.Profile.get ()).Sim.Profile.ext2_journal_data;
+     Jbd.format ();
+     Jbd.disable_journal ()
+   end);
   match Block.sync () with
   | Ok () -> ()
   | Error e -> Ostd.Panic.panicf "ext2: mkfs could not reach the device (errno %d)" e
@@ -554,4 +673,25 @@ let mount () =
   ra_reset ();
   alloc_hint := first_data_block;
   if sb_magic () <> magic then Ostd.Panic.panic "ext2: bad magic (not formatted?)";
+  if journaling_wanted () then begin
+    Jbd.configure ~start:journal_start ~blocks:journal_blocks
+      ~data:(Sim.Profile.get ()).Sim.Profile.ext2_journal_data;
+    (* Recover: complete transactions are applied, torn ones discarded. *)
+    Jbd.replay ()
+  end
+  else Jbd.disable_journal ();
   vnode_of root_ino
+
+(* Filesystem-wide sync, the sync(2) back end: commit the running
+   journal transaction, checkpoint it, then write back and flush
+   everything else. Without a journal it degenerates to [Block.sync]. *)
+let sync_fs () =
+  if Jbd.is_enabled () then
+    match Jbd.commit () with
+    | Error _ as e -> e
+    | Ok () -> (
+      try
+        Jbd.checkpoint ();
+        Block.sync ()
+      with Ostd.Panic.Service_failure { errno; _ } -> Error errno)
+  else Block.sync ()

@@ -26,6 +26,9 @@ type t = {
   mutable pos : int;
   mutable flags : int;
   mutable refs : int;
+  mutable wb_sample : int;
+      (* errseq sample: writeback errors after this are this file's to
+         observe at fsync, whoever else saw them first *)
 }
 
 let o_nonblock = 0o4000
@@ -35,7 +38,7 @@ let o_trunc = 0o1000
 let o_excl = 0o200
 let o_directory = 0o200000
 
-let make desc ~flags = { desc; pos = 0; flags; refs = 1 }
+let make desc ~flags = { desc; pos = 0; flags; refs = 1; wb_sample = Block.wb_errseq () }
 
 let get f = f.refs <- f.refs + 1
 

@@ -28,6 +28,9 @@ type t = {
   mutable pos : int;
   mutable flags : int;
   mutable refs : int;
+  mutable wb_sample : int;
+      (** errseq_t sample taken at open: fsync reports writeback errors
+          newer than this, independently of other observers *)
 }
 
 val o_nonblock : int

@@ -1,0 +1,11 @@
+(** fsck-style invariant checker for the mounted ext2 image.
+
+    Read-only walk of superblock, bitmaps, inode table, and directory
+    tree. Returns one line per violated invariant — bitmap/claim
+    consistency, exactly-once block ownership, leak detection, free
+    counts, strict dirent parsing, reachability, and link counts. An
+    empty list means the image is consistent. The crash sweep runs this
+    after every remount+replay; with journaling off it is the tool that
+    proves a power cut actually corrupted something. *)
+
+val check : unit -> string list

@@ -13,6 +13,7 @@ let reset_services () =
   Vfs.reset ();
   Netstack.reset_registry ();
   Block.reset ();
+  Jbd.reset ();
   Unix_sock.reset_namespace ();
   Strace.reset ();
   Process.reset ();
@@ -35,14 +36,14 @@ let mount_filesystems ~format_disk =
   if format_disk then Ext2.mkfs ();
   Vfs.mount "/ext2" (Ext2.mount ())
 
-let boot ?profile ?(frames = 16384) ?(disk_mb = 64) ?(format_disk = true) () =
+let boot ?profile ?(frames = 16384) ?disk ?(disk_mb = 64) ?(format_disk = true) () =
   (match profile with Some p -> Sim.Profile.set p | None -> ());
   Ostd.Boot.init ~frames ();
   reset_services ();
   Sched_policy.install ();
   ignore (Buddy.install ());
   Slab_policy.install_global_heap ();
-  let devices = Machine.Board.attach_default_devices ~disk_mb () in
+  let devices = Machine.Board.attach_default_devices ?disk ~disk_mb () in
   Softirq.install ();
   Virtio_blk_drv.init ();
   let stack = Netstack.create ~ip:guest_ip ~host:false in

@@ -17,10 +17,18 @@ val guest_ip : int
 val host_ip : int
 
 val boot :
-  ?profile:Sim.Profile.t -> ?frames:int -> ?disk_mb:int -> ?format_disk:bool -> unit -> t
+  ?profile:Sim.Profile.t ->
+  ?frames:int ->
+  ?disk:Machine.Virtio_blk.disk ->
+  ?disk_mb:int ->
+  ?format_disk:bool ->
+  unit ->
+  t
 (** Fresh machine; mounts ramfs at /, procfs at /proc, ext2 at /ext2
     (formatting the disk when [format_disk], default true), and creates
-    /tmp. *)
+    /tmp. Pass [disk] (with [~format_disk:false]) to boot against an
+    existing — e.g. crash-survived — disk image: mount then replays the
+    journal. *)
 
 type host = { hstack : Netstack.t; htcp : Tcp.engine; hudp : Udp.engine }
 

@@ -572,7 +572,18 @@ let sys_fsync proc args =
   | Ok f -> (
     match f.File.desc with
     | File.Inode_file inode -> (
-      match inode.Vfs.ops.Vfs.fsync inode with Ok () -> ok 0 | Error e -> err e)
+      match inode.Vfs.ops.Vfs.fsync inode with
+      | Ok () -> (
+        (* errseq_t: a writeback error since this file's last sample is
+           this caller's to see, even if some sync(2) consumed the
+           legacy sticky error first. The sample advances so the error
+           reports once per file. *)
+        match Block.wb_check ~since:f.File.wb_sample with
+        | Ok () -> ok 0
+        | Error (seq, code) ->
+          f.File.wb_sample <- seq;
+          err code)
+      | Error e -> err e)
     | _ -> err Errno.einval)
 
 let sys_chmod proc args =
@@ -981,7 +992,7 @@ let sys_fchdir proc args =
     | _ -> err Errno.enotdir)
 
 let sys_sync _proc _args =
-  match Block.sync () with Ok () -> ok 0 | Error e -> err e
+  match Ext2.sync_fs () with Ok () -> ok 0 | Error e -> err e
 
 let sys_fork proc args =
   match Process.resolve_child args.(0) with

@@ -71,7 +71,7 @@ let prepare s bio =
     match Block.bio_op bio with
     | Block.Flush -> (2, None)
     | Block.Read -> (0, Some (take_data_buf s))
-    | Block.Write ->
+    | (Block.Write | Block.Write_fua) as op ->
       let db = take_data_buf s in
       let dst = match db with Pooled b | Dynamic b -> stream_frame b in
       (match Block.bio_frame bio with
@@ -79,7 +79,7 @@ let prepare s bio =
         Sim.Cost.charge_memcpy (Block.bio_len bio);
         Ostd.Untyped.copy ~src ~src_off:0 ~dst ~dst_off:0 ~len:(Block.bio_len bio)
       | None -> ());
-      (1, Some db)
+      ((if op = Block.Write_fua then 3 else 1), Some db)
   in
   let data_paddr =
     match data_buf with

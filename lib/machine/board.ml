@@ -72,12 +72,12 @@ type devices = {
   host_endpoint : Wire.endpoint;
 }
 
-let attach_default_devices ?(disk_mb = 64) () =
+let attach_default_devices ?disk ?(disk_mb = 64) () =
   let c = Sim.Cost.c () in
   let blk =
-    Virtio_blk.create
+    Virtio_blk.create ?disk
       ~capacity_sectors:(disk_mb * 1024 * 1024 / Virtio_blk.sector_size)
-      ~mmio_base:pci_hole_base ~dev_id:1 ~vector:40
+      ~mmio_base:pci_hole_base ~dev_id:1 ~vector:40 ()
   in
   let guest_ep, host_ep =
     Wire.create_pair ~latency_us:c.Sim.Profile.net_us_per_pkt

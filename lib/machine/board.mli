@@ -24,6 +24,7 @@ type devices = {
   host_endpoint : Wire.endpoint;
 }
 
-val attach_default_devices : ?disk_mb:int -> unit -> devices
+val attach_default_devices : ?disk:Virtio_blk.disk -> ?disk_mb:int -> unit -> devices
 (** Attach a virtio-blk disk (default 64 MiB) and a virtio-net NIC wired
-    to a host endpoint, mirroring the paper's VM configuration. *)
+    to a host endpoint, mirroring the paper's VM configuration. Passing
+    [disk] boots against an existing (e.g. crash-survived) disk image. *)

@@ -14,16 +14,39 @@ let desc_size = 40
 
 let max_chain = 128
 
+(* The persistent disk image, distinct from everything volatile on the
+   device (write cache, ring state). It is the only thing that survives
+   a power cut, and can be carried across [Board.reset] into a fresh
+   boot to model remount-after-crash. [persists] counts sectors made
+   durable — every increment is an enumerable crash boundary. *)
+type disk = {
+  dcap : int;
+  sectors : (int, Bytes.t) Hashtbl.t; (* sector -> 512 bytes, sparse *)
+  mutable persists : int;
+}
+
+let create_disk ~capacity_sectors =
+  { dcap = capacity_sectors; sectors = Hashtbl.create 4096; persists = 0 }
+
+let clone_disk d =
+  let sectors = Hashtbl.create (Hashtbl.length d.sectors) in
+  Hashtbl.iter (fun s b -> Hashtbl.add sectors s (Bytes.copy b)) d.sectors;
+  { dcap = d.dcap; sectors; persists = d.persists }
+
 type t = {
   dev_id : int;
   vector : int;
   capacity : int;
-  store : (int, Bytes.t) Hashtbl.t; (* sector -> 512 bytes, sparse *)
+  disk : disk;
+  cache : (int, Bytes.t) Hashtbl.t; (* volatile write cache: sector -> bytes *)
   queue : int Queue.t; (* pending descriptor (chain head) paddrs *)
   mutable busy : bool;
+  mutable dead : bool; (* power has been cut; device is gone *)
   mutable completed : int;
   mutable failed : int;
   mutable chains : int;
+  mutable flushes : int;
+  mutable fua_writes : int;
   mutable irqs_raised : int;
   mutable irq_pending : bool;
   mutable irq_missed : bool;
@@ -31,19 +54,81 @@ type t = {
 
 let capacity_sectors t = t.capacity
 
-let sector_bytes t s =
-  match Hashtbl.find_opt t.store s with
+let disk_image t = t.disk
+
+let persist_count t = t.disk.persists
+
+let is_dead t = t.dead
+
+let flushes t = t.flushes
+
+let fua_writes t = t.fua_writes
+
+let disk_sector d s =
+  match Hashtbl.find_opt d.sectors s with
   | Some b -> b
   | None ->
     let b = Bytes.make sector_size '\000' in
-    Hashtbl.add t.store s b;
+    Hashtbl.add d.sectors s b;
     b
 
+(* What a read observes: the write cache shadows the disk image —
+   the device's RAM is coherent even before a flush makes it durable. *)
+let sector_bytes t s =
+  match Hashtbl.find_opt t.cache s with Some b -> b | None -> disk_sector t.disk s
+
+(* Power cut: everything volatile is gone. The in-flight ring is
+   dropped (no status writes, no interrupts — outstanding bios hit the
+   kernel's deadline and surface as EIO), the write cache evaporates,
+   and the device stops responding until the next boot re-creates it
+   around the same disk image. *)
+let power_cut t =
+  t.dead <- true;
+  Hashtbl.reset t.cache;
+  Queue.clear t.queue;
+  Sim.Stats.incr "virtio_blk.power_cut";
+  Logs.debug (fun m ->
+      m "virtio-blk: power cut after %d persisted sectors" t.disk.persists)
+
+(* Persist one cached sector to the disk image. Each call is a crash
+   boundary: the [blk.power_cut] trigger fires *before* the copy, so
+   crash point k means exactly k sectors hit stable storage. Returns
+   [false] when the power cut fired. *)
+let persist_sector t s =
+  if Sim.Fault.countdown "blk.power_cut" then begin
+    power_cut t;
+    false
+  end
+  else begin
+    (match Hashtbl.find_opt t.cache s with
+    | Some b ->
+      Bytes.blit b 0 (disk_sector t.disk s) 0 sector_size;
+      Hashtbl.remove t.cache s
+    | None -> ());
+    t.disk.persists <- t.disk.persists + 1;
+    true
+  end
+
+(* Drain the write cache to the disk image, lowest sector first. The
+   deterministic order is deliberate: it enumerates crash points
+   stably for a given workload, and sorting (rather than insertion
+   order) models the reordering freedom a real drive has between
+   barriers. *)
+let flush_cache t =
+  let dirty = Hashtbl.fold (fun s _ acc -> s :: acc) t.cache [] in
+  let dirty = List.sort compare dirty in
+  t.flushes <- t.flushes + 1;
+  List.for_all (fun s -> persist_sector t s) dirty
+
+(* Out-of-band host access used by tests and mkfs-style tooling:
+   writes go straight to the disk image (no crash boundaries counted),
+   reads observe cache-then-disk like the device itself would. *)
 let write_backing t ~sector data =
   let len = Bytes.length data in
   assert (len mod sector_size = 0);
   for i = 0 to (len / sector_size) - 1 do
-    Bytes.blit data (i * sector_size) (sector_bytes t (sector + i)) 0 sector_size
+    Hashtbl.remove t.cache (sector + i);
+    Bytes.blit data (i * sector_size) (disk_sector t.disk (sector + i)) 0 sector_size
   done
 
 let read_backing t ~sector ~len =
@@ -88,69 +173,90 @@ let rec raise_coalesced t =
 (* Service one descriptor: DMA the descriptor, move the data, write
    status. Runs as a device event, not kernel code. Returns [true] when
    the status word was written (the request deserves an interrupt) —
-   the caller raises one interrupt per chain, not per descriptor. *)
+   the caller raises one interrupt per chain, not per descriptor.
+
+   Request types: 0 read, 1 write (into the volatile cache), 2 flush
+   (drain cache to the disk image), 3 FUA write (write-through: the
+   sectors are durable before the completion fires). *)
 let execute_one t desc_paddr =
-  let hdr = Bytes.create 24 in
-  match Iommu.access ~dev:t.dev_id ~paddr:desc_paddr ~len:desc_size with
-  | Error e ->
-    dma_fault t "descriptor" e;
-    false
-  | Ok () ->
-    Phys.read ~paddr:desc_paddr hdr ~off:0 ~len:24;
-    let typ = Int32.to_int (Bytes.get_int32_le hdr 0) in
-    let len = Int32.to_int (Bytes.get_int32_le hdr 4) in
-    let sector = Int64.to_int (Bytes.get_int64_le hdr 8) in
-    let data_paddr = Int64.to_int (Bytes.get_int64_le hdr 16) in
-    let finish status =
-      (* Fault plane: a hostile/flaky disk. An injected error completes
-         with status 1; an injected drop never writes the status word —
-         the kernel's per-bio deadline must notice. Mid-chain, a drop or
-         error hits only this descriptor; its neighbours complete. *)
-      if Sim.Fault.roll "blk.drop" then begin
-        t.failed <- t.failed + 1;
-        Sim.Stats.incr "virtio_blk.dropped_completion";
-        false
-      end
+  if t.dead then false
+  else begin
+    let hdr = Bytes.create 24 in
+    match Iommu.access ~dev:t.dev_id ~paddr:desc_paddr ~len:desc_size with
+    | Error e ->
+      dma_fault t "descriptor" e;
+      false
+    | Ok () ->
+      Phys.read ~paddr:desc_paddr hdr ~off:0 ~len:24;
+      let typ = Int32.to_int (Bytes.get_int32_le hdr 0) in
+      let len = Int32.to_int (Bytes.get_int32_le hdr 4) in
+      let sector = Int64.to_int (Bytes.get_int64_le hdr 8) in
+      let data_paddr = Int64.to_int (Bytes.get_int64_le hdr 16) in
+      let finish status =
+        (* Fault plane: a hostile/flaky disk. An injected error completes
+           with status 1; an injected drop never writes the status word —
+           the kernel's per-bio deadline must notice. Mid-chain, a drop or
+           error hits only this descriptor; its neighbours complete. *)
+        if t.dead then false
+        else if Sim.Fault.roll "blk.drop" then begin
+          t.failed <- t.failed + 1;
+          Sim.Stats.incr "virtio_blk.dropped_completion";
+          false
+        end
+        else begin
+          let status = if status = 0 && Sim.Fault.roll "blk.io_error" then 1 else status in
+          Phys.write_u32 (desc_paddr + 24) status;
+          if status = 0 then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
+          true
+        end
+      in
+      let nsect = len / sector_size in
+      let in_range = sector >= 0 && nsect >= 0 && sector + nsect <= t.capacity in
+      if (not in_range) || len mod sector_size <> 0 then finish 1
       else begin
-        let status = if status = 0 && Sim.Fault.roll "blk.io_error" then 1 else status in
-        Phys.write_u32 (desc_paddr + 24) status;
-        if status = 0 then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
-        true
+        match typ with
+        | 2 (* flush: the only ordinary path to durability *) ->
+          if flush_cache t then finish 0 else false
+        | 0 (* read: device writes into memory *) -> (
+          match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
+          | Error e ->
+            dma_fault t "data (read)" e;
+            finish 1
+          | Ok () ->
+            for i = 0 to nsect - 1 do
+              Phys.write
+                ~paddr:(data_paddr + (i * sector_size))
+                (sector_bytes t (sector + i))
+                ~off:0 ~len:sector_size
+            done;
+            finish 0)
+        | 1 | 3 (* write: device reads from memory; 3 = FUA *) -> (
+          match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
+          | Error e ->
+            dma_fault t "data (write)" e;
+            finish 1
+          | Ok () ->
+            let ok = ref true in
+            for i = 0 to nsect - 1 do
+              if !ok then begin
+                let s = sector + i in
+                let buf =
+                  match Hashtbl.find_opt t.cache s with
+                  | Some b -> b
+                  | None ->
+                    let b = Bytes.create sector_size in
+                    Hashtbl.add t.cache s b;
+                    b
+                in
+                Phys.read ~paddr:(data_paddr + (i * sector_size)) buf ~off:0 ~len:sector_size;
+                if typ = 3 then ok := persist_sector t s
+              end
+            done;
+            if typ = 3 then t.fua_writes <- t.fua_writes + 1;
+            if !ok then finish 0 else false)
+        | _ -> finish 1
       end
-    in
-    let nsect = len / sector_size in
-    let in_range = sector >= 0 && nsect >= 0 && sector + nsect <= t.capacity in
-    if (not in_range) || len mod sector_size <> 0 then finish 1
-    else begin
-      match typ with
-      | 2 (* flush *) -> finish 0
-      | 0 (* read: device writes into memory *) -> (
-        match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
-        | Error e ->
-          dma_fault t "data (read)" e;
-          finish 1
-        | Ok () ->
-          for i = 0 to nsect - 1 do
-            Phys.write
-              ~paddr:(data_paddr + (i * sector_size))
-              (sector_bytes t (sector + i))
-              ~off:0 ~len:sector_size
-          done;
-          finish 0)
-      | 1 (* write: device reads from memory *) -> (
-        match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
-        | Error e ->
-          dma_fault t "data (write)" e;
-          finish 1
-        | Ok () ->
-          let buf = Bytes.create sector_size in
-          for i = 0 to nsect - 1 do
-            Phys.read ~paddr:(data_paddr + (i * sector_size)) buf ~off:0 ~len:sector_size;
-            Bytes.blit buf 0 (sector_bytes t (sector + i)) 0 sector_size
-          done;
-          finish 0)
-      | _ -> finish 1
-    end
+  end
 
 (* Walk the [next] pointers from a chain head. Bounded at [max_chain]
    and tolerant of garbage pointers (a hostile kernel can link the chain
@@ -189,44 +295,62 @@ let chain_latency descs =
   |> snd
 
 let rec pump t =
-  match Queue.take_opt t.queue with
-  | None -> t.busy <- false
-  | Some head ->
-    t.busy <- true;
-    let descs = chain_of head in
-    if List.length descs > 1 then t.chains <- t.chains + 1;
-    (* Injected service-time jitter: up to ~2 ms of extra latency, enough
-       to trip a first-attempt bio deadline but not a retried one.
-       Charged once per chain, like the real head-of-line blocking it
-       models. *)
-    let jitter = Sim.Fault.delay_cycles "blk.delay" ~max_cycles:(Sim.Clock.us 2000.) in
-    ignore
-      (Sim.Events.schedule_after
-         (chain_latency descs + jitter)
-         (fun () ->
-           let any =
-             List.fold_left (fun acc d -> if execute_one t d then true else acc) false descs
-           in
-           (* One completion interrupt for the whole chain. *)
-           if any then raise_coalesced t;
-           pump t))
+  if t.dead then begin
+    Queue.clear t.queue;
+    t.busy <- false
+  end
+  else
+    match Queue.take_opt t.queue with
+    | None -> t.busy <- false
+    | Some head ->
+      t.busy <- true;
+      let descs = chain_of head in
+      if List.length descs > 1 then t.chains <- t.chains + 1;
+      (* Injected service-time jitter: up to ~2 ms of extra latency, enough
+         to trip a first-attempt bio deadline but not a retried one.
+         Charged once per chain, like the real head-of-line blocking it
+         models. *)
+      let jitter = Sim.Fault.delay_cycles "blk.delay" ~max_cycles:(Sim.Clock.us 2000.) in
+      ignore
+        (Sim.Events.schedule_after
+           (chain_latency descs + jitter)
+           (fun () ->
+             let any =
+               List.fold_left (fun acc d -> if execute_one t d then true else acc) false descs
+             in
+             (* One completion interrupt for the whole chain. *)
+             if any then raise_coalesced t;
+             pump t))
 
 let notify t desc_paddr =
-  Queue.push desc_paddr t.queue;
-  if not t.busy then pump t
+  if not t.dead then begin
+    Queue.push desc_paddr t.queue;
+    if not t.busy then pump t
+  end
 
-let create ~capacity_sectors ~mmio_base ~dev_id ~vector =
+let create ?disk ~capacity_sectors ~mmio_base ~dev_id ~vector () =
+  let disk =
+    match disk with
+    | Some d ->
+      assert (d.dcap = capacity_sectors);
+      d
+    | None -> create_disk ~capacity_sectors
+  in
   let t =
     {
       dev_id;
       vector;
       capacity = capacity_sectors;
-      store = Hashtbl.create 4096;
+      disk;
+      cache = Hashtbl.create 256;
       queue = Queue.create ();
       busy = false;
+      dead = false;
       completed = 0;
       failed = 0;
       chains = 0;
+      flushes = 0;
+      fua_writes = 0;
       irqs_raised = 0;
       irq_pending = false;
       irq_missed = false;

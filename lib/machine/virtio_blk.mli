@@ -4,7 +4,7 @@
     DMA-visible physical memory:
 
     {v
-      off  0  u32  type      0 = read, 1 = write, 2 = flush
+      off  0  u32  type      0 = read, 1 = write, 2 = flush, 3 = FUA write
       off  4  u32  len       bytes (multiple of 512)
       off  8  u64  sector
       off 16  u64  data paddr
@@ -25,8 +25,35 @@
 
 type t
 
-val create : capacity_sectors:int -> mmio_base:int -> dev_id:int -> vector:int -> t
-(** Registers the MMIO window, backing store, and {!Bus} entry. *)
+type disk
+(** The persistent disk image: the only device state that survives a
+    power cut. Distinct from the volatile write cache and ring state —
+    ordinary writes land in the cache and become durable only via a
+    flush (type 2) or FUA write (type 3). Carry a [disk] across a board
+    reset into a fresh {!create} to model remount-after-crash. *)
+
+val create_disk : capacity_sectors:int -> disk
+
+val clone_disk : disk -> disk
+(** Deep copy, for running the same recovery twice deterministically. *)
+
+val create :
+  ?disk:disk -> capacity_sectors:int -> mmio_base:int -> dev_id:int -> vector:int -> unit -> t
+(** Registers the MMIO window, backing store, and {!Bus} entry. When
+    [disk] is given the device is created around that (possibly
+    crash-survived) image; otherwise a fresh zeroed image is made. *)
+
+val disk_image : t -> disk
+
+val persist_count : t -> int
+(** Sectors made durable so far — each increment is one enumerable
+    crash boundary for the ["blk.power_cut"] trigger. *)
+
+val is_dead : t -> bool
+(** The power cut fired: the device no longer answers. *)
+
+val flushes : t -> int
+val fua_writes : t -> int
 
 val sector_size : int
 
@@ -39,7 +66,8 @@ val reg_queue_notify : int
 val capacity_sectors : t -> int
 
 val write_backing : t -> sector:int -> bytes -> unit
-(** Host-side backdoor used by tests and mkfs to seed disk contents. *)
+(** Host-side backdoor used by tests and mkfs to seed disk contents.
+    Writes go straight to the persistent image (no crash boundaries). *)
 
 val read_backing : t -> sector:int -> len:int -> bytes
 

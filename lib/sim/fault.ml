@@ -10,6 +10,32 @@ let plane : t option ref = ref None
 
 let armed = ref false
 
+(* Deterministic one-shot triggers, independent of the probability
+   plane: [set_trigger site ~after:k] makes the k-th [countdown site]
+   call fire (0-based, so [~after:0] fires on the very first call).
+   Used to enumerate crash points exactly — no randomness involved. *)
+let triggers : (string, int ref) Hashtbl.t = Hashtbl.create 4
+
+let set_trigger site ~after = Hashtbl.replace triggers site (ref after)
+
+let clear_trigger site = Hashtbl.remove triggers site
+
+let countdown site =
+  match Hashtbl.find_opt triggers site with
+  | None -> false
+  | Some r ->
+    if !r < 0 then false
+    else if !r = 0 then begin
+      r := -1;
+      Stats.incr ("fault.injected." ^ site);
+      Trace.emit Trace.Chaos "trigger" (fun () -> Printf.sprintf "site=%s" site);
+      true
+    end
+    else begin
+      decr r;
+      false
+    end
+
 let configure ~seed sites =
   let probs = Hashtbl.create 16 in
   List.iter
@@ -23,7 +49,8 @@ let disable () = armed := false
 
 let reset () =
   plane := None;
-  armed := false
+  armed := false;
+  Hashtbl.reset triggers
 
 let enabled () = !armed && !plane <> None
 

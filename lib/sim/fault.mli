@@ -64,3 +64,22 @@ val log : unit -> string list
 
 val summary : unit -> (string * int) list
 (** Per-site injection counts, sorted by site name. *)
+
+(** {1 Deterministic one-shot triggers}
+
+    Orthogonal to the probability plane: a trigger fires on exactly the
+    k-th consult of its site, with no randomness involved. Used to
+    enumerate crash points — ["blk.power_cut"] armed with [~after:k]
+    kills the device after exactly [k] persisted sectors. Triggers are
+    cleared by {!reset} (hence by every board reset), so arm them after
+    boot. *)
+
+val set_trigger : string -> after:int -> unit
+(** Arm a one-shot trigger: the [after]-th {!countdown} call for this
+    site fires (0-based — [~after:0] fires on the very first consult). *)
+
+val clear_trigger : string -> unit
+
+val countdown : string -> bool
+(** Consult a triggered site. Returns [true] exactly once, on the armed
+    consult; the firing is logged under ["fault.injected.<site>"]. *)

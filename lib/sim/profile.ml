@@ -69,6 +69,8 @@ type t = {
   blk_pooling_complete : bool;
   blk_batching : bool;
   blk_readahead : bool;
+  ext2_journal : bool;
+  ext2_journal_data : bool;
   net_tx_batching : bool;
   net_irq_coalesce : bool;
   tcp_congestion_control : bool;
@@ -203,6 +205,8 @@ let linux =
     blk_pooling_complete = false;
     blk_batching = true;
     blk_readahead = true;
+    ext2_journal = true;
+    ext2_journal_data = false;
     net_tx_batching = true;
     net_irq_coalesce = true;
     tcp_congestion_control = true;
@@ -225,6 +229,8 @@ let asterinas =
     blk_pooling_complete = false;
     blk_batching = true;
     blk_readahead = true;
+    ext2_journal = true;
+    ext2_journal_data = false;
     net_tx_batching = true;
     net_irq_coalesce = true;
     tcp_congestion_control = false;
@@ -251,6 +257,10 @@ let with_dma_pooling b t = { t with dma_pooling = b }
 let with_blk_batching b t = { t with blk_batching = b }
 
 let with_blk_readahead b t = { t with blk_readahead = b }
+
+let with_ext2_journal b t = { t with ext2_journal = b }
+
+let with_ext2_journal_data b t = { t with ext2_journal_data = b }
 
 let with_net_tx_batching b t = { t with net_tx_batching = b }
 

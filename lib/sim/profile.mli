@@ -84,6 +84,8 @@ type t = {
   blk_batching : bool;           (** merge adjacent bios into descriptor chains:
                                      one doorbell + one completion IRQ per batch *)
   blk_readahead : bool;          (** sequential-stream readahead into the buffer cache *)
+  ext2_journal : bool;           (** JBD2-style write-ahead metadata journal in ext2 *)
+  ext2_journal_data : bool;      (** journal file data too (data=journal mode) *)
   net_tx_batching : bool;        (** plug outgoing TCP/UDP segments into descriptor-chain
                                      bursts: one doorbell per burst instead of per packet *)
   net_irq_coalesce : bool;       (** one TX-complete IRQ per chain and NAPI-style
@@ -112,6 +114,8 @@ val with_iommu : bool -> t -> t
 val with_dma_pooling : bool -> t -> t
 val with_blk_batching : bool -> t -> t
 val with_blk_readahead : bool -> t -> t
+val with_ext2_journal : bool -> t -> t
+val with_ext2_journal_data : bool -> t -> t
 val with_net_tx_batching : bool -> t -> t
 val with_net_irq_coalesce : bool -> t -> t
 

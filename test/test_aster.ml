@@ -874,6 +874,87 @@ let test_unbatched_profile_parity () =
   check_int "no merges with batching off" 0 (Sim.Stats.get "blk.merge");
   check_int "no readahead with it off" 0 (Sim.Stats.get "blk.readahead.issued")
 
+(* errseq_t: a writeback error met by the *background* flusher must be
+   observed by a later fsync on the file — once per open description —
+   even though that fsync's own writes all succeed. *)
+let test_errseq_sticky_writeback_error () =
+  ignore (boot ());
+  let eio = Aster.Errno.eio in
+  let rc_first = ref 0 in
+  let rc_drain = ref (-1) in
+  let rc_second_fd = ref 0 in
+  let rc_fresh = ref (-1) in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"errseq" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.openf c "/ext2/wb.dat" ~flags:0o102 ~mode:0o644 in
+         let fd2 = Apps.Libc.openf c "/ext2/wb.dat" ~flags:0o2 ~mode:0 in
+         let chunk = 4096 in
+         let buf = Apps.Libc.ualloc c chunk in
+         (* Warm the metadata paths (bitmaps, inode block, first data
+            block) while the device is healthy. *)
+         ignore (Apps.Libc.pwrite c ~fd ~vaddr:buf ~len:chunk ~off:0);
+         ignore (Apps.Libc.fsync c fd);
+         let seq0 = Aster.Block.wb_errseq () in
+         (* From here every device write fails; then cross the
+            background-writeback threshold so the *flusher* — not this
+            task — meets the bad device and has to drop blocks. *)
+         Sim.Fault.configure ~seed:1L [ ("blk.io_error", 1.0) ];
+         for i = 1 to 1023 do
+           ignore (Apps.Libc.pwrite c ~fd ~vaddr:buf ~len:chunk ~off:(i * chunk))
+         done;
+         let tries = ref 0 in
+         while Aster.Block.wb_errseq () = seq0 && !tries < 500 do
+           ignore (Apps.Libc.nanosleep_us c 1000.);
+           incr tries
+         done;
+         Sim.Fault.disable ();
+         (* First fsync on a pre-error description observes the error… *)
+         rc_first := Apps.Libc.fsync c fd;
+         (* …exactly once per observer: draining reaches success. *)
+         let rec drain n =
+           if n > 3 then -1 else if Apps.Libc.fsync c fd = 0 then n else drain (n + 1)
+         in
+         rc_drain := drain 1;
+         (* An independent pre-error description still has its view. *)
+         rc_second_fd := Apps.Libc.fsync c fd2;
+         (* One opened after everyone consumed the error starts clean. *)
+         let fd3 = Apps.Libc.openf c "/ext2/wb.dat" ~flags:0o2 ~mode:0 in
+         rc_fresh := Apps.Libc.fsync c fd3;
+         0));
+  Aster.Kernel.run ();
+  check "flusher recorded a writeback error" true (Aster.Block.wb_errseq () > 0);
+  check_int "first fsync observes EIO" (-eio) !rc_first;
+  check "same fd then drains to success" true (!rc_drain >= 1);
+  check_int "second pre-error fd observes EIO too" (-eio) !rc_second_fd;
+  check_int "fd opened after consumption starts clean" 0 !rc_fresh
+
+(* rename(2) under power cut: the config file is replaced by write-tmp,
+   fsync, rename. Whatever boundary the power dies on, the surviving
+   file must be one complete generation — never torn, never a hybrid,
+   never older than the last journal-committed one. *)
+let test_rename_atomic_under_crash () =
+  let n = Apps.Crash.boundaries ~seed:42L ~journal:true ~workload:Apps.Crash.Fs in
+  check "clean run persists sectors" true (n > 0);
+  let step = max 1 (n / 16) in
+  let k = ref 0 in
+  while !k < n do
+    let st =
+      Apps.Crash.run ~seed:42L ~journal:true ~workload:Apps.Crash.Fs
+        ~cut_after:(Some !k)
+    in
+    let v = Apps.Crash.recover st in
+    let cfg_viol =
+      List.filter
+        (fun m -> String.length m >= 4 && String.sub m 0 4 = "cfg:")
+        v.Apps.Crash.violations
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "cfg intact at crash point %d" !k)
+      [] cfg_viol;
+    k := !k + step
+  done
+
 let test_segfault_kills_child () =
   let code =
     run_user (fun c ->
@@ -930,6 +1011,8 @@ let () =
           Alcotest.test_case "fsync_scope" `Quick test_fsync_only_flushes_that_file;
           Alcotest.test_case "batched_seq_read" `Quick test_batched_seq_read;
           Alcotest.test_case "unbatched_parity" `Quick test_unbatched_profile_parity;
+          Alcotest.test_case "errseq_writeback" `Quick test_errseq_sticky_writeback_error;
+          Alcotest.test_case "rename_crash_atomic" `Quick test_rename_atomic_under_crash;
           Alcotest.test_case "segfault" `Quick test_segfault_kills_child;
         ] );
       ( "signals",

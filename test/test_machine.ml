@@ -151,7 +151,7 @@ let test_virtio_blk_write_read () =
   setup ();
   let blk =
     Machine.Virtio_blk.create ~capacity_sectors:1024 ~mmio_base:Machine.Board.pci_hole_base
-      ~dev_id:1 ~vector:40
+      ~dev_id:1 ~vector:40 ()
   in
   let irqs = ref 0 in
   Machine.Irq_chip.set_dispatcher (fun _ -> incr irqs);
@@ -191,7 +191,7 @@ let test_virtio_blk_iommu_blocks_dma () =
   Machine.Iommu.set_enabled true;
   let blk =
     Machine.Virtio_blk.create ~capacity_sectors:64 ~mmio_base:Machine.Board.pci_hole_base
-      ~dev_id:1 ~vector:40
+      ~dev_id:1 ~vector:40 ()
   in
   let desc = 0x40000 in
   Machine.Phys.write_u32 desc 0;
@@ -271,7 +271,7 @@ let test_fault_blk_error_status () =
   setup ();
   ignore
     (Machine.Virtio_blk.create ~capacity_sectors:64 ~mmio_base:Machine.Board.pci_hole_base
-       ~dev_id:1 ~vector:40);
+       ~dev_id:1 ~vector:40 ());
   let irqs = ref 0 in
   Machine.Irq_chip.set_dispatcher (fun _ -> incr irqs);
   Sim.Fault.configure ~seed:1L [ ("blk.io_error", 1.0) ];
@@ -286,7 +286,7 @@ let test_fault_blk_dropped_completion () =
   setup ();
   ignore
     (Machine.Virtio_blk.create ~capacity_sectors:64 ~mmio_base:Machine.Board.pci_hole_base
-       ~dev_id:1 ~vector:40);
+       ~dev_id:1 ~vector:40 ());
   let irqs = ref 0 in
   Machine.Irq_chip.set_dispatcher (fun _ -> incr irqs);
   Sim.Fault.configure ~seed:1L [ ("blk.drop", 1.0) ];
