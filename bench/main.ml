@@ -52,9 +52,9 @@ let syscall_pctls () =
     Some
       {
         pcount = Sim.Hist.count h;
-        p50 = Sim.Hist.percentile h 50.;
-        p90 = Sim.Hist.percentile h 90.;
-        p99 = Sim.Hist.percentile h 99.;
+        p50 = Sim.Hist.percentile_exn h 50.;
+        p90 = Sim.Hist.percentile_exn h 90.;
+        p99 = Sim.Hist.percentile_exn h 99.;
         pmax = Sim.Hist.max_value h;
       }
   | Some _ | None -> None
@@ -918,6 +918,65 @@ let smoke () =
     fmb ffs fcommits ffua;
   expect "fsync-heavy run commits once per fsync" (ffs > 0 && fcommits >= ffs);
   expect "commit records are written FUA" (ffua > 0);
+  print_endline "bench smoke: probe plane cost (must be exactly zero)";
+  (* The probe VM charges no virtual cycles, so a run with the always-on
+     watchdogs (the default boot), a run with every probe detached, and
+     a run with extra programs attached must all be byte-identical: same
+     virtual end time, same MB/s, same-seed same-everything. Any drift
+     means a probe consumer leaked cost or state into the kernel. *)
+  let probe_fio_run ~detach ~extra () =
+    Aster.Kernel.boot_probes := extra;
+    ignore (Apps.Runner.boot ~profile:base);
+    Aster.Kernel.boot_probes := [];
+    if detach then Kprobe.Registry.reset ();
+    let out = ref { Apps.Fio.write_mb_s = nan; read_cold_mb_s = nan; read_mb_s = nan } in
+    Apps.Runner.spawn ~name:"fio" (fun c ->
+        out := Apps.Fio.run c ~file:"/ext2/fio.dat" ~mbytes;
+        0);
+    Apps.Runner.run ();
+    (!out, Sim.Clock.now ())
+  in
+  let watchdogs, t_watchdogs = probe_fio_run ~detach:false ~extra:[] () in
+  let detached, t_detached = probe_fio_run ~detach:true ~extra:[] () in
+  let attached, t_attached =
+    probe_fio_run ~detach:false
+      ~extra:
+        (List.filter_map Kprobe.Templates.by_name
+           [ "blk.lat"; "syscall.count"; "read_lat_by_fd" ])
+      ()
+  in
+  let blk_lat_count =
+    match Kprobe.Registry.find "blk.lat" with
+    | None -> 0
+    | Some l -> (
+      match Hashtbl.find_opt l.Kprobe.Registry.store.Kprobe.Maps.hists "lat_us" with
+      | Some h -> Sim.Hist.count h
+      | None -> 0)
+  in
+  Printf.printf
+    "fio_seq cold read: watchdogs %.3f MB/s @%Ld | detached %.3f MB/s @%Ld | +3 probes \
+     %.3f MB/s @%Ld (blk.lat observed %d bios)\n"
+    watchdogs.Apps.Fio.read_cold_mb_s t_watchdogs detached.Apps.Fio.read_cold_mb_s
+    t_detached attached.Apps.Fio.read_cold_mb_s t_attached blk_lat_count;
+  let fio_equal a b =
+    a.Apps.Fio.write_mb_s = b.Apps.Fio.write_mb_s
+    && a.Apps.Fio.read_cold_mb_s = b.Apps.Fio.read_cold_mb_s
+    && a.Apps.Fio.read_mb_s = b.Apps.Fio.read_mb_s
+  in
+  expect "detached probes leave fio_seq byte-identical (virtual end time)"
+    (Int64.equal t_watchdogs t_detached);
+  expect "detached probes leave fio_seq byte-identical (MB/s)" (fio_equal watchdogs detached);
+  expect "attached probes cost zero on fio_seq (virtual end time)"
+    (Int64.equal t_watchdogs t_attached);
+  expect "attached probes cost zero on fio_seq (MB/s)" (fio_equal watchdogs attached);
+  expect "attached blk.lat probe observed the run" (blk_lat_count > 0);
+  let bw_default, _, _, _, _ = bw_tcp_stats_run base in
+  Aster.Kernel.boot_probes := List.filter_map Kprobe.Templates.by_name [ "net.bytes" ];
+  let bw_probed, _, _, _, _ = bw_tcp_stats_run base in
+  Aster.Kernel.boot_probes := [];
+  Printf.printf "bw_tcp 64k: default %.3f MB/s | +net.bytes probe %.3f MB/s\n" bw_default
+    bw_probed;
+  expect "attached net.bytes probe costs zero on bw_tcp" (bw_default = bw_probed);
   if !fail then exit 1 else print_endline "bench smoke: OK"
 
 (* --- Regression gate: bench --compare BASELINE.json --- *)

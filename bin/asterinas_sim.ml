@@ -395,6 +395,92 @@ let cmd_chaos =
     (Cmd.info "chaos" ~doc:"Fault injection: chaos soak and crash-point replay sweeps.")
     [ soak; crash_cmd ]
 
+(* --- kprobe: run a workload with probe programs attached --- *)
+
+let cmd_probe =
+  let prog_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "prog" ] ~docv:"PROG"
+          ~doc:
+            (Printf.sprintf
+               "Probe program template to load at boot (repeatable). One of: %s."
+               (String.concat ", " Kprobe.Templates.names)))
+  in
+  let run_sub =
+    let run workload profile requests progs =
+      let texts =
+        List.map
+          (fun n ->
+            match Kprobe.Templates.by_name n with
+            | Some t -> t
+            | None ->
+              Printf.printf "unknown probe program %s (try: %s)\n" n
+                (String.concat ", " Kprobe.Templates.names);
+              exit 2)
+          progs
+      in
+      Aster.Kernel.boot_probes := texts;
+      if not (run_workload workload profile requests) then exit 2;
+      Printf.printf "--- /proc/kprobe/programs ---\n%s" (Kprobe.Registry.render_list ());
+      List.iter
+        (fun name ->
+          match Kprobe.Registry.render_maps name with
+          | None -> ()
+          | Some maps -> Printf.printf "\n--- %s maps ---\n%s" name maps)
+        (Kprobe.Registry.list ());
+      (match Sim.Stats.by_prefix "watchdog." with
+      | [] -> ()
+      | wd ->
+        Printf.printf "\n--- watchdog stats ---\n";
+        List.iter (fun (n, c) -> Printf.printf "%-40s %d\n" n c) wd)
+    in
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run a workload with the always-on watchdogs (plus any --prog templates) \
+            attached; print program listings, rendered maps, and watchdog stats.")
+      Term.(const run $ workload_arg $ profile_arg $ requests_arg $ prog_arg)
+  in
+  let list_sub =
+    let run () =
+      Printf.printf "probe program templates (load with probe run --prog, or feed your \
+                     own text to probe_load(2)):\n";
+      List.iter (fun n -> Printf.printf "  %s\n" n) Kprobe.Templates.names
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List the built-in probe program templates.")
+      Term.(const run $ const ())
+  in
+  let hang_sub =
+    let run profile hog_ms =
+      let o = Apps.Chaos.hang_run ~profile ~hog_ms () in
+      Printf.printf "hang injection: %dms non-yielding hog, victim rc %d\n"
+        o.Apps.Chaos.hog_ms o.Apps.Chaos.victim_rc;
+      Printf.printf "watchdog.hung_task.fired: %d\n" o.Apps.Chaos.wd_fired;
+      print_string o.Apps.Chaos.wd_maps;
+      if o.Apps.Chaos.wd_fired = 0 then begin
+        prerr_endline "hung-task watchdog missed the injected hang";
+        exit 1
+      end
+    in
+    let hog_arg =
+      Arg.(
+        value & opt int 100
+        & info [ "hog-ms" ] ~docv:"MS"
+            ~doc:"How long the injected hog runs without yielding.")
+    in
+    Cmd.v
+      (Cmd.info "hang"
+         ~doc:
+           "Inject a non-yielding CPU hog and verify the always-on hung-task watchdog \
+            catches the starved victim.")
+      Term.(const run $ profile_arg $ hog_arg)
+  in
+  Cmd.group
+    (Cmd.info "probe" ~doc:"kprobe: verified programmable probes with maps and watchdogs.")
+    [ run_sub; list_sub; hang_sub ]
+
 let cmd_syscalls =
   let run () =
     Printf.printf "advertised ABI surface: %d syscalls\n" Aster.Syscall_nr.registered_count;
@@ -413,4 +499,4 @@ let () =
   let info = Cmd.info "asterinas_sim" ~doc:"Asterinas framekernel simulator." in
   exit
     (Cmd.eval
-       (Cmd.group info [ cmd_boot; cmd_run; cmd_trace; cmd_prof; cmd_chaos; cmd_syscalls ]))
+       (Cmd.group info [ cmd_boot; cmd_run; cmd_trace; cmd_prof; cmd_chaos; cmd_probe; cmd_syscalls ]))

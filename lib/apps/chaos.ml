@@ -249,3 +249,44 @@ let net_batch_run ?(profile = Sim.Profile.asterinas) ?(schedule = net_schedule) 
       Sim.Stats.get "fault.injected.net.tx_fail" + Sim.Stats.get "fault.injected.net.tx_drop";
     nfault_log = Sim.Fault.log ();
   }
+
+(* --- Hung-task injection ---
+
+   A kernel task that charges a long stretch of virtual CPU without
+   yielding starves a Ready victim. The always-on hung-task watchdog
+   (probe program [watchdog.hung_task] on sched_switch/sched_wakeup)
+   must see the victim's runnable wait cross its threshold and fire —
+   this is the end-to-end proof that the probe plane observes scheduler
+   anomalies no explicit instrumentation was written for. *)
+
+type hang_outcome = {
+  victim_rc : int;  (** 0 = the victim still completed once rescued *)
+  hog_ms : int;
+  wd_fired : int;  (** watchdog.hung_task.fired after the run *)
+  wd_maps : string;  (** rendered maps of the watchdog program *)
+}
+
+let hang_run ?(profile = Sim.Profile.asterinas) ?(hog_ms = 100) () =
+  ignore (Runner.boot ~profile);
+  let victim_rc = ref (-1) in
+  Runner.spawn ~name:"hang-victim" (fun c ->
+      (* yield repeatedly so the victim sits Ready under the hog *)
+      for _ = 1 to 50 do
+        ignore (Libc.sched_yield c)
+      done;
+      victim_rc := 0;
+      0);
+  ignore
+    (Ostd.Task.spawn ~name:"chaos-hog" (fun () ->
+         (* one long non-yielding stretch of virtual CPU *)
+         Sim.Clock.charge (hog_ms * 1000 * Sim.Clock.cycles_per_us)));
+  Runner.run ();
+  {
+    victim_rc = !victim_rc;
+    hog_ms;
+    wd_fired = Sim.Stats.get "watchdog.hung_task.fired";
+    wd_maps =
+      (match Kprobe.Registry.render_maps "watchdog.hung_task" with
+      | Some s -> s
+      | None -> "");
+  }

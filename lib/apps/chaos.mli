@@ -67,3 +67,14 @@ val net_batch_run :
   seed:int64 ->
   unit ->
   net_outcome
+
+type hang_outcome = {
+  victim_rc : int;  (** 0 = the victim still completed once rescued *)
+  hog_ms : int;
+  wd_fired : int;  (** watchdog.hung_task.fired after the run *)
+  wd_maps : string;  (** rendered maps of the watchdog program *)
+}
+
+val hang_run : ?profile:Sim.Profile.t -> ?hog_ms:int -> unit -> hang_outcome
+(** Starve a Ready victim under a non-yielding CPU hog and report
+    whether the always-on hung-task watchdog caught it. *)

@@ -327,3 +327,26 @@ let sigpending t =
   let set = scratch_alloc t 8 in
   ignore (syscall t N.rt_sigpending [| i64 set |]);
   Int64.to_int (Bytes.get_int64_le (get_bytes t set 8) 0)
+
+(* --- kprobe probe surface --- *)
+
+let probe_load t text =
+  let vaddr = put_bytes t (Bytes.of_string text) in
+  syscall t N.probe_load [| i64 vaddr; i64 (String.length text) |]
+
+let probe_read t name =
+  let cap = 4096 in
+  let buf = Buffer.create 256 in
+  let rec loop off =
+    (* re-stage the name each round: scratch wraps on long reads *)
+    let namep = put_string t name in
+    let vaddr = scratch_alloc t cap in
+    let n = syscall t N.probe_read [| i64 namep; i64 vaddr; i64 cap; i64 off |] in
+    if n < 0 then Error (-n)
+    else if n = 0 then Ok (Buffer.contents buf)
+    else begin
+      Buffer.add_bytes buf (get_bytes t vaddr n);
+      if n < cap then Ok (Buffer.contents buf) else loop (off + n)
+    end
+  in
+  loop 0

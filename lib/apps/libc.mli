@@ -130,3 +130,11 @@ val sigblock : t -> int -> int
 
 val sigunblock : t -> int -> int
 val sigpending : t -> int
+
+val probe_load : t -> string -> int
+(** probe_load(2): load a probe program from its text form; returns its
+    load-order id, or -EINVAL if the parser/verifier rejects it (the
+    reason is readable from /proc/kprobe/programs). *)
+
+val probe_read : t -> string -> (string, int) result
+(** probe_read(2) looped to EOF: the program's rendered map tables. *)

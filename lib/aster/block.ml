@@ -109,6 +109,21 @@ let op_name = function
 let bio_args bio =
   Printf.sprintf "op=%s sector=%d len=%d" (op_name bio.op) bio.sector bio.len
 
+(* Probe ctx encoding: write = 0 read / 1 write / 2 flush. *)
+let op_code = function Read -> 0L | Write | Write_fua -> 1L | Flush -> 2L
+
+let fire_issue bio =
+  Sim.Trace.fire Sim.Trace.P_blk_issue (fun () ->
+      [| Int64.of_int bio.sector; Int64.of_int bio.len; op_code bio.op |])
+
+let fire_complete bio ~t0 ~status =
+  Sim.Trace.fire Sim.Trace.P_blk_complete (fun () ->
+      [|
+        Int64.of_int bio.sector; Int64.of_int bio.len; op_code bio.op;
+        Int64.of_float (Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0) *. 1000.);
+        Int64.of_int status;
+      |])
+
 let submit_and_wait bio =
   let (module D) = the_driver () in
   let t0 = Sim.Clock.now () in
@@ -122,6 +137,7 @@ let submit_and_wait bio =
     Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.blk_issue;
     Sim.Trace.emit Sim.Trace.Blk "issue" (fun () ->
         Printf.sprintf "%s attempt=%d" (bio_args bio) n);
+    fire_issue bio;
     D.submit b;
     match wait_with_deadline b ~cycles:(bio_deadline_cycles n) with
     | `Done -> (
@@ -131,6 +147,7 @@ let submit_and_wait bio =
         Sim.Trace.emit Sim.Trace.Blk "complete" (fun () ->
             Printf.sprintf "%s attempts=%d" (bio_args bio) (n + 1));
         observe_latency ();
+        fire_complete bio ~t0 ~status:0;
         complete_bio bio ~status:0;
         Ok ()
       | Some e -> retry_or_fail n e
@@ -148,6 +165,7 @@ let submit_and_wait bio =
       Sim.Trace.emit Sim.Trace.Blk "give_up" (fun () ->
           Printf.sprintf "%s errno=%d" (bio_args bio) e);
       observe_latency ();
+      fire_complete bio ~t0 ~status:e;
       complete_bio bio ~status:e;
       Error e
     end
@@ -233,6 +251,7 @@ let issue_run run =
             Printf.sprintf "op=%s sector=%d nreq=%d" (op_name first.op) first.sector n);
         let clones = List.map clone_bio run in
         Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.blk_issue;
+        List.iter fire_issue run;
         D.submit_many clones;
         wait_batch clones ~cycles:(batch_deadline_cycles n);
         if List.for_all (fun c -> c.status = Some 0) clones then begin
@@ -242,6 +261,7 @@ let issue_run run =
           List.iter
             (fun bio ->
               Sim.Hist.observe "blk.bio" lat;
+              fire_complete bio ~t0 ~status:0;
               complete_bio bio ~status:0)
             run
         end
@@ -258,6 +278,7 @@ let issue_run run =
               match c.status with
               | Some 0 ->
                 Sim.Hist.observe "blk.bio" (Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0));
+                fire_complete bio ~t0 ~status:0;
                 complete_bio bio ~status:0
               | _ -> ignore (submit_and_wait bio))
             run clones

@@ -88,6 +88,16 @@ let open_handles = ref 0
 
 let committing = ref false
 
+(* Observability accessors for the probe plane: whether a commit is in
+   progress right now, and a monotonically increasing count of chunk
+   commits so a syscall can tell whether any commit overlapped its
+   lifetime (sample at entry, compare at exit). *)
+let is_committing () = !committing
+
+let commit_seq = ref 0
+
+let commits () = !commit_seq
+
 let gate_wq = ref (Ostd.Wait_queue.create ())
 
 let recovery_rev : string list ref = ref []
@@ -103,6 +113,7 @@ let reset () =
   Hashtbl.reset committed;
   open_handles := 0;
   committing := false;
+  commit_seq := 0;
   gate_wq := Ostd.Wait_queue.create ();
   recovery_rev := []
 
@@ -280,8 +291,10 @@ let commit_chunk chunk =
       Hashtbl.replace committed b None)
     chunk;
   Sim.Stats.incr "jbd.commit";
+  incr commit_seq;
   Sim.Trace.emit Sim.Trace.Blk "jbd_commit" (fun () ->
       Printf.sprintf "seq=%d n=%d slot=%d" !seq n desc_slot);
+  Sim.Trace.fire Sim.Trace.P_jbd_commit (fun () -> [| Int64.of_int !seq; Int64.of_int n |]);
   seq := !seq + 1;
   next_slot := commit_slot + 1
 

@@ -23,6 +23,14 @@ val is_enabled : unit -> bool
 
 val journals_data : unit -> bool
 
+val is_committing : unit -> bool
+(** Whether a journal commit is in progress right now (observability
+    only — feeds the probe plane's journal_commit ctx field). *)
+
+val commits : unit -> int
+(** Monotonic count of committed transaction chunks; sample at syscall
+    entry and compare at exit to detect commit overlap. *)
+
 val format : unit -> unit
 (** Write a fresh, empty journal superblock (mkfs). *)
 

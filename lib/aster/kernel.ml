@@ -9,6 +9,12 @@ let guest_ip = Packet.ip_of_string "10.0.2.15"
 
 let host_ip = Packet.ip_of_string "10.0.2.2"
 
+(* Extra probe program texts loaded right after the watchdogs on every
+   boot — the CLI's `probe run --prog` stages template text here before
+   the workload boots its kernel. A staged program that fails the
+   verifier is a caller bug, so be loud. *)
+let boot_probes : string list ref = ref []
+
 let reset_services () =
   Vfs.reset ();
   Netstack.reset_registry ();
@@ -17,6 +23,7 @@ let reset_services () =
   Unix_sock.reset_namespace ();
   Strace.reset ();
   Process.reset ();
+  Kprobe.Registry.reset ();
   Ktime.stop_ticker ()
 
 let mount_filesystems ~format_disk =
@@ -54,6 +61,16 @@ let boot ?profile ?(frames = 16384) ?disk ?(disk_mb = 64) ?(format_disk = true) 
   let udp = Udp.create_engine stack in
   Syscalls.init_net stack tcp udp;
   Syscalls.install ();
+  (* Always-on anomaly watchdogs: hung-task, syscall-latency SLO and
+     IRQ-storm sentinels ride the probe plane from the first dispatch.
+     Detach with [Kprobe.Registry.reset] for probe-free baselines. *)
+  Kprobe.Templates.install_watchdogs ();
+  List.iter
+    (fun text ->
+      match Kprobe.Registry.load_text text with
+      | Ok _ -> ()
+      | Error e -> failwith ("boot: staged probe program rejected: " ^ e))
+    !boot_probes;
   mount_filesystems ~format_disk;
   { devices; stack; tcp; udp }
 

@@ -16,6 +16,11 @@ type t = {
 val guest_ip : int
 val host_ip : int
 
+val boot_probes : string list ref
+(** Extra probe program texts loaded (after the always-on watchdogs) on
+    every boot; staged by the CLI's [probe run --prog]. A staged program
+    the verifier rejects fails the boot loudly. *)
+
 val boot :
   ?profile:Sim.Profile.t ->
   ?frames:int ->

@@ -75,6 +75,13 @@ let burst_args ps =
   let bytes = List.fold_left (fun a (p : Packet.t) -> a + Bytes.length p.Packet.payload) 0 ps in
   Printf.sprintf "nseg=%d bytes=%d" (List.length ps) bytes
 
+(* Probe ctx thunks: [| bytes; nseg |] for one packet or a burst. *)
+let packet_ctx (p : Packet.t) () = [| Int64.of_int (Bytes.length p.Packet.payload); 1L |]
+
+let burst_ctx ps () =
+  let bytes = List.fold_left (fun a (p : Packet.t) -> a + Bytes.length p.Packet.payload) 0 ps in
+  [| Int64.of_int bytes; Int64.of_int (List.length ps) |]
+
 let dispatch_proto t (p : Packet.t) =
   t.nrx <- t.nrx + 1;
   match p.Packet.proto with
@@ -85,6 +92,7 @@ let dispatch_proto t (p : Packet.t) =
 let dispatch t (p : Packet.t) =
   Sim.Prof.scope "net" (fun () ->
       Sim.Trace.emit Sim.Trace.Net "rx" (fun () -> packet_args p);
+      Sim.Trace.fire Sim.Trace.P_net_rx (packet_ctx p);
       dispatch_proto t p)
 
 let rx t p = dispatch t p
@@ -95,6 +103,7 @@ let rx_many t ps =
   if ps <> [] then
     Sim.Prof.scope "net" (fun () ->
         Sim.Trace.emit Sim.Trace.Net "rx" (fun () -> burst_args ps);
+        Sim.Trace.fire Sim.Trace.P_net_rx (burst_ctx ps);
         List.iter (dispatch_proto t) ps)
 
 let batching_on t =
@@ -112,6 +121,7 @@ let flush t =
     Sim.Prof.scope "net" (fun () ->
         Sim.Stats.incr "net.burst";
         Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> burst_args ps);
+        Sim.Trace.fire Sim.Trace.P_net_tx (burst_ctx ps);
         match t.ext_tx_many with
         | Some f -> f ps
         | None -> List.iter t.ext_tx ps)
@@ -125,6 +135,7 @@ let send t p =
       let dst = p.Packet.dst_ip in
       if dst = loopback_ip || dst = t.addr then begin
         Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);
+        Sim.Trace.fire Sim.Trace.P_net_tx (packet_ctx p);
         (* Loopback: softirq-style asynchronous hand-off. *)
         charge t (Sim.Cost.c ()).Sim.Profile.loopback_delivery;
         ignore (Sim.Events.schedule_after 0 (fun () -> dispatch t p))
@@ -147,6 +158,7 @@ let send t p =
       end
       else begin
         Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);
+        Sim.Trace.fire Sim.Trace.P_net_tx (packet_ctx p);
         t.ext_tx p
       end)
 

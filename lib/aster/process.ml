@@ -127,6 +127,9 @@ let rec run_user proc resume =
     match trap with
     | Ostd.User.Syscall { nr; args } -> (
       Strace.enter ~nr;
+      let arg0 = if Array.length args > 0 then args.(0) else 0L in
+      Sim.Trace.fire Sim.Trace.P_syscall_enter (fun () ->
+          [| Int64.of_int nr; Int64.of_int proc.pid_v; arg0 |]);
       (* Interrupt delivery point: a busy process cannot starve IRQs —
          hardware would have preempted it, so fire everything due. *)
       ignore (Sim.Events.run_due ());
@@ -136,6 +139,11 @@ let rec run_user proc resume =
       | Some signal -> do_exit proc (128 + signal)
       | None -> ());
       let t0 = Sim.Clock.now () in
+      (* Journal-commit overlap for the syscall_exit probe ctx: sampled
+         here so a commit that starts and finishes inside this syscall
+         still counts. One int read; no virtual cost. *)
+      let jseq0 = Jbd.commits () in
+      let jbd0 = Jbd.is_committing () in
       (* Implicit kprof scope per syscall nr: kernel-side cycles of this
          call attribute to syscall.<name> under the calling task. *)
       match Sim.Prof.scope (Syscall_nr.scope_name nr) (fun () -> !handler proc nr args) with
@@ -143,7 +151,16 @@ let rec run_user proc resume =
         (* Latency covers kernel work only; a handler that never
            returns (exit, fatal signal) records no exit event, exactly
            like strace. *)
-        Strace.exit_ ~nr ~ret:v ~cycles:(Int64.sub (Sim.Clock.now ()) t0);
+        let cycles = Int64.sub (Sim.Clock.now ()) t0 in
+        Strace.exit_ ~nr ~ret:v ~cycles;
+        Sim.Trace.fire Sim.Trace.P_syscall_exit (fun () ->
+            let jc = jbd0 || Jbd.is_committing () || Jbd.commits () > jseq0 in
+            [|
+              Int64.of_int nr; v;
+              Int64.of_float (Sim.Clock.to_us cycles *. 1000.);
+              Int64.of_int proc.pid_v; arg0;
+              (if jc then 1L else 0L);
+            |]);
         run_user proc (Ostd.User.Sysret v)
       | Exec_done -> run_user proc Ostd.User.Start
       | Terminated -> ())

@@ -2,6 +2,13 @@ let generators : (string, unit -> string) Hashtbl.t = Hashtbl.create 16
 
 let register name gen = Hashtbl.replace generators name gen
 
+(* Writable proc files: a writer consumes the full written string as a
+   control command ([echo sched,probe > /proc/ktrace] style). Files with
+   a registered writer get mode 0o644 instead of 0o444. *)
+let writers : (string, string -> (unit, int) result) Hashtbl.t = Hashtbl.create 4
+
+let register_writer name fn = Hashtbl.replace writers name fn
+
 type Vfs.priv += Proc_file of string | Proc_root
 
 let file_ops =
@@ -23,6 +30,17 @@ let file_ops =
               Ok n
             end)
         | _ -> Error Errno.einval);
+    write =
+      (fun i ~pos:_ ~buf ~boff ~len ->
+        match i.Vfs.priv with
+        | Proc_file name -> (
+          match Hashtbl.find_opt writers name with
+          | None -> Error Errno.einval
+          | Some fn -> (
+            match fn (Bytes.sub_string buf boff len) with
+            | Ok () -> Ok len
+            | Error e -> Error e))
+        | _ -> Error Errno.einval);
   }
 
 (* Inodes are generated on demand and cached per name so ino stays
@@ -33,7 +51,8 @@ let file_inode name =
   match Hashtbl.find_opt file_cache name with
   | Some i -> i
   | None ->
-    let i = Vfs.make_inode ~fsname:"procfs" ~kind:Vfs.Reg ~mode:0o444 ~ops:file_ops () in
+    let mode = if Hashtbl.mem writers name then 0o644 else 0o444 in
+    let i = Vfs.make_inode ~fsname:"procfs" ~kind:Vfs.Reg ~mode ~ops:file_ops () in
     i.Vfs.priv <- Proc_file name;
     Hashtbl.replace file_cache name i;
     i
@@ -119,23 +138,156 @@ let pid_dir pid =
     Hashtbl.replace pid_dir_cache pid d;
     d
 
+(* --- /proc/kprobe: loaded probe programs ----------------------------
+   kprobe/programs       one-line-per-program listing (+ last_error)
+   kprobe/<name>/maps    rendered map contents of a loaded program
+   kprobe/<name>/insns   disassembly of its verified bytecode *)
+
+let kprobe_prog_cache : (string, Vfs.inode) Hashtbl.t = Hashtbl.create 8
+
+let kprobe_prog_dir pname =
+  match Hashtbl.find_opt kprobe_prog_cache pname with
+  | Some d -> d
+  | None ->
+    let maps_name = "kprobe." ^ pname ^ ".maps" in
+    let insns_name = "kprobe." ^ pname ^ ".insns" in
+    (* the generators query the registry at read time, so a program
+       unloaded after lookup just reads back empty *)
+    register maps_name (fun () ->
+        match Kprobe.Registry.render_maps pname with Some s -> s | None -> "");
+    register insns_name (fun () ->
+        match Kprobe.Registry.render_prog pname with Some s -> s | None -> "");
+    let ops =
+      {
+        Vfs.default_ops with
+        lookup =
+          (fun _ name ->
+            match name with
+            | "maps" -> Some (file_inode maps_name)
+            | "insns" -> Some (file_inode insns_name)
+            | _ -> None);
+        readdir =
+          (fun _ -> [ ("maps", file_inode maps_name); ("insns", file_inode insns_name) ]);
+      }
+    in
+    let d = Vfs.make_inode ~fsname:"procfs" ~kind:Vfs.Dir ~mode:0o555 ~ops () in
+    Hashtbl.replace kprobe_prog_cache pname d;
+    d
+
+let kprobe_dir_ops =
+  {
+    Vfs.default_ops with
+    lookup =
+      (fun _ name ->
+        if name = "programs" then Some (file_inode "kprobe.programs")
+        else
+          match Kprobe.Registry.find name with
+          | Some _ -> Some (kprobe_prog_dir name)
+          | None -> None);
+    readdir =
+      (fun _ ->
+        ("programs", file_inode "kprobe.programs")
+        :: List.map (fun n -> (n, kprobe_prog_dir n)) (Kprobe.Registry.list ()));
+  }
+
+let kprobe_dir_cache : Vfs.inode option ref = ref None
+
+let kprobe_dir () =
+  match !kprobe_dir_cache with
+  | Some d -> d
+  | None ->
+    let d =
+      Vfs.make_inode ~fsname:"procfs" ~kind:Vfs.Dir ~mode:0o555 ~ops:kprobe_dir_ops ()
+    in
+    kprobe_dir_cache := Some d;
+    d
+
 let root_ops =
   {
     Vfs.default_ops with
     lookup =
       (fun _ name ->
-        if Hashtbl.mem generators name then Some (file_inode name)
+        if name = "kprobe" then Some (kprobe_dir ())
+        else if Hashtbl.mem generators name then Some (file_inode name)
         else
           match int_of_string_opt name with
           | Some pid when Process.by_pid pid <> None -> Some (pid_dir pid)
           | Some _ | None -> None);
     readdir =
       (fun _ ->
-        Hashtbl.fold (fun name _ acc -> (name, file_inode name) :: acc) generators []
-        |> List.sort compare);
+        ("kprobe", kprobe_dir ())
+        :: (Hashtbl.fold (fun name _ acc -> (name, file_inode name) :: acc) generators []
+           |> List.sort compare));
   }
 
+(* /proc/ktrace accepts mask commands on write (whitespace-trimmed,
+   case-insensitive):
+     "none" | "0"          disable every category
+     "all"                 enable every category
+     "<decimal>"           set the raw mask value (unknown bits ignored)
+     "cat1,cat2,..."       enable exactly the named categories
+     "+cat" / "-cat" ...   enable/disable incrementally
+   Malformed input (unknown names, negative numbers, mixed forms) fails
+   with EINVAL and leaves the mask untouched. *)
+let ktrace_write raw =
+  let s = String.trim (String.lowercase_ascii raw) in
+  if s = "" then Error Errno.einval
+  else if s = "none" || s = "0" then begin
+    Sim.Trace.disable_all ();
+    Ok ()
+  end
+  else if s = "all" then begin
+    Sim.Trace.enable_all ();
+    Ok ()
+  end
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 0 ->
+      Sim.Trace.set_mask n;
+      Ok ()
+    | Some _ -> Error Errno.einval
+    | None ->
+      let toks =
+        String.split_on_char ',' s
+        |> List.concat_map (String.split_on_char ' ')
+        |> List.filter (fun t -> t <> "")
+      in
+      let incr_tok t = String.length t > 1 && (t.[0] = '+' || t.[0] = '-') in
+      if toks = [] then Error Errno.einval
+      else if List.for_all incr_tok toks then begin
+        (* validate the whole command before applying any part of it *)
+        let parsed =
+          List.map
+            (fun t ->
+              match Sim.Trace.category_of_string (String.sub t 1 (String.length t - 1)) with
+              | Some c -> Some (t.[0] = '+', c)
+              | None -> None)
+            toks
+        in
+        if List.mem None parsed then Error Errno.einval
+        else begin
+          List.iter
+            (function
+              | Some (true, c) -> Sim.Trace.enable c
+              | Some (false, c) -> Sim.Trace.disable c
+              | None -> ())
+            parsed;
+          Ok ()
+        end
+      end
+      else begin
+        let cats = List.map Sim.Trace.category_of_string toks in
+        if List.mem None cats then Error Errno.einval
+        else begin
+          Sim.Trace.disable_all ();
+          List.iter (function Some c -> Sim.Trace.enable c | None -> ()) cats;
+          Ok ()
+        end
+      end
+
 let standard_entries () =
+  register_writer "ktrace" ktrace_write;
+  register "kprobe.programs" (fun () -> Kprobe.Registry.render_list ());
   register "meminfo" (fun () ->
       let total = Ostd.Frame.total_frames () * 4 in
       Printf.sprintf "MemTotal: %d kB\nMemFree: (dynamic)\n" total);
@@ -252,6 +404,8 @@ let standard_entries () =
 let create_root () =
   Hashtbl.reset file_cache;
   Hashtbl.reset pid_dir_cache;
+  Hashtbl.reset kprobe_prog_cache;
+  kprobe_dir_cache := None;
   standard_entries ();
   let root = Vfs.make_inode ~fsname:"procfs" ~kind:Vfs.Dir ~mode:0o555 ~ops:root_ops () in
   root.Vfs.priv <- Proc_root;

@@ -1,8 +1,18 @@
-(** ProcFS: kernel-generated read-only files (/proc). Content is produced
-    by registered generators at read time. *)
+(** ProcFS: kernel-generated files (/proc). Content is produced by
+    registered generators at read time; a few control files (e.g.
+    /proc/ktrace) also accept writes that reconfigure the kernel. The
+    /proc/kprobe directory exposes loaded probe programs
+    ([programs], [<name>/maps], [<name>/insns]). *)
 
 val create_root : unit -> Vfs.inode
 
 val register : string -> (unit -> string) -> unit
 (** Add or replace a /proc entry. Standard entries (meminfo, uptime,
     version, syscalls) are registered by {!create_root}. *)
+
+val register_writer : string -> (string -> (unit, int) result) -> unit
+(** Make a /proc entry writable: the writer consumes the written string
+    as a control command and returns [Ok ()] or [Error errno]. Entries
+    with a writer surface as mode 0o644. /proc/ktrace's writer accepts
+    "none", "all", a decimal mask, "cat1,cat2" exact sets, and
+    "+cat"/"-cat" increments. *)

@@ -94,6 +94,11 @@ let fchdir = 81
 let sync = 162
 let dup3 = 292
 
+(* bpf(2)-lite probe surface: probe_load sits on Linux's bpf slot (321)
+   since it plays the same role; probe_read takes the adjacent 322. *)
+let probe_load = 321
+let probe_read = 322
+
 let named =
   [
     (read, "read"); (write, "write"); (open_, "open"); (close, "close"); (stat, "stat");
@@ -122,6 +127,7 @@ let named =
     (pipe2, "pipe2"); (getrandom, "getrandom"); (rt_sigaction, "rt_sigaction");
     (rt_sigprocmask, "rt_sigprocmask"); (rt_sigpending, "rt_sigpending"); (mknod, "mknod");
     (statfs, "statfs"); (fchdir, "fchdir"); (sync, "sync"); (dup3, "dup3");
+    (probe_load, "probe_load"); (probe_read, "probe_read");
   ]
 
 (* The rest of the advertised ABI surface: numbers Asterinas registers

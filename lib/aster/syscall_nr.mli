@@ -102,6 +102,12 @@ val fchdir : int
 val sync : int
 val dup3 : int
 
+val probe_load : int
+(** bpf(2)-lite: load a probe program from its text form. *)
+
+val probe_read : int
+(** bpf(2)-lite: read a loaded program's rendered map contents. *)
+
 val name : int -> string
 (** Symbolic name for a registered number; "sys_<n>" otherwise. *)
 

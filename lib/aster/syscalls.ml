@@ -1175,6 +1175,54 @@ let sys_poll proc args =
   in
   loop ()
 
+(* --- bpf(2)-lite probe surface ---
+
+   probe_load(text, len) feeds program text to the kprobe
+   parser/verifier; the program attaches on success (returning its
+   load-order id) and is rejected wholesale with EINVAL otherwise (the
+   reason lands in /proc/kprobe/programs). probe_read(name, buf, len,
+   off) copies the program's rendered map tables out, read(2)-style. *)
+
+let probe_text_max = 65536
+
+let sys_probe_load proc args =
+  let len = int_arg args 1 in
+  if len <= 0 || len > probe_text_max then err Errno.einval
+  else
+    match user_read proc ~vaddr:(int_arg args 0) ~len with
+    | Error e -> err e
+    | Ok buf -> (
+      match Kprobe.Registry.load_text (Bytes.to_string buf) with
+      | Error _ ->
+        (* The rejection reason is latched in Registry.last_error. *)
+        Sim.Stats.incr "kprobe.rejected";
+        err Errno.einval
+      | Ok name ->
+        Sim.Stats.incr "kprobe.loaded";
+        let rec index i = function
+          | [] -> -1
+          | n :: tl -> if n = name then i else index (i + 1) tl
+        in
+        ok (index 0 (Kprobe.Registry.list ())))
+
+let sys_probe_read proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok name -> (
+    match Kprobe.Registry.render_maps name with
+    | None -> err Errno.enoent
+    | Some text ->
+      let off = int_arg args 3 in
+      let len = int_arg args 2 in
+      if off < 0 || len < 0 then err Errno.einval
+      else if off >= String.length text then ok 0
+      else begin
+        let n = min len (String.length text - off) in
+        match user_write proc ~vaddr:(int_arg args 1) (Bytes.of_string (String.sub text off n)) with
+        | Error e -> err e
+        | Ok () -> ok n
+      end)
+
 (* --- Dispatch table --- *)
 
 let handlers : (int, Process.t -> int64 array -> (int64, int) result) Hashtbl.t =
@@ -1301,7 +1349,9 @@ let register_all () =
   reg N.poll sys_poll;
   reg N.getrlimit const_ok;
   reg N.getrusage sys_getrusage;
-  reg N.times sys_times
+  reg N.times sys_times;
+  reg N.probe_load sys_probe_load;
+  reg N.probe_read sys_probe_read
 
 let implemented_count () = Hashtbl.length handlers
 

@@ -100,6 +100,11 @@ let dispatch vector =
     Sim.Prof.scope (irq_scope vector) (fun () ->
         Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.irq_entry;
         Sim.Trace.emit Sim.Trace.Irq "entry" (fun () -> Printf.sprintf "vector=%d" vector);
+        Sim.Trace.fire Sim.Trace.P_irq_entry (fun () ->
+            [|
+              Int64.of_int vector;
+              Int64.of_float (Sim.Clock.to_us (Sim.Clock.now ()) *. 1000.);
+            |]);
         let now = Sim.Clock.now () in
         let window = Int64.of_int (Sim.Clock.us storm_window_us) in
         if Int64.compare (Int64.sub now vs.wstart) window > 0 then begin

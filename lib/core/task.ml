@@ -69,6 +69,27 @@ let next_tid = ref 0
 
 let live = ref 0
 
+(* All live tasks, for observability scans (never for scheduling). The
+   hung-task watchdog's ctx field is the longest time any Ready task
+   has been waiting on the runqueue, computed on demand at sched
+   tracepoints. *)
+let all_tasks : (int, t) Hashtbl.t = Hashtbl.create 64
+
+let ns_of_cycles c = Int64.of_float (Sim.Clock.to_us c *. 1000.)
+
+let max_runnable_wait_ns () =
+  let now = Sim.Clock.now () in
+  Hashtbl.fold
+    (fun _ t acc ->
+      if t.st = Ready && Int64.compare t.runnable_at 0L >= 0 then begin
+        let d = Int64.sub now t.runnable_at in
+        let d = if Int64.compare d 0L > 0 then d else 0L in
+        let d = ns_of_cycles d in
+        if Int64.compare d acc > 0 then d else acc
+      end
+      else acc)
+    all_tasks 0L
+
 (* --- CPU accounting ---
 
    Virtual time only moves through [Sim.Cost] charges and event jumps,
@@ -162,6 +183,7 @@ let reset () =
   last_ran := -1;
   next_tid := 0;
   live := 0;
+  Hashtbl.reset all_tasks;
   total_utime := 0L;
   total_stime := 0L;
   switch_count := 0;
@@ -207,6 +229,7 @@ let spawn ?(name = "task") body =
       sdelay_max = 0L;
     }
   in
+  Hashtbl.replace all_tasks t.tid t;
   enqueue_ready t;
   t
 
@@ -215,7 +238,9 @@ let wake t =
   | Blocked ->
     Sim.Trace.emit Sim.Trace.Sched "wakeup" (fun () ->
         Printf.sprintf "task=%s/%d" t.tname t.tid);
-    enqueue_ready t
+    enqueue_ready t;
+    Sim.Trace.fire Sim.Trace.P_sched_wakeup (fun () ->
+        [| Int64.of_int t.tid; ns_of_cycles (Sim.Clock.now ()); max_runnable_wait_ns () |])
   | Ready | Running | Dead -> ()
 
 let exit () = raise Task_exit
@@ -224,6 +249,7 @@ let kill t =
   if t.st <> Dead then begin
     t.st <- Dead;
     decr live;
+    Hashtbl.remove all_tasks t.tid;
     Kstack.destroy t.kstack
   end
 
@@ -234,6 +260,7 @@ let on_death t =
   if t.st <> Dead then begin
     t.st <- Dead;
     decr live;
+    Hashtbl.remove all_tasks t.tid;
     Kstack.destroy t.kstack
   end;
   t.running_flag <- false;
@@ -287,6 +314,7 @@ let dispatch t =
        this dispatch. Fed to the sched.delay histogram (microseconds)
        and the per-task schedstat totals; costs nothing in virtual
        time. *)
+    let own_wait_ns = ref 0L in
     if Int64.compare t.runnable_at 0L >= 0 then begin
       let d = Int64.sub (Sim.Clock.now ()) t.runnable_at in
       let d = if Int64.compare d 0L > 0 then d else 0L in
@@ -294,6 +322,7 @@ let dispatch t =
       t.sdelay_sum <- Int64.add t.sdelay_sum d;
       t.sdelay_cnt <- t.sdelay_cnt + 1;
       if Int64.compare d t.sdelay_max > 0 then t.sdelay_max <- d;
+      own_wait_ns := ns_of_cycles d;
       Sim.Hist.observe "sched.delay" (Sim.Clock.to_us d)
     end;
     incr switch_count;
@@ -303,6 +332,13 @@ let dispatch t =
     else Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.context_switch;
     Sim.Trace.emit Sim.Trace.Sched "switch" (fun () ->
         Printf.sprintf "prev=%d next=%s/%d" !last_ran t.tname t.tid);
+    (* max_wait_ns covers the task being switched in (it just finished
+       waiting) as well as everything still on the runqueue, so a
+       starved task is visible at the very switch that rescues it. *)
+    Sim.Trace.fire Sim.Trace.P_sched_switch (fun () ->
+        let queued = max_runnable_wait_ns () in
+        let w = if Int64.compare !own_wait_ns queued > 0 then !own_wait_ns else queued in
+        [| Int64.of_int !last_ran; Int64.of_int t.tid; ns_of_cycles (Sim.Clock.now ()); w |]);
     last_ran := t.tid;
     t.st <- Running;
     t.running_flag <- true;

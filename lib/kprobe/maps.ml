@@ -1,0 +1,147 @@
+(* Per-program map state. Every map a program can touch is created here
+   at load time from its declarations, so the VM never allocates and
+   writes cannot escape the program's own store. Rendering is fully
+   deterministic: declaration order for maps, sorted keys within a map,
+   insertion order (oldest first) for rings. *)
+
+open Insn
+
+let ring_capacity = 64
+
+type ring = {
+  mutable entries : (int64 * int64) array; (* circular, (key, value) *)
+  mutable head : int;
+  mutable rlen : int;
+  mutable rdropped : int;
+}
+
+type store = {
+  counters : (string, int64 ref) Hashtbl.t;
+  perkey : (string, (int64, int64 ref) Hashtbl.t) Hashtbl.t;
+  hists : (string, Sim.Hist.t) Hashtbl.t;
+  khists : (string, (int64, Sim.Hist.t) Hashtbl.t) Hashtbl.t;
+  rings : (string, ring) Hashtbl.t;
+  decls : (string * map_kind) list;
+}
+
+let create decls =
+  let s =
+    {
+      counters = Hashtbl.create 4;
+      perkey = Hashtbl.create 4;
+      hists = Hashtbl.create 4;
+      khists = Hashtbl.create 4;
+      rings = Hashtbl.create 4;
+      decls;
+    }
+  in
+  List.iter
+    (fun (n, k) ->
+      match k with
+      | Counter -> Hashtbl.replace s.counters n (ref 0L)
+      | Perkey -> Hashtbl.replace s.perkey n (Hashtbl.create 16)
+      | Histogram -> Hashtbl.replace s.hists n (Sim.Hist.create ())
+      | Keyed_histogram -> Hashtbl.replace s.khists n (Hashtbl.create 16)
+      | Ring ->
+        Hashtbl.replace s.rings n
+          { entries = Array.make ring_capacity (0L, 0L); head = 0; rlen = 0; rdropped = 0 })
+    decls;
+  s
+
+(* The verifier guarantees every (name, kind) the VM uses was declared,
+   so lookups cannot fail; [find] keeps that invariant loud. *)
+let find tbl name = Hashtbl.find tbl name
+
+let bump s name v =
+  let c = find s.counters name in
+  c := Int64.add !c v
+
+let cell tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> c
+  | None ->
+    let c = ref 0L in
+    Hashtbl.replace tbl key c;
+    c
+
+let upd s name key v =
+  let c = cell (find s.perkey name) key in
+  c := Int64.add !c v
+
+let setk s name key v = cell (find s.perkey name) key := v
+
+let get s name key =
+  match Hashtbl.find_opt (find s.perkey name) key with Some c -> !c | None -> 0L
+
+let hist_rec s name v = Sim.Hist.record (find s.hists name) (Int64.to_float v)
+
+let khist_rec s name key v =
+  let tbl = find s.khists name in
+  let h =
+    match Hashtbl.find_opt tbl key with
+    | Some h -> h
+    | None ->
+      let h = Sim.Hist.create () in
+      Hashtbl.replace tbl key h;
+      h
+  in
+  Sim.Hist.record h (Int64.to_float v)
+
+let ring_push s name key v =
+  let r = find s.rings name in
+  r.entries.(r.head) <- (key, v);
+  r.head <- (r.head + 1) mod ring_capacity;
+  if r.rlen < ring_capacity then r.rlen <- r.rlen + 1 else r.rdropped <- r.rdropped + 1
+
+let ring_entries r =
+  let first = (r.head - r.rlen + ring_capacity) mod ring_capacity in
+  List.init r.rlen (fun i -> r.entries.((first + i) mod ring_capacity))
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int64.compare
+
+let hist_line h =
+  let cell p =
+    match Sim.Hist.percentile h p with
+    | Some v -> Printf.sprintf "%.3f" v
+    | None -> "-"
+  in
+  let max_cell =
+    if Sim.Hist.count h = 0 then "-" else Printf.sprintf "%.3f" (Sim.Hist.max_value h)
+  in
+  Printf.sprintf "count %d p50 %s p90 %s p99 %s max %s" (Sim.Hist.count h) (cell 50.) (cell 90.)
+    (cell 99.) max_cell
+
+let render s =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (n, k) ->
+      match k with
+      | Counter ->
+        Buffer.add_string b (Printf.sprintf "map %s (counter): %Ld\n" n !(find s.counters n))
+      | Perkey ->
+        let tbl = find s.perkey n in
+        Buffer.add_string b (Printf.sprintf "map %s (perkey): %d keys\n" n (Hashtbl.length tbl));
+        List.iter
+          (fun key -> Buffer.add_string b (Printf.sprintf "  %Ld -> %Ld\n" key !(Hashtbl.find tbl key)))
+          (sorted_keys tbl)
+      | Histogram ->
+        Buffer.add_string b (Printf.sprintf "map %s (hist): %s\n" n (hist_line (find s.hists n)))
+      | Keyed_histogram ->
+        let tbl = find s.khists n in
+        Buffer.add_string b (Printf.sprintf "map %s (khist): %d keys\n" n (Hashtbl.length tbl));
+        List.iter
+          (fun key ->
+            Buffer.add_string b
+              (Printf.sprintf "  %Ld: %s\n" key (hist_line (Hashtbl.find tbl key))))
+          (sorted_keys tbl)
+      | Ring ->
+        let r = find s.rings n in
+        Buffer.add_string b
+          (Printf.sprintf "map %s (ring, cap %d): %d entries, %d dropped\n" n ring_capacity r.rlen
+             r.rdropped);
+        List.iter
+          (fun (key, v) -> Buffer.add_string b (Printf.sprintf "  %Ld = %Ld\n" key v))
+          (ring_entries r))
+    s.decls;
+  Buffer.contents b

@@ -20,6 +20,17 @@ let set_trigger site ~after = Hashtbl.replace triggers site (ref after)
 
 let clear_trigger site = Hashtbl.remove triggers site
 
+(* FNV-1a over the site name: a stable int64 key so probe programs can
+   aggregate per site through the chaos_inject attach point. *)
+let site_id site =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    site;
+  Int64.shift_right_logical !h 1 (* keep it non-negative for map keys *)
+
 let countdown site =
   match Hashtbl.find_opt triggers site with
   | None -> false
@@ -29,6 +40,7 @@ let countdown site =
       r := -1;
       Stats.incr ("fault.injected." ^ site);
       Trace.emit Trace.Chaos "trigger" (fun () -> Printf.sprintf "site=%s" site);
+      Trace.fire Trace.P_chaos_inject (fun () -> [| site_id site; 1L |]);
       true
     end
     else begin
@@ -66,7 +78,8 @@ let record t site =
   t.nlog <- t.nlog + 1;
   t.log_rev <- Printf.sprintf "%Ld %s #%d" (Clock.now ()) site t.nlog :: t.log_rev;
   Stats.incr ("fault.injected." ^ site);
-  Trace.emit Trace.Chaos "inject" (fun () -> Printf.sprintf "site=%s n=%d" site t.nlog)
+  Trace.emit Trace.Chaos "inject" (fun () -> Printf.sprintf "site=%s n=%d" site t.nlog);
+  Trace.fire Trace.P_chaos_inject (fun () -> [| site_id site; Int64.of_int t.nlog |])
 
 let roll site =
   match !plane with

@@ -65,8 +65,12 @@ let max_value t = if t.count = 0 then 0. else t.max_v
 
 let min_value t = if t.count = 0 then 0. else t.min_v
 
+(* An empty histogram has no percentiles: return [None] rather than a
+   made-up 0.0 so table renderers must decide how to show the absence
+   (they print "-"). Callers that have already checked [count t > 0]
+   can use [percentile_exn]. *)
 let percentile t p =
-  if t.count = 0 then 0.
+  if t.count = 0 then None
   else begin
     let p = Float.min 100. (Float.max 0. p) in
     let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.count))) in
@@ -77,8 +81,13 @@ let percentile t p =
         if cum >= rank then t.sums.(i) /. float_of_int t.counts.(i) else walk (i + 1) cum
       end
     in
-    walk 0 0
+    Some (walk 0 0)
   end
+
+let percentile_exn t p =
+  match percentile t p with
+  | Some v -> v
+  | None -> invalid_arg "Hist.percentile_exn: empty histogram"
 
 (* --- Named registry, mirroring Stats counters --- *)
 
@@ -106,8 +115,17 @@ let by_prefix prefix =
   List.filter (fun (k, _) -> String.starts_with ~prefix k) (all ())
 
 let summary_line name t =
-  Printf.sprintf "%-28s %8d %10.3f %10.3f %10.3f %10.3f" name t.count (percentile t 50.)
-    (percentile t 90.) (percentile t 99.) (max_value t)
+  let cell p =
+    match percentile t p with
+    | Some v -> Printf.sprintf "%10.3f" v
+    | None -> Printf.sprintf "%10s" "-"
+  in
+  let max_cell =
+    if t.count = 0 then Printf.sprintf "%10s" "-"
+    else Printf.sprintf "%10.3f" (max_value t)
+  in
+  Printf.sprintf "%-28s %8d %s %s %s %s" name t.count (cell 50.) (cell 90.) (cell 99.)
+    max_cell
 
 let summary_header =
   Printf.sprintf "%-28s %8s %10s %10s %10s %10s" "name" "count" "p50" "p90" "p99" "max"

@@ -17,8 +17,14 @@ val mean : t -> float
 val max_value : t -> float
 val min_value : t -> float
 
-val percentile : t -> float -> float
-(** [percentile t 99.] is the p99 estimate; 0 on an empty histogram. *)
+val percentile : t -> float -> float option
+(** [percentile t 99.] is the p99 estimate; [None] on an empty
+    histogram, so table renderers cannot mistake "no samples" for a
+    measured 0.0. *)
+
+val percentile_exn : t -> float -> float
+(** Like {!percentile} for callers that have already checked
+    [count t > 0]. @raise Invalid_argument on an empty histogram. *)
 
 (** {2 Named registry (mirrors [Stats] counters)} *)
 

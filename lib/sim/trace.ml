@@ -23,8 +23,10 @@ type category =
   | Dma
   | Lock
   | Chaos
+  | Probe
 
-let all_categories = [ Syscall; Sched; Irq; Softirq; Pgfault; Blk; Net; Dma; Lock; Chaos ]
+let all_categories =
+  [ Syscall; Sched; Irq; Softirq; Pgfault; Blk; Net; Dma; Lock; Chaos; Probe ]
 
 let bit = function
   | Syscall -> 1
@@ -37,6 +39,7 @@ let bit = function
   | Dma -> 128
   | Lock -> 256
   | Chaos -> 512
+  | Probe -> 1024
 
 let category_name = function
   | Syscall -> "syscall"
@@ -49,6 +52,7 @@ let category_name = function
   | Dma -> "dma"
   | Lock -> "lock"
   | Chaos -> "chaos"
+  | Probe -> "probe"
 
 let category_of_string = function
   | "syscall" -> Some Syscall
@@ -61,6 +65,7 @@ let category_of_string = function
   | "dma" -> Some Dma
   | "lock" -> Some Lock
   | "chaos" -> Some Chaos
+  | "probe" | "kprobe" -> Some Probe
   | _ -> None
 
 type record = {
@@ -74,6 +79,12 @@ type record = {
 (* --- Enable mask: all categories off by default --- *)
 
 let mask = ref 0
+
+let mask_value () = !mask
+
+let set_mask m =
+  let valid = List.fold_left (fun a c -> a lor bit c) 0 all_categories in
+  mask := m land valid
 
 let enabled cat = !mask land bit cat <> 0
 
@@ -169,3 +180,114 @@ let render ?limit () =
     | Some _ | None -> rs
   in
   String.concat "\n" (List.map render_record rs)
+
+(* --- Probe attach plane ---------------------------------------------
+
+   Structured tracepoints that verified probe programs (lib/kprobe) can
+   attach to. Unlike [emit], which renders a display string, [fire]
+   hands attached consumers a raw [int64 array] of context fields whose
+   layout is fixed per attach point (see [attach_fields]); the kprobe
+   verifier whitelists field accesses against exactly these layouts.
+
+   Like the ktrace ring, the plane is free in virtual time: consumers
+   charge no cycles, and when nothing is attached [fire] is a single
+   bitmask test — the fields thunk is never evaluated, so a detached
+   run is bit-for-bit identical to a build without the tracepoint. *)
+
+type attach_point =
+  | P_syscall_enter
+  | P_syscall_exit
+  | P_blk_issue
+  | P_blk_complete
+  | P_net_tx
+  | P_net_rx
+  | P_sched_switch
+  | P_sched_wakeup
+  | P_irq_entry
+  | P_jbd_commit
+  | P_chaos_inject
+
+let all_attach_points =
+  [ P_syscall_enter; P_syscall_exit; P_blk_issue; P_blk_complete; P_net_tx;
+    P_net_rx; P_sched_switch; P_sched_wakeup; P_irq_entry; P_jbd_commit;
+    P_chaos_inject ]
+
+let attach_index = function
+  | P_syscall_enter -> 0
+  | P_syscall_exit -> 1
+  | P_blk_issue -> 2
+  | P_blk_complete -> 3
+  | P_net_tx -> 4
+  | P_net_rx -> 5
+  | P_sched_switch -> 6
+  | P_sched_wakeup -> 7
+  | P_irq_entry -> 8
+  | P_jbd_commit -> 9
+  | P_chaos_inject -> 10
+
+let attach_name = function
+  | P_syscall_enter -> "syscall_enter"
+  | P_syscall_exit -> "syscall_exit"
+  | P_blk_issue -> "blk_issue"
+  | P_blk_complete -> "blk_complete"
+  | P_net_tx -> "net_tx"
+  | P_net_rx -> "net_rx"
+  | P_sched_switch -> "sched_switch"
+  | P_sched_wakeup -> "sched_wakeup"
+  | P_irq_entry -> "irq_entry"
+  | P_jbd_commit -> "jbd_commit"
+  | P_chaos_inject -> "chaos_inject"
+
+let attach_of_string s =
+  List.find_opt (fun ap -> attach_name ap = s) all_attach_points
+
+(* Whitelisted context fields per attach point. The array index is the
+   slot the firing site writes; the verifier resolves names to slots at
+   load time, so programs can only read fields that exist here. *)
+let attach_fields = function
+  | P_syscall_enter -> [| "nr"; "pid"; "arg0" |]
+  | P_syscall_exit -> [| "nr"; "ret"; "lat_ns"; "pid"; "arg0"; "journal_commit" |]
+  | P_blk_issue -> [| "sector"; "len"; "write" |]
+  | P_blk_complete -> [| "sector"; "len"; "write"; "lat_ns"; "status" |]
+  | P_net_tx -> [| "bytes"; "nseg" |]
+  | P_net_rx -> [| "bytes"; "nseg" |]
+  | P_sched_switch -> [| "prev_tid"; "next_tid"; "now_ns"; "max_wait_ns" |]
+  | P_sched_wakeup -> [| "tid"; "now_ns"; "max_wait_ns" |]
+  | P_irq_entry -> [| "vector"; "now_ns" |]
+  | P_jbd_commit -> [| "seq"; "nblocks" |]
+  | P_chaos_inject -> [| "site_id"; "count" |]
+
+let n_attach_points = List.length all_attach_points
+
+(* Consumers, keyed by program name in attach order (deterministic
+   execution order = load order). [live] mirrors the hook table as a
+   bitmask so the detached fast path is one [land]. *)
+let hooks : (string * (int64 array -> unit)) list array = Array.make n_attach_points []
+
+let live = ref 0
+
+let attach ap ~name f =
+  let i = attach_index ap in
+  hooks.(i) <- hooks.(i) @ [ (name, f) ];
+  live := !live lor (1 lsl i)
+
+let detach ap ~name =
+  let i = attach_index ap in
+  hooks.(i) <- List.filter (fun (n, _) -> n <> name) hooks.(i);
+  if hooks.(i) = [] then live := !live land lnot (1 lsl i)
+
+let detach_name name = List.iter (fun ap -> detach ap ~name) all_attach_points
+
+let detach_all () =
+  Array.fill hooks 0 n_attach_points [];
+  live := 0
+
+let attached ap = hooks.(attach_index ap) <> []
+
+let any_attached () = !live <> 0
+
+let fire ap fields =
+  if !live land (1 lsl attach_index ap) <> 0 then begin
+    let ctx = fields () in
+    List.iter (fun (_, f) -> f ctx) hooks.(attach_index ap)
+  end

@@ -20,10 +20,12 @@ type category =
   | Dma
   | Lock
   | Chaos
+  | Probe
 
 val all_categories : category list
 val category_name : category -> string
 val category_of_string : string -> category option
+val bit : category -> int
 
 type record = {
   cycles : int64;
@@ -41,6 +43,12 @@ val disable : category -> unit
 val enable_all : unit -> unit
 val disable_all : unit -> unit
 val enabled_categories : unit -> category list
+
+val mask_value : unit -> int
+(** The raw enable bitmask ([bit]-weighted sum of enabled categories). *)
+
+val set_mask : int -> unit
+(** Set the raw bitmask; bits that match no category are ignored. *)
 
 (** {2 Emission} *)
 
@@ -78,3 +86,50 @@ val records : unit -> record list
 val render_record : record -> string
 val render : ?limit:int -> unit -> string
 (** The buffered records, newest-[limit] (default all), one per line. *)
+
+(** {2 Probe attach plane}
+
+    Structured tracepoints for verified probe programs (lib/kprobe).
+    [fire] hands attached consumers a raw [int64 array] whose per-point
+    layout is fixed by [attach_fields]; the kprobe verifier whitelists
+    field accesses against exactly these layouts. With nothing attached
+    [fire] is a single bitmask test and the fields thunk is never
+    evaluated, so a detached run is bit-identical to one without the
+    tracepoint. Consumers charge no virtual cycles. *)
+
+type attach_point =
+  | P_syscall_enter
+  | P_syscall_exit
+  | P_blk_issue
+  | P_blk_complete
+  | P_net_tx
+  | P_net_rx
+  | P_sched_switch
+  | P_sched_wakeup
+  | P_irq_entry
+  | P_jbd_commit
+  | P_chaos_inject
+
+val all_attach_points : attach_point list
+val attach_name : attach_point -> string
+val attach_of_string : string -> attach_point option
+
+val attach_fields : attach_point -> string array
+(** Whitelisted context-field names; the array index is the slot the
+    firing site writes. *)
+
+val attach : attach_point -> name:string -> (int64 array -> unit) -> unit
+(** Register a consumer. Consumers run in attach order (load order), so
+    execution is deterministic. *)
+
+val detach : attach_point -> name:string -> unit
+val detach_name : string -> unit
+(** Detach [name] from every attach point. *)
+
+val detach_all : unit -> unit
+val attached : attach_point -> bool
+val any_attached : unit -> bool
+
+val fire : attach_point -> (unit -> int64 array) -> unit
+(** [fire ap fields] runs every consumer attached to [ap] on
+    [fields ()]; when none is attached, [fields] is not evaluated. *)

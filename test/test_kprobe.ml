@@ -1,0 +1,696 @@
+(* kprobe tests: the verifier's rejection quartet (termination, memory
+   safety, bounds, confinement), VM execution semantics over synthetic
+   tracepoint fires, the probe_load/probe_read syscall surface and
+   /proc/kprobe, always-on watchdogs catching injected anomalies,
+   zero-cost detachment, and same-seed determinism with probes attached.
+   Satellites: writable /proc/ktrace masks, /proc table parsers, and
+   typed empty-histogram percentiles. *)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_str = Alcotest.(check string)
+
+let boot ?(profile = Sim.Profile.asterinas) () =
+  let k = Aster.Kernel.boot ~profile () in
+  Apps.Libc.install_child_resolver ();
+  k
+
+(* Run a user program as init and return its exit code. *)
+let run_user ?profile body =
+  ignore (boot ?profile ());
+  let result = ref None in
+  let wrapped uapi =
+    let code = body (Apps.Libc.make uapi) in
+    result := Some code;
+    code
+  in
+  ignore (Aster.Process.spawn_kernel_style ~name:"test" wrapped);
+  Aster.Kernel.run ();
+  match !result with
+  | Some code -> code
+  | None -> Alcotest.fail "user program did not finish"
+
+let fresh () =
+  Kprobe.Registry.reset ();
+  Sim.Trace.reset ();
+  Sim.Stats.reset ();
+  Sim.Hist.reset ()
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let verify_text text =
+  match Kprobe.Parse.parse text with
+  | Error e -> Error e
+  | Ok prog -> Kprobe.Verifier.verify prog
+
+(* Expect a rejection whose reason mentions [needle]. *)
+let expect_reject msg needle result =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: accepted a program that must be rejected" msg
+  | Error e ->
+    if not (contains e needle) then
+      Alcotest.failf "%s: reason %S does not mention %S" msg e needle
+
+let direct_prog ?(attach = [ Sim.Trace.P_syscall_enter ]) ?(maps = []) code =
+  { Kprobe.Insn.pname = "t.direct"; attach; maps; code = Array.of_list code }
+
+(* --- Verifier rejections --- *)
+
+let test_reject_backward_jump () =
+  let open Kprobe.Insn in
+  expect_reject "in-place jump" "only strictly forward jumps"
+    (Kprobe.Verifier.verify (direct_prog [ Ld (0, Imm 1L); Jmp 0; Ret ]));
+  expect_reject "backward jump" "backward or in-place jump"
+    (Kprobe.Verifier.verify (direct_prog [ Ld (0, Imm 1L); Jmp (-1); Ret ]));
+  expect_reject "backward jump via text" "only strictly forward jumps"
+    (verify_text "prog t\nattach syscall_enter\nld r0, 1\njmp 0\nret\n")
+
+let test_reject_jump_overshoot () =
+  expect_reject "overshooting jump" "overshoots the program end"
+    (verify_text "prog t\nattach syscall_enter\nld r0, 1\njeq r0, 1, +5\nret\n")
+
+let test_reject_oob_ctx_field () =
+  let open Kprobe.Insn in
+  (* syscall_enter exposes 3 fields; slot 7 is out of bounds. *)
+  expect_reject "ctx index out of bounds" "out of bounds"
+    (Kprobe.Verifier.verify (direct_prog [ Ldctx (0, Cidx 7); Ret ]));
+  (* lat_ns exists at syscall_exit but is NOT whitelisted at enter. *)
+  expect_reject "ctx name not whitelisted" "not whitelisted"
+    (verify_text "prog t\nattach syscall_enter\nldctx r0, lat_ns\nret\n");
+  (* a multi-point program may only touch the intersection *)
+  expect_reject "ctx must be legal at every attach point" "not whitelisted"
+    (verify_text "prog t\nattach syscall_exit\nattach syscall_enter\nldctx r0, lat_ns\nret\n")
+
+let test_reject_overlong_program () =
+  let open Kprobe.Insn in
+  let code = List.init 257 (fun _ -> Ld (0, Imm 0L)) in
+  expect_reject "overlong program" "program too long"
+    (Kprobe.Verifier.verify (direct_prog code))
+
+let test_reject_foreign_map () =
+  expect_reject "undeclared map" "not declared by program"
+    (verify_text "prog t\nattach syscall_enter\ncount nope, 1\nret\n");
+  expect_reject "map kind mismatch" "declared counter but used as hist"
+    (verify_text
+       "prog t\nattach syscall_enter\nmap counter c\nld r0, 1\nhist c, r0\nret\n")
+
+let test_reject_uninitialised_register () =
+  expect_reject "read before init" "read before initialisation"
+    (verify_text "prog t\nattach syscall_enter\nadd r0, 1\nret\n");
+  (* r1 is initialised on only one of the two paths reaching the read *)
+  expect_reject "partial-path init" "read before initialisation"
+    (verify_text
+       "prog t\nattach syscall_enter\nld r0, 1\njeq r0, 0, +1\nld r1, 5\nadd r1, 1\nret\n");
+  (* ...but initialising on both paths is fine *)
+  match
+    verify_text
+      "prog t\nattach syscall_enter\nld r0, 1\nld r1, 2\njeq r0, 0, +1\nld r1, 5\nadd r1, 1\nret\n"
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "both-path init rejected: %s" e
+
+let test_reject_structural () =
+  expect_reject "no attach point" "has no attach point"
+    (verify_text "prog t\nld r0, 1\nret\n");
+  expect_reject "empty program" "empty program"
+    (Kprobe.Verifier.verify (direct_prog []));
+  (match Kprobe.Parse.parse "prog t\nattach syscall_enter\nfrobnicate r0\n" with
+  | Ok _ -> Alcotest.fail "parser accepted an unknown mnemonic"
+  | Error e -> check "parse error names the line" true (contains e "line"));
+  match Kprobe.Parse.parse "attach syscall_enter\nret\n" with
+  | Ok _ -> Alcotest.fail "parser accepted a nameless program"
+  | Error e -> check "missing prog directive" true (contains e "missing 'prog")
+
+let test_templates_all_verify () =
+  fresh ();
+  List.iter
+    (fun name ->
+      match Kprobe.Templates.by_name name with
+      | None -> Alcotest.failf "template %s missing" name
+      | Some text -> (
+        match Kprobe.Registry.load_text text with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "template %s rejected: %s" name e))
+    Kprobe.Templates.names;
+  check_int "all templates loaded" (List.length Kprobe.Templates.names)
+    (List.length (Kprobe.Registry.list ()));
+  Kprobe.Registry.reset ()
+
+(* --- VM execution over synthetic fires --- *)
+
+let vm_prog =
+  {|prog t.vm
+attach syscall_enter
+map counter hits
+map perkey by_nr
+map hist lat
+ldctx r0, nr
+count hits, 1
+upd by_nr, r0, 1
+ld r1, 100
+div r1, 0
+ld r2, 1
+lsl r2, 64
+add r1, r2
+hist lat, r1
+ret
+|}
+
+let test_vm_exec_and_maps () =
+  fresh ();
+  (match Kprobe.Registry.load_text vm_prog with
+  | Error e -> Alcotest.failf "vm prog rejected: %s" e
+  | Ok _ -> ());
+  Sim.Trace.fire Sim.Trace.P_syscall_enter (fun () -> [| 5L; 1L; 0L |]);
+  Sim.Trace.fire Sim.Trace.P_syscall_enter (fun () -> [| 5L; 1L; 0L |]);
+  Sim.Trace.fire Sim.Trace.P_syscall_enter (fun () -> [| 7L; 1L; 0L |]);
+  let maps =
+    match Kprobe.Registry.render_maps "t.vm" with
+    | Some s -> s
+    | None -> Alcotest.fail "program vanished"
+  in
+  check "counter counted every fire" true (contains maps "map hits (counter): 3");
+  check "perkey keyed by nr" true (contains maps "5 -> 2");
+  check "perkey second key" true (contains maps "7 -> 1");
+  (* div-by-zero and a 64-bit shift both yield 0, not a trap: all three
+     recorded latencies are 0. *)
+  check "hist recorded the defined-zero values" true (contains maps "count 3");
+  check "p50 of zeros is zero" true (contains maps "p50 0.000");
+  Kprobe.Registry.reset ()
+
+let test_ring_bounded () =
+  fresh ();
+  let text =
+    "prog t.ring\nattach syscall_enter\nmap ring r\nldctx r0, nr\nldctx r1, pid\n\
+     ring r, r0, r1\nret\n"
+  in
+  (match Kprobe.Registry.load_text text with
+  | Error e -> Alcotest.failf "ring prog rejected: %s" e
+  | Ok _ -> ());
+  for i = 1 to 70 do
+    Sim.Trace.fire Sim.Trace.P_syscall_enter (fun () ->
+        [| Int64.of_int i; Int64.of_int (1000 + i); 0L |])
+  done;
+  let maps = Option.get (Kprobe.Registry.render_maps "t.ring") in
+  check "ring capped at 64" true (contains maps "64 entries");
+  check "overflow counted, oldest dropped" true (contains maps "6 dropped");
+  check "oldest surviving entry is fire 7" true (contains maps "7 = 1007");
+  check "newest entry survives" true (contains maps "70 = 1070");
+  Kprobe.Registry.reset ()
+
+let test_detached_fires_cost_nothing () =
+  fresh ();
+  let evaluated = ref false in
+  Sim.Trace.fire Sim.Trace.P_blk_issue (fun () ->
+      evaluated := true;
+      [| 0L; 0L; 0L |]);
+  check "fields thunk never built with nothing attached" false !evaluated;
+  check "no consumers registered" false (Sim.Trace.any_attached ())
+
+let test_emit_is_namespaced () =
+  fresh ();
+  let text =
+    "prog t.emit\nattach syscall_enter\nmap counter c\nldctx r0, nr\nemit saw_nr, r0\n\
+     count c, 1\nret\n"
+  in
+  (match Kprobe.Registry.load_text text with
+  | Error e -> Alcotest.failf "emit prog rejected: %s" e
+  | Ok _ -> ());
+  Sim.Trace.enable Sim.Trace.Probe;
+  Sim.Trace.fire Sim.Trace.P_syscall_enter (fun () -> [| 42L; 1L; 0L |]);
+  (* the stat is namespaced under the program's name: confinement *)
+  check_int "emit bumps <pname>.<label>" 1 (Sim.Stats.get "t.emit.saw_nr");
+  check "trace record lands in the probe category" true
+    (List.exists
+       (fun r -> r.Sim.Trace.cat = Sim.Trace.Probe)
+       (Sim.Trace.records ()));
+  Kprobe.Registry.reset ();
+  Sim.Trace.reset ()
+
+(* --- Watchdogs --- *)
+
+let test_hung_task_watchdog_catches_hang () =
+  let o = Apps.Chaos.hang_run ~hog_ms:100 () in
+  check "watchdog fired on the injected hang" true (o.Apps.Chaos.wd_fired > 0);
+  check_int "victim still completed once rescued" 0 o.Apps.Chaos.victim_rc;
+  check "wait histogram saw the starvation" true
+    (contains o.Apps.Chaos.wd_maps "map wait_ms (hist)")
+
+let test_irq_storm_watchdog_synthetic () =
+  fresh ();
+  (match
+     Kprobe.Registry.load_text (Option.get (Kprobe.Templates.by_name "watchdog.irq_storm"))
+   with
+  | Error e -> Alcotest.failf "irq_storm rejected: %s" e
+  | Ok _ -> ());
+  (* 300 deliveries of vector 40 inside one 1ms window: over the
+     200-per-window threshold, so the sentinel must fire (and re-arm). *)
+  for i = 1 to 300 do
+    Sim.Trace.fire Sim.Trace.P_irq_entry (fun () -> [| 40L; Int64.of_int (1000 + i) |])
+  done;
+  check "storm sentinel fired" true (Sim.Stats.get "watchdog.irq_storm.fired" > 0);
+  let maps = Option.get (Kprobe.Registry.render_maps "watchdog.irq_storm") in
+  check "fired counter in maps" true (contains maps "map fired (counter): 1");
+  Kprobe.Registry.reset ()
+
+let test_syscall_slo_watchdog_end_to_end () =
+  (* nanosleep(5ms) is far over the 1ms default budget; the SLO
+     watchdog (installed by boot) must record the offender. *)
+  let code =
+    run_user (fun c ->
+        ignore (Apps.Libc.nanosleep_us c 5000.);
+        ignore (Apps.Libc.nanosleep_us c 5000.);
+        0)
+  in
+  check_int "exit code" 0 code;
+  check "SLO watchdog saw over-budget syscalls" true
+    (Sim.Stats.get "watchdog.syscall_slo.fired" > 0);
+  let maps = Option.get (Kprobe.Registry.render_maps "watchdog.syscall_slo") in
+  check "offender ring populated" true (not (contains maps "0 entries"))
+
+(* --- Syscall + /proc surface --- *)
+
+let read_all c path =
+  let fd = Apps.Libc.openf c path ~flags:0 ~mode:0 in
+  if fd < 0 then None
+  else begin
+    let b = Buffer.create 1024 in
+    let rec go () =
+      let s = Apps.Libc.read_str c ~fd ~len:2048 in
+      if s <> "" then begin
+        Buffer.add_string b s;
+        go ()
+      end
+    in
+    go ();
+    ignore (Apps.Libc.close c fd);
+    Some (Buffer.contents b)
+  end
+
+let test_probe_syscalls () =
+  let good =
+    "prog user.counts\nattach syscall_enter\nmap perkey by_nr\nldctx r0, nr\n\
+     upd by_nr, r0, 1\nret\n"
+  in
+  let bad = "prog user.bad\nattach syscall_enter\nldctx r0, lat_ns\nret\n" in
+  let got_maps = ref "" and got_proc = ref "" and got_programs = ref "" in
+  let code =
+    run_user (fun c ->
+        let id = Apps.Libc.probe_load c good in
+        if id < 0 then 1
+        else begin
+          let rc_bad = Apps.Libc.probe_load c bad in
+          if rc_bad <> -Aster.Errno.einval then 2
+          else begin
+            (* a few more syscalls for the attached program to observe *)
+            ignore (Apps.Libc.getpid c);
+            ignore (Apps.Libc.getpid c);
+            match Apps.Libc.probe_read c "user.counts" with
+            | Error _ -> 3
+            | Ok maps -> (
+              got_maps := maps;
+              match Apps.Libc.probe_read c "user.gone" with
+              | Ok _ -> 4
+              | Error e when e <> Aster.Errno.enoent -> 5
+              | Error _ -> (
+                match read_all c "/proc/kprobe/user.counts/maps" with
+                | None -> 6
+                | Some proc_maps -> (
+                  got_proc := proc_maps;
+                  match read_all c "/proc/kprobe/programs" with
+                  | None -> 7
+                  | Some progs ->
+                    got_programs := progs;
+                    0)))
+          end
+        end)
+  in
+  check_int "exit code" 0 code;
+  check "probe_read returned live map content" true (contains !got_maps "map by_nr (perkey)");
+  check "the program observed its own loader's syscalls" true
+    (contains !got_maps Printf.(sprintf "%d ->" Aster.Syscall_nr.probe_load));
+  check "/proc/kprobe/<prog>/maps serves the same tables" true
+    (contains !got_proc "map by_nr (perkey)");
+  check "/proc/kprobe/programs lists the program" true (contains !got_programs "user.counts");
+  check "/proc/kprobe/programs lists the watchdogs" true
+    (contains !got_programs "watchdog.hung_task");
+  check "rejection reason latched for the operator" true
+    (contains !got_programs "last_error:")
+  (* the reason itself names the broken whitelist *) ;
+  check "last_error names the rejected field" true (contains !got_programs "not whitelisted")
+
+let test_proc_kprobe_insns_disassembly () =
+  let got = ref "" in
+  let code =
+    run_user (fun c ->
+        match read_all c "/proc/kprobe/watchdog.hung_task/insns" with
+        | None -> 1
+        | Some s ->
+          got := s;
+          0)
+  in
+  check_int "exit code" 0 code;
+  check "disassembly names the program" true (contains !got "watchdog.hung_task");
+  check "disassembly lists instructions" true (contains !got "ldctx")
+
+(* --- Satellite 1: writable /proc/ktrace --- *)
+
+let test_proc_ktrace_writable () =
+  let enabled_line s =
+    (* the "enabled: <cats>" tail of the header line; the buffered and
+       dropped counts before it legitimately drift between reads *)
+    let line = match String.index_opt s '\n' with None -> s | Some i -> String.sub s 0 i in
+    let marker = "enabled: " in
+    let ml = String.length marker in
+    let rec find i =
+      if i + ml > String.length line then line
+      else if String.sub line i ml = marker then
+        String.sub line i (String.length line - i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let failures = ref [] in
+  let code =
+    run_user (fun c ->
+        let write_cmd cmd =
+          let fd = Apps.Libc.openf c "/proc/ktrace" ~flags:1 ~mode:0 in
+          if fd < 0 then -1000
+          else begin
+            let rc = Apps.Libc.write_str c ~fd cmd in
+            ignore (Apps.Libc.close c fd);
+            rc
+          end
+        in
+        let header () =
+          match read_all c "/proc/ktrace" with None -> "" | Some s -> enabled_line s
+        in
+        let expect_header cmd needle =
+          if write_cmd cmd < 0 then failures := (cmd ^ ": write failed") :: !failures
+          else begin
+            let h = header () in
+            if not (contains h needle) then
+              failures := Printf.sprintf "%s: header %S lacks %S" cmd h needle :: !failures
+          end
+        in
+        expect_header "none" "enabled: none";
+        expect_header "syscall,blk" "enabled: syscall,blk";
+        expect_header "+net" "net";
+        expect_header "-syscall" "enabled: blk,net";
+        expect_header "all" "probe";
+        (* malformed commands fail with EINVAL and leave the mask alone *)
+        let before = header () in
+        if write_cmd "bogus_category" <> -Aster.Errno.einval then
+          failures := "bogus category accepted" :: !failures;
+        if write_cmd "+syscall,-bogus" <> -Aster.Errno.einval then
+          failures := "bad incremental accepted" :: !failures;
+        if header () <> before then failures := "failed write changed the mask" :: !failures;
+        if write_cmd "none" < 0 then failures := "final none failed" :: !failures;
+        0)
+  in
+  check_int "exit code" 0 code;
+  (match !failures with
+  | [] -> ()
+  | fs -> Alcotest.fail (String.concat "; " (List.rev fs)));
+  check_int "mask really reached the trace plane" 0 (Sim.Trace.mask_value ());
+  Sim.Trace.reset ()
+
+(* --- Satellite 3: /proc tables stay parseable after a chaos workload --- *)
+
+let parse_kstat s =
+  let lines = String.split_on_char '\n' s in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" && line <> Sim.Hist.summary_header then begin
+        let toks =
+          String.split_on_char ' ' line |> List.filter (fun t -> String.trim t <> "")
+        in
+        match toks with
+        | [ _name; v ] -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> ()
+          | Some n -> Alcotest.failf "kstat: negative counter %d in %S" n line
+          | None -> Alcotest.failf "kstat: malformed counter row %S" line)
+        | [ _name; count; p50; p90; p99; mx ] ->
+          (match int_of_string_opt count with
+          | Some n when n >= 0 -> ()
+          | _ -> Alcotest.failf "kstat: malformed hist count in %S" line);
+          List.iter
+            (fun cell ->
+              if cell <> "-" then
+                match float_of_string_opt cell with
+                | Some f when f >= 0. -> ()
+                | _ -> Alcotest.failf "kstat: malformed hist cell %S in %S" cell line)
+            [ p50; p90; p99; mx ]
+        | _ -> Alcotest.failf "kstat: unexpected row shape %S" line
+      end)
+    lines
+
+let parse_kprof s =
+  match String.split_on_char '\n' s with
+  | [] -> Alcotest.fail "kprof: empty"
+  | header :: body ->
+    check "kprof header present" true (contains header "# kprof:");
+    List.iter
+      (fun line ->
+        if String.trim line <> "" then
+          match String.rindex_opt line ' ' with
+          | None -> Alcotest.failf "kprof: malformed folded row %S" line
+          | Some i -> (
+            let stack = String.sub line 0 i in
+            let cycles = String.sub line (i + 1) (String.length line - i - 1) in
+            match int_of_string_opt cycles with
+            | Some n when n > 0 && stack <> "" -> ()
+            | _ -> Alcotest.failf "kprof: malformed folded row %S" line))
+      body
+
+let parse_faults s =
+  List.iter
+    (fun line ->
+      if String.trim line <> "" && line <> "per-site injections:" then begin
+        let toks =
+          String.split_on_char ' ' line |> List.filter (fun t -> String.trim t <> "")
+        in
+        match toks with
+        | [ _site; v ] -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> ()
+          | _ -> Alcotest.failf "faults: malformed row %S" line)
+        | _ -> Alcotest.failf "faults: unexpected row shape %S" line
+      end)
+    (String.split_on_char '\n' s)
+
+let test_proc_tables_parse_after_chaos () =
+  Sim.Prof.enable ();
+  ignore (boot ());
+  Sim.Fault.configure ~seed:7L [ ("blk.delay", 0.05); ("blk.io_error", 0.02) ];
+  let kstat = ref "" and kprof = ref "" and faults = ref "" in
+  let result = ref None in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"test" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.openf c "/ext2/chaos.dat" ~flags:0o102 ~mode:0o644 in
+         let rc =
+           if fd < 0 then 1
+           else begin
+             let b = Bytes.make 4096 'y' in
+             for _ = 1 to 24 do
+               ignore (Apps.Libc.write c ~fd ~vaddr:(Apps.Libc.put_bytes c b) ~len:4096)
+             done;
+             ignore (Apps.Libc.fsync c fd);
+             ignore (Apps.Libc.close c fd);
+             match
+               ( read_all c "/proc/kstat",
+                 read_all c "/proc/kprof",
+                 read_all c "/proc/faults" )
+             with
+             | Some a, Some b', Some f ->
+               kstat := a;
+               kprof := b';
+               faults := f;
+               0
+             | _ -> 2
+           end
+         in
+         result := Some rc;
+         rc));
+  Aster.Kernel.run ();
+  Sim.Fault.disable ();
+  Sim.Prof.disable ();
+  check_int "exit code" 0 (match !result with Some rc -> rc | None -> -1);
+  check "kstat non-empty" true (String.length !kstat > 0);
+  parse_kstat !kstat;
+  parse_kprof !kprof;
+  check "faults quartet present" true (contains !faults "injected");
+  parse_faults !faults
+
+(* --- Satellite 2: typed empty-histogram percentiles --- *)
+
+let test_empty_hist_percentile_is_none () =
+  let h = Sim.Hist.create () in
+  (match Sim.Hist.percentile h 99. with
+  | None -> ()
+  | Some v -> Alcotest.failf "empty histogram produced p99=%f" v);
+  (match Sim.Hist.percentile_exn h 99. with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "percentile_exn on empty histogram returned %f" v);
+  check "summary renders '-' cells for empty" true
+    (contains (Sim.Hist.summary_line "empty" h) "-");
+  Sim.Hist.record h 10.;
+  match Sim.Hist.percentile h 50. with
+  | Some _ -> ()
+  | None -> Alcotest.fail "non-empty histogram must produce percentiles"
+
+(* --- Determinism --- *)
+
+(* One fio-style run with [extra] template programs staged at boot;
+   returns (rendered maps of every loaded program, virtual end time). *)
+let probed_run ~detach ~extra () =
+  Aster.Kernel.boot_probes := List.filter_map Kprobe.Templates.by_name extra;
+  ignore (boot ());
+  Aster.Kernel.boot_probes := [];
+  if detach then Kprobe.Registry.reset ();
+  let result = ref None in
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"fio" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         ignore (Apps.Fio.run c ~file:"/ext2/det.dat" ~mbytes:1);
+         result := Some 0;
+         0));
+  Aster.Kernel.run ();
+  check "workload finished" true (!result = Some 0);
+  let maps =
+    String.concat ""
+      (List.map
+         (fun n ->
+           match Kprobe.Registry.render_maps n with
+           | Some s -> Printf.sprintf "-- %s --\n%s" n s
+           | None -> "")
+         (Kprobe.Registry.list ()))
+  in
+  (maps, Sim.Clock.now ())
+
+let test_attached_same_seed_byte_identical () =
+  let m1, t1 = probed_run ~detach:false ~extra:[ "blk.lat"; "syscall.count" ] () in
+  let m2, t2 = probed_run ~detach:false ~extra:[ "blk.lat"; "syscall.count" ] () in
+  check_str "rendered maps byte-identical across same-seed runs" m1 m2;
+  check "virtual end times identical" true (Int64.equal t1 t2);
+  check "probes actually observed the run" true (contains m1 "map lat_us (hist): count")
+
+let test_detached_matches_baseline_virtual_time () =
+  let _, t_watchdogs = probed_run ~detach:false ~extra:[] () in
+  let detached_maps, t_detached = probed_run ~detach:true ~extra:[] () in
+  check_str "detached run has no programs" "" detached_maps;
+  check "watchdogs attached vs fully detached: same virtual end time" true
+    (Int64.equal t_watchdogs t_detached)
+
+(* Positive case for the EXPERIMENTS.md worked recipe: the canned
+   single-threaded workloads never read while the journal commits, so
+   read_lat_by_fd legitimately renders 0 keys there. Here a reader
+   races a committer — the committer blocks in Block.sync mid-commit,
+   the reader's read(2) runs while Jbd.is_committing, and the
+   journal_commit ctx flag lets the probe key the latency by fd. *)
+let test_read_lat_by_fd_commit_overlap () =
+  fresh ();
+  ignore (boot ());
+  (match Kprobe.Templates.by_name "read_lat_by_fd" with
+  | None -> Alcotest.fail "read_lat_by_fd template missing"
+  | Some text -> (
+    match Kprobe.Registry.load_text text with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "template rejected: %s" e));
+  let committer_done = ref false in
+  (* The reader is spawned FIRST and creates its file before the
+     journal storm starts: a journaled create would otherwise park on
+     the commit gate (which only wakes while the next commit is already
+     in flight) and serialize the whole reader behind the committer.
+     The read loop itself takes no journal handles, so it interleaves
+     with commit windows freely. *)
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"reader" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let wfd = Apps.Libc.openf c "/ext2/victim.bin" ~flags:0o101 ~mode:0o644 in
+         ignore (Apps.Libc.write_str c ~fd:wfd (String.make 4096 'r'));
+         ignore (Apps.Libc.close c wfd);
+         let fd = Apps.Libc.openf c "/ext2/victim.bin" ~flags:0 ~mode:0 in
+         let budget = ref 5000 in
+         while (not !committer_done) && !budget > 0 do
+           decr budget;
+           ignore (Apps.Libc.lseek c ~fd ~off:0 ~whence:0);
+           ignore (Apps.Libc.read_str c ~fd ~len:4096);
+           ignore (Apps.Libc.nanosleep_us c 5.)
+         done;
+         ignore (Apps.Libc.close c fd);
+         0));
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"committer" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.openf c "/ext2/commits.bin" ~flags:0o101 ~mode:0o644 in
+         let blob = String.make 4096 'j' in
+         for _ = 1 to 16 do
+           ignore (Apps.Libc.write_str c ~fd blob);
+           ignore (Apps.Libc.fsync c fd)
+         done;
+         ignore (Apps.Libc.close c fd);
+         committer_done := true;
+         0));
+  Aster.Kernel.run ();
+  check "committer finished" true !committer_done;
+  let maps =
+    match Kprobe.Registry.render_maps "read_lat_by_fd" with
+    | Some s -> s
+    | None -> Alcotest.fail "program vanished from the registry"
+  in
+  check "some reads overlapped a commit" false
+    (contains maps "map reads_in_commit (counter): 0");
+  check "latency histogram keyed by the reader's fd" true
+    (contains maps "map lat_us_by_fd (khist): 1 keys")
+
+let () =
+  Alcotest.run "kprobe"
+    [
+      ( "verifier",
+        [
+          Alcotest.test_case "backward_jump" `Quick test_reject_backward_jump;
+          Alcotest.test_case "jump_overshoot" `Quick test_reject_jump_overshoot;
+          Alcotest.test_case "oob_ctx_field" `Quick test_reject_oob_ctx_field;
+          Alcotest.test_case "overlong_program" `Quick test_reject_overlong_program;
+          Alcotest.test_case "foreign_map" `Quick test_reject_foreign_map;
+          Alcotest.test_case "uninit_register" `Quick test_reject_uninitialised_register;
+          Alcotest.test_case "structural" `Quick test_reject_structural;
+          Alcotest.test_case "templates_verify" `Quick test_templates_all_verify;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "exec_and_maps" `Quick test_vm_exec_and_maps;
+          Alcotest.test_case "ring_bounded" `Quick test_ring_bounded;
+          Alcotest.test_case "detached_zero_cost" `Quick test_detached_fires_cost_nothing;
+          Alcotest.test_case "emit_namespaced" `Quick test_emit_is_namespaced;
+        ] );
+      ( "watchdogs",
+        [
+          Alcotest.test_case "hung_task_catch" `Quick test_hung_task_watchdog_catches_hang;
+          Alcotest.test_case "irq_storm" `Quick test_irq_storm_watchdog_synthetic;
+          Alcotest.test_case "syscall_slo" `Quick test_syscall_slo_watchdog_end_to_end;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "probe_syscalls" `Quick test_probe_syscalls;
+          Alcotest.test_case "proc_insns" `Quick test_proc_kprobe_insns_disassembly;
+          Alcotest.test_case "ktrace_writable" `Quick test_proc_ktrace_writable;
+          Alcotest.test_case "proc_tables_parse" `Quick test_proc_tables_parse_after_chaos;
+          Alcotest.test_case "read_lat_in_commit" `Quick test_read_lat_by_fd_commit_overlap;
+          Alcotest.test_case "empty_hist_percentile" `Quick test_empty_hist_percentile_is_none;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "attached_identical" `Quick test_attached_same_seed_byte_identical;
+          Alcotest.test_case "detached_baseline" `Quick
+            test_detached_matches_baseline_virtual_time;
+        ] );
+    ]

@@ -74,7 +74,8 @@ let test_hist_constant_exact () =
     Sim.Hist.record h 42.5
   done;
   List.iter
-    (fun p -> check_float (Printf.sprintf "p%.0f exact on constant" p) 42.5 (Sim.Hist.percentile h p))
+    (fun p ->
+      check_float (Printf.sprintf "p%.0f exact on constant" p) 42.5 (Sim.Hist.percentile_exn h p))
     [ 1.; 50.; 90.; 99.; 100. ];
   check_float "max exact" 42.5 (Sim.Hist.max_value h);
   check_float "mean exact" 42.5 (Sim.Hist.mean h)
@@ -89,10 +90,10 @@ let test_hist_two_point_exact () =
   for _ = 1 to 10 do
     Sim.Hist.record h 1000.
   done;
-  check_float "p50 is the low point" 1.0 (Sim.Hist.percentile h 50.);
-  check_float "p90 is the low point" 1.0 (Sim.Hist.percentile h 90.);
-  check_float "p99 is the high point" 1000. (Sim.Hist.percentile h 99.);
-  check_float "p100 is the max" 1000. (Sim.Hist.percentile h 100.)
+  check_float "p50 is the low point" 1.0 (Sim.Hist.percentile_exn h 50.);
+  check_float "p90 is the low point" 1.0 (Sim.Hist.percentile_exn h 90.);
+  check_float "p99 is the high point" 1000. (Sim.Hist.percentile_exn h 99.);
+  check_float "p100 is the max" 1000. (Sim.Hist.percentile_exn h 100.)
 
 let test_hist_uniform_bounded_error () =
   (* Uniform 1..10000: every percentile estimate must fall within one
@@ -105,7 +106,7 @@ let test_hist_uniform_bounded_error () =
   List.iter
     (fun p ->
       let true_v = p /. 100. *. float_of_int n in
-      let est = Sim.Hist.percentile h p in
+      let est = Sim.Hist.percentile_exn h p in
       let rel = abs_float (est -. true_v) /. true_v in
       if rel > 1. /. 16. then
         Alcotest.failf "p%.0f: estimate %.1f vs true %.1f (rel err %.3f > 1/16)" p est true_v rel)
