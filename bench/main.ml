@@ -30,18 +30,38 @@ type result = {
   norm : float option;
   percentiles : pctls option;
   cpu : Sim.Prof.frame_stat list option;
+  spans : (string * (string * int64) list) option;
+      (* dominant span class + top-3 critical-path segments of its p99 span *)
 }
 
 let results : result list ref = ref []
 
-let add_result ?linux ?aster ?norm ?percentiles ?cpu ~unit_ benchmark =
-  results := { benchmark; unit_; linux; aster; norm; percentiles; cpu } :: !results
+let add_result ?linux ?aster ?norm ?percentiles ?cpu ?spans ~unit_ benchmark =
+  results := { benchmark; unit_; linux; aster; norm; percentiles; cpu; spans } :: !results
 
 (* Top-3 kprof scopes of the most recent run. Like the histograms, each
    boot clears attribution, so calling this right after an
    aster-profile workload captures exactly that run. *)
 let prof_top3 () =
   match Sim.Prof.top_scopes ~limit:3 () with [] -> None | fs -> Some fs
+
+(* Top-3 critical-path segments of the most recent run's p99 tail span,
+   for the workload's dominant span class. Like kprof, kspan rides along
+   at zero virtual cost and each boot clears its reservoirs, so calling
+   this right after an aster-profile workload explains exactly that
+   run's tail. *)
+let span_top3 () =
+  match Sim.Span.dominant_class () with
+  | None -> None
+  | Some cls -> (
+    match Sim.Span.class_p99 cls with
+    | None -> None
+    | Some i ->
+      let rec take n = function
+        | x :: tl when n > 0 -> x :: take (n - 1) tl
+        | _ -> []
+      in
+      (match take 3 i.Sim.Span.i_path with [] -> None | top -> Some (cls, top)))
 
 (* Syscall-latency percentiles of the most recent run. Each boot resets
    the histograms, so calling this right after an aster-profile workload
@@ -99,15 +119,26 @@ let json_of_result r =
              fs)
       ^ "]"
   in
+  let sj =
+    match r.spans with
+    | None -> "null"
+    | Some (cls, top) ->
+      Printf.sprintf {|{"class": "%s", "top": [%s]}|} (json_escape cls)
+        (String.concat ", "
+           (List.map
+              (fun (seg, cyc) ->
+                Printf.sprintf {|{"segment": "%s", "cycles": %Ld}|} (json_escape seg) cyc)
+              top))
+  in
   Printf.sprintf
-    {|    {"benchmark": "%s", "unit": "%s", "linux": %s, "aster": %s, "norm": %s, "percentiles": %s, "cpu": %s}|}
+    {|    {"benchmark": "%s", "unit": "%s", "linux": %s, "aster": %s, "norm": %s, "percentiles": %s, "cpu": %s, "p99_path": %s}|}
     (json_escape r.benchmark) (json_escape r.unit_) (json_opt_float r.linux)
-    (json_opt_float r.aster) (json_opt_float r.norm) pj cj
+    (json_opt_float r.aster) (json_opt_float r.norm) pj cj sj
 
 let write_json ~path ~targets =
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n  \"schema\": \"asterinas-sim-bench/2\",\n  \"quick\": %b,\n  \"targets\": [%s],\n  \"results\": [\n%s\n  ]\n}\n"
+    "{\n  \"schema\": \"asterinas-sim-bench/3\",\n  \"quick\": %b,\n  \"targets\": [%s],\n  \"results\": [\n%s\n  ]\n}\n"
     !quick
     (String.concat ", " (List.map (fun t -> "\"" ^ json_escape t ^ "\"") targets))
     (String.concat ",\n" (List.rev_map json_of_result !results));
@@ -378,8 +409,10 @@ let fig5a () =
       let ast = nginx_rps Sim.Profile.asterinas file n in
       let percentiles = syscall_pctls () in
       let cpu = prof_top3 () in
+      let spans = span_top3 () in
       let noi = nginx_rps Sim.Profile.asterinas_no_iommu file n in
-      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ?cpu ~unit_:"req/s"
+      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ?cpu ?spans
+        ~unit_:"req/s"
         ("fig5a/nginx_" ^ file);
       Printf.printf "%-8s %10.0f %10.0f %12.0f   norm=%.2f  %s\n%!" file lin ast noi (ast /. lin)
         paper)
@@ -415,8 +448,10 @@ let redis_table ops =
       let ast = redis_rps Sim.Profile.asterinas op n in
       let percentiles = syscall_pctls () in
       let cpu = prof_top3 () in
+      let spans = span_top3 () in
       let noi = redis_rps Sim.Profile.asterinas_no_iommu op n in
-      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ?cpu ~unit_:"req/s"
+      add_result ~linux:lin ~aster:ast ~norm:(ast /. lin) ?percentiles ?cpu ?spans
+        ~unit_:"req/s"
         ("redis/" ^ op);
       let p =
         match List.find_opt (fun (o, _, _, _) -> o = op) redis_paper with
@@ -453,6 +488,7 @@ let table12 () =
   let small = Aster.Strace.small_writes () in
   let aster_pctls = syscall_pctls () in
   let aster_cpu = prof_top3 () in
+  let aster_spans = span_top3 () in
   let noi = sqlite_run Sim.Profile.asterinas_no_iommu in
   Printf.printf "%4s %-44s %8s %8s %8s %6s | paper (s, ratio)\n" "num" "test" "linux" "aster"
     "noIOMMU" "ratio";
@@ -479,7 +515,7 @@ let table12 () =
     lin;
   let x, y, z = !tot in
   add_result ~linux:x ~aster:y ~norm:(y /. x) ?percentiles:aster_pctls ?cpu:aster_cpu
-    ~unit_:"virtual s" "table12/speedtest1_total";
+    ?spans:aster_spans ~unit_:"virtual s" "table12/speedtest1_total";
   Printf.printf "%4s %-44s %8.3f %8.3f %8.3f %6.2f | 52.88 62.44 (1.18)\n" "" "TOTAL" x y z
     (y /. x);
   Printf.printf
@@ -676,8 +712,8 @@ let chaos_bench () =
   let faulty = fio_run ~faults:true in
   add_result ~linux:clean.Apps.Fio.write_mb_s ~aster:faulty.Apps.Fio.write_mb_s
     ~norm:(faulty.Apps.Fio.write_mb_s /. clean.Apps.Fio.write_mb_s)
-    ?percentiles:(syscall_pctls ()) ?cpu:(prof_top3 ()) ~unit_:"MB/s (clean vs faulted)"
-    "chaos/fio_write";
+    ?percentiles:(syscall_pctls ()) ?cpu:(prof_top3 ()) ?spans:(span_top3 ())
+    ~unit_:"MB/s (clean vs faulted)" "chaos/fio_write";
   let pct a b = if a > 0. then 100. *. b /. a else nan in
   Printf.printf "%-22s %14s %14s\n" "variant" "fio write MB/s" "fio read MB/s";
   Printf.printf "%-22s %14.0f %14.0f\n" "clean" clean.Apps.Fio.write_mb_s
@@ -977,6 +1013,40 @@ let smoke () =
   Printf.printf "bw_tcp 64k: default %.3f MB/s | +net.bytes probe %.3f MB/s\n" bw_default
     bw_probed;
   expect "attached net.bytes probe costs zero on bw_tcp" (bw_default = bw_probed);
+  print_endline "bench smoke: span plane cost (must be exactly zero)";
+  (* The span plane makes the same promise as the probe VM: zero virtual
+     cycles, no RNG draws. A span-off run must be byte-identical to the
+     span-on runs above (same MB/s, same virtual end time), and turning
+     spans back on must land on exactly the same end cycle. [full] and
+     [bw_default] above already ran span-on (the harness enables kspan
+     at startup), so they are the baselines. *)
+  let with_span on f =
+    if on then begin Sim.Span.enable (); Sim.Span.set_auto true end
+    else begin Sim.Span.disable (); Sim.Span.set_auto false end;
+    let r = f () in
+    (r, Sim.Clock.now ())
+  in
+  let (fio_off, _, _, _, _), t_fio_off = with_span false (fun () -> fio_stats_run ~mbytes base) in
+  let (fio_on, _, _, _, _), t_fio_on = with_span true (fun () -> fio_stats_run ~mbytes base) in
+  let fio_spans = Sim.Span.finished_count () in
+  let fio_residual = Sim.Span.max_residual_frac () in
+  let (bw_off, _, _, _, _), t_bw_off = with_span false (fun () -> bw_tcp_stats_run base) in
+  let (bw_on, _, _, _, _), t_bw_on = with_span true (fun () -> bw_tcp_stats_run base) in
+  Printf.printf
+    "fio_seq: span off %.3f MB/s @%Ld | span on %.3f MB/s @%Ld (%d spans, worst residual %.4f)\n"
+    fio_off.Apps.Fio.read_cold_mb_s t_fio_off fio_on.Apps.Fio.read_cold_mb_s t_fio_on
+    fio_spans fio_residual;
+  Printf.printf "bw_tcp 64k: span off %.3f MB/s @%Ld | span on %.3f MB/s @%Ld\n" bw_off
+    t_bw_off bw_on t_bw_on;
+  expect "span-off fio_seq byte-identical to span-on baseline (MB/s)" (fio_equal fio_off full);
+  expect "span-on adds zero virtual cycles to fio_seq (same end cycle)"
+    (Int64.equal t_fio_off t_fio_on);
+  expect "span-on fio_seq byte-identical (MB/s)" (fio_equal fio_off fio_on);
+  expect "span-off bw_tcp byte-identical to span-on baseline (MB/s)" (bw_off = bw_default);
+  expect "span-on adds zero virtual cycles to bw_tcp (same end cycle)"
+    (Int64.equal t_bw_off t_bw_on);
+  expect "span plane observed the fio run" (fio_spans > 0);
+  expect "span critical path attributes >=95% of tail wall time" (fio_residual < 0.05);
   if !fail then exit 1 else print_endline "bench smoke: OK"
 
 (* --- Regression gate: bench --compare BASELINE.json --- *)
@@ -1122,6 +1192,11 @@ let () =
   (* kprof rides along for the cpu breakdown in the JSON: it charges no
      virtual cycles, so measured numbers are unchanged. *)
   Sim.Prof.enable ();
+  (* kspan rides along the same way for the p99 critical-path column:
+     auto syscall/app spans charge no virtual cycles either (the smoke
+     target gates this with an end-cycle comparison). *)
+  Sim.Span.enable ();
+  Sim.Span.set_auto true;
   let targets = if args = [] then default_order else args in
   List.iter
     (fun t ->

@@ -214,7 +214,120 @@ let cmd_trace =
       (Cmd.info "run" ~doc:"Run a workload with tracing enabled, print timeline + percentiles.")
       Term.(const run $ workload_arg $ profile_arg $ requests_arg $ cats_arg $ tail_arg)
   in
-  Cmd.group (Cmd.info "trace" ~doc:"ktrace: deterministic kernel tracing.") [ sub ]
+  (* trace export --chrome: run with tracing (and spans) on, then emit a
+     Chrome trace-event JSON document — ktrace records as instant events
+     on the same timeline as the kspan reservoir's span tracks — for
+     chrome://tracing / Perfetto. *)
+  let export =
+    let chrome_arg =
+      Arg.(value & flag & info [ "chrome" ] ~doc:"Emit Chrome trace-event JSON (Perfetto).")
+    in
+    let out_arg =
+      Arg.(
+        value & opt string "-"
+        & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file ('-' for stdout).")
+    in
+    let run workload profile requests cats chrome out =
+      if not chrome then begin
+        prerr_endline "trace export: only --chrome is supported";
+        exit 2
+      end;
+      Sim.Trace.disable_all ();
+      List.iter Sim.Trace.enable cats;
+      Sim.Span.enable ();
+      Sim.Span.set_auto true;
+      if not (run_workload workload profile requests) then exit 2;
+      let instants =
+        List.map
+          (fun (r : Sim.Trace.record) ->
+            Sim.Span.chrome_instant
+              ~ts_us:(Sim.Clock.to_us r.Sim.Trace.cycles)
+              ~name:r.Sim.Trace.name
+              ~cat:(Sim.Trace.category_name r.Sim.Trace.cat)
+              ~args:[ ("task", r.Sim.Trace.task); ("args", r.Sim.Trace.args) ])
+          (Sim.Trace.records ())
+      in
+      let doc = Sim.Span.chrome_wrap (Sim.Span.chrome_events () @ instants) in
+      if out = "-" then print_string doc
+      else begin
+        let oc = open_out out in
+        output_string oc doc;
+        close_out oc;
+        Printf.printf "wrote %d trace events + %d span tracks to %s\n"
+          (List.length instants) (Sim.Span.finished_count ()) out
+      end
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Run a workload, then export the ktrace ring (as instant events) plus the kspan \
+            reservoir (as span tracks) in Chrome trace-event JSON.")
+      Term.(const run $ workload_arg $ profile_arg $ requests_arg $ cats_arg $ chrome_arg
+            $ out_arg)
+  in
+  Cmd.group (Cmd.info "trace" ~doc:"ktrace: deterministic kernel tracing.") [ sub; export ]
+
+(* --- kspan: run a workload with request-span tracking on --- *)
+
+let cmd_span =
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K" ~doc:"Waterfalls for the K slowest spans.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit nonzero unless spans were recorded and every reservoir span attributes \
+             at least 95% of its wall time to named segments.")
+  in
+  let chrome_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Also write the reservoir as Chrome trace-event JSON to FILE.")
+  in
+  let run workload profile requests top check chrome =
+    Sim.Span.enable ();
+    Sim.Span.set_auto true;
+    if not (run_workload workload profile requests) then exit 2;
+    print_newline ();
+    print_string (Sim.Span.render_top ~k:top);
+    (match chrome with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Sim.Span.chrome_wrap (Sim.Span.chrome_events ()));
+      close_out oc;
+      Printf.printf "\nwrote span tracks to %s\n" file);
+    let residual = Sim.Span.max_residual_frac () in
+    Printf.printf "\nspans: %d finished, %d still live; worst unattributed fraction %.4f\n"
+      (Sim.Span.finished_count ()) (Sim.Span.live_count ()) residual;
+    if check then begin
+      if Sim.Span.finished_count () = 0 then begin
+        prerr_endline "kspan: no spans recorded";
+        exit 1
+      end;
+      if residual >= 0.05 then begin
+        Printf.eprintf "kspan: unattributed fraction %.4f >= 0.05\n" residual;
+        exit 1
+      end
+    end
+  in
+  let sub =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run a workload with kspan on: per-request spans, top-K waterfalls, and the \
+            per-class critical-path histogram.")
+      Term.(const run $ workload_arg $ profile_arg $ requests_arg $ top_arg $ check_arg
+            $ chrome_arg)
+  in
+  Cmd.group
+    (Cmd.info "span" ~doc:"kspan: causal request spans with critical-path analysis.")
+    [ sub ]
 
 (* --- kprof: run a workload under the cycle-attribution profiler --- *)
 
@@ -499,4 +612,6 @@ let () =
   let info = Cmd.info "asterinas_sim" ~doc:"Asterinas framekernel simulator." in
   exit
     (Cmd.eval
-       (Cmd.group info [ cmd_boot; cmd_run; cmd_trace; cmd_prof; cmd_chaos; cmd_probe; cmd_syscalls ]))
+       (Cmd.group info
+          [ cmd_boot; cmd_run; cmd_trace; cmd_prof; cmd_span; cmd_chaos; cmd_probe;
+            cmd_syscalls ]))

@@ -350,3 +350,12 @@ let probe_read t name =
     end
   in
   loop 0
+
+(* --- kspan request boundaries --- *)
+
+let span_begin t ~cls ~name =
+  let clsp = put_string t cls in
+  let namep = put_string t name in
+  syscall t N.span_begin [| i64 clsp; i64 namep |]
+
+let span_end t id = syscall t N.span_end [| i64 id |]

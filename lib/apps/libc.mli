@@ -138,3 +138,11 @@ val probe_load : t -> string -> int
 
 val probe_read : t -> string -> (string, int) result
 (** probe_read(2) looped to EOF: the program's rendered map tables. *)
+
+val span_begin : t -> cls:string -> name:string -> int
+(** span_begin(2): open a kspan request span on the calling task;
+    returns its id (0 when tracking is disabled or a span is already
+    active — spans do not nest). *)
+
+val span_end : t -> int -> int
+(** span_end(2): seal the span. [span_end t 0] is a no-op. *)

@@ -28,6 +28,9 @@ let handle_conn c conn =
     | "GET" :: p :: _ -> "/tmp/www" ^ p
     | _ -> ""
   in
+  (* kspan request boundary: one span per HTTP request, from parse to
+     the last sendfile. Host-level annotation — no syscall, no cycles. *)
+  Sim.Span.annotate_begin ~cls:"http" ~name:(if path = "" then "bad" else path);
   (match Libc.stat c path with
   | Error _ ->
     ignore (Libc.write_str c ~fd:conn "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n")
@@ -44,6 +47,7 @@ let handle_conn c conn =
       if n <= 0 then sent := st.Aster.Abi.size else sent := !sent + n
     done;
     ignore (Libc.close c file));
+  Sim.Span.annotate_end ();
   ignore (Libc.shutdown c ~fd:conn);
   ignore (Libc.close c conn)
 

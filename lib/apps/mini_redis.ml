@@ -208,8 +208,15 @@ let handle_connection store c conn =
       (match String.split_on_char ' ' (String.trim line) with
       | [] | [ "" ] -> ()
       | cmd :: args ->
-        let reply = exec store (String.uppercase_ascii cmd) args in
-        if Libc.write_str c ~fd:conn reply < 0 then continue := false)
+        let cmd = String.uppercase_ascii cmd in
+        (* kspan request boundary: one span per client command, from
+           parse to reply write. Host-level annotation — no syscall, no
+           virtual cycles. *)
+        Sim.Span.annotate_begin ~cls:"redis" ~name:cmd;
+        let reply = exec store cmd args in
+        let wrote = Libc.write_str c ~fd:conn reply in
+        Sim.Span.annotate_end ();
+        if wrote < 0 then continue := false)
   done;
   ignore (Libc.close c conn);
   0

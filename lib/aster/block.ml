@@ -11,6 +11,16 @@ type bio = {
   len : int;
   mutable status : int option;
   wq : Ostd.Wait_queue.t;
+  (* kspan ownership: the request span this bio belongs to (0 = none),
+     captured at creation and inherited by every clone so the owner
+     survives merges, batch splits and the retry ladder. Only the
+     primary (caller-visible) bio reports segments and the conservation
+     count — clones are implementation detail. *)
+  span : int;
+  primary : bool;
+  created : int64;
+  mutable issued : int64; (* driver pushed it to the device; 0 = never *)
+  mutable dev_done : int64; (* device-written completion stamp; 0 = unknown *)
 }
 
 let make_bio op ~sector ?frame ~len () =
@@ -18,7 +28,17 @@ let make_bio op ~sector ?frame ~len () =
   | (Read | Write | Write_fua), None ->
     Ostd.Panic.panic "Block.make_bio: data op without a buffer"
   | _ -> ());
-  { op; sector; frame; len; status = None; wq = Ostd.Wait_queue.create () }
+  let span = Sim.Span.current () in
+  (* Span-ownership conservation: one creation count per span-owned
+     primary bio. Clones made for merging never re-count; completion
+     counts exactly once (span.bio_completed), so the two counters must
+     agree across merges, batch splits and per-bio EIO fallback. *)
+  if span > 0 then Sim.Stats.incr "span.bio_created";
+  {
+    op; sector; frame; len; status = None; wq = Ostd.Wait_queue.create ();
+    span; primary = true; created = Sim.Clock.now ();
+    issued = 0L; dev_done = 0L;
+  }
 
 let bio_status bio = bio.status
 
@@ -30,8 +50,32 @@ let bio_frame bio = bio.frame
 
 let bio_len bio = bio.len
 
+let bio_span bio = bio.span
+
+let note_issued bio = if Int64.equal bio.issued 0L then bio.issued <- Sim.Clock.now ()
+
+let note_dev_done bio ts = bio.dev_done <- ts
+
 let complete_bio bio ~status =
+  let first = bio.status = None in
   bio.status <- Some status;
+  (* Waterfall segments for the owning span, recorded once on the
+     primary bio: queue wait (creation → device issue), device service
+     (issue → the device's completion stamp), and IRQ-delivery delay
+     (stamp → this completion running). Missing stamps degrade
+     gracefully — the whole interval collapses into the earlier leg. *)
+  if first && bio.primary && bio.span > 0 then begin
+    let now = Sim.Clock.now () in
+    let q_end = if Int64.compare bio.issued 0L > 0 then bio.issued else now in
+    Sim.Span.add_to bio.span "blk.queue" bio.created q_end;
+    if Int64.compare bio.issued 0L > 0 then begin
+      let s_end = if Int64.compare bio.dev_done 0L > 0 then bio.dev_done else now in
+      Sim.Span.add_to bio.span "blk.service" bio.issued s_end;
+      if Int64.compare bio.dev_done 0L > 0 then
+        Sim.Span.add_to bio.span "blk.irq" bio.dev_done now
+    end;
+    Sim.Span.count_bio_completed ()
+  end;
   ignore (Ostd.Wait_queue.wake_all bio.wq)
 
 module type DRIVER = sig
@@ -73,7 +117,19 @@ let bio_deadline_cycles attempt =
 
 let backoff_cycles attempt = Sim.Clock.us (100. *. float_of_int (1 lsl attempt))
 
-let clone_bio bio = make_bio bio.op ~sector:bio.sector ?frame:bio.frame ~len:bio.len ()
+(* Clones keep the original's span and creation time (the request has
+   been queueing since the primary was made, not since this attempt)
+   but are never primary: exactly one segment report and conservation
+   count per caller-visible bio. *)
+let clone_bio bio =
+  {
+    bio with
+    status = None;
+    wq = Ostd.Wait_queue.create ();
+    primary = false;
+    issued = 0L;
+    dev_done = 0L;
+  }
 
 (* Wait until the bio completes or the deadline passes. In task context
    we sleep on the bio's wait queue with a timer; at early boot (mkfs /
@@ -147,6 +203,11 @@ let submit_and_wait bio =
         Sim.Trace.emit Sim.Trace.Blk "complete" (fun () ->
             Printf.sprintf "%s attempts=%d" (bio_args bio) (n + 1));
         observe_latency ();
+        (* The winning attempt's device timestamps become the primary
+           bio's, so its span segments reflect the service that
+           actually completed it. *)
+        bio.issued <- b.issued;
+        bio.dev_done <- b.dev_done;
         fire_complete bio ~t0 ~status:0;
         complete_bio bio ~status:0;
         Ok ()
@@ -258,12 +319,14 @@ let issue_run run =
           let lat = Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0) in
           Sim.Trace.emit Sim.Trace.Blk "batch_complete" (fun () ->
               Printf.sprintf "op=%s sector=%d nreq=%d" (op_name first.op) first.sector n);
-          List.iter
-            (fun bio ->
+          List.iter2
+            (fun bio c ->
+              bio.issued <- c.issued;
+              bio.dev_done <- c.dev_done;
               Sim.Hist.observe "blk.bio" lat;
               fire_complete bio ~t0 ~status:0;
               complete_bio bio ~status:0)
-            run
+            run clones
         end
         else begin
           (* Mid-batch error or timeout: quarantine what never completed
@@ -277,6 +340,8 @@ let issue_run run =
             (fun bio c ->
               match c.status with
               | Some 0 ->
+                bio.issued <- c.issued;
+                bio.dev_done <- c.dev_done;
                 Sim.Hist.observe "blk.bio" (Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0));
                 fire_complete bio ~t0 ~status:0;
                 complete_bio bio ~status:0

@@ -25,6 +25,17 @@ val bio_sector : bio -> int
 val bio_frame : bio -> Ostd.Frame.t option
 val bio_len : bio -> int
 
+val bio_span : bio -> int
+(** The request span owning this bio (0 = none), captured at creation
+    and inherited by clones across merges, batch splits and retries. *)
+
+val note_issued : bio -> unit
+(** Driver hook: the bio was pushed to the device (first push wins). *)
+
+val note_dev_done : bio -> int64 -> unit
+(** Driver hook: the device's completion timestamp, read back from the
+    descriptor. Feeds the span's blk.service / blk.irq split. *)
+
 val complete_bio : bio -> status:int -> unit
 (** Called by the driver when the device finishes. *)
 

@@ -252,6 +252,7 @@ let touch blockno =
   end
 
 let commit_chunk chunk =
+  let span_t0 = Sim.Clock.now () in
   let n = List.length chunk in
   (* Make room: descriptor + n contents + commit record. *)
   if !next_slot + n + 2 > !jblocks then do_checkpoint ();
@@ -291,6 +292,10 @@ let commit_chunk chunk =
       Hashtbl.replace committed b None)
     chunk;
   Sim.Stats.incr "jbd.commit";
+  (* kspan: an fsync span shows the whole commit — journal writes,
+     barrier 1, and the FUA commit record — as one jbd.commit segment
+     layered over the raw blk.* legs. *)
+  Sim.Span.mark "jbd.commit" span_t0;
   incr commit_seq;
   Sim.Trace.emit Sim.Trace.Blk "jbd_commit" (fun () ->
       Printf.sprintf "seq=%d n=%d slot=%d" !seq n desc_slot);

@@ -118,6 +118,16 @@ let flush t =
     let ps = List.rev t.plug in
     t.plug <- [];
     t.plug_n <- 0;
+    (* kspan: time spent parked in the plug queue is its own leg; the
+       driver's service/IRQ split picks up from here. *)
+    let now = Sim.Clock.now () in
+    List.iter
+      (fun (p : Packet.t) ->
+        if p.Packet.span > 0 && Int64.compare p.Packet.span_t0 0L > 0 then begin
+          Sim.Span.add_to p.Packet.span "net.plug" p.Packet.span_t0 now;
+          p.Packet.span_t0 <- now
+        end)
+      ps;
     Sim.Prof.scope "net" (fun () ->
         Sim.Stats.incr "net.burst";
         Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> burst_args ps);
@@ -132,6 +142,11 @@ let flush_all () = List.iter flush !stacks
 let send t p =
   Sim.Prof.scope "net" (fun () ->
       t.ntx <- t.ntx + 1;
+      (* Adopt the sender's span for segments built outside task context
+         (pure ACKs from event handlers keep span 0); the TX-path entry
+         stamp restarts per transmission attempt. *)
+      if p.Packet.span = 0 then p.Packet.span <- Sim.Span.current ();
+      p.Packet.span_t0 <- Sim.Clock.now ();
       let dst = p.Packet.dst_ip in
       if dst = loopback_ip || dst = t.addr then begin
         Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);

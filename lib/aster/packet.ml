@@ -11,6 +11,12 @@ type t = {
   ack : int;
   win : int;
   payload : bytes;
+  (* kspan ownership: the request span this segment belongs to
+     (0 = none), captured when the packet is built so it survives the
+     plug queue, burst splits and driver retries. [span_t0] marks entry
+     into the TX path (stamped by the netstack). *)
+  mutable span : int;
+  mutable span_t0 : int64;
 }
 
 let syn = 1
@@ -87,12 +93,17 @@ let decode b =
             ack = u32 20;
             win = u32 24;
             payload = Bytes.sub b header_size len;
+            span = 0;
+            span_t0 = 0L;
           }
   end
 
 let make ~src_ip ~dst_ip ~proto ~src_port ~dst_port ?(flags = 0) ?(seq = 0) ?(ack = 0)
     ?(win = 0) payload =
-  { src_ip; dst_ip; proto; src_port; dst_port; flags; seq; ack; win; payload }
+  {
+    src_ip; dst_ip; proto; src_port; dst_port; flags; seq; ack; win; payload;
+    span = Sim.Span.current (); span_t0 = 0L;
+  }
 
 let ip_of_string s =
   match String.split_on_char '.' s with

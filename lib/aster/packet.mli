@@ -14,6 +14,10 @@ type t = {
   ack : int;
   win : int;
   payload : bytes;
+  mutable span : int;
+      (** kspan owner (0 = none): captured at [make], carried through
+          the plug queue, burst splits and driver retries. *)
+  mutable span_t0 : int64;  (** entry into the TX path (netstack stamp) *)
 }
 
 val syn : int

@@ -126,6 +126,13 @@ let rec run_user proc resume =
     Ostd.Task.account_kernel_entry ();
     match trap with
     | Ostd.User.Syscall { nr; args } -> (
+      (* Auto-span boundary: with kspan auto mode on and no span active
+         on this task, the syscall itself is the request. Opened before
+         the tracepoints so the enter/exit records (and everything the
+         handler emits) carry the span id, and before the IRQ delivery
+         point so interrupt servicing that preempts this trap lands on
+         the span's critical path. Zero virtual cost either way. *)
+      let auto_span = Sim.Span.syscall_begin (Syscall_nr.name nr) in
       Strace.enter ~nr;
       let arg0 = if Array.length args > 0 then args.(0) else 0L in
       Sim.Trace.fire Sim.Trace.P_syscall_enter (fun () ->
@@ -161,9 +168,12 @@ let rec run_user proc resume =
               Int64.of_int proc.pid_v; arg0;
               (if jc then 1L else 0L);
             |]);
+        Sim.Span.syscall_end auto_span;
         run_user proc (Ostd.User.Sysret v)
-      | Exec_done -> run_user proc Ostd.User.Start
-      | Terminated -> ())
+      | Exec_done ->
+        Sim.Span.syscall_end auto_span;
+        run_user proc Ostd.User.Start
+      | Terminated -> Sim.Span.syscall_end auto_span)
     | Ostd.User.Page_fault { vaddr; write } ->
       Sim.Trace.emit Sim.Trace.Pgfault "fault" (fun () ->
           Printf.sprintf "vaddr=%#x write=%b" vaddr write);

@@ -285,8 +285,20 @@ let ktrace_write raw =
         end
       end
 
+(* /proc/kstat accepts "reset" on write: zero every counter and
+   histogram. Same validate-before-apply contract as the ktrace writer:
+   anything else fails with EINVAL and touches nothing. *)
+let kstat_write raw =
+  match String.trim (String.lowercase_ascii raw) with
+  | "reset" ->
+    Sim.Stats.reset ();
+    Sim.Hist.reset ();
+    Ok ()
+  | _ -> Error Errno.einval
+
 let standard_entries () =
   register_writer "ktrace" ktrace_write;
+  register_writer "kstat" kstat_write;
   register "kprobe.programs" (fun () -> Kprobe.Registry.render_list ());
   register "meminfo" (fun () ->
       let total = Ostd.Frame.total_frames () * 4 in
@@ -323,6 +335,8 @@ let standard_entries () =
           :: List.map (fun (n, h) -> Sim.Hist.summary_line n h ^ "\n") hs
       in
       String.concat "" (counters @ hists));
+  (* --- kspan observability surface --- *)
+  register "kspan" (fun () -> Sim.Span.render_proc ());
   (* --- kprof observability surface --- *)
   register "stat" (fun () ->
       let ut, st = Ostd.Task.aggregate_cpu_times () in

@@ -99,6 +99,12 @@ let dup3 = 292
 let probe_load = 321
 let probe_read = 322
 
+(* kspan request boundaries: applications bracket a logical request
+   (one redis command, one HTTP request) so the span covers it instead
+   of each syscall. Adjacent to the probe surface. *)
+let span_begin = 323
+let span_end = 324
+
 let named =
   [
     (read, "read"); (write, "write"); (open_, "open"); (close, "close"); (stat, "stat");
@@ -128,6 +134,7 @@ let named =
     (rt_sigprocmask, "rt_sigprocmask"); (rt_sigpending, "rt_sigpending"); (mknod, "mknod");
     (statfs, "statfs"); (fchdir, "fchdir"); (sync, "sync"); (dup3, "dup3");
     (probe_load, "probe_load"); (probe_read, "probe_read");
+    (span_begin, "span_begin"); (span_end, "span_end");
   ]
 
 (* The rest of the advertised ABI surface: numbers Asterinas registers

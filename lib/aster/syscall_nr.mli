@@ -102,6 +102,13 @@ val fchdir : int
 val sync : int
 val dup3 : int
 
+val span_begin : int
+(** kspan request boundary: open a span ([cls_ptr], [name_ptr]) on the
+    calling task; returns the span id. *)
+
+val span_end : int
+(** Seal the span whose id is arg0. *)
+
 val probe_load : int
 (** bpf(2)-lite: load a probe program from its text form. *)
 

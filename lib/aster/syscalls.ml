@@ -1223,6 +1223,27 @@ let sys_probe_read proc args =
         | Ok () -> ok n
       end)
 
+(* kspan request boundaries: span_begin(cls_ptr, name_ptr) opens a
+   span on the calling task and returns its id; span_end(id) seals it.
+   Both are bookkeeping-only — no virtual cycles beyond the ordinary
+   syscall cost, so span-on runs stay byte-identical. *)
+let sys_span_begin proc args =
+  match read_str proc (int_arg args 0) with
+  | Error e -> err e
+  | Ok cls -> (
+    match read_str proc (int_arg args 1) with
+    | Error e -> err e
+    | Ok name ->
+      if cls = "" then err Errno.einval else ok (Sim.Span.begin_ ~cls ~name))
+
+let sys_span_end _proc args =
+  let id = int_arg args 0 in
+  if id < 0 then err Errno.einval
+  else begin
+    Sim.Span.end_ id;
+    ok 0
+  end
+
 (* --- Dispatch table --- *)
 
 let handlers : (int, Process.t -> int64 array -> (int64, int) result) Hashtbl.t =
@@ -1351,7 +1372,9 @@ let register_all () =
   reg N.getrusage sys_getrusage;
   reg N.times sys_times;
   reg N.probe_load sys_probe_load;
-  reg N.probe_read sys_probe_read
+  reg N.probe_read sys_probe_read;
+  reg N.span_begin sys_span_begin;
+  reg N.span_end sys_span_end
 
 let implemented_count () = Hashtbl.length handlers
 

@@ -5,6 +5,7 @@ let desc_sector = 8
 let desc_data = 16
 let desc_status = 24
 let desc_next = 32
+let desc_done_ts = 40 (* device-written completion timestamp (cycles) *)
 let status_pending = 0xff
 
 type data_buf = Pooled of Ostd.Dma.Stream.t | Dynamic of Ostd.Dma.Stream.t
@@ -92,6 +93,7 @@ let prepare s bio =
   Ostd.Untyped.write_u64 dframe ~off:desc_data (Int64.of_int data_paddr);
   Ostd.Untyped.write_u32 dframe ~off:desc_status status_pending;
   Ostd.Untyped.write_u64 dframe ~off:desc_next 0L;
+  Ostd.Untyped.write_u64 dframe ~off:desc_done_ts 0L;
   { bio; desc; desc_pooled; data = data_buf }
 
 let link prev next =
@@ -119,6 +121,7 @@ let ring s ~device_idle head =
 let submit bio =
   let s = st () in
   let p = prepare s bio in
+  Block.note_issued bio;
   let device_idle = s.pending = [] in
   s.pending <- p :: s.pending;
   ring s ~device_idle p
@@ -138,6 +141,7 @@ let submit_many bios =
       | _ -> ()
     in
     link_all ps;
+    List.iter (fun p -> Block.note_issued p.bio) ps;
     let device_idle = s.pending = [] in
     s.pending <- List.rev_append ps s.pending;
     ring s ~device_idle head
@@ -186,6 +190,8 @@ let reap () =
              ~len:(Block.bio_len p.bio)
          | _ -> ());
       release_data_buf s p.data;
+      let done_ts = Ostd.Untyped.read_u64 (stream_frame p.desc) ~off:desc_done_ts in
+      if Int64.compare done_ts 0L > 0 then Block.note_dev_done p.bio done_ts;
       if p.desc_pooled then Ostd.Dma.Pool.release s.desc_pool p.desc
       else Ostd.Dma.Stream.unmap p.desc;
       Block.complete_bio p.bio ~status:(if status = 0 then 0 else Errno.eio))

@@ -13,6 +13,7 @@ let desc_len = 0
 let desc_status = 4
 let desc_data = 8
 let desc_next = 16
+let desc_done_ts = 24 (* device-written completion timestamp (cycles) *)
 
 (* One individual resubmission after a mid-burst failure; then give up
    and report the frame to the stack (TCP repairs by retransmission). *)
@@ -24,6 +25,7 @@ type buf = {
   pkt : Packet.t option; (* TX only: for error reporting upstack *)
   mutable tries : int;
   mutable epoch : int; (* bumped per (re)submission; stale deadlines skip *)
+  mutable issued : int64; (* first doorbell for this frame; 0 = never *)
 }
 
 type state = {
@@ -54,14 +56,14 @@ let tx_in_flight () = match !state with Some s -> List.length s.tx_pending | Non
 let take_buf s ~pkt =
   if (Sim.Profile.get ()).Sim.Profile.dma_pooling then
     match Ostd.Dma.Pool.alloc s.pool with
-    | Some stream -> { stream; pooled = true; pkt; tries = 0; epoch = 0 }
+    | Some stream -> { stream; pooled = true; pkt; tries = 0; epoch = 0; issued = 0L }
     | None ->
       Sim.Stats.incr "virtio_net.pool_exhausted";
       { stream = Ostd.Dma.Stream.map (Ostd.Frame.alloc ~pages:buf_pages ~untyped:true ()) ~dev:s.dev_id;
-        pooled = false; pkt; tries = 0; epoch = 0 }
+        pooled = false; pkt; tries = 0; epoch = 0; issued = 0L }
   else
     { stream = Ostd.Dma.Stream.map (Ostd.Frame.alloc ~pages:buf_pages ~untyped:true ()) ~dev:s.dev_id;
-      pooled = false; pkt; tries = 0; epoch = 0 }
+      pooled = false; pkt; tries = 0; epoch = 0; issued = 0L }
 
 let release_buf s b =
   if b.pooled then Ostd.Dma.Pool.release s.pool b.stream else Ostd.Dma.Stream.unmap b.stream
@@ -105,7 +107,14 @@ let prepare_tx s pkt =
   Ostd.Untyped.write_u32 f ~off:desc_status unused_marker;
   Ostd.Untyped.write_u64 f ~off:desc_data (Int64.of_int (Ostd.Dma.Stream.paddr b.stream + data_off));
   Ostd.Untyped.write_u64 f ~off:desc_next 0L;
+  Ostd.Untyped.write_u64 f ~off:desc_done_ts 0L;
   s.ntx <- s.ntx + 1;
+  (* Span-ownership conservation: one creation count per span-owned
+     frame. Retries reuse this buffer via [submit_one] without a second
+     prepare, so the count stays exactly-once; every frame must
+     eventually count span.tx_done (reap success, give-up, or
+     quarantine). *)
+  (match pkt.Packet.span with 0 -> () | _ -> Sim.Stats.incr "span.tx_created");
   b
 
 let link prev next =
@@ -160,13 +169,16 @@ let arm_tx_deadline s bufs =
                if b.pooled then Sim.Stats.incr "net.pool_leaked";
                Ostd.Dma.Stream.unmap b.stream;
                match b.pkt with
-               | Some p -> Netstack.tx_error s.stack p
+               | Some p ->
+                 if p.Packet.span > 0 then Sim.Stats.incr "span.tx_done";
+                 Netstack.tx_error s.stack p
                | None -> ()
              end)
            watched))
 
 let submit_one s b =
   b.epoch <- b.epoch + 1;
+  if Int64.equal b.issued 0L then b.issued <- Sim.Clock.now ();
   let device_idle = s.tx_pending = [] in
   s.tx_pending <- s.tx_pending @ [ b ];
   ring s ~device_idle b;
@@ -187,7 +199,11 @@ let submit_many s pkts =
       | _ -> ()
     in
     link_all bufs;
-    List.iter (fun b -> b.epoch <- b.epoch + 1) bufs;
+    List.iter
+      (fun b ->
+        b.epoch <- b.epoch + 1;
+        if Int64.equal b.issued 0L then b.issued <- Sim.Clock.now ())
+      bufs;
     let device_idle = s.tx_pending = [] in
     s.tx_pending <- s.tx_pending @ bufs;
     ring s ~device_idle head;
@@ -210,7 +226,9 @@ let retry_or_give_up s b =
   else begin
     Sim.Stats.incr "degrade.gave_up.net_tx";
     (match b.pkt with
-    | Some p -> Netstack.tx_error s.stack p
+    | Some p ->
+      if p.Packet.span > 0 then Sim.Stats.incr "span.tx_done";
+      Netstack.tx_error s.stack p
     | None -> ());
     release_buf s b
   end
@@ -226,7 +244,28 @@ let reap_once s =
   s.tx_pending <- still_tx;
   List.iter
     (fun b ->
-      if Ostd.Untyped.read_u32 (frame_of b) ~off:desc_status = 0 then release_buf s b
+      if Ostd.Untyped.read_u32 (frame_of b) ~off:desc_status = 0 then begin
+        (* The completion stamp is read unconditionally: the checked
+           accessor charges its boundary check whether or not anyone is
+           tracing, so span-on and span-off runs stay byte-identical. *)
+        let ts = Ostd.Untyped.read_u64 (frame_of b) ~off:desc_done_ts in
+        (* Span waterfall for the owning request: device service
+           (doorbell → the device's completion stamp) and IRQ-delivery
+           delay (stamp → this reap). One tx_done count per span-owned
+           frame balances prepare_tx's tx_created. *)
+        (match b.pkt with
+        | Some p when p.Packet.span > 0 ->
+          let now = Sim.Clock.now () in
+          let t0 = if Int64.compare b.issued 0L > 0 then b.issued else p.Packet.span_t0 in
+          if Int64.compare t0 0L > 0 then begin
+            let s_end = if Int64.compare ts 0L > 0 then ts else now in
+            Sim.Span.add_to p.Packet.span "net.service" t0 s_end;
+            if Int64.compare ts 0L > 0 then Sim.Span.add_to p.Packet.span "net.irq" ts now
+          end;
+          Sim.Stats.incr "span.tx_done"
+        | Some _ | None -> ());
+        release_buf s b
+      end
       else retry_or_give_up s b)
     done_tx;
   let done_rx, still_rx =

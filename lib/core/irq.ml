@@ -80,12 +80,14 @@ let polled_service vector =
      counts toward the recovered leg of the chaos quartet. *)
   Sim.Stats.incr "degrade.recovered.irq_poll";
   Sim.Trace.emit Sim.Trace.Irq "poll" (fun () -> Printf.sprintf "vector=%d" vector);
-  Sim.Prof.scope (irq_scope vector) (fun () -> run_handler vector);
-  vs.masked <- false;
-  decr masked_vectors;
-  vs.wstart <- Sim.Clock.now ();
-  vs.n <- 0;
-  !post_hook ()
+  Sim.Span.enter_wake_ctx (irq_scope vector);
+  Fun.protect ~finally:Sim.Span.exit_wake_ctx (fun () ->
+      Sim.Prof.scope (irq_scope vector) (fun () -> run_handler vector);
+      vs.masked <- false;
+      decr masked_vectors;
+      vs.wstart <- Sim.Clock.now ();
+      vs.n <- 0;
+      !post_hook ())
 
 let dispatch vector =
   incr count;
@@ -94,9 +96,14 @@ let dispatch vector =
     (* Deliveries while masked are dropped on the floor; the pending
        poll will reap whatever they signalled. *)
     Sim.Stats.incr "irq.masked_dropped"
-  else
+  else begin
     (* Implicit kprof scope: everything spent servicing the delivery —
-       entry cost included — attributes to irq<vector>. *)
+       entry cost included — attributes to irq<vector>. The span
+       wake-context covers the same region (handler and the post-hook
+       softirq drain), so any task woken from here gets the
+       IRQ-delivery leg recorded on its span. *)
+    Sim.Span.enter_wake_ctx (irq_scope vector);
+    Fun.protect ~finally:Sim.Span.exit_wake_ctx @@ fun () ->
     Sim.Prof.scope (irq_scope vector) (fun () ->
         Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.irq_entry;
         Sim.Trace.emit Sim.Trace.Irq "entry" (fun () -> Printf.sprintf "vector=%d" vector);
@@ -124,6 +131,7 @@ let dispatch vector =
         else run_handler vector;
         Sim.Trace.emit Sim.Trace.Irq "exit" (fun () -> Printf.sprintf "vector=%d" vector);
         !post_hook ())
+  end
 
 let install_dispatcher () = Machine.Irq_chip.set_dispatcher dispatch
 

@@ -239,6 +239,10 @@ let wake t =
     Sim.Trace.emit Sim.Trace.Sched "wakeup" (fun () ->
         Printf.sprintf "task=%s/%d" t.tname t.tid);
     enqueue_ready t;
+    (* The wakeup edge hands a completion's span back to the sleeping
+       task: if this wake happens under an IRQ/softirq wake context,
+       the delivery leg is recorded on the woken task's span. *)
+    Sim.Span.on_wake ~tid:t.tid;
     Sim.Trace.fire Sim.Trace.P_sched_wakeup (fun () ->
         [| Int64.of_int t.tid; ns_of_cycles (Sim.Clock.now ()); max_runnable_wait_ns () |])
   | Ready | Running | Dead -> ()
@@ -265,6 +269,7 @@ let on_death t =
   end;
   t.running_flag <- false;
   cur := None;
+  Sim.Span.on_task_exit t.tid;
   Sim.Prof.switch_idle ()
 
 let handler (t : t) : (unit, unit) Effect.Deep.handler =
@@ -296,6 +301,7 @@ let handler (t : t) : (unit, unit) Effect.Deep.handler =
               t.resume <- Some (Cont k);
               t.running_flag <- false;
               cur := None;
+              Sim.Span.on_deschedule ();
               Sim.Prof.switch_idle ())
         | _ -> None);
   }
@@ -307,14 +313,14 @@ let dispatch t =
     (* Profile attribution follows the incoming task from here on: the
        switch cost below is charged to the task being switched in, as
        is its accounting mark. *)
-    if Sim.Prof.enabled () then
-      Sim.Prof.switch_to (Printf.sprintf "%s/%d" t.tname t.tid);
+    Sim.Prof.switch_to (Printf.sprintf "%s/%d" t.tname t.tid);
     t.acct_mark <- Sim.Clock.now ();
     (* Runqueue wait: from the enqueue that made the task runnable to
        this dispatch. Fed to the sched.delay histogram (microseconds)
        and the per-task schedstat totals; costs nothing in virtual
        time. *)
     let own_wait_ns = ref 0L in
+    let span_waited = ref 0L in
     if Int64.compare t.runnable_at 0L >= 0 then begin
       let d = Int64.sub (Sim.Clock.now ()) t.runnable_at in
       let d = if Int64.compare d 0L > 0 then d else 0L in
@@ -323,8 +329,12 @@ let dispatch t =
       t.sdelay_cnt <- t.sdelay_cnt + 1;
       if Int64.compare d t.sdelay_max > 0 then t.sdelay_max <- d;
       own_wait_ns := ns_of_cycles d;
+      span_waited := d;
       Sim.Hist.observe "sched.delay" (Sim.Clock.to_us d)
     end;
+    (* Span bookkeeping before the switch cost below, so those cycles
+       attribute on-CPU to the incoming task's span. *)
+    Sim.Span.on_dispatch ~tid:t.tid ~waited:!span_waited;
     incr switch_count;
     (* Re-dispatching the task that just ran (a solo yield) skips the
        register save/restore and cache refill of a real switch. *)

@@ -57,6 +57,9 @@ let reset ?(frames = 16384) () =
   (* The ring empties with the machine, but the enable mask survives:
      it is configuration, like the fault schedule, not run state. *)
   Sim.Trace.clear ();
+  (* Spans reset with the clock; the enabled/auto flags survive like
+     the trace mask: configuration, not run state. *)
+  Sim.Span.clear ();
   Sim.Fault.reset ();
   Phys.init ~frames;
   Mmio.reset ();

@@ -5,12 +5,13 @@ let reg_device_id = 0x04
 let reg_capacity = 0x08
 let reg_queue_notify = 0x10
 
-(* Bytes of one request descriptor, including the chain link at off 32.
-   A notify may name the head of a chain: the device walks [next]
-   pointers (bounded, loop-safe) and services the whole chain with one
-   completion interrupt — the per-batch doorbell/IRQ economy the
-   batched block pipeline banks on. *)
-let desc_size = 40
+(* Bytes of one request descriptor, including the chain link at off 32
+   and the device-written completion timestamp at off 40. A notify may
+   name the head of a chain: the device walks [next] pointers (bounded,
+   loop-safe) and services the whole chain with one completion
+   interrupt — the per-batch doorbell/IRQ economy the batched block
+   pipeline banks on. *)
+let desc_size = 48
 
 let max_chain = 128
 
@@ -205,6 +206,11 @@ let execute_one t desc_paddr =
         end
         else begin
           let status = if status = 0 && Sim.Fault.roll "blk.io_error" then 1 else status in
+          (* Completion stamp, written unconditionally alongside the
+             status word so enabling kspan changes nothing the device
+             does: the driver splits service time from IRQ-delivery
+             delay with it. *)
+          Phys.write_u64 (desc_paddr + 40) (Sim.Clock.now ());
           Phys.write_u32 (desc_paddr + 24) status;
           if status = 0 then t.completed <- t.completed + 1 else t.failed <- t.failed + 1;
           true

@@ -2,12 +2,13 @@ let reg_queue_tx = 0x10
 let reg_queue_rx = 0x18
 let reg_irq_ack = 0x20
 
-(* Bytes of one TX descriptor, including the chain link at off 16. A TX
-   notify may name the head of a chain: the device walks [next] pointers
-   (bounded, loop-safe) and services the whole chain with one completion
+(* Bytes of one TX descriptor, including the chain link at off 16 and
+   the device-written completion timestamp at off 24. A TX notify may
+   name the head of a chain: the device walks [next] pointers (bounded,
+   loop-safe) and services the whole chain with one completion
    interrupt — the per-burst doorbell/IRQ economy the batched TX
    pipeline banks on. RX descriptors keep the 16-byte layout. *)
-let desc_size = 24
+let desc_size = 32
 
 let max_chain = 128
 
@@ -119,26 +120,36 @@ let execute_tx_one t desc_paddr =
       Sim.Stats.incr "virtio_net.dropped_completion";
       false
     end
-    else if Sim.Fault.roll "net.tx_fail" then begin
-      Sim.Stats.incr "virtio_net.injected_tx_fail";
-      Phys.write_u32 (desc_paddr + 4) 1;
-      true
-    end
     else begin
-      match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
-      | Error _ ->
-        Sim.Stats.incr "virtio_net.dma_fault";
+      (* Completion stamp at off 24, written unconditionally alongside
+         every status write so enabling kspan changes nothing the
+         device does: the driver splits service time from IRQ-delivery
+         delay with it. *)
+      let stamp () = Phys.write_u64 (desc_paddr + 24) (Sim.Clock.now ()) in
+      if Sim.Fault.roll "net.tx_fail" then begin
+        Sim.Stats.incr "virtio_net.injected_tx_fail";
+        stamp ();
         Phys.write_u32 (desc_paddr + 4) 1;
         true
-      | Ok () ->
-        let pkt = Bytes.create len in
-        Phys.read ~paddr:data_paddr pkt ~off:0 ~len;
-        t.sent <- t.sent + 1;
-        (* The descriptor still completes with success: the guest cannot
-           tell a frame lost on the wire from one that made it. *)
-        List.iter (Wire.send t.endpoint) (mangle pkt);
-        Phys.write_u32 (desc_paddr + 4) 0;
-        true
+      end
+      else begin
+        match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
+        | Error _ ->
+          Sim.Stats.incr "virtio_net.dma_fault";
+          stamp ();
+          Phys.write_u32 (desc_paddr + 4) 1;
+          true
+        | Ok () ->
+          let pkt = Bytes.create len in
+          Phys.read ~paddr:data_paddr pkt ~off:0 ~len;
+          t.sent <- t.sent + 1;
+          (* The descriptor still completes with success: the guest cannot
+             tell a frame lost on the wire from one that made it. *)
+          List.iter (Wire.send t.endpoint) (mangle pkt);
+          stamp ();
+          Phys.write_u32 (desc_paddr + 4) 0;
+          true
+      end
     end
 
 (* Walk the [next] pointers from a chain head. Bounded at [max_chain]

@@ -17,18 +17,28 @@ let set_on_advance f = on_advance := f
 
 let clear_on_advance () = on_advance := (fun _ -> ())
 
+(* A second, independent observer slot so kspan can watch the clock
+   without stealing kprof's tap (and vice versa). Registered once at
+   module init by Span; the span plane gates itself internally. *)
+let on_advance2 : (int64 -> unit) ref = ref (fun _ -> ())
+
+let set_on_advance2 f = on_advance2 := f
+
 let charge n =
   if n < 0 then invalid_arg "Clock.charge: negative cost";
   if n > 0 then begin
-    current := Int64.add !current (Int64.of_int n);
-    !on_advance (Int64.of_int n)
+    let d = Int64.of_int n in
+    current := Int64.add !current d;
+    !on_advance d;
+    !on_advance2 d
   end
 
 let advance_to t =
   if Int64.compare t !current > 0 then begin
     let d = Int64.sub t !current in
     current := t;
-    !on_advance d
+    !on_advance d;
+    !on_advance2 d
   end
 
 let to_us t = Int64.to_float t /. float_of_int cycles_per_us

@@ -30,6 +30,11 @@ val set_on_advance : (int64 -> unit) -> unit
 val clear_on_advance : unit -> unit
 (** Restore the no-op observer. *)
 
+val set_on_advance2 : (int64 -> unit) -> unit
+(** A second, independent observer slot (kspan owns it), called after
+    the first on every forward movement. The observer must not charge
+    cycles. *)
+
 val to_us : int64 -> float
 (** Convert a cycle count to microseconds. *)
 

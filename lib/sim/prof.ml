@@ -98,11 +98,17 @@ let reset () =
   disable ();
   clear ()
 
-(* --- Context switching, driven by the task layer --- *)
+(* --- Context switching, driven by the task layer ---
 
-let switch_to name = if !enabled_flag then current := ctx_of name
+   Context and scope-stack bookkeeping is unconditional: it costs no
+   virtual cycles either way, and kspan labels on-CPU segments with the
+   innermost scope ([current_label]) whether or not kprof attribution
+   is enabled. Only attribution itself — the clock observer — stays
+   gated behind [enable]. *)
 
-let switch_idle () = if !enabled_flag then current := ctx_of idle_name
+let switch_to name = current := ctx_of name
+
+let switch_idle () = current := ctx_of idle_name
 
 (* --- Scopes ---
 
@@ -113,17 +119,16 @@ let switch_idle () = if !enabled_flag then current := ctx_of idle_name
    work running in another context is unaffected. *)
 
 let scope name f =
-  if not !enabled_flag then f ()
-  else begin
-    let c = !current in
-    c.stack <- name :: c.stack;
-    rekey c;
-    Fun.protect
-      ~finally:(fun () ->
-        (match c.stack with _ :: rest -> c.stack <- rest | [] -> ());
-        rekey c)
-      f
-  end
+  let c = !current in
+  c.stack <- name :: c.stack;
+  rekey c;
+  Fun.protect
+    ~finally:(fun () ->
+      (match c.stack with _ :: rest -> c.stack <- rest | [] -> ());
+      rekey c)
+    f
+
+let current_label () = match !current.stack with s :: _ -> s | [] -> "user"
 
 (* --- Reporting --- *)
 

@@ -46,7 +46,13 @@ val scope : string -> (unit -> 'a) -> 'a
 (** [scope name f] runs [f] with [name] pushed on the current context's
     scope stack. The stack lives on the context, not the host call
     stack, so it survives task suspension; the pop targets the context
-    that was pushed to. No-op (beyond calling [f]) when disabled. *)
+    that was pushed to. Stack bookkeeping runs even when attribution is
+    disabled (kspan reads it via [current_label]); only attribution is
+    gated. *)
+
+val current_label : unit -> string
+(** The innermost scope of the current context, or ["user"] when the
+    stack is empty — the label kspan gives on-CPU segments. *)
 
 (** {2 Reporting} *)
 

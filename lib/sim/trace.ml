@@ -105,6 +105,13 @@ let task_provider : (unit -> string) ref = ref (fun () -> "-")
 
 let set_task_provider f = task_provider := f
 
+(* Active-span provider, injected by kspan the same way: when a span is
+   live on the emitting task, its id is appended to the record's args
+   so [trace run] output can be grepped by request. *)
+let span_provider : (unit -> int) ref = ref (fun () -> 0)
+
+let set_span_provider f = span_provider := f
+
 (* --- The ring --- *)
 
 let default_capacity = 8192
@@ -151,8 +158,16 @@ let push r =
   ring.total <- ring.total + 1
 
 let emit cat name args =
-  if enabled cat then
-    push { cycles = Clock.now (); task = !task_provider (); cat; name; args = args () }
+  if enabled cat then begin
+    let rendered = args () in
+    let rendered =
+      match !span_provider () with
+      | 0 -> rendered
+      | sp when rendered = "" -> "span=" ^ string_of_int sp
+      | sp -> rendered ^ " span=" ^ string_of_int sp
+    in
+    push { cycles = Clock.now (); task = !task_provider (); cat; name; args = rendered }
+  end
 
 let dropped () = ring.dropped
 

@@ -59,6 +59,11 @@ val emit : category -> string -> (unit -> string) -> unit
 val set_task_provider : (unit -> string) -> unit
 (** Injected by the task layer; defaults to ["-"]. *)
 
+val set_span_provider : (unit -> int) -> unit
+(** Injected by kspan; defaults to [fun () -> 0]. When it returns a
+    nonzero id at emission time, [" span=<id>"] is appended to the
+    record's args. *)
+
 (** {2 The ring} *)
 
 val capacity : unit -> int

@@ -874,6 +874,57 @@ let test_unbatched_profile_parity () =
   check_int "no merges with batching off" 0 (Sim.Stats.get "blk.merge");
   check_int "no readahead with it off" 0 (Sim.Stats.get "blk.readahead.issued")
 
+(* Span-ownership conservation: with kspan on, every span-owned bio —
+   through elevator merges, batched chains and readahead — must be
+   completed exactly once by its primary. The creation counter
+   (make_bio, primary only) and the completion counter (complete_bio,
+   first status only) have to agree to the unit. *)
+let test_span_bio_conservation () =
+  Sim.Span.enable ();
+  Sim.Span.set_auto true;
+  let code = run_user seq_read_after_cold_cache in
+  let created = Sim.Stats.get "span.bio_created" in
+  let completed = Sim.Stats.get "span.bio_completed" in
+  let merges = Sim.Stats.get "blk.merge" in
+  Sim.Span.disable ();
+  Sim.Span.set_auto false;
+  check_int "exit code" 0 code;
+  check "bios were merged under spans" true (merges > 0);
+  check "span-owned bios were created" true (created > 0);
+  check_int "every span-owned bio completed exactly once" created completed
+
+(* Same conservation under mid-batch I/O errors: a failing chain is
+   split and each bio retried or failed individually; neither the split
+   nor the per-bio EIO fallback may double-complete or orphan a bio. *)
+let test_span_bio_conservation_under_eio () =
+  ignore (boot ());
+  Sim.Span.enable ();
+  Sim.Span.set_auto true;
+  Sim.Fault.configure ~seed:13L [ ("blk.io_error", 0.08) ];
+  ignore
+    (Aster.Process.spawn_kernel_style ~name:"span-eio" (fun uapi ->
+         let c = Apps.Libc.make uapi in
+         let fd = Apps.Libc.openf c "/ext2/span-eio.dat" ~flags:0o102 ~mode:0o644 in
+         let chunk = 4096 in
+         let buf = Apps.Libc.ualloc c chunk in
+         for i = 0 to 255 do
+           ignore (Apps.Libc.pwrite c ~fd ~vaddr:buf ~len:chunk ~off:(i * chunk))
+         done;
+         (* fsync may surface EIO; conservation must hold either way. *)
+         ignore (Apps.Libc.fsync c fd);
+         ignore (Apps.Libc.close c fd);
+         0));
+  Aster.Kernel.run ();
+  Sim.Fault.disable ();
+  let created = Sim.Stats.get "span.bio_created" in
+  let completed = Sim.Stats.get "span.bio_completed" in
+  let injected = Sim.Stats.get "fault.injected.blk.io_error" in
+  Sim.Span.disable ();
+  Sim.Span.set_auto false;
+  check "errors were actually injected" true (injected > 0);
+  check "span-owned bios were created" true (created > 0);
+  check_int "conservation holds under EIO fallback" created completed
+
 (* errseq_t: a writeback error met by the *background* flusher must be
    observed by a later fsync on the file — once per open description —
    even though that fsync's own writes all succeed. *)
@@ -1011,6 +1062,9 @@ let () =
           Alcotest.test_case "fsync_scope" `Quick test_fsync_only_flushes_that_file;
           Alcotest.test_case "batched_seq_read" `Quick test_batched_seq_read;
           Alcotest.test_case "unbatched_parity" `Quick test_unbatched_profile_parity;
+          Alcotest.test_case "span_bio_conservation" `Quick test_span_bio_conservation;
+          Alcotest.test_case "span_bio_conservation_eio" `Quick
+            test_span_bio_conservation_under_eio;
           Alcotest.test_case "errseq_writeback" `Quick test_errseq_sticky_writeback_error;
           Alcotest.test_case "rename_crash_atomic" `Quick test_rename_atomic_under_crash;
           Alcotest.test_case "segfault" `Quick test_segfault_kills_child;

@@ -168,6 +168,51 @@ let test_tx_drop_quarantines_and_leaks_pool () =
     (Sim.Stats.get "net.tx_err_unclaimed");
   check_int "no frame reached the wire" 0 (Sim.Stats.get "virtio_net.dma_fault")
 
+(* --- Span-ownership conservation across the TX pipeline ---
+
+   With kspan on, every span-owned frame prepared for the NIC must be
+   resolved exactly once: reaped on success, reported upstack after the
+   retry ladder, or quarantined at the burst deadline. The creation
+   counter (prepare_tx) and the resolution counter must agree to the
+   unit — through plug bursts, burst splits and retransmissions. *)
+
+let span_transfer ?faults ~size () =
+  Sim.Span.enable ();
+  Sim.Span.set_auto true;
+  let rc, bytes, eof = transfer ?faults ~size () in
+  let created = Sim.Stats.get "span.tx_created" in
+  let resolved = Sim.Stats.get "span.tx_done" in
+  Sim.Span.disable ();
+  Sim.Span.set_auto false;
+  (rc, bytes, eof, created, resolved)
+
+let test_span_tx_conservation () =
+  let size = 192 * 1024 in
+  let rc, bytes, eof, created, resolved = span_transfer ~size () in
+  check_int "client exits cleanly" 0 rc;
+  check "sink saw EOF" true eof;
+  check "payload is byte-exact under spans" true
+    (String.equal bytes (Bytes.to_string (pattern size)));
+  check "bursts were plugged" true (Sim.Stats.get "net.burst" > 0);
+  check "span-owned frames were created" true (created > 0);
+  check_int "every span-owned frame resolved exactly once" created resolved
+
+let test_span_tx_conservation_mid_burst_failure () =
+  (* Corruption forces retransmission ladders and burst splits; every
+     (re)prepared frame still resolves exactly once. *)
+  let size = 128 * 1024 in
+  let rc, bytes, _eof, created, resolved =
+    span_transfer ~faults:(9L, [ ("net.corrupt", 0.02) ]) ~size ()
+  in
+  Sim.Fault.disable ();
+  check_int "client exits cleanly despite corruption" 0 rc;
+  check "corruption was actually injected" true
+    (Sim.Stats.get "virtio_net.injected_corrupt" > 0);
+  check "payload repaired to byte-exactness" true
+    (String.equal bytes (Bytes.to_string (pattern size)));
+  check "span-owned frames were created" true (created > 0);
+  check_int "conservation holds through mid-burst failures" created resolved
+
 let () =
   Alcotest.run "net"
     [
@@ -180,5 +225,11 @@ let () =
       ( "quarantine",
         [
           Alcotest.test_case "tx_drop_leaks_pool" `Quick test_tx_drop_quarantines_and_leaks_pool;
+        ] );
+      ( "span-conservation",
+        [
+          Alcotest.test_case "tx_exactly_once" `Quick test_span_tx_conservation;
+          Alcotest.test_case "tx_exactly_once_mid_burst_failure" `Quick
+            test_span_tx_conservation_mid_burst_failure;
         ] );
     ]
