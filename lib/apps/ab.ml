@@ -9,6 +9,12 @@ let run ~host ~path ~concurrency ~requests ~on_done =
     match Aster.Tcp.connect htcp ~dst_ip:Aster.Kernel.guest_ip ~dst_port:Mini_nginx.port with
     | Error _ -> false
     | Ok conn ->
+      (* The clock starts at the first *successful* connect: before that
+         the server is still booting and the workers are in their
+         200 us refusal-retry loop — ab benchmarks serving, not server
+         startup (which the 200 us quantisation would otherwise charge
+         to whichever profile boots slower). *)
+      if !started = None then started := Some (Sim.Clock.now ());
       Aster.Tcp.set_nodelay conn;
       let req = Bytes.of_string (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path) in
       ignore (Aster.Tcp.send conn ~buf:req ~pos:0 ~len:(Bytes.length req));
@@ -41,7 +47,6 @@ let run ~host ~path ~concurrency ~requests ~on_done =
       (Ostd.Task.spawn
          ~name:(Printf.sprintf "ab-%d" i)
          (fun () ->
-           if !started = None then started := Some (Sim.Clock.now ());
            let continue = ref true in
            while !continue do
              if !remaining <= 0 then continue := false

@@ -738,6 +738,55 @@ let bw_tcp_virtio ~msg profile =
           ignore (Libc.shutdown c ~fd);
           0))
 
+(* Host -> guest bulk stream: the guest is the RECEIVER, so this is the
+   row that exercises the GRO reap path (bw_tcp_virtio above measures
+   guest TX). Not an lmbench table row — the offload ablations and the
+   smoke gate drive it directly. *)
+let bw_tcp_rx_virtio ~msg profile =
+  let total = 4 * 1024 * 1024 in
+  with_host profile (fun host out ->
+      let ready = ref false in
+      Runner.spawn ~name:"bw-rx-sink" (fun c ->
+          let sfd = Libc.socket c ~domain:2 ~typ:1 in
+          ignore (Libc.bind_inet c ~fd:sfd ~port:5005);
+          ignore (Libc.listen c ~fd:sfd ~backlog:1);
+          ready := true;
+          let conn = Libc.accept c ~fd:sfd in
+          if conn < 0 then 1
+          else begin
+            let buf = Libc.ualloc c 65536 in
+            let got = ref 0 in
+            let t0 = Sim.Clock.now () in
+            let continue = ref true in
+            while !continue do
+              let n = Libc.read c ~fd:conn ~vaddr:buf ~len:65536 in
+              if n <= 0 then continue := false else got := !got + n
+            done;
+            let us = Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) t0) in
+            out := Runner.mb_per_s ~bytes_moved:!got ~us;
+            ignore (Libc.close c conn);
+            0
+          end);
+      ignore
+        (Ostd.Task.spawn ~name:"host-tcp-src" (fun () ->
+             while not !ready do
+               Ostd.Task.yield_now ()
+             done;
+             match
+               Aster.Tcp.connect host.Aster.Kernel.htcp ~dst_ip:Aster.Kernel.guest_ip
+                 ~dst_port:5005
+             with
+             | Error _ -> ()
+             | Ok conn ->
+               let buf = Bytes.create msg in
+               let sent = ref 0 in
+               while !sent < total do
+                 match Aster.Tcp.send conn ~buf ~pos:0 ~len:(min msg (total - !sent)) with
+                 | Ok n -> sent := !sent + n
+                 | Error _ -> sent := total
+               done;
+               Aster.Tcp.close conn)))
+
 let us_row name category run = { name; category; unit_ = "us"; higher_better = false; run }
 
 let bw_row name category run = { name; category; unit_ = "MB/s"; higher_better = true; run }

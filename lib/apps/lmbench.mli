@@ -17,3 +17,9 @@ val rows : row list
 
 val find : string -> row
 (** Raises [Not_found] for an unknown row name. *)
+
+val bw_tcp_rx_virtio : msg:int -> Sim.Profile.t -> float
+(** Host -> guest bulk TCP stream (4 MiB), guest receiving through
+    read(2): the direction that exercises the GRO reap path. MB/s at
+    the guest sink. Not part of [rows] — driven by the offload
+    ablations and the bench smoke gate. *)

@@ -31,33 +31,71 @@ let handle_conn c conn =
   (* kspan request boundary: one span per HTTP request, from parse to
      the last sendfile. Host-level annotation — no syscall, no cycles. *)
   Sim.Span.annotate_begin ~cls:"http" ~name:(if path = "" then "bad" else path);
-  (match Libc.stat c path with
-  | Error _ ->
-    ignore (Libc.write_str c ~fd:conn "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n")
-  | Ok st ->
-    let hdr =
-      Printf.sprintf "HTTP/1.0 200 OK\r\nServer: mini-nginx\r\nContent-Length: %d\r\n\r\n"
-        st.Aster.Abi.size
-    in
-    ignore (Libc.write_str c ~fd:conn hdr);
-    let file = Libc.openf c path ~flags:0 ~mode:0 in
-    let sent = ref 0 in
-    while !sent < st.Aster.Abi.size do
-      let n = Libc.sendfile c ~out_fd:conn ~in_fd:file ~count:(st.Aster.Abi.size - !sent) in
-      if n <= 0 then sent := st.Aster.Abi.size else sent := !sent + n
-    done;
-    ignore (Libc.close c file));
+  (* open + fstat rather than stat-then-open: one path walk per request
+     instead of two, and the size read is against the descriptor that
+     sendfile will serve. *)
+  let file = if path = "" then -1 else Libc.openf c path ~flags:0 ~mode:0 in
+  (if file < 0 then
+     ignore (Libc.write_str c ~fd:conn "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n")
+   else
+     match Libc.fstat c file with
+     | Error _ ->
+       ignore (Libc.write_str c ~fd:conn "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+       ignore (Libc.close c file)
+     | Ok st ->
+       let hdr =
+         Printf.sprintf "HTTP/1.0 200 OK\r\nServer: mini-nginx\r\nContent-Length: %d\r\n\r\n"
+           st.Aster.Abi.size
+       in
+       ignore (Libc.write_str c ~fd:conn hdr);
+       let sent = ref 0 in
+       while !sent < st.Aster.Abi.size do
+         let n = Libc.sendfile c ~out_fd:conn ~in_fd:file ~count:(st.Aster.Abi.size - !sent) in
+         if n <= 0 then sent := st.Aster.Abi.size else sent := !sent + n
+       done;
+       ignore (Libc.close c file));
   Sim.Span.annotate_end ();
   ignore (Libc.shutdown c ~fd:conn);
   ignore (Libc.close c conn)
+
+(* Worker-pool size: like nginx's pre-forked workers, a fixed set of
+   threads all blocked in accept(2) on the shared listening socket. A
+   serial accept-then-serve loop head-of-line blocks every queued
+   connection behind one read(2) round trip; a thread per connection
+   pays a clone per request. The pool does neither. *)
+let workers = 8
 
 let server ~requests c =
   let sfd = Libc.socket c ~domain:2 ~typ:1 in
   ignore (Libc.bind_inet c ~fd:sfd ~port);
   ignore (Libc.listen c ~fd:sfd ~backlog:128);
-  for _ = 1 to requests do
-    let conn = Libc.accept c ~fd:sfd in
-    if conn >= 0 then handle_conn c conn
+  let remaining = ref requests in
+  let live = ref (workers - 1) in
+  let serve w =
+    let continue = ref true in
+    while !continue do
+      if !remaining <= 0 then continue := false
+      else begin
+        decr remaining;
+        let conn = Libc.accept w ~fd:sfd in
+        if conn >= 0 then handle_conn w conn else continue := false
+      end
+    done
+  in
+  for _ = 2 to workers do
+    ignore
+      (Libc.clone_thread c (fun uapi ->
+           let w = Libc.make uapi in
+           serve w;
+           decr live;
+           0))
+  done;
+  serve c;
+  (* The process exits only after every worker has drained: exiting
+     while siblings still stream responses would tear the sockets down
+     under them. *)
+  while !live > 0 do
+    ignore (Libc.nanosleep_us c 50.)
   done;
   0
 

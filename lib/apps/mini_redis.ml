@@ -198,25 +198,35 @@ let handle_connection store c conn =
       let chunk = Libc.read_str c ~fd:conn ~len:4096 in
       if chunk = "" then continue := false else Buffer.add_string pending chunk
     | Some _ -> ());
-    match String.index_opt (Buffer.contents pending) '\n' with
-    | None -> ()
-    | Some i ->
-      let all = Buffer.contents pending in
-      let line = String.sub all 0 i in
-      Buffer.clear pending;
-      Buffer.add_string pending (String.sub all (i + 1) (String.length all - i - 1));
-      (match String.split_on_char ' ' (String.trim line) with
-      | [] | [ "" ] -> ()
-      | cmd :: args ->
-        let cmd = String.uppercase_ascii cmd in
-        (* kspan request boundary: one span per client command, from
-           parse to reply write. Host-level annotation — no syscall, no
-           virtual cycles. *)
-        Sim.Span.annotate_begin ~cls:"redis" ~name:cmd;
-        let reply = exec store cmd args in
-        let wrote = Libc.write_str c ~fd:conn reply in
-        Sim.Span.annotate_end ();
-        if wrote < 0 then continue := false)
+    (* Drain every complete line already buffered and answer the batch
+       with one write: a coalesced burst of pipelined commands (GRO
+       hands them to the socket in one chunk) costs one reply segment
+       instead of one write syscall per command. Ping-pong clients see
+       exactly the old one-line/one-write behaviour. *)
+    let replies = Buffer.create 64 in
+    let rec drain () =
+      match String.index_opt (Buffer.contents pending) '\n' with
+      | None -> ()
+      | Some i ->
+        let all = Buffer.contents pending in
+        let line = String.sub all 0 i in
+        Buffer.clear pending;
+        Buffer.add_string pending (String.sub all (i + 1) (String.length all - i - 1));
+        (match String.split_on_char ' ' (String.trim line) with
+        | [] | [ "" ] -> ()
+        | cmd :: args ->
+          let cmd = String.uppercase_ascii cmd in
+          (* kspan request boundary: one span per client command, parse
+             to serialized reply. Host-level annotation — no syscall,
+             no virtual cycles. *)
+          Sim.Span.annotate_begin ~cls:"redis" ~name:cmd;
+          Buffer.add_string replies (exec store cmd args);
+          Sim.Span.annotate_end ());
+        drain ()
+    in
+    drain ();
+    if Buffer.length replies > 0 then
+      if Libc.write_str c ~fd:conn (Buffer.contents replies) < 0 then continue := false
   done;
   ignore (Libc.close c conn);
   0

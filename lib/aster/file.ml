@@ -40,6 +40,14 @@ let o_directory = 0o200000
 
 let make desc ~flags = { desc; pos = 0; flags; refs = 1; wb_sample = Block.wb_errseq () }
 
+(* The established-TCP view of a descriptor, for paths that need the
+   connection itself rather than the generic write entry point (the
+   zero-copy sendfile dispatch pins page-cache frames into the send). *)
+let tcp_conn_of f =
+  match f.desc with
+  | Socket { st = S_tcp_conn c; _ } -> Some c
+  | Inode_file _ | Pipe_read _ | Pipe_write _ | Socket _ -> None
+
 let get f = f.refs <- f.refs + 1
 
 let release f =

@@ -42,6 +42,11 @@ val o_directory : int
 
 val make : desc -> flags:int -> t
 
+val tcp_conn_of : t -> Tcp.conn option
+(** The established TCP connection behind a socket descriptor, if any —
+    the zero-copy sendfile path needs the connection itself to attach
+    page-cache pins to the send. *)
+
 val get : t -> unit
 (** Increment the reference count (dup, fork). *)
 

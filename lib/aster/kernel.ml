@@ -79,7 +79,14 @@ type host = { hstack : Netstack.t; htcp : Tcp.engine; hudp : Udp.engine }
 let attach_host t =
   let hstack = Netstack.create ~ip:host_ip ~host:true in
   let ep = t.devices.Machine.Board.host_endpoint in
-  Netstack.set_ext_tx hstack (fun pkt -> Machine.Wire.send ep (Packet.encode pkt));
+  (* The host's Linux stack always runs TSO: its TCP hands super-segments
+     down (seg_limit = gso_max_size, see {!Tcp.make_conn}) and its NIC
+     splits them into MSS wire frames here. Unconditional — no existing
+     host sender emits more than one MSS per segment, so sub-MSS traffic
+     passes through [tso_split] unchanged. Host-side work is uncharged. *)
+  Netstack.set_ext_tx hstack (fun pkt ->
+      List.iter (Machine.Wire.send ep)
+        (Machine.Pktfmt.tso_split ~gso_size:Packet.mss (Packet.encode pkt)));
   Machine.Wire.on_receive ep (fun raw ->
       match Packet.decode raw with
       | Some pkt -> Netstack.rx hstack pkt

@@ -151,9 +151,14 @@ let send t p =
       if dst = loopback_ip || dst = t.addr then begin
         Sim.Trace.emit Sim.Trace.Net "tx" (fun () -> packet_args p);
         Sim.Trace.fire Sim.Trace.P_net_tx (packet_ctx p);
-        (* Loopback: softirq-style asynchronous hand-off. *)
+        (* Loopback: softirq-style asynchronous hand-off. Delivery is the
+           end of the packet's life, so zero-copy pins release here — the
+           receiver copied the payload into its own buffer. *)
         charge t (Sim.Cost.c ()).Sim.Profile.loopback_delivery;
-        ignore (Sim.Events.schedule_after 0 (fun () -> dispatch t p))
+        ignore
+          (Sim.Events.schedule_after 0 (fun () ->
+               dispatch t p;
+               Packet.release_pins p))
       end
       else if batching_on t then begin
         (* Plug: collect the segment; the burst flushes at the syscall

@@ -17,6 +17,11 @@ type t = {
      into the TX path (stamped by the netstack). *)
   mutable span : int;
   mutable span_t0 : int64;
+  (* Zero-copy TX: page-cache frames this packet's payload references,
+     cloned when the view was built and dropped exactly once when the
+     packet resolves (TX reap, driver give-up, quarantine, or loopback
+     delivery). Empty for copied payloads. *)
+  mutable pins : Ostd.Frame.t list;
 }
 
 let syn = 1
@@ -25,24 +30,27 @@ let fin = 4
 let rst = 8
 let psh = 16
 
-let header_size = 36
+(* The byte layout lives in {!Machine.Pktfmt}: the device model needs it
+   for TSO splitting and checksum-offload verdicts, and keeping one
+   definition is what guarantees the device and the stack agree. *)
+let header_size = Machine.Pktfmt.header_size
 
-let cksum_off = 32
+let cksum_off = Machine.Pktfmt.cksum_off
 
-let mss = 1448
+let mss = Machine.Pktfmt.mss
 
-(* FNV-1a over the whole datagram with the checksum field skipped.
-   Catches any single flipped byte — which is exactly what a noisy link
-   (or the fault plane's [net.corrupt]) produces. *)
-let cksum b =
-  let h = ref 0x811c9dc5 in
-  for i = 0 to Bytes.length b - 1 do
-    if i < cksum_off || i >= cksum_off + 4 then begin
-      h := !h lxor Char.code (Bytes.unsafe_get b i);
-      h := !h * 0x01000193 land 0xffffffff
-    end
-  done;
-  !h
+let cksum = Machine.Pktfmt.cksum
+
+let release_pins p =
+  match p.pins with
+  | [] -> ()
+  | pins ->
+    p.pins <- [];
+    List.iter
+      (fun f ->
+        Sim.Stats.incr "net.zc_unpin";
+        Ostd.Frame.drop f)
+      pins
 
 let encode p =
   let len = Bytes.length p.payload in
@@ -61,13 +69,16 @@ let encode p =
   Bytes.set_int32_le b cksum_off (Int32.of_int (cksum b));
   b
 
-let decode b =
+(* [verify:false] is the checksum-offload path: the device already
+   verified the frame and wrote its verdict, so the software pass is
+   skipped — exactly the trust the csum_rx_offload knob models. *)
+let decode ?(verify = true) b =
   if Bytes.length b < header_size then None
   else begin
     let u32 off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff in
     let len = u32 28 in
     if Bytes.length b < header_size + len then None
-    else if u32 cksum_off <> cksum (Bytes.sub b 0 (header_size + len)) then begin
+    else if verify && u32 cksum_off <> cksum (Bytes.sub b 0 (header_size + len)) then begin
       (* Damaged in flight. Dropping it is the graceful path: TCP's
          retransmit timer resends the segment, UDP callers accepted
          lossy delivery when they picked UDP. *)
@@ -95,6 +106,7 @@ let decode b =
             payload = Bytes.sub b header_size len;
             span = 0;
             span_t0 = 0L;
+            pins = [];
           }
   end
 
@@ -102,7 +114,7 @@ let make ~src_ip ~dst_ip ~proto ~src_port ~dst_port ?(flags = 0) ?(seq = 0) ?(ac
     ?(win = 0) payload =
   {
     src_ip; dst_ip; proto; src_port; dst_port; flags; seq; ack; win; payload;
-    span = Sim.Span.current (); span_t0 = 0L;
+    span = Sim.Span.current (); span_t0 = 0L; pins = [];
   }
 
 let ip_of_string s =

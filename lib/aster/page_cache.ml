@@ -57,6 +57,26 @@ let read t ~pos ~buf ~boff ~len =
         Sim.Cost.charge_zero_fill chunk;
         Bytes.fill buf (boff + moved) chunk '\000')
 
+(* Zero-copy view: the bytes are produced without a copy charge (the
+   device will read them straight out of the frames via DMA) and every
+   cached frame touched is cloned — a refcounted pin the caller must
+   eventually drop. Holes still pay the memset that materialises their
+   zeroes and pin nothing. *)
+let read_view t ~pos ~len =
+  alive t;
+  let buf = Bytes.create len in
+  let pins = ref [] in
+  iter_range pos len (fun idx off moved chunk ->
+      match Hashtbl.find_opt t.frames idx with
+      | Some frame ->
+        Ostd.Frame.peek frame ~off ~buf ~pos:moved ~len:chunk;
+        Sim.Stats.incr "net.zc_pin";
+        pins := Ostd.Frame.clone frame :: !pins
+      | None ->
+        Sim.Cost.charge_zero_fill chunk;
+        Bytes.fill buf moved chunk '\000');
+  (buf, !pins)
+
 let write t ~pos ~buf ~boff ~len =
   alive t;
   Sim.Cost.charge_memcpy len;

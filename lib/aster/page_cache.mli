@@ -19,6 +19,13 @@ val pages : t -> int
 val read : t -> pos:int -> buf:bytes -> boff:int -> len:int -> unit
 (** Uncached (sparse) ranges read as zeroes. *)
 
+val read_view : t -> pos:int -> len:int -> bytes * Ostd.Frame.t list
+(** Zero-copy read for the sendfile-to-wire path: no copy charge, and
+    each cached frame touched is returned as a cloned (refcounted) pin
+    the caller must eventually {!Ostd.Frame.drop} — they keep the pages
+    live while a NIC transmits out of them. Pins are counted under
+    [net.zc_pin]; sparse ranges read as zeroes and pin nothing. *)
+
 val write : t -> pos:int -> buf:bytes -> boff:int -> len:int -> unit
 (** Allocates frames on demand; marks the touched pages dirty. *)
 

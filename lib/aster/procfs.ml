@@ -335,6 +335,24 @@ let standard_entries () =
           :: List.map (fun (n, h) -> Sim.Hist.summary_line n h ^ "\n") hs
       in
       String.concat "" (counters @ hists));
+  (* --- segmentation-offload observability surface (ethtool -k style) --- *)
+  register "net.offloads" (fun () ->
+      let p = Sim.Profile.get () in
+      let b k = if k then "on" else "off" in
+      let g = Sim.Stats.get in
+      String.concat ""
+        [
+          Printf.sprintf "tcp-segmentation-offload: %s (gso_max_size %d)\n"
+            (b p.Sim.Profile.tcp_gso) p.Sim.Profile.gso_max_size;
+          Printf.sprintf "generic-receive-offload: %s\n" (b p.Sim.Profile.net_gro);
+          Printf.sprintf "tx-checksumming: %s\n" (b p.Sim.Profile.csum_tx_offload);
+          Printf.sprintf "rx-checksumming: %s\n" (b p.Sim.Profile.csum_rx_offload);
+          Printf.sprintf "sendfile-zero-copy: %s\n" (b p.Sim.Profile.sendfile_zero_copy);
+          Printf.sprintf "tso_wire_frames %d\n" (g "virtio_net.tso_frames");
+          Printf.sprintf "gro_merged %d\n" (g "net.gro_merged");
+          Printf.sprintf "bytes_copied %d\n" (g "net.bytes_copied");
+          Printf.sprintf "zc_pin %d\nzc_unpin %d\n" (g "net.zc_pin") (g "net.zc_unpin");
+        ]);
   (* --- kspan observability surface --- *)
   register "kspan" (fun () -> Sim.Span.render_proc ());
   (* --- kprof observability surface --- *)

@@ -148,3 +148,17 @@ let file_cache i =
   match node_of i with
   | File st -> Some st.cache
   | Directory _ | Symlink _ -> None
+
+(* Zero-copy sendfile source: a pinned view of up to [len] bytes at
+   [pos], clamped to the file size like ops.read. [None] at (or past)
+   EOF, and for anything that is not a RamFS regular file. *)
+let file_view i ~pos ~len =
+  match node_of i with
+  | File st ->
+    if pos >= st.len || len <= 0 then None
+    else begin
+      let n = min len (st.len - pos) in
+      let buf, pins = Page_cache.read_view st.cache ~pos ~len:n in
+      Some (buf, n, pins)
+    end
+  | Directory _ | Symlink _ -> None

@@ -10,3 +10,9 @@ val file_data : Vfs.inode -> bytes
 
 val file_cache : Vfs.inode -> Page_cache.t option
 (** The frame-backed page cache of a regular file. *)
+
+val file_view : Vfs.inode -> pos:int -> len:int -> (bytes * int * Ostd.Frame.t list) option
+(** Zero-copy read for sendfile-to-wire: [(data, n, pins)] where [n] is
+    clamped to the file length and [pins] are cloned page-cache frames
+    the caller must release (see {!Page_cache.read_view}). [None] at EOF
+    or when the inode is not a RamFS regular file. *)

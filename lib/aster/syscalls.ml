@@ -119,9 +119,11 @@ let do_read_desc (f : File.t) ~len =
       | Error e -> Error e)
     | _ -> Error Errno.enotconn)
 
-let do_write_desc proc (f : File.t) data =
+(* [?len] lets callers hand over a partially-filled buffer (sendfile's
+   reused bounce buffer) without a [Bytes.sub] copy per chunk. *)
+let do_write_desc ?len proc (f : File.t) data =
   ignore proc;
-  let len = Bytes.length data in
+  let len = match len with Some n -> n | None -> Bytes.length data in
   match f.File.desc with
   | File.Inode_file inode -> (
     let pos = if f.File.flags land File.o_append <> 0 then inode.Vfs.size else f.File.pos in
@@ -601,6 +603,10 @@ let sys_umask proc args =
   Process.set_umask proc (int_arg args 0 land 0o777);
   ok old
 
+(* Why the loop stopped: end-of-file is a normal exit, not an errno
+   smuggled through the error channel. *)
+type sendfile_stop = Sf_eof | Sf_err of int
+
 let sys_sendfile proc args =
   match (file_of proc args.(0), file_of proc args.(1)) with
   | Error e, _ | _, Error e -> err e
@@ -609,31 +615,60 @@ let sys_sendfile proc args =
     | File.Inode_file inode ->
       let count = int_arg args 3 in
       let chunk_size = 64 * 1024 in
+      (* Zero-copy sendfile-to-wire: when the source is page-cache
+         backed and the sink is TCP, map the cache frames straight into
+         the transmit path — the frames stay pinned until the NIC's
+         completion reaps them, and the CPU never touches the payload.
+         Anything else falls back to the classic bounce-buffer loop. *)
+      let zero_copy =
+        (Sim.Profile.get ()).Sim.Profile.sendfile_zero_copy
+        && File.tcp_conn_of out_f <> None
+        && Ramfs.file_cache inode <> None
+      in
       let sent = ref 0 in
-      let failed = ref None in
-      while !sent < count && !failed = None do
+      let stop = ref None in
+      (* One bounce buffer reused across the whole transfer. *)
+      let buf = if zero_copy then Bytes.empty else Bytes.create (min chunk_size count) in
+      while !sent < count && !stop = None do
         let want = min chunk_size (count - !sent) in
-        let buf = Bytes.create want in
-        match inode.Vfs.ops.Vfs.read inode ~pos:in_f.File.pos ~buf ~boff:0 ~len:want with
-        | Error e -> failed := Some e
-        | Ok 0 -> failed := Some 0 (* EOF sentinel *)
-        | Ok n -> (
-          (* The paper: Asterinas' sendfile is less optimised — it takes
-             an extra copy through an intermediate buffer, and the
-             smoltcp-style stack copies once more into its own transmit
-             buffer. Linux's zero-copy path hands page-cache pages to the
-             NIC directly. *)
-          if not (Sim.Profile.get ()).Sim.Profile.sendfile_zero_copy then
-            Sim.Cost.charge_memcpy n;
-          match do_write_desc proc out_f (Bytes.sub buf 0 n) with
-          | Ok w ->
-            in_f.File.pos <- in_f.File.pos + w;
-            sent := !sent + w
-          | Error e -> failed := Some e)
+        if zero_copy then begin
+          match Ramfs.file_view inode ~pos:in_f.File.pos ~len:want with
+          | None -> stop := Some Sf_eof
+          | Some (data, n, pins) -> (
+            let conn =
+              match File.tcp_conn_of out_f with Some c -> c | None -> assert false
+            in
+            match Tcp.send ~pins conn ~buf:data ~pos:0 ~len:n with
+            | Ok w ->
+              in_f.File.pos <- in_f.File.pos + w;
+              sent := !sent + w
+            | Error e -> stop := Some (Sf_err e))
+        end
+        else
+          match inode.Vfs.ops.Vfs.read inode ~pos:in_f.File.pos ~buf ~boff:0 ~len:want with
+          | Error e -> stop := Some (Sf_err e)
+          | Ok 0 -> stop := Some Sf_eof
+          | Ok n -> (
+            (* The file-system read above was the first copy. *)
+            Sim.Stats.add "net.bytes_copied" n;
+            (* The paper: Asterinas' sendfile is less optimised — it
+               takes an extra copy through an intermediate buffer, and
+               the smoltcp-style stack copies once more into its own
+               transmit buffer. Linux's zero-copy path hands page-cache
+               pages to the NIC directly. *)
+            if not (Sim.Profile.get ()).Sim.Profile.sendfile_zero_copy then begin
+              Sim.Cost.charge_memcpy n;
+              Sim.Stats.add "net.bytes_copied" n
+            end;
+            match do_write_desc ~len:n proc out_f buf with
+            | Ok w ->
+              in_f.File.pos <- in_f.File.pos + w;
+              sent := !sent + w
+            | Error e -> stop := Some (Sf_err e))
       done;
-      (match !failed with
-      | Some 0 | None -> ok !sent
-      | Some e -> if !sent > 0 then ok !sent else err e)
+      (match !stop with
+      | None | Some Sf_eof -> ok !sent
+      | Some (Sf_err e) -> if !sent > 0 then ok !sent else err e)
     | _ -> err Errno.einval)
 
 (* --- Sockets --- *)

@@ -1,37 +1,85 @@
 let mss = Packet.mss
 
-(* Growable byte FIFO used for send queues and receive buffers. *)
+(* Every pinned frame released anywhere must count net.zc_unpin so the
+   pin/unpin conservation gate balances against Page_cache's zc_pin. *)
+let drop_pins pins =
+  List.iter
+    (fun f ->
+      Sim.Stats.incr "net.zc_unpin";
+      Ostd.Frame.drop f)
+    pins
+
+(* Growable byte FIFO used for send queues and receive buffers. A chunk
+   may carry pinned page-cache frames (zero-copy sendfile); the pins
+   travel with the chunk's final byte, so the packet that consumes a
+   chunk inherits them and they stay live until that packet's TX
+   completes. *)
 module Fifo = struct
-  type t = { q : (Bytes.t * int ref) Queue.t; mutable len : int }
+  type chunk = { data : Bytes.t; off : int ref; mutable pins : Ostd.Frame.t list }
+
+  type t = { q : chunk Queue.t; mutable len : int }
 
   let create () = { q = Queue.create (); len = 0 }
 
   let length t = t.len
 
-  let push t b pos n =
+  let push ?(pins = []) t b pos n =
     if n > 0 then begin
-      Queue.push (Bytes.sub b pos n, ref 0) t.q;
+      Queue.push { data = Bytes.sub b pos n; off = ref 0; pins } t.q;
       t.len <- t.len + n
     end
+    else drop_pins pins
 
+  (* Receive-side drain into a caller buffer. Receive buffers never hold
+     pins; if one ever did, release the frames rather than leak them. *)
   let pop_into t buf pos n =
     let moved = ref 0 in
     while !moved < n && not (Queue.is_empty t.q) do
-      let chunk, off = Queue.peek t.q in
-      let avail = Bytes.length chunk - !off in
+      let c = Queue.peek t.q in
+      let avail = Bytes.length c.data - !(c.off) in
       let take = min avail (n - !moved) in
-      Bytes.blit chunk !off buf (pos + !moved) take;
-      off := !off + take;
+      Bytes.blit c.data !(c.off) buf (pos + !moved) take;
+      c.off := !(c.off) + take;
       moved := !moved + take;
-      if !off = Bytes.length chunk then ignore (Queue.pop t.q)
+      if !(c.off) = Bytes.length c.data then begin
+        drop_pins c.pins;
+        ignore (Queue.pop t.q)
+      end
     done;
     t.len <- t.len - !moved;
     !moved
 
+  (* Transmit-side pop: returns the bytes plus the pins of every chunk
+     fully consumed by this segment (ownership transfers to the caller's
+     packet). *)
   let pop t n =
     let out = Bytes.create (min n t.len) in
-    let got = pop_into t out 0 (Bytes.length out) in
-    if got = Bytes.length out then out else Bytes.sub out 0 got
+    let want = Bytes.length out in
+    let moved = ref 0 in
+    let pins = ref [] in
+    while !moved < want && not (Queue.is_empty t.q) do
+      let c = Queue.peek t.q in
+      let avail = Bytes.length c.data - !(c.off) in
+      let take = min avail (want - !moved) in
+      Bytes.blit c.data !(c.off) out !moved take;
+      c.off := !(c.off) + take;
+      moved := !moved + take;
+      if !(c.off) = Bytes.length c.data then begin
+        pins := !pins @ c.pins;
+        ignore (Queue.pop t.q)
+      end
+    done;
+    t.len <- t.len - !moved;
+    ((if !moved = want then out else Bytes.sub out 0 !moved), !pins)
+
+  (* Abandon queued data (connection reset): drop any pinned frames so
+     zero-copy conservation holds even on error paths. *)
+  let drain_pins t =
+    Queue.iter
+      (fun c ->
+        drop_pins c.pins;
+        c.pins <- [])
+      t.q
 end
 
 type conn_state = Syn_sent | Syn_rcvd | Established | Closed
@@ -99,16 +147,36 @@ let initial_cwnd = 10 * mss
 let key c = (c.lport, c.rip, c.rport)
 
 (* Per-segment transmit processing; sub-MSS writes are charged at the
-   send(2) call instead (see [send]). *)
-let charge_tx eng = Netstack.charge eng.stack (Sim.Cost.c ()).Sim.Profile.tcp_tx_segment
+   send(2) call instead (see [send]). With GSO a "segment" here is a
+   super-segment of up to gso_max_size bytes — one charge for what the
+   software baseline pays per MSS. Checksum offload carves the software
+   checksum share out of the per-segment cost: the device computes it. *)
+let charge_tx eng =
+  let c = Sim.Cost.c () in
+  let csum =
+    if (Sim.Profile.get ()).Sim.Profile.csum_tx_offload then c.Sim.Profile.tcp_csum_cycles
+    else 0
+  in
+  Netstack.charge eng.stack (max 0 (c.Sim.Profile.tcp_tx_segment - csum))
 
 (* Receive processing: tiny segments take the header-prediction fast
-   path; full segments pay the per-segment base plus a per-byte part. *)
+   path; full segments pay the per-segment base plus a per-byte part.
+   With checksum offload the device verified the frame, so the per-byte
+   pass runs at twice the rate (no software checksum touch). GRO hands
+   this function one merged super-segment per burst — the invocation
+   count itself ([tcp.rx_calls], guest only) is what the GRO ablation
+   gates on. *)
 let charge_rx eng len =
-  if len < mss then Netstack.charge eng.stack (150 + (len / 8))
+  let c = Sim.Cost.c () in
+  if not (Netstack.is_host eng.stack) then Sim.Stats.incr "tcp.rx_calls";
+  if len < mss then
+    Netstack.charge eng.stack (c.Sim.Profile.tcp_rx_small + (len / c.Sim.Profile.tcp_rx_small_bpc))
   else begin
-    let base = (Sim.Cost.c ()).Sim.Profile.tcp_rx_segment in
-    Netstack.charge eng.stack (base + (len / 16))
+    let bpc =
+      if (Sim.Profile.get ()).Sim.Profile.csum_rx_offload then 2 * c.Sim.Profile.tcp_rx_bpc
+      else c.Sim.Profile.tcp_rx_bpc
+    in
+    Netstack.charge eng.stack (c.Sim.Profile.tcp_rx_segment + (len / bpc))
   end
 
 let free_window conn = conn.rcvbuf_cap - Fifo.length conn.rcvbuf
@@ -121,16 +189,19 @@ let make_conn eng ~lip ~lport ~rip ~rport ~state =
   let p = Sim.Profile.get () in
   let loopback = rip = Netstack.loopback_ip || rip = Netstack.ip eng.stack in
   (* Loopback behaves like an infinite-MTU device; on the wire, GSO/TSO
-     hands large frames to the NIC, while a stack without offload
-     segments to MSS in software. Host-side client stacks model the
-     host's Linux and always use GSO. *)
+     hands super-segments (up to the profile's gso_max_size) to the NIC,
+     which splits them into MSS wire frames at ring time, while a stack
+     without the offload segments to MSS in software. Host-side client
+     stacks model the host's Linux and always use GSO (the host bridge
+     performs the wire split, see {!Kernel.attach_host}). *)
   let wire_seg =
-    if p.Sim.Profile.tcp_gso || Netstack.is_host eng.stack then 16000 else mss
+    if p.Sim.Profile.tcp_gso || Netstack.is_host eng.stack then p.Sim.Profile.gso_max_size
+    else mss
   in
   {
     eng;
     lip;
-    seg_limit = (if loopback then 64 * 1024 else wire_seg);
+    seg_limit = (if loopback then p.Sim.Profile.gso_max_size else wire_seg);
     lport;
     rip;
     rport;
@@ -161,11 +232,14 @@ let make_conn eng ~lip ~lport ~rip ~rport ~state =
     tx_soft_errors = 0;
   }
 
-let emit conn ?(flags = Packet.ack_flag) ?(seq = 0) payload =
-  Netstack.send conn.eng.stack
-    (Packet.make ~src_ip:conn.lip ~dst_ip:conn.rip ~proto:Packet.Tcp
-       ~src_port:conn.lport ~dst_port:conn.rport ~flags ~seq ~ack:conn.rcv_nxt
-       ~win:(free_window conn) payload)
+let emit conn ?(flags = Packet.ack_flag) ?(seq = 0) ?(pins = []) payload =
+  let p =
+    Packet.make ~src_ip:conn.lip ~dst_ip:conn.rip ~proto:Packet.Tcp
+      ~src_port:conn.lport ~dst_port:conn.rport ~flags ~seq ~ack:conn.rcv_nxt
+      ~win:(free_window conn) payload
+  in
+  p.Packet.pins <- pins;
+  Netstack.send conn.eng.stack p
 
 let send_pure_ack conn =
   (match conn.delack_event with
@@ -238,10 +312,19 @@ let try_transmit conn =
         continue := false
       else begin
         let seg = min conn.seg_limit (min w avail) in
-        let payload = Fifo.pop conn.txq seg in
+        let payload, pins = Fifo.pop conn.txq seg in
         (* Sub-MSS segments were already charged at the send(2) call. *)
         if seg >= mss then charge_tx conn.eng;
-        emit conn ~seq:conn.snd_nxt payload;
+        (* PSH on the segment that empties the send queue: the receiver's
+           GRO engine flushes its merge on it, so the tail of a burst is
+           delivered immediately instead of waiting for the NAPI idle
+           poll. Retransmits (from [inflight]) go out without it, which
+           is harmless — a flag discontinuity also flushes. *)
+        let flags =
+          if Fifo.length conn.txq = 0 then Packet.ack_flag lor Packet.psh
+          else Packet.ack_flag
+        in
+        emit conn ~flags ~seq:conn.snd_nxt ~pins payload;
         Queue.push (conn.snd_nxt, payload) conn.inflight;
         conn.snd_nxt <- conn.snd_nxt + seg
       end
@@ -281,9 +364,15 @@ let on_ack conn (p : Packet.t) =
       Sim.Events.cancel ev;
       conn.rto_event <- None
     | None -> ());
+    (* Byte-counting congestion control (RFC 3465): credit the bytes the
+       ACK covers, not the ACK's arrival. A GRO receiver acknowledges
+       once per coalesced super-segment — up to 45 MSS per ACK — and a
+       per-ACK increment would ramp cwnd ~20x slower behind such a
+       receiver, stalling the sender on its own congestion window. For
+       sub-MSS ACKs (ping-pong, delayed-ACK-off) the two rules agree. *)
     if conn.eng.cc then
-      if conn.cwnd < conn.ssthresh then conn.cwnd <- conn.cwnd + min acked mss
-      else conn.cwnd <- conn.cwnd + max 1 (mss * mss / conn.cwnd)
+      if conn.cwnd < conn.ssthresh then conn.cwnd <- conn.cwnd + acked
+      else conn.cwnd <- conn.cwnd + max 1 (acked * mss / conn.cwnd)
   end;
   conn.peer_win <- p.Packet.win;
   try_transmit conn;
@@ -316,6 +405,9 @@ let engine_rx eng (p : Packet.t) =
     if p.Packet.flags land Packet.rst <> 0 then begin
       conn.reset <- true;
       conn.state <- Closed;
+      (* Abandoning the send queue: release any zero-copy pins so the
+         pin/unpin conservation invariant survives connection resets. *)
+      Fifo.drain_pins conn.txq;
       ignore (Ostd.Wait_queue.wake_all conn.rcv_wq);
       ignore (Ostd.Wait_queue.wake_all conn.snd_wq);
       ignore (Ostd.Wait_queue.wake_all conn.conn_wq)
@@ -453,8 +545,11 @@ let connect eng ~dst_ip ~dst_port =
   end
   else Ok conn
 
-let send conn ~buf ~pos ~len =
-  if conn.reset || conn.local_closed then Error Errno.epipe
+let send ?(pins = []) conn ~buf ~pos ~len =
+  if conn.reset || conn.local_closed then begin
+    drop_pins pins;
+    Error Errno.epipe
+  end
   else begin
     (* The send-path cost of a small write (socket lock, segmentation
        bookkeeping); full segments pay per-segment costs at transmit. *)
@@ -462,6 +557,12 @@ let send conn ~buf ~pos ~len =
       Netstack.charge conn.eng.stack (Sim.Cost.c ()).Sim.Profile.tcp_small_write;
     let written = ref 0 in
     let err = ref None in
+    (* Zero-copy: the caller's pins ride on the chunk holding the final
+       byte, so the packet consuming that byte inherits them and keeps
+       the page-cache frames live until its TX resolves. If the write is
+       cut short (reset mid-send), the pins never attach and we release
+       them here — [send] owns them unconditionally. *)
+    let attached = ref false in
     while !written < len && !err = None do
       Ostd.Wait_queue.sleep_until conn.snd_wq (fun () ->
           Fifo.length conn.txq < conn.sndbuf_cap || conn.reset);
@@ -469,11 +570,14 @@ let send conn ~buf ~pos ~len =
       else begin
         let space = conn.sndbuf_cap - Fifo.length conn.txq in
         let n = min space (len - !written) in
-        Fifo.push conn.txq buf (pos + !written) n;
+        let last = !written + n = len in
+        Fifo.push ?pins:(if last then Some pins else None) conn.txq buf (pos + !written) n;
+        if last then attached := true;
         written := !written + n;
         try_transmit conn
       end
     done;
+    if not !attached then drop_pins pins;
     match !err with Some e when !written = 0 -> Error e | _ -> Ok !written
   end
 

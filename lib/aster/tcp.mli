@@ -29,9 +29,16 @@ val connect : engine -> dst_ip:int -> dst_port:int -> (conn, int) result
 (** Block until the handshake completes (ECONNREFUSED if nothing
     listens). *)
 
-val send : conn -> buf:bytes -> pos:int -> len:int -> (int, int) result
+val send : ?pins:Ostd.Frame.t list -> conn -> buf:bytes -> pos:int -> len:int -> (int, int) result
 (** Queue bytes; blocks while the send buffer is full. EPIPE after the
-    peer reset or local close. *)
+    peer reset or local close.
+
+    [?pins] (zero-copy sendfile): page-cache frame handles the caller
+    cloned for this write. Ownership transfers to the stack
+    unconditionally — they ride with the final queued byte, attach to
+    the packet that consumes it, and are dropped (counted as
+    [net.zc_unpin]) when that packet's transmission resolves, or
+    immediately on any error path. *)
 
 val recv : conn -> buf:bytes -> pos:int -> len:int -> (int, int) result
 (** Block until data arrives; 0 at end-of-stream. *)

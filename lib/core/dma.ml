@@ -39,6 +39,19 @@ module Stream = struct
     alive t "frame";
     t.fr
 
+  (* Device-visible placement of bytes sourced from externally-pinned
+     frames (zero-copy TX): the simulator must materialise what the
+     device's scatter-gather would present, but no CPU copy happens, so
+     no per-byte cycles are charged. The caller charges the honest costs
+     instead: {!charge_zc_map} for the payload mapping and the header
+     memcpy it still performs. *)
+  let fill t ~off ~buf ~pos ~len =
+    alive t "fill";
+    if off < 0 || len < 0 || off + len > Frame.size t.fr then
+      Panic.panicf "Dma.Stream.fill: range [%d, %d) outside buffer of %d bytes" off (off + len)
+        (Frame.size t.fr);
+    Machine.Phys.write ~paddr:(Frame.paddr t.fr + off) buf ~off:pos ~len
+
   let sync_to_device t ~off:_ ~len =
     alive t "sync_to_device";
     Sim.Cost.charge (len / 64)
@@ -60,6 +73,19 @@ module Stream = struct
     t.live <- false;
     Frame.drop t.fr
 end
+
+(* Zero-copy TX charges: a pinned payload is not copied into the DMA
+   buffer, but its pages must still be made visible to the device — a
+   per-packet domain update (and later invalidation) with the IOMMU on,
+   cheap bookkeeping without. Mirrors exactly what {!Stream.map} and
+   {!Stream.unmap} charge for their own mappings. *)
+let charge_zc_map () =
+  if Machine.Iommu.enabled () then Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.dma_map
+  else Sim.Cost.charge 120
+
+let charge_zc_unmap () =
+  if Machine.Iommu.enabled () then Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.dma_unmap
+  else Sim.Cost.charge 100
 
 module Coherent = struct
   type t = { stream : Stream.t }

@@ -22,6 +22,12 @@ module Stream : sig
   val size : t -> int
   val frame : t -> Frame.t
 
+  val fill : t -> off:int -> buf:bytes -> pos:int -> len:int -> unit
+  (** Device-visible placement of bytes sourced from externally-pinned
+      frames (zero-copy TX). No per-byte CPU cycles are charged — the
+      caller pays {!charge_zc_map} and whatever header copy it still
+      performs. Panics on out-of-range spans. *)
+
   val sync_to_device : t -> off:int -> len:int -> unit
   (** Streaming-DMA cache sync before device reads (cost only). *)
 
@@ -30,6 +36,16 @@ module Stream : sig
   val unmap : t -> unit
   (** Revoke and drop the frame. *)
 end
+
+val charge_zc_map : unit -> unit
+(** Charge making one zero-copy pinned payload visible to a device:
+    the same per-mapping cost {!Stream.map} pays (IOMMU domain update,
+    or cheap bookkeeping without translation). *)
+
+val charge_zc_unmap : unit -> unit
+(** Charge revoking a zero-copy payload mapping at TX completion,
+    mirroring {!Stream.unmap} (includes IOTLB invalidation with the
+    IOMMU on). *)
 
 module Coherent : sig
   type t

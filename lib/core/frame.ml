@@ -144,6 +144,20 @@ let paddr t =
   ensure_live t "paddr";
   t.first * page_size
 
+(* Device-perspective read: what a DMA engine scatter-gathering this
+   frame would see. No CPU cycles are charged — the point of a zero-copy
+   path is exactly that the processor never touches the bytes; the
+   honest costs (mapping, wire serialization) are charged where the DMA
+   is set up and where the frames travel. Untyped frames only: pinned
+   payload views must never expose typed (sensitive) memory. *)
+let peek t ~off ~buf ~pos ~len =
+  ensure_live t "peek";
+  if not t.untyped then Panic.panic "Frame.peek: handle covers typed (sensitive) memory";
+  if off < 0 || len < 0 || off + len > t.npages * page_size then
+    Panic.panicf "Frame.peek: range [%d, %d) outside frame of %d bytes" off (off + len)
+      (t.npages * page_size);
+  Machine.Phys.read ~paddr:((t.first * page_size) + off) buf ~off:pos ~len
+
 let pages t = t.npages
 
 let size t = t.npages * page_size

@@ -43,6 +43,14 @@ val drop : t -> unit
     the injected allocator as unused. Double-drop panics. *)
 
 val paddr : t -> int
+
+val peek : t -> off:int -> buf:bytes -> pos:int -> len:int -> unit
+(** Device-perspective read of an untyped frame's contents — what a DMA
+    engine scatter-gathering the frame would see. Charges no CPU cycles:
+    zero-copy TX pins frames precisely so the processor never touches
+    the payload; mapping and wire costs are charged at the DMA setup and
+    on the link. Panics on typed frames or out-of-range spans. *)
+
 val pages : t -> int
 val size : t -> int
 val is_untyped : t -> bool

@@ -1,0 +1,72 @@
+(* On-wire packet format shared by the guest stack and the device
+   model. The device needs it for the two offloads it implements in
+   "hardware": TSO (splitting a super-segment descriptor into MSS-sized
+   wire frames at ring time) and RX checksum verification (computing the
+   verdict the driver trusts instead of paying a software pass). Keeping
+   the byte layout here — below the kernel — is what makes those honest:
+   the device manipulates raw frames, never kernel objects. *)
+
+let header_size = 36
+
+let cksum_off = 32
+
+let mss = 1448
+
+(* Flag bits (offset 9). Only the ones the splitter must strip from
+   non-final sub-frames live here; the full set is in Aster.Packet. *)
+let fin = 4
+
+let psh = 16
+
+(* FNV-1a over the whole datagram with the checksum field skipped.
+   Catches any single flipped byte — which is exactly what a noisy link
+   (or the fault plane's [net.corrupt]) produces. *)
+let cksum b =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Bytes.length b - 1 do
+    if i < cksum_off || i >= cksum_off + 4 then begin
+      h := !h lxor Char.code (Bytes.unsafe_get b i);
+      h := !h * 0x01000193 land 0xffffffff
+    end
+  done;
+  !h
+
+let u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xffffffff
+
+(* Device-side checksum verification over a raw frame, mirroring what
+   the receiving stack's decode would conclude. *)
+let cksum_ok raw =
+  Bytes.length raw >= header_size
+  &&
+  let len = u32 raw 28 in
+  Bytes.length raw >= header_size + len
+  && u32 raw cksum_off = cksum (Bytes.sub raw 0 (header_size + len))
+
+(* TSO: split one encoded super-segment into wire frames of at most
+   [gso_size] payload bytes. Each sub-frame gets the advanced sequence
+   number, its own length and a recomputed checksum; FIN and PSH travel
+   only on the final sub-frame, the way a real NIC segments. *)
+let tso_split ~gso_size raw =
+  let plen = Bytes.length raw - header_size in
+  if gso_size <= 0 || plen <= gso_size then [ raw ]
+  else begin
+    let seq0 = u32 raw 16 in
+    let flags0 = Char.code (Bytes.get raw 9) in
+    let rec go off acc =
+      if off >= plen then List.rev acc
+      else begin
+        let c = min gso_size (plen - off) in
+        let b = Bytes.create (header_size + c) in
+        Bytes.blit raw 0 b 0 header_size;
+        Bytes.blit raw (header_size + off) b header_size c;
+        Bytes.set_int32_le b 16 (Int32.of_int (seq0 + off));
+        Bytes.set_int32_le b 28 (Int32.of_int c);
+        let last = off + c >= plen in
+        let flags = if last then flags0 else flags0 land lnot (fin lor psh) in
+        Bytes.set b 9 (Char.chr flags);
+        Bytes.set_int32_le b cksum_off (Int32.of_int (cksum b));
+        go (off + c) (b :: acc)
+      end
+    in
+    go 0 []
+  end

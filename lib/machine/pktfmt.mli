@@ -1,0 +1,31 @@
+(** On-wire packet byte layout, shared by {!Aster.Packet} (the kernel's
+    view) and {!Virtio_net} (the device model's view). The device model
+    needs it to implement TSO splitting and RX checksum verification on
+    raw frames without reaching into kernel objects. *)
+
+val header_size : int
+
+val cksum_off : int
+
+val mss : int
+(** Wire maximum segment payload, bytes. *)
+
+val fin : int
+val psh : int
+(** The flag bits (offset 9) a TSO splitter strips from non-final
+    sub-frames. *)
+
+val cksum : bytes -> int
+(** FNV-1a over the datagram with the checksum field skipped. *)
+
+val cksum_ok : bytes -> bool
+(** Device-side verification: [true] iff the frame is well-formed and
+    its stored checksum matches — the verdict a checksum-offloading NIC
+    hands the driver. *)
+
+val tso_split : gso_size:int -> bytes -> bytes list
+(** Split one encoded super-segment into wire frames of at most
+    [gso_size] payload bytes each: sequence numbers advance per chunk,
+    lengths and checksums are rewritten, FIN/PSH ride only on the final
+    sub-frame. A frame already within [gso_size] passes through
+    unchanged (single-element list). *)

@@ -2,13 +2,23 @@ let reg_queue_tx = 0x10
 let reg_queue_rx = 0x18
 let reg_irq_ack = 0x20
 
-(* Bytes of one TX descriptor, including the chain link at off 16 and
-   the device-written completion timestamp at off 24. A TX notify may
-   name the head of a chain: the device walks [next] pointers (bounded,
-   loop-safe) and services the whole chain with one completion
+(* Bytes of one TX descriptor, including the chain link at off 16, the
+   device-written completion timestamp at off 24 and the virtio-net-hdr
+   style GSO record at off 32 (gso_size; 0 = no offload). A TX notify
+   may name the head of a chain: the device walks [next] pointers
+   (bounded, loop-safe) and services the whole chain with one completion
    interrupt — the per-burst doorbell/IRQ economy the batched TX
-   pipeline banks on. RX descriptors keep the 16-byte layout. *)
-let desc_size = 32
+   pipeline banks on. RX descriptors keep the 16-byte layout, with the
+   checksum-offload verdict at off 12 (1 = ok, 2 = bad). *)
+let desc_size = 40
+
+let desc_gso = 32
+
+let rx_desc_csum = 12
+
+let csum_verdict_ok = 1
+
+let csum_verdict_bad = 2
 
 let max_chain = 128
 
@@ -99,26 +109,38 @@ let irq_ack t =
     end
   end
 
-(* Service one TX descriptor: DMA the descriptor, read the frame, put it
+(* Service one TX descriptor: DMA the descriptor, read the frame, split
+   it into wire frames if the GSO record asks for segmentation, put them
    on the wire, write status. Runs as a device event, not kernel code.
-   Returns [true] when the status word was written (the completion
-   deserves an interrupt) — the caller raises one interrupt per chain,
-   not per descriptor. *)
+   Returns [(completed, wire_frames)]: [completed] when the status word
+   was written (the completion deserves an interrupt) — the caller
+   raises one interrupt per chain, not per descriptor — and
+   [wire_frames] is how many frames the descriptor became on the wire,
+   each of which costs the device per-frame processing. *)
 let execute_tx_one t desc_paddr =
   match Iommu.access ~dev:t.dev_id ~paddr:desc_paddr ~len:desc_size with
   | Error _ ->
     Sim.Stats.incr "virtio_net.dma_fault";
-    false
+    (false, 1)
   | Ok () ->
     let len = Phys.read_u32 desc_paddr in
     let data_paddr = Int64.to_int (Phys.read_u64 (desc_paddr + 8)) in
+    (* The GSO record is only honoured when the profile models the
+       offload; the software-segmentation baseline leaves it zero and
+       the device treats every descriptor as one wire frame. *)
+    let gso =
+      if (Sim.Profile.get ()).Sim.Profile.tcp_gso then Phys.read_u32 (desc_paddr + desc_gso)
+      else 0
+    in
     (* Fault plane: a hostile/flaky NIC. An injected tx_drop never writes
        the status word — the driver's burst deadline must notice and
        quarantine the buffer. An injected tx_fail completes with status 1
-       mid-chain; its neighbours complete. *)
+       mid-chain; its neighbours complete. Both act on the whole
+       descriptor: a super-segment fails as a unit and the retry ladder
+       resubmits every wire frame it would have produced. *)
     if Sim.Fault.roll "net.tx_drop" then begin
       Sim.Stats.incr "virtio_net.dropped_completion";
-      false
+      (false, 1)
     end
     else begin
       (* Completion stamp at off 24, written unconditionally alongside
@@ -130,7 +152,7 @@ let execute_tx_one t desc_paddr =
         Sim.Stats.incr "virtio_net.injected_tx_fail";
         stamp ();
         Phys.write_u32 (desc_paddr + 4) 1;
-        true
+        (true, 1)
       end
       else begin
         match Iommu.access ~dev:t.dev_id ~paddr:data_paddr ~len with
@@ -138,17 +160,26 @@ let execute_tx_one t desc_paddr =
           Sim.Stats.incr "virtio_net.dma_fault";
           stamp ();
           Phys.write_u32 (desc_paddr + 4) 1;
-          true
+          (true, 1)
         | Ok () ->
           let pkt = Bytes.create len in
           Phys.read ~paddr:data_paddr pkt ~off:0 ~len;
-          t.sent <- t.sent + 1;
-          (* The descriptor still completes with success: the guest cannot
-             tell a frame lost on the wire from one that made it. *)
-          List.iter (Wire.send t.endpoint) (mangle pkt);
+          let frames = if gso > 0 then Pktfmt.tso_split ~gso_size:gso pkt else [ pkt ] in
+          let nframes = List.length frames in
+          if nframes > 1 then Sim.Stats.add "virtio_net.tso_frames" (nframes - 1);
+          (* Each wire frame is mangled independently: a noisy link
+             corrupts MSS-sized frames, not the super-segment the guest
+             handed over. The descriptor still completes with success:
+             the guest cannot tell a frame lost on the wire from one
+             that made it. *)
+          List.iter
+            (fun f ->
+              t.sent <- t.sent + 1;
+              List.iter (Wire.send t.endpoint) (mangle f))
+            frames;
           stamp ();
           Phys.write_u32 (desc_paddr + 4) 0;
-          true
+          (true, nframes)
       end
     end
 
@@ -171,10 +202,11 @@ let chain_of head =
   go [] head 0
 
 (* Latency model: the first descriptor of a chain pays the per-kick
-   queue-processing latency; each chained descriptor adds only the
-   smaller per-descriptor cost. Wire serialization (the per-byte part)
-   is modelled by {!Wire} — batching amortises overheads, not the
-   link. *)
+   queue-processing latency; each further *wire frame* adds only the
+   smaller per-frame cost — a TSO super-segment costs the device per
+   MSS frame it emits, so the offload amortises kernel work, never
+   device work. Wire serialization (the per-byte part) is modelled by
+   {!Wire} — batching amortises overheads, not the link. *)
 let chain_latency n =
   let c = Sim.Cost.c () in
   if n <= 0 then 0
@@ -187,15 +219,19 @@ let chain_latency n =
    overlaps guest CPU instead of queueing behind it. What the chain
    latency buys is the *completion* side: one interrupt for the whole
    chain, delivered after the per-kick cost plus the (much smaller)
-   per-descriptor increments. *)
+   per-wire-frame increments. *)
 let notify_tx t desc_paddr =
   let descs = chain_of desc_paddr in
-  let n = List.length descs in
-  if n > 1 then t.chains <- t.chains + 1;
-  let any =
-    List.fold_left (fun acc d -> if execute_tx_one t d then true else acc) false descs
+  if List.length descs > 1 then t.chains <- t.chains + 1;
+  let any, total_frames =
+    List.fold_left
+      (fun (any, total) d ->
+        let completed, frames = execute_tx_one t d in
+        ((if completed then true else any), total + frames))
+      (false, 0) descs
   in
-  if any then ignore (Sim.Events.schedule_after (chain_latency n) (fun () -> raise_irq t))
+  if any then
+    ignore (Sim.Events.schedule_after (chain_latency total_frames) (fun () -> raise_irq t))
 
 (* Returns [true] when the used length was written (the arrival deserves
    an interrupt). *)
@@ -214,6 +250,13 @@ let deliver_into t desc_paddr pkt =
       Phys.write_u32 (desc_paddr + 4) 0
     | Ok () ->
       Phys.write ~paddr:data_paddr pkt ~off:0 ~len;
+      (* Checksum offload: the device verifies every delivered frame and
+         writes its verdict before the status word, so a driver that
+         trusts the mark never pays the software pass. Written
+         unconditionally (device behaviour does not depend on what the
+         guest kernel will read); the knob gates only the driver side. *)
+      Phys.write_u32 (desc_paddr + rx_desc_csum)
+        (if Pktfmt.cksum_ok pkt then csum_verdict_ok else csum_verdict_bad);
       Phys.write_u32 (desc_paddr + 4) len);
     true
 

@@ -29,6 +29,10 @@ type costs = {
   wakeup : int;
   tcp_tx_segment : int;
   tcp_rx_segment : int;
+  tcp_rx_small : int;
+  tcp_rx_small_bpc : int;
+  tcp_rx_bpc : int;
+  tcp_csum_cycles : int;
   tcp_small_write : int;
   tcp_conn_setup : int;
   udp_packet : int;
@@ -75,6 +79,10 @@ type t = {
   net_irq_coalesce : bool;
   tcp_congestion_control : bool;
   tcp_gso : bool;
+  gso_max_size : int;
+  net_gro : bool;
+  csum_tx_offload : bool;
+  csum_rx_offload : bool;
   rcu_walk : bool;
   sendfile_zero_copy : bool;
   unix_double_copy : bool;
@@ -130,6 +138,10 @@ let linux_costs =
     wakeup = 350;
     tcp_tx_segment = 1600;
     tcp_rx_segment = 2300;
+    tcp_rx_small = 150;
+    tcp_rx_small_bpc = 8;
+    tcp_rx_bpc = 16;
+    tcp_csum_cycles = 300;
     tcp_small_write = 600;
     tcp_conn_setup = 5200;
     udp_packet = 1500;
@@ -183,6 +195,7 @@ let asterinas_costs =
     unix_op = 1100;
     tcp_tx_segment = 600;
     tcp_rx_segment = 500;
+    tcp_csum_cycles = 150;
     tcp_small_write = 200;
     tcp_conn_setup = 900;
     udp_packet = 700;
@@ -211,6 +224,10 @@ let linux =
     net_irq_coalesce = true;
     tcp_congestion_control = true;
     tcp_gso = true;
+    gso_max_size = 64 * 1024;
+    net_gro = true;
+    csum_tx_offload = true;
+    csum_rx_offload = true;
     rcu_walk = true;
     sendfile_zero_copy = true;
     unix_double_copy = true;
@@ -234,9 +251,13 @@ let asterinas =
     net_tx_batching = true;
     net_irq_coalesce = true;
     tcp_congestion_control = false;
-    tcp_gso = false;
+    tcp_gso = true;
+    gso_max_size = 64 * 1024;
+    net_gro = true;
+    csum_tx_offload = true;
+    csum_rx_offload = true;
     rcu_walk = false;
-    sendfile_zero_copy = false;
+    sendfile_zero_copy = true;
     unix_double_copy = false;
     pipe_buffer = 256 * 1024;
     unix_buffer = 256 * 1024;
@@ -265,6 +286,30 @@ let with_ext2_journal_data b t = { t with ext2_journal_data = b }
 let with_net_tx_batching b t = { t with net_tx_batching = b }
 
 let with_net_irq_coalesce b t = { t with net_irq_coalesce = b }
+
+let with_tcp_gso b t = { t with tcp_gso = b }
+
+let with_gso_max_size n t = { t with gso_max_size = n }
+
+let with_net_gro b t = { t with net_gro = b }
+
+let with_csum_offload b t = { t with csum_tx_offload = b; csum_rx_offload = b }
+
+let with_sendfile_zero_copy b t = { t with sendfile_zero_copy = b }
+
+(* The ablation-matrix convenience: every offload this PR models, as one
+   switch. [with_all_offloads false] is the honest software baseline
+   (per-MSS segmentation, per-frame RX charges, software checksums, the
+   bounce-buffer sendfile). *)
+let with_all_offloads b t =
+  {
+    t with
+    tcp_gso = b;
+    net_gro = b;
+    csum_tx_offload = b;
+    csum_rx_offload = b;
+    sendfile_zero_copy = b;
+  }
 
 let current = ref asterinas
 

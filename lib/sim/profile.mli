@@ -43,6 +43,11 @@ type costs = {
   wakeup : int;
   tcp_tx_segment : int;      (** per-segment transmit processing *)
   tcp_rx_segment : int;      (** per-segment receive base (plus a per-byte part) *)
+  tcp_rx_small : int;        (** sub-MSS receive base (header-prediction fast path) *)
+  tcp_rx_small_bpc : int;    (** sub-MSS receive bytes/cycle divisor *)
+  tcp_rx_bpc : int;          (** full-segment receive bytes/cycle divisor *)
+  tcp_csum_cycles : int;     (** software-checksum share of a segment's TX cost;
+                                 carved out when [csum_tx_offload] is on *)
   tcp_small_write : int;     (** fixed cost of a sub-MSS send(2) *)
   tcp_conn_setup : int;      (** connection object setup/teardown (timers, hashes) *)
   udp_packet : int;
@@ -91,7 +96,17 @@ type t = {
   net_irq_coalesce : bool;       (** one TX-complete IRQ per chain and NAPI-style
                                      RX: one IRQ per delivered backlog drain *)
   tcp_congestion_control : bool; (** Reno; smoltcp-style stack lacks it *)
-  tcp_gso : bool;                (** segmentation offload: per-64K instead of per-MSS costs *)
+  tcp_gso : bool;                (** GSO/TSO: TCP hands the driver super-segments (up to
+                                     [gso_max_size]) as single descriptors; the *device*
+                                     splits them into MSS wire frames at ring time *)
+  gso_max_size : int;            (** super-segment payload cap, bytes (also the loopback
+                                     segment limit) *)
+  net_gro : bool;                (** RX coalescing: the driver merges in-order same-flow
+                                     TCP segments into one super-segment per NAPI burst *)
+  csum_tx_offload : bool;        (** device computes TX checksums; the stack skips its
+                                     software-checksum share of the segment cost *)
+  csum_rx_offload : bool;        (** device verifies RX checksums and marks the verdict;
+                                     the stack trusts the mark *)
   rcu_walk : bool;               (** fast-path name lookup *)
   sendfile_zero_copy : bool;     (** false => extra bounce-buffer copy *)
   unix_double_copy : bool;       (** skb-based unix sockets copy twice *)
@@ -118,6 +133,19 @@ val with_ext2_journal : bool -> t -> t
 val with_ext2_journal_data : bool -> t -> t
 val with_net_tx_batching : bool -> t -> t
 val with_net_irq_coalesce : bool -> t -> t
+val with_tcp_gso : bool -> t -> t
+val with_gso_max_size : int -> t -> t
+val with_net_gro : bool -> t -> t
+
+val with_csum_offload : bool -> t -> t
+(** Sets both [csum_tx_offload] and [csum_rx_offload]. *)
+
+val with_sendfile_zero_copy : bool -> t -> t
+
+val with_all_offloads : bool -> t -> t
+(** Every offload modelled by the NIC (GSO/TSO, GRO, both checksum
+    directions, zero-copy sendfile) as one switch; [false] is the honest
+    software-segmentation baseline. *)
 
 val set : t -> unit
 (** Install the profile consulted by the simulated kernel. *)

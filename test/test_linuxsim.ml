@@ -10,11 +10,23 @@ let test_profile_switches () =
   check "linux runs congestion control" true l.Sim.Profile.tcp_congestion_control;
   check "asterinas does not" false a.Sim.Profile.tcp_congestion_control;
   check "linux has GSO" true l.Sim.Profile.tcp_gso;
-  check "asterinas segments in software" false a.Sim.Profile.tcp_gso;
+  (* Since the offload work both profiles run GSO/GRO, checksum offload
+     and zero-copy sendfile by default; [Sim.Profile.with_all_offloads
+     false] is the software-segmentation baseline the ablations pin. *)
+  check "asterinas has GSO" true a.Sim.Profile.tcp_gso;
+  check "asterinas runs GRO" true a.Sim.Profile.net_gro;
+  check "asterinas offloads checksums" true
+    (a.Sim.Profile.csum_tx_offload && a.Sim.Profile.csum_rx_offload);
   check "linux rcu-walks" true l.Sim.Profile.rcu_walk;
   check "asterinas lock-walks" false a.Sim.Profile.rcu_walk;
   check "linux sendfile is zero-copy" true l.Sim.Profile.sendfile_zero_copy;
-  check "asterinas bounces" false a.Sim.Profile.sendfile_zero_copy;
+  check "asterinas sendfile is zero-copy" true a.Sim.Profile.sendfile_zero_copy;
+  let off = Sim.Profile.with_all_offloads false a in
+  check "with_all_offloads false is the software baseline" true
+    ((not off.Sim.Profile.tcp_gso) && (not off.Sim.Profile.net_gro)
+    && (not off.Sim.Profile.csum_tx_offload)
+    && (not off.Sim.Profile.csum_rx_offload)
+    && not off.Sim.Profile.sendfile_zero_copy);
   check "linux unix sockets double-copy" true l.Sim.Profile.unix_double_copy;
   check "linux runs no safety checks" false l.Sim.Profile.safety_checks;
   check "asterinas runs them" true a.Sim.Profile.safety_checks;

@@ -68,14 +68,17 @@ let transfer ?(profile = Sim.Profile.asterinas) ?(port = 9009) ?(chunk = 8192) ?
 
 let test_batched_matches_unbatched () =
   let size = 192 * 1024 in
-  let rc_b, bytes_b, eof_b = transfer ~size () in
+  (* Offload-free on both legs: burst amortisation (several software-MSS
+     segments per plug flush) is a property of the software-segmentation
+     baseline — with TSO one write is one super-segment descriptor. The
+     offload-vs-baseline byte-identity has its own suite below. *)
+  let sw = Sim.Profile.with_all_offloads false Sim.Profile.asterinas in
+  let rc_b, bytes_b, eof_b = transfer ~profile:sw ~size () in
   let bursts = Sim.Stats.get "net.burst" in
   let queued = Sim.Stats.get "net.tx_queued" in
   let rc_u, bytes_u, eof_u =
     transfer
-      ~profile:
-        (Sim.Profile.with_net_irq_coalesce false
-           (Sim.Profile.with_net_tx_batching false Sim.Profile.asterinas))
+      ~profile:(Sim.Profile.with_net_irq_coalesce false (Sim.Profile.with_net_tx_batching false sw))
       ~size ()
   in
   let bursts_u = Sim.Stats.get "net.burst" in
@@ -186,6 +189,265 @@ let span_transfer ?faults ~size () =
   Sim.Span.set_auto false;
   (rc, bytes, eof, created, resolved)
 
+(* --- Offload conformance: GSO/TSO, GRO, checksum offload, zero-copy ---
+
+   The offload knobs are performance knobs too: super-segment
+   descriptors split at device ring time, receive-side merges and
+   checksum verdicts must all be invisible in the application byte
+   stream, and the zero-copy pin ledger must balance exactly. *)
+
+(* Host -> guest bulk transfer: the direction that exercises guest-side
+   GRO (the guest's RX path sees MSS wire frames produced by the host
+   bridge's TSO split). Plain tasks on both ends — the guest engine is
+   driven directly, like the host sink in [transfer]. *)
+let transfer_rx ?(profile = Sim.Profile.asterinas) ?(port = 9020) ?(chunk = 64 * 1024) ~size () =
+  let k = Apps.Runner.boot ~profile in
+  let host = Aster.Kernel.attach_host k in
+  let sink = Buffer.create size in
+  let eof = ref false in
+  (match Aster.Tcp.listen k.Aster.Kernel.tcp ~port with
+  | Error _ -> Alcotest.fail "guest listen"
+  | Ok l ->
+    ignore
+      (Ostd.Task.spawn ~name:"guest-sink" (fun () ->
+           let conn = Aster.Tcp.accept l in
+           let buf = Bytes.create 16384 in
+           let continue = ref true in
+           while !continue do
+             match Aster.Tcp.recv conn ~buf ~pos:0 ~len:16384 with
+             | Ok 0 ->
+               eof := true;
+               continue := false
+             | Ok n -> Buffer.add_subbytes sink buf 0 n
+             | Error _ -> continue := false
+           done;
+           Aster.Tcp.close conn)));
+  let rc = ref (-1) in
+  ignore
+    (Ostd.Task.spawn ~name:"host-src" (fun () ->
+         match
+           Aster.Tcp.connect host.Aster.Kernel.htcp ~dst_ip:Aster.Kernel.guest_ip ~dst_port:port
+         with
+         | Error _ -> rc := 1
+         | Ok conn ->
+           let data = pattern size in
+           let sent = ref 0 in
+           let ok = ref true in
+           while !ok && !sent < size do
+             let len = min chunk (size - !sent) in
+             match Aster.Tcp.send conn ~buf:data ~pos:!sent ~len with
+             | Ok n -> sent := !sent + n
+             | Error _ -> ok := false
+           done;
+           Aster.Tcp.close conn;
+           rc := (if !ok then 0 else 2)));
+  Apps.Runner.run ();
+  (!rc, Buffer.contents sink, !eof)
+
+let test_offloaded_matches_baseline () =
+  (* The whole offload stack on vs the software-segmentation baseline:
+     the application byte stream must be identical. *)
+  let size = 192 * 1024 in
+  let rc_on, bytes_on, eof_on = transfer ~size () in
+  let tso = Sim.Stats.get "virtio_net.tso_frames" in
+  let copied_on = Sim.Stats.get "net.bytes_copied" in
+  let rc_off, bytes_off, eof_off =
+    transfer ~profile:(Sim.Profile.with_all_offloads false Sim.Profile.asterinas) ~size ()
+  in
+  let tso_off = Sim.Stats.get "virtio_net.tso_frames" in
+  let copied_off = Sim.Stats.get "net.bytes_copied" in
+  check_int "offloaded client exits cleanly" 0 rc_on;
+  check_int "baseline client exits cleanly" 0 rc_off;
+  check "offloaded sink saw EOF" true eof_on;
+  check "baseline sink saw EOF" true eof_off;
+  check "offloaded payload matches the pattern" true
+    (String.equal bytes_on (Bytes.to_string (pattern size)));
+  check "offloaded and baseline payloads byte-identical" true (String.equal bytes_on bytes_off);
+  check "the device actually split super-segments" true (tso > 0);
+  check_int "the baseline device split nothing" 0 tso_off;
+  check "TSO hands fewer bytes through the CPU copy path" true (copied_on < copied_off)
+
+let test_gro_coalesces_rx () =
+  let size = 256 * 1024 in
+  let rc, bytes, eof = transfer_rx ~size () in
+  let merged = Sim.Stats.get "net.gro_merged" in
+  let rx_calls = Sim.Stats.get "tcp.rx_calls" in
+  let rc_off, bytes_off, eof_off =
+    transfer_rx ~profile:(Sim.Profile.with_net_gro false Sim.Profile.asterinas) ~size ()
+  in
+  let merged_off = Sim.Stats.get "net.gro_merged" in
+  let rx_calls_off = Sim.Stats.get "tcp.rx_calls" in
+  check_int "client exits cleanly" 0 rc;
+  check "sink saw EOF" true eof;
+  check "payload byte-exact through GRO merges" true
+    (String.equal bytes (Bytes.to_string (pattern size)));
+  check "GRO merged wire frames" true (merged > 0);
+  check_int "GRO-off run merged nothing" 0 merged_off;
+  check_int "GRO-off client exits cleanly" 0 rc_off;
+  check "GRO-off sink saw EOF" true eof_off;
+  check "GRO-off payload byte-identical" true (String.equal bytes bytes_off);
+  check "GRO cuts per-segment stack entries" true (rx_calls * 2 < rx_calls_off)
+
+let test_gro_flushes_across_psh_boundaries () =
+  (* Small sends: each 8 KiB write drains the sender's queue, so its
+     last segment carries PSH and flushes the receive-side merge — the
+     stream must interleave correctly across many such boundaries. *)
+  let size = 128 * 1024 in
+  let rc, bytes, eof = transfer_rx ~chunk:8192 ~size () in
+  check_int "client exits cleanly" 0 rc;
+  check "sink saw EOF" true eof;
+  check "payload byte-exact across PSH flush boundaries" true
+    (String.equal bytes (Bytes.to_string (pattern size)));
+  check "merging still happened between the flushes" true (Sim.Stats.get "net.gro_merged" > 0)
+
+let test_tso_mid_super_segment_failure () =
+  (* tx_fail acts on a whole descriptor: a failed super-segment must
+     ride the retry ladder as a unit and resubmit every wire frame it
+     would have produced — no torn or missing MSS frames at the sink. *)
+  let size = 128 * 1024 in
+  (* With TSO a 128 KiB stream is only ~18 descriptors, so the per-
+     descriptor failure rate is high to guarantee hits for this seed. *)
+  let rc, bytes, _eof = transfer ~faults:(11L, [ ("net.tx_fail", 0.3) ]) ~size () in
+  Sim.Fault.disable ();
+  check_int "client exits cleanly despite TX failures" 0 rc;
+  check "failures were actually injected" true
+    (Sim.Stats.get "virtio_net.injected_tx_fail" > 0);
+  check "super-segments were split by the device" true
+    (Sim.Stats.get "virtio_net.tso_frames" > 0);
+  check "failed descriptors rode the retry ladder" true
+    (Sim.Stats.get "degrade.retried.net_tx" > 0);
+  check "payload repaired to byte-exactness" true
+    (String.equal bytes (Bytes.to_string (pattern size)))
+
+let test_csum_offload_rejects_corruption () =
+  (* With checksum verification offloaded to the device, injected wire
+     corruption must still be caught (by the device's verdict now) and
+     repaired by retransmission. *)
+  let size = 128 * 1024 in
+  let rc, bytes, _eof = transfer ~faults:(9L, [ ("net.corrupt", 0.02) ]) ~size () in
+  Sim.Fault.disable ();
+  let p = Sim.Profile.get () in
+  check "checksum RX offload was on" true p.Sim.Profile.csum_rx_offload;
+  check_int "client exits cleanly despite corruption" 0 rc;
+  check "corruption was actually injected" true
+    (Sim.Stats.get "virtio_net.injected_corrupt" > 0);
+  check "device verdicts rejected the mangled frames" true
+    (Sim.Stats.get "net.checksum_drop" > 0);
+  check "payload repaired to byte-exactness" true
+    (String.equal bytes (Bytes.to_string (pattern size)))
+
+(* --- Zero-copy sendfile: pins balance and the copy ledger collapses --- *)
+
+let sendfile_run ?(profile = Sim.Profile.asterinas) ?(port = 9030) ?faults ~size () =
+  let k = Apps.Runner.boot ~profile in
+  let host = Aster.Kernel.attach_host k in
+  (match faults with Some (seed, schedule) -> Sim.Fault.configure ~seed schedule | None -> ());
+  let sink = Buffer.create size in
+  let eof = ref false in
+  (match Aster.Tcp.listen host.Aster.Kernel.htcp ~port with
+  | Error _ -> Alcotest.fail "host listen"
+  | Ok l ->
+    ignore
+      (Ostd.Task.spawn ~name:"host-sink" (fun () ->
+           let conn = Aster.Tcp.accept l in
+           let buf = Bytes.create 16384 in
+           let continue = ref true in
+           while !continue do
+             match Aster.Tcp.recv conn ~buf ~pos:0 ~len:16384 with
+             | Ok 0 ->
+               eof := true;
+               continue := false
+             | Ok n -> Buffer.add_subbytes sink buf 0 n
+             | Error _ -> continue := false
+           done;
+           Aster.Tcp.close conn)));
+  let rc = ref (-1) in
+  Apps.Runner.spawn ~name:"guest-sendfile" (fun c ->
+      (* Write the pattern into a RamFS file, then serve it. *)
+      let data = pattern size in
+      let fd = Apps.Libc.openf c "/tmp/payload" ~flags:0o101 ~mode:0o644 in
+      let written = ref 0 in
+      while !written < size do
+        let len = min 65536 (size - !written) in
+        let b = Bytes.sub data !written len in
+        let n = Apps.Libc.write c ~fd ~vaddr:(Apps.Libc.put_bytes c b) ~len in
+        if n <= 0 then written := size else written := !written + n
+      done;
+      ignore (Apps.Libc.close c fd);
+      let sfd = Apps.Libc.socket c ~domain:2 ~typ:1 in
+      if Apps.Libc.connect_inet c ~fd:sfd ~ip:Aster.Kernel.host_ip ~port < 0 then begin
+        rc := 1;
+        1
+      end
+      else begin
+        let file = Apps.Libc.openf c "/tmp/payload" ~flags:0 ~mode:0 in
+        let sent = ref 0 in
+        let ok = ref true in
+        while !ok && !sent < size do
+          let n = Apps.Libc.sendfile c ~out_fd:sfd ~in_fd:file ~count:(size - !sent) in
+          if n <= 0 then ok := false else sent := !sent + n
+        done;
+        ignore (Apps.Libc.close c file);
+        ignore (Apps.Libc.close c sfd);
+        rc := (if !ok then 0 else 2);
+        !rc
+      end);
+  Apps.Runner.run ();
+  (!rc, Buffer.contents sink, !eof)
+
+let test_sendfile_zero_copy_pins_balance () =
+  let size = 256 * 1024 in
+  let rc, bytes, eof = sendfile_run ~size () in
+  let pinned = Sim.Stats.get "net.zc_pin" in
+  let unpinned = Sim.Stats.get "net.zc_unpin" in
+  let copied = Sim.Stats.get "net.bytes_copied" in
+  check_int "sendfile client exits cleanly" 0 rc;
+  check "sink saw EOF" true eof;
+  check "payload byte-exact through the zero-copy path" true
+    (String.equal bytes (Bytes.to_string (pattern size)));
+  check "page-cache frames were pinned" true (pinned > 0);
+  check_int "every pin released exactly once" pinned unpinned;
+  check "the CPU copied only headers, not payload" true (copied < size)
+
+let test_sendfile_copy_baseline () =
+  let size = 256 * 1024 in
+  let rc, bytes, eof =
+    sendfile_run ~profile:(Sim.Profile.with_all_offloads false Sim.Profile.asterinas) ~size ()
+  in
+  let pinned = Sim.Stats.get "net.zc_pin" in
+  let copied = Sim.Stats.get "net.bytes_copied" in
+  check_int "bounce-path client exits cleanly" 0 rc;
+  check "sink saw EOF" true eof;
+  check "payload byte-exact through the bounce path" true
+    (String.equal bytes (Bytes.to_string (pattern size)));
+  check_int "the bounce path pins nothing" 0 pinned;
+  (* read-into-bounce + bounce memcpy + DMA-buffer copy: >= 3 payload
+     traversals, against header-only bytes on the zero-copy path. *)
+  check "the bounce path copies the payload at least three times" true (copied >= 3 * size)
+
+let test_sendfile_zero_copy_survives_tx_faults () =
+  (* Pin conservation must hold when frames fail mid-flight: give-ups
+     and quarantines release pins exactly once, and RTO retransmits of
+     pinned payloads are pinless copies. *)
+  (* Large enough that the stream is many 64 KiB super-segment
+     descriptors: per-descriptor fault rolls then fire at these rates
+     regardless of seed. *)
+  let size = 512 * 1024 in
+  let rc, bytes, _eof =
+    sendfile_run ~port:9031 ~faults:(11L, [ ("net.tx_fail", 0.3); ("net.tx_drop", 0.05) ]) ~size ()
+  in
+  Sim.Fault.disable ();
+  let pinned = Sim.Stats.get "net.zc_pin" in
+  let unpinned = Sim.Stats.get "net.zc_unpin" in
+  check_int "client exits cleanly despite TX faults" 0 rc;
+  check "faults were actually injected" true
+    (Sim.Stats.get "virtio_net.injected_tx_fail" + Sim.Stats.get "virtio_net.dropped_completion"
+    > 0);
+  check "payload repaired to byte-exactness" true
+    (String.equal bytes (Bytes.to_string (pattern size)));
+  check "frames were pinned" true (pinned > 0);
+  check_int "pins balance through retries, give-ups and quarantines" pinned unpinned
+
 let test_span_tx_conservation () =
   let size = 192 * 1024 in
   let rc, bytes, eof, created, resolved = span_transfer ~size () in
@@ -225,6 +487,23 @@ let () =
       ( "quarantine",
         [
           Alcotest.test_case "tx_drop_leaks_pool" `Quick test_tx_drop_quarantines_and_leaks_pool;
+        ] );
+      ( "offload",
+        [
+          Alcotest.test_case "offloaded_matches_baseline" `Quick test_offloaded_matches_baseline;
+          Alcotest.test_case "gro_coalesces_rx" `Quick test_gro_coalesces_rx;
+          Alcotest.test_case "gro_psh_boundaries" `Quick test_gro_flushes_across_psh_boundaries;
+          Alcotest.test_case "tso_mid_super_segment_failure" `Quick
+            test_tso_mid_super_segment_failure;
+          Alcotest.test_case "csum_offload_rejects_corruption" `Quick
+            test_csum_offload_rejects_corruption;
+        ] );
+      ( "zero-copy",
+        [
+          Alcotest.test_case "pins_balance" `Quick test_sendfile_zero_copy_pins_balance;
+          Alcotest.test_case "copy_baseline" `Quick test_sendfile_copy_baseline;
+          Alcotest.test_case "pins_balance_under_faults" `Quick
+            test_sendfile_zero_copy_survives_tx_faults;
         ] );
       ( "span-conservation",
         [
