@@ -402,10 +402,10 @@ let table10 () =
 
 (* --- Fig. 5a: Nginx --- *)
 
-let nginx_rps profile file requests =
+let nginx_rps ?mode profile file requests =
   let k = Apps.Runner.boot ~profile in
   let host = Aster.Kernel.attach_host k in
-  Apps.Mini_nginx.spawn ~requests ~sizes:[ ("f4k", 4096); ("f64k", 65536) ];
+  Apps.Mini_nginx.spawn ?mode ~requests ~sizes:[ ("f4k", 4096); ("f64k", 65536) ] ();
   let out = ref nan in
   Apps.Ab.run ~host ~path:("/" ^ file) ~concurrency:32 ~requests ~on_done:(fun r ->
       out := r.Apps.Ab.rps);
@@ -437,10 +437,10 @@ let fig5a () =
 
 (* --- Fig. 5b + Table 11: Redis --- *)
 
-let redis_rps profile op requests =
+let redis_rps ?mode profile op requests =
   let k = Apps.Runner.boot ~profile in
   let host = Aster.Kernel.attach_host k in
-  Apps.Mini_redis.spawn ();
+  Apps.Mini_redis.spawn ?mode ();
   let out = ref nan in
   (* Fill the shared list first, as redis-benchmark's earlier phases do. *)
   Apps.Redis_bench.run_op ~host ~op:"RPUSH" ~clients:8 ~requests:700 ~on_done:(fun _ ->
@@ -956,6 +956,38 @@ let offload_matrix () =
       add_result ~aster:rps ~unit_:"req/s" (Printf.sprintf "offloads/%s/nginx_f64k" name))
     variants
 
+(* --- c10k: epoll readiness at connection scale --- *)
+
+let c10k_row ~conns ~rounds ~batch ~churn =
+  let k = Apps.Runner.boot ~profile:(aster_p ()) in
+  let host = Aster.Kernel.attach_host k in
+  Apps.C10k.spawn_server ();
+  let out = ref None in
+  Apps.C10k.run ~host ~conns ~rounds ~batch ~churn ~on_done:(fun r -> out := Some r);
+  Apps.Runner.run ();
+  match !out with None -> failwith "c10k: driver did not finish" | Some r -> r
+
+(* Mostly-idle pool with churn: the echo tail and the per-wait sweep
+   must not grow with the idle crowd (epoll is O(ready)). The churn
+   knob prices registration/teardown on the same path; knob table in
+   EXPERIMENTS.md. *)
+let c10k () =
+  section "c10k: epoll echo under mostly-idle connections + churn";
+  let rows = if !quick then [ 500; 2000 ] else [ 2500; 10000; 25000 ] in
+  Printf.printf "%-8s %8s %8s %10s %10s %10s %12s %10s\n" "conns" "pings" "churned" "p50 us"
+    "p99 us" "max us" "scan/wait" "waits";
+  List.iter
+    (fun conns ->
+      let r = c10k_row ~conns ~rounds:20 ~batch:32 ~churn:10 in
+      add_result ~aster:r.Apps.C10k.p99_us ~unit_:"us"
+        (Printf.sprintf "c10k/%d/p99_wakeup" conns);
+      add_result ~aster:r.Apps.C10k.scan_per_wait ~unit_:"entries/wait"
+        (Printf.sprintf "c10k/%d/scan_per_wait" conns);
+      Printf.printf "%-8d %8d %8d %10.1f %10.1f %10.1f %12.2f %10d\n%!" r.Apps.C10k.conns
+        r.Apps.C10k.pings r.Apps.C10k.churned r.Apps.C10k.p50_us r.Apps.C10k.p99_us
+        r.Apps.C10k.max_us r.Apps.C10k.scan_per_wait r.Apps.C10k.wait_calls)
+    rows
+
 (* --- Smoke: fast CI gate over the batched pipelines (@bench-smoke) --- *)
 
 let smoke () =
@@ -1153,6 +1185,34 @@ let smoke () =
     (Int64.equal t_bw_off t_bw_on);
   expect "span plane observed the fio run" (fio_spans > 0);
   expect "span critical path attributes >=95% of tail wall time" (fio_residual < 0.05);
+  print_endline "bench smoke: epoll readiness at connection scale";
+  (* O(ready), not O(fds): quadrupling the idle pool must leave both
+     the per-wait sweep and the echo tail flat. The 10k row is the
+     acceptance floor: >=10k live mostly-idle connections with churn. *)
+  let small = c10k_row ~conns:2500 ~rounds:20 ~batch:32 ~churn:10 in
+  let big = c10k_row ~conns:10000 ~rounds:20 ~batch:32 ~churn:10 in
+  Printf.printf
+    "c10k: 2500 conns p99 %.1f us scan/wait %.2f | 10000 conns p99 %.1f us scan/wait %.2f (%d pings, %d churned)\n"
+    small.Apps.C10k.p99_us small.Apps.C10k.scan_per_wait big.Apps.C10k.p99_us
+    big.Apps.C10k.scan_per_wait big.Apps.C10k.pings big.Apps.C10k.churned;
+  expect "c10k holds >=10k mostly-idle connections through churn"
+    (big.Apps.C10k.conns >= 10000 && big.Apps.C10k.pings > 0 && big.Apps.C10k.churned > 0);
+  expect "epoll_wait sweep is O(ready): scan/wait flat as idle pool grows 4x"
+    (big.Apps.C10k.scan_per_wait <= 2. *. small.Apps.C10k.scan_per_wait);
+  expect "p99 wakeup latency independent of idle-connection count"
+    (big.Apps.C10k.p99_us <= 1.5 *. small.Apps.C10k.p99_us);
+  print_endline "bench smoke: event-loop servers vs legacy thread loops";
+  (* The epoll rewrites must not tax the existing fig5a/redis rows:
+     event-loop throughput >= 0.95x the thread-per-conn loops. *)
+  let n_par = 400 in
+  let ep_nginx = nginx_rps Sim.Profile.asterinas "f4k" n_par in
+  let th_nginx = nginx_rps ~mode:`Threads Sim.Profile.asterinas "f4k" n_par in
+  let ep_redis = redis_rps Sim.Profile.asterinas "GET" 800 in
+  let th_redis = redis_rps ~mode:`Threads Sim.Profile.asterinas "GET" 800 in
+  Printf.printf "nginx f4k: epoll %.0f vs threads %.0f req/s | redis GET: epoll %.0f vs threads %.0f req/s\n"
+    ep_nginx th_nginx ep_redis th_redis;
+  expect "epoll-loop nginx holds the thread-pool row (>=0.95x)" (ep_nginx >= 0.95 *. th_nginx);
+  expect "epoll-loop redis holds the thread-per-conn row (>=0.95x)" (ep_redis >= 0.95 *. th_redis);
   if !fail then exit 1 else print_endline "bench smoke: OK"
 
 (* --- Regression gate: bench --compare BASELINE.json --- *)
@@ -1262,14 +1322,15 @@ let all_targets =
     ("fio_fsync", fio_fsync);
     ("bw_tcp_batch", bw_tcp_batch);
     ("offloads", offload_matrix);
+    ("c10k", c10k);
     ("smoke", smoke);
   ]
 
 let default_order =
   [
     "table1"; "table3"; "table7"; "table8"; "table9"; "table10"; "fig5a"; "table11"; "table12";
-    "fig6"; "fio_seq"; "fio_fsync"; "bw_tcp_batch"; "offloads"; "fig7"; "fig9"; "ablations";
-    "bechamel";
+    "fig6"; "fio_seq"; "fio_fsync"; "bw_tcp_batch"; "offloads"; "c10k"; "fig7"; "fig9";
+    "ablations"; "bechamel";
   ]
 
 let () =

@@ -67,7 +67,7 @@ let workload_table : (string * (Sim.Profile.t -> int -> unit)) list =
     ( "nginx",
       fun profile requests ->
         let _k, host = boot_summary profile in
-        Apps.Mini_nginx.spawn ~requests ~sizes:[ ("f4k", 4096); ("f64k", 65536) ];
+        Apps.Mini_nginx.spawn ~requests ~sizes:[ ("f4k", 4096); ("f64k", 65536) ] ();
         let out = ref None in
         Apps.Ab.run ~host ~path:"/f4k" ~concurrency:32 ~requests ~on_done:(fun r ->
             out := Some r);

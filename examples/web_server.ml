@@ -10,7 +10,7 @@ let () =
   let k = Apps.Runner.boot ~profile:Sim.Profile.asterinas in
   Apps.Libc.install_child_resolver ();
   let host = Aster.Kernel.attach_host k in
-  Apps.Mini_nginx.spawn ~requests ~sizes:[ ("index.html", 4096); ("big.bin", 65536) ];
+  Apps.Mini_nginx.spawn ~requests ~sizes:[ ("index.html", 4096); ("big.bin", 65536) ] ();
   let done_ = ref None in
   Apps.Ab.run ~host ~path:"/index.html" ~concurrency:32 ~requests ~on_done:(fun r ->
       done_ := Some r);

@@ -1,0 +1,34 @@
+(** c10k: an edge-triggered epoll echo server under a mostly-idle
+    connection pool with churn, for the O(ready)-not-O(registered)
+    readiness gate. The host driver holds [conns] connections, retires
+    and replaces [churn] per round, pings [batch] per round, and records
+    echo latency into the ["c10k.wakeup_us"] histogram. *)
+
+val port : int
+
+val spawn_server : unit -> unit
+(** Spawn the guest echo server (single task, epoll ET,
+    accept4(SOCK_NONBLOCK), drain-until-EAGAIN). Call before
+    {!Runner.run}. *)
+
+type result = {
+  conns : int;
+  pings : int;
+  churned : int;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+  scan_per_wait : float;  (** ready-queue entries examined per epoll_wait *)
+  wait_calls : int;  (** epoll_wait invocations during measurement *)
+}
+
+val run :
+  host:Aster.Kernel.host ->
+  conns:int ->
+  rounds:int ->
+  batch:int ->
+  churn:int ->
+  on_done:(result -> unit) ->
+  unit
+(** Spawn the host driver; [on_done] fires after the last round. Call
+    before {!Runner.run}. *)

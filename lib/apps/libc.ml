@@ -274,6 +274,83 @@ let listen t ~fd ~backlog = syscall t N.listen [| i64 fd; i64 backlog |]
 
 let accept t ~fd = syscall t N.accept [| i64 fd; 0L; 0L |]
 
+let accept4 t ~fd ~flags = syscall t N.accept4 [| i64 fd; 0L; 0L; i64 flags |]
+
+let fcntl_getfl t ~fd = syscall t N.fcntl [| i64 fd; 3L; 0L |]
+
+let fcntl_setfl t ~fd ~flags = syscall t N.fcntl [| i64 fd; 4L; i64 flags |]
+
+let o_nonblock = 0o4000
+
+let set_nonblock t ~fd =
+  let fl = fcntl_getfl t ~fd in
+  if fl < 0 then fl else fcntl_setfl t ~fd ~flags:(fl lor o_nonblock)
+
+(* --- poll / epoll --- *)
+
+let pollin = 0x001
+let pollout = 0x004
+let pollerr = 0x008
+let pollhup = 0x010
+let pollnval = 0x020
+let pollrdhup = 0x2000
+
+(* poll(2): [fds] is (fd, events) pairs; returns ready count and the
+   per-fd revents, in order. *)
+let poll t fds ~timeout_ms =
+  let n = List.length fds in
+  let arr = Bytes.make (8 * n) '\000' in
+  List.iteri
+    (fun i (fd, events) ->
+      Bytes.set_int32_le arr (8 * i) (Int32.of_int fd);
+      Bytes.set_uint16_le arr ((8 * i) + 4) events)
+    fds;
+  let ptr = put_bytes t arr in
+  let r = syscall t N.poll [| i64 ptr; i64 n; i64 timeout_ms |] in
+  if r < 0 then Error (-r)
+  else begin
+    let b = get_bytes t ptr (8 * n) in
+    let revs = List.mapi (fun i (fd, _) -> (fd, Bytes.get_uint16_le b ((8 * i) + 6))) fds in
+    Ok (r, revs)
+  end
+
+let epollin = pollin
+let epollout = pollout
+let epollerr = pollerr
+let epollhup = pollhup
+let epollrdhup = pollrdhup
+let epolloneshot = 1 lsl 30
+let epollet = 1 lsl 31
+let epoll_ctl_add = 1
+let epoll_ctl_del = 2
+let epoll_ctl_mod = 3
+
+let epoll_create1 t = syscall t N.epoll_create1 [| 0L |]
+
+(* struct epoll_event: packed u32 events + u64 data. *)
+let epoll_ctl t ~epfd ~op ~fd ~events ~data =
+  let ev = Bytes.make 12 '\000' in
+  Bytes.set_int32_le ev 0 (Int32.of_int events);
+  Bytes.set_int64_le ev 4 data;
+  let ptr = put_bytes t ev in
+  syscall t N.epoll_ctl [| i64 epfd; i64 op; i64 fd; i64 ptr |]
+
+(* Returns ready count and (data, events) pairs. *)
+let epoll_wait t ~epfd ~maxevents ~timeout_ms =
+  let ptr = scratch_alloc t (12 * maxevents) in
+  let r = syscall t N.epoll_wait [| i64 epfd; i64 ptr; i64 maxevents; i64 timeout_ms |] in
+  if r < 0 then Error (-r)
+  else begin
+    let b = get_bytes t ptr (12 * r) in
+    let evs =
+      List.init r (fun i ->
+          let events = Int32.to_int (Bytes.get_int32_le b (12 * i)) land 0xffffffff in
+          let data = Bytes.get_int64_le b ((12 * i) + 4) in
+          (data, events))
+    in
+    Ok (r, evs)
+  end
+
 let connect_inet t ~fd ~ip ~port =
   let sa = put_bytes t (Aster.Abi.encode_sockaddr_in ~port ~ip) in
   syscall t N.connect [| i64 fd; i64 sa; 8L |]

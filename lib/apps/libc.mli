@@ -110,6 +110,53 @@ val bind_inet : t -> fd:int -> port:int -> int
 val bind_unix : t -> fd:int -> path:string -> int
 val listen : t -> fd:int -> backlog:int -> int
 val accept : t -> fd:int -> int
+
+val accept4 : t -> fd:int -> flags:int -> int
+(** accept4(2); pass [o_nonblock] (SOCK_NONBLOCK) to get a non-blocking
+    connection fd in one call. *)
+
+val fcntl_getfl : t -> fd:int -> int
+val fcntl_setfl : t -> fd:int -> flags:int -> int
+
+val o_nonblock : int
+
+val set_nonblock : t -> fd:int -> int
+(** F_GETFL/F_SETFL round trip adding O_NONBLOCK. *)
+
+(** {2 Readiness: poll(2) and epoll(7)} *)
+
+val pollin : int
+val pollout : int
+val pollerr : int
+val pollhup : int
+val pollnval : int
+val pollrdhup : int
+
+val poll : t -> (int * int) list -> timeout_ms:int -> (int * (int * int) list, int) result
+(** poll(2) over (fd, events) pairs; returns the ready count and every
+    fd's revents in input order. *)
+
+val epollin : int
+val epollout : int
+val epollerr : int
+val epollhup : int
+val epollrdhup : int
+val epolloneshot : int
+val epollet : int
+val epoll_ctl_add : int
+val epoll_ctl_del : int
+val epoll_ctl_mod : int
+
+val epoll_create1 : t -> int
+
+val epoll_ctl : t -> epfd:int -> op:int -> fd:int -> events:int -> data:int64 -> int
+(** Stages a packed 12-byte epoll_event in scratch. *)
+
+val epoll_wait :
+  t -> epfd:int -> maxevents:int -> timeout_ms:int -> (int * (int64 * int) list, int) result
+(** Returns the ready count and (data, events) pairs. [timeout_ms < 0]
+    blocks indefinitely; [0] is a non-blocking probe. *)
+
 val connect_inet : t -> fd:int -> ip:int -> port:int -> int
 val connect_unix : t -> fd:int -> path:string -> int
 val sendto_inet : t -> fd:int -> ip:int -> port:int -> vaddr:int -> len:int -> int

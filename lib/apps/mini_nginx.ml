@@ -65,13 +65,92 @@ let handle_conn c conn =
    pays a clone per request. The pool does neither. *)
 let workers = 8
 
-let server ~requests c =
+(* Event-driven worker: each worker runs its own epoll instance over
+   the shared non-blocking listener (nginx's architecture). A listener
+   event is drained to EAGAIN with accept4; each accepted conn is
+   registered EPOLLIN and, once its request line has arrived, served to
+   completion — the blocking reads in [handle_conn] return immediately
+   because readiness was already reported, and the close(2) inside
+   unhooks the registration (EPOLLFREE). A shared self-pipe raises the
+   stop flag in every worker once siblings exhaust the request quota. *)
+let serve_epoll ~remaining ~stop_r ~stop_w sfd w =
+  let ep = Libc.epoll_create1 w in
+  ignore
+    (Libc.epoll_ctl w ~epfd:ep ~op:Libc.epoll_ctl_add ~fd:sfd ~events:Libc.epollin
+       ~data:(Int64.of_int sfd));
+  (* Self-pipe shutdown: the read end is level-triggered and never
+     drained, so once the quota sinks to zero every worker's next
+     epoll_wait reports it — no periodic timeout polling needed and
+     workers block with timeout -1 in between. *)
+  ignore
+    (Libc.epoll_ctl w ~epfd:ep ~op:Libc.epoll_ctl_add ~fd:stop_r ~events:Libc.epollin
+       ~data:(Int64.of_int stop_r));
+  let pending = ref 0 in
+  let stopping = ref false in
+  let continue = ref true in
+  while !continue do
+    if !stopping && !pending = 0 then continue := false
+    else begin
+      match Libc.epoll_wait w ~epfd:ep ~maxevents:32 ~timeout_ms:(-1) with
+      | Error _ -> continue := false
+      | Ok (_, evs) ->
+        List.iter
+          (fun (data, events) ->
+            let fd = Int64.to_int data in
+            if fd = stop_r then begin
+              stopping := true;
+              (* Drop the stop fd from this instance once seen: it is
+                 level-ready forever (never drained), so keeping it
+                 registered would make every further wait return
+                 instantly — a busy spin that starves the very clients
+                 whose data events the remaining conns are waiting on. *)
+              ignore
+                (Libc.epoll_ctl w ~epfd:ep ~op:Libc.epoll_ctl_del ~fd:stop_r ~events:0 ~data:0L)
+            end
+            else if fd = sfd then begin
+              let more = ref true in
+              while !more && !remaining > 0 do
+                let conn = Libc.accept4 w ~fd:sfd ~flags:0 in
+                if conn < 0 then more := false
+                else begin
+                  decr remaining;
+                  incr pending;
+                  if !remaining = 0 then ignore (Libc.write_str w ~fd:stop_w "q");
+                  ignore
+                    (Libc.epoll_ctl w ~epfd:ep ~op:Libc.epoll_ctl_add ~fd:conn
+                       ~events:Libc.epollin ~data:(Int64.of_int conn))
+                end
+              done
+            end
+            else if events land (Libc.epollin lor Libc.epollhup lor Libc.epollerr) <> 0
+            then begin
+              decr pending;
+              (* [handle_conn] closes the conn, and close(2) removes it
+                 from the interest list (EPOLLFREE) — no DEL syscall. *)
+              handle_conn w fd
+            end)
+          evs
+    end
+  done;
+  ignore (Libc.close w ep)
+
+let server ?(mode = `Epoll) ~requests c =
   let sfd = Libc.socket c ~domain:2 ~typ:1 in
   ignore (Libc.bind_inet c ~fd:sfd ~port);
   ignore (Libc.listen c ~fd:sfd ~backlog:128);
+  let stop_r, stop_w =
+    match mode with
+    | `Threads -> (-1, -1)
+    | `Epoll ->
+      ignore (Libc.set_nonblock c ~fd:sfd);
+      let r, w = Result.get_ok (Libc.pipe c) in
+      (* Degenerate quota: raise the stop flag before anyone waits. *)
+      if requests <= 0 then ignore (Libc.write_str c ~fd:w "q");
+      (r, w)
+  in
   let remaining = ref requests in
   let live = ref (workers - 1) in
-  let serve w =
+  let serve_threads w =
     let continue = ref true in
     while !continue do
       if !remaining <= 0 then continue := false
@@ -81,6 +160,11 @@ let server ~requests c =
         if conn >= 0 then handle_conn w conn else continue := false
       end
     done
+  in
+  let serve w =
+    match mode with
+    | `Epoll -> serve_epoll ~remaining ~stop_r ~stop_w sfd w
+    | `Threads -> serve_threads w
   in
   for _ = 2 to workers do
     ignore
@@ -99,7 +183,7 @@ let server ~requests c =
   done;
   0
 
-let spawn ~requests ~sizes =
+let spawn ?(mode = `Epoll) ~requests ~sizes () =
   Runner.spawn ~name:"mini-nginx" (fun c ->
       setup_docroot c ~sizes;
-      server ~requests c)
+      server ~mode ~requests c)

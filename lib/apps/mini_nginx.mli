@@ -12,9 +12,11 @@ val port : int
 val setup_docroot : Libc.t -> sizes:(string * int) list -> unit
 (** Create /tmp/www and one file per (name, bytes). *)
 
-val server : requests:int -> Libc.t -> int
+val server : ?mode:[ `Epoll | `Threads ] -> requests:int -> Libc.t -> int
 (** Serve exactly [requests] connections, then exit. Charges a small
-    per-request user-space cost (parsing, logging). *)
+    per-request user-space cost (parsing, logging). [`Epoll] (default):
+    each worker runs its own epoll loop over the shared non-blocking
+    listener; [`Threads]: workers block in accept(2). *)
 
-val spawn : requests:int -> sizes:(string * int) list -> unit
+val spawn : ?mode:[ `Epoll | `Threads ] -> requests:int -> sizes:(string * int) list -> unit -> unit
 (** Boot-side helper: spawn the server process with its docroot. *)

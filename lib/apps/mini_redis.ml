@@ -231,21 +231,107 @@ let handle_connection store c conn =
   ignore (Libc.close c conn);
   0
 
-let spawn () =
+(* Event-driven server: one task, one epoll instance, level-triggered
+   conn fds. The listener is non-blocking and drained to EAGAIN per
+   readiness event (accept4); conn fds stay blocking — LT guarantees
+   data is present when EPOLLIN is reported, so a single read per event
+   never blocks, and LT re-reports until the socket is drained. *)
+let serve_epoll store c =
+  let sfd = Libc.socket c ~domain:2 ~typ:1 in
+  ignore (Libc.bind_inet c ~fd:sfd ~port);
+  ignore (Libc.listen c ~fd:sfd ~backlog:64);
+  ignore (Libc.set_nonblock c ~fd:sfd);
+  let ep = Libc.epoll_create1 c in
+  ignore
+    (Libc.epoll_ctl c ~epfd:ep ~op:Libc.epoll_ctl_add ~fd:sfd ~events:Libc.epollin
+       ~data:(Int64.of_int sfd));
+  let pending : (int, Buffer.t) Hashtbl.t = Hashtbl.create 64 in
+  (* close(2) drops the epoll registration (EPOLLFREE) — no DEL owed. *)
+  let drop fd =
+    Hashtbl.remove pending fd;
+    ignore (Libc.close c fd)
+  in
+  let accept_burst () =
+    let continue = ref true in
+    while !continue do
+      let conn = Libc.accept4 c ~fd:sfd ~flags:0 in
+      if conn < 0 then continue := false
+      else begin
+        ignore (Libc.set_nodelay c ~fd:conn);
+        Hashtbl.replace pending conn (Buffer.create 256);
+        ignore
+          (Libc.epoll_ctl c ~epfd:ep ~op:Libc.epoll_ctl_add ~fd:conn ~events:Libc.epollin
+             ~data:(Int64.of_int conn))
+      end
+    done
+  in
+  let serve_conn fd events =
+    match Hashtbl.find_opt pending fd with
+    | None -> ()
+    | Some buf ->
+      let eof =
+        if events land Libc.epollin <> 0 then begin
+          let chunk = Libc.read_str c ~fd ~len:4096 in
+          Buffer.add_string buf chunk;
+          chunk = ""
+        end
+        else events land (Libc.epollhup lor Libc.epollerr) <> 0
+      in
+      let replies = Buffer.create 64 in
+      let rec drain () =
+        match String.index_opt (Buffer.contents buf) '\n' with
+        | None -> ()
+        | Some i ->
+          let all = Buffer.contents buf in
+          let line = String.sub all 0 i in
+          Buffer.clear buf;
+          Buffer.add_string buf (String.sub all (i + 1) (String.length all - i - 1));
+          (match String.split_on_char ' ' (String.trim line) with
+          | [] | [ "" ] -> ()
+          | cmd :: args ->
+            let cmd = String.uppercase_ascii cmd in
+            Sim.Span.annotate_begin ~cls:"redis" ~name:cmd;
+            Buffer.add_string replies (exec store cmd args);
+            Sim.Span.annotate_end ());
+          drain ()
+      in
+      drain ();
+      let write_failed =
+        Buffer.length replies > 0 && Libc.write_str c ~fd (Buffer.contents replies) < 0
+      in
+      if eof || write_failed then drop fd
+  in
+  let continue = ref true in
+  while !continue do
+    match Libc.epoll_wait c ~epfd:ep ~maxevents:64 ~timeout_ms:(-1) with
+    | Error _ -> continue := false
+    | Ok (_, evs) ->
+      List.iter
+        (fun (data, events) ->
+          let fd = Int64.to_int data in
+          if fd = sfd then accept_burst () else serve_conn fd events)
+        evs
+  done;
+  0
+
+let spawn ?(mode = `Epoll) () =
   Runner.spawn ~name:"mini-redis" (fun c ->
       let store : (string, value) Hashtbl.t = Hashtbl.create 4096 in
-      let sfd = Libc.socket c ~domain:2 ~typ:1 in
-      ignore (Libc.bind_inet c ~fd:sfd ~port);
-      ignore (Libc.listen c ~fd:sfd ~backlog:64);
-      let continue = ref true in
-      while !continue do
-        let conn = Libc.accept c ~fd:sfd in
-        if conn < 0 then continue := false
-        else begin
-          ignore (Libc.set_nodelay c ~fd:conn);
-          ignore
-            (Libc.clone_thread c (fun uapi ->
-                 handle_connection store (Libc.make uapi) conn))
-        end
-      done;
-      0)
+      match mode with
+      | `Epoll -> serve_epoll store c
+      | `Threads ->
+        let sfd = Libc.socket c ~domain:2 ~typ:1 in
+        ignore (Libc.bind_inet c ~fd:sfd ~port);
+        ignore (Libc.listen c ~fd:sfd ~backlog:64);
+        let continue = ref true in
+        while !continue do
+          let conn = Libc.accept c ~fd:sfd in
+          if conn < 0 then continue := false
+          else begin
+            ignore (Libc.set_nodelay c ~fd:conn);
+            ignore
+              (Libc.clone_thread c (fun uapi ->
+                   handle_connection store (Libc.make uapi) conn))
+          end
+        done;
+        0)

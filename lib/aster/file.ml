@@ -20,6 +20,7 @@ type desc =
   | Pipe_read of Pipe.t
   | Pipe_write of Pipe.t
   | Socket of sock
+  | Epoll of Epoll.t
 
 type t = {
   mutable desc : desc;
@@ -46,23 +47,42 @@ let make desc ~flags = { desc; pos = 0; flags; refs = 1; wb_sample = Block.wb_er
 let tcp_conn_of f =
   match f.desc with
   | Socket { st = S_tcp_conn c; _ } -> Some c
-  | Inode_file _ | Pipe_read _ | Pipe_write _ | Socket _ -> None
+  | Inode_file _ | Pipe_read _ | Pipe_write _ | Socket _ | Epoll _ -> None
 
 let get f = f.refs <- f.refs + 1
 
+(* Last reference dropped. Beyond tearing the object down, [free] its
+   pollable so every epoll interest list forgets the fd — Linux removes
+   registrations when the file goes away (the EPOLLFREE path), so a
+   plain close(2) is enough and no explicit EPOLL_CTL_DEL is owed. *)
 let release f =
   match f.desc with
   | Inode_file _ -> ()
-  | Pipe_read p -> Pipe.close_read p
-  | Pipe_write p -> Pipe.close_write p
+  | Pipe_read p ->
+    Pollable.free (Pipe.rd_pollable p);
+    Pipe.close_read p
+  | Pipe_write p ->
+    Pollable.free (Pipe.wr_pollable p);
+    Pipe.close_write p
+  | Epoll e ->
+    Pollable.free (Epoll.pollable e);
+    Epoll.close e
   | Socket s -> (
     match s.st with
     | S_unbound -> ()
     | S_tcp_listener _ -> () (* engine keeps listeners; fine for our workloads *)
-    | S_tcp_conn c -> Tcp.close c
-    | S_udp u -> Udp.close u
-    | S_unix_listener l -> Unix_sock.close_listener l
-    | S_unix_conn ep -> Unix_sock.close ep)
+    | S_tcp_conn c ->
+      Pollable.free (Tcp.pollable c);
+      Tcp.close c
+    | S_udp u ->
+      Pollable.free (Udp.pollable u);
+      Udp.close u
+    | S_unix_listener l ->
+      Pollable.free (Unix_sock.listener_pollable l);
+      Unix_sock.close_listener l
+    | S_unix_conn ep ->
+      Pollable.free (Unix_sock.pollable ep);
+      Unix_sock.close ep)
 
 let put f =
   f.refs <- f.refs - 1;
@@ -107,4 +127,7 @@ module Table = struct
     Hashtbl.reset t.files
 
   let count t = Hashtbl.length t.files
+
+  (* fdinfo iteration; no lookup cost — observability stays free. *)
+  let fold t f acc = Hashtbl.fold f t.files acc
 end

@@ -22,6 +22,7 @@ type desc =
   | Pipe_read of Pipe.t
   | Pipe_write of Pipe.t
   | Socket of sock
+  | Epoll of Epoll.t
 
 type t = {
   mutable desc : desc;
@@ -73,4 +74,7 @@ module Table : sig
   val close : t -> int -> (unit, int) result
   val close_all : t -> unit
   val count : t -> int
+
+  val fold : t -> (int -> file -> 'a -> 'a) -> 'a -> 'a
+  (** Fold over (fd, file) pairs, cost-free (procfs fdinfo rendering). *)
 end

@@ -24,6 +24,8 @@ let reset_services () =
   Strace.reset ();
   Process.reset ();
   Kprobe.Registry.reset ();
+  Timer_wheel.reset_global ();
+  Epoll.reset_ids ();
   Ktime.stop_ticker ()
 
 let mount_filesystems ~format_disk =

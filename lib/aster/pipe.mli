@@ -15,11 +15,19 @@ val available : t -> int
 val close_read : t -> unit
 val close_write : t -> unit
 
-val read : t -> buf:bytes -> pos:int -> len:int -> (int, int) result
-(** Blocks while empty (unless the write end is closed -> 0). *)
+val read : ?nonblock:bool -> t -> buf:bytes -> pos:int -> len:int -> (int, int) result
+(** Blocks while empty (unless the write end is closed -> 0);
+    [~nonblock:true] returns EAGAIN instead of blocking. *)
 
-val write : t -> buf:bytes -> pos:int -> len:int -> (int, int) result
-(** Blocks while full; EPIPE once the read end is closed. *)
+val write : ?nonblock:bool -> t -> buf:bytes -> pos:int -> len:int -> (int, int) result
+(** Blocks while full; EPIPE once the read end is closed.
+    [~nonblock:true] writes what fits (EAGAIN if nothing does). *)
 
 val readable : t -> bool
 val writable : t -> bool
+
+val rd_pollable : t -> Pollable.t
+(** Read end: POLLIN on buffered bytes, POLLHUP on writer close. *)
+
+val wr_pollable : t -> Pollable.t
+(** Write end: POLLOUT on free space, POLLERR on reader close. *)

@@ -101,6 +101,43 @@ let pid_schedstat pid () =
       let to_ns c = Int64.div (Int64.mul c 1000L) (Int64.of_int Sim.Clock.cycles_per_us) in
       Printf.sprintf "%Ld %Ld %d\n" (to_ns (Int64.add ut st)) (to_ns sum) cnt)
 
+(* /proc/<pid>/fdinfo: one line per open descriptor; epoll fds expand
+   to their interest/ready state the way Linux's fdinfo prints
+   "tfd: ... events: ... data: ..." lines. Rendering folds the fd
+   table cost-free — observability must not perturb the schedule. *)
+let pid_fdinfo pid () =
+  match Process.by_pid pid with
+  | None -> ""
+  | Some p ->
+    let desc_name f =
+      match f.File.desc with
+      | File.Inode_file _ -> "file"
+      | File.Pipe_read _ -> "pipe:r"
+      | File.Pipe_write _ -> "pipe:w"
+      | File.Epoll _ -> "epoll"
+      | File.Socket s -> (
+        match s.File.st with
+        | File.S_unbound -> "sock:unbound"
+        | File.S_tcp_listener _ -> "sock:tcp-listen"
+        | File.S_tcp_conn _ -> "sock:tcp"
+        | File.S_udp _ -> "sock:udp"
+        | File.S_unix_listener _ -> "sock:unix-listen"
+        | File.S_unix_conn _ -> "sock:unix")
+    in
+    let rows =
+      File.Table.fold (Process.fdt p)
+        (fun fd f acc ->
+          let line =
+            Printf.sprintf "fd: %d flags: %o refs: %d type: %s\n" fd f.File.flags f.File.refs
+              (desc_name f)
+          in
+          let extra = match f.File.desc with File.Epoll e -> Epoll.render e | _ -> "" in
+          (fd, line ^ extra) :: acc)
+        []
+    in
+    let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+    String.concat "" (List.map snd rows)
+
 let pid_dir pid =
   match Hashtbl.find_opt pid_dir_cache pid with
   | Some d -> d
@@ -109,10 +146,12 @@ let pid_dir pid =
     let comm_name = Printf.sprintf "pid.%d.comm" pid in
     let stat_name = Printf.sprintf "pid.%d.stat" pid in
     let schedstat_name = Printf.sprintf "pid.%d.schedstat" pid in
+    let fdinfo_name = Printf.sprintf "pid.%d.fdinfo" pid in
     register status_name (pid_status pid);
     register comm_name (pid_comm pid);
     register stat_name (pid_stat pid);
     register schedstat_name (pid_schedstat pid);
+    register fdinfo_name (pid_fdinfo pid);
     let ops =
       {
         Vfs.default_ops with
@@ -123,6 +162,7 @@ let pid_dir pid =
             | "comm" -> Some (file_inode comm_name)
             | "stat" -> Some (file_inode stat_name)
             | "schedstat" -> Some (file_inode schedstat_name)
+            | "fdinfo" -> Some (file_inode fdinfo_name)
             | _ -> None);
         readdir =
           (fun _ ->
@@ -131,6 +171,7 @@ let pid_dir pid =
               ("comm", file_inode comm_name);
               ("stat", file_inode stat_name);
               ("schedstat", file_inode schedstat_name);
+              ("fdinfo", file_inode fdinfo_name);
             ]);
       }
     in

@@ -83,6 +83,10 @@ let mkdirat = 258
 let newfstatat = 262
 let unlinkat = 263
 let renameat = 264
+let epoll_wait = 232
+let epoll_ctl = 233
+let accept4 = 288
+let epoll_create1 = 291
 let pipe2 = 293
 let getrandom = 318
 let rt_sigaction = 13
@@ -130,6 +134,8 @@ let named =
     (clock_gettime, "clock_gettime"); (clock_nanosleep, "clock_nanosleep");
     (exit_group, "exit_group"); (openat, "openat"); (mkdirat, "mkdirat");
     (newfstatat, "newfstatat"); (unlinkat, "unlinkat"); (renameat, "renameat");
+    (epoll_wait, "epoll_wait"); (epoll_ctl, "epoll_ctl"); (accept4, "accept4");
+    (epoll_create1, "epoll_create1");
     (pipe2, "pipe2"); (getrandom, "getrandom"); (rt_sigaction, "rt_sigaction");
     (rt_sigprocmask, "rt_sigprocmask"); (rt_sigpending, "rt_sigpending"); (mknod, "mknod");
     (statfs, "statfs"); (fchdir, "fchdir"); (sync, "sync"); (dup3, "dup3");

@@ -91,6 +91,10 @@ val mkdirat : int
 val newfstatat : int
 val unlinkat : int
 val renameat : int
+val epoll_wait : int
+val epoll_ctl : int
+val accept4 : int
+val epoll_create1 : int
 val pipe2 : int
 val getrandom : int
 val rt_sigaction : int

@@ -90,6 +90,7 @@ let fifo_pipe (inode : Vfs.inode) =
 
 let do_read_desc (f : File.t) ~len =
   let buf = Bytes.create len in
+  let nonblock = f.File.flags land File.o_nonblock <> 0 in
   match f.File.desc with
   | File.Inode_file inode -> (
     Vfs.touch_atime inode;
@@ -99,22 +100,23 @@ let do_read_desc (f : File.t) ~len =
       Ok (Bytes.sub buf 0 n)
     | Error e -> Error e)
   | File.Pipe_read p -> (
-    match Pipe.read p ~buf ~pos:0 ~len with
+    match Pipe.read ~nonblock p ~buf ~pos:0 ~len with
     | Ok n -> Ok (Bytes.sub buf 0 n)
     | Error e -> Error e)
   | File.Pipe_write _ -> Error Errno.ebadf
+  | File.Epoll _ -> Error Errno.einval
   | File.Socket s -> (
     match s.File.st with
     | File.S_tcp_conn c -> (
-      match Tcp.recv c ~buf ~pos:0 ~len with
+      match Tcp.recv ~nonblock c ~buf ~pos:0 ~len with
       | Ok n -> Ok (Bytes.sub buf 0 n)
       | Error e -> Error e)
     | File.S_unix_conn ep -> (
-      match Unix_sock.recv ep ~buf ~pos:0 ~len with
+      match Unix_sock.recv ~nonblock ep ~buf ~pos:0 ~len with
       | Ok n -> Ok (Bytes.sub buf 0 n)
       | Error e -> Error e)
     | File.S_udp u -> (
-      match Udp.recvfrom u ~buf ~pos:0 ~len with
+      match Udp.recvfrom ~nonblock u ~buf ~pos:0 ~len with
       | Ok (n, _, _) -> Ok (Bytes.sub buf 0 n)
       | Error e -> Error e)
     | _ -> Error Errno.enotconn)
@@ -132,12 +134,14 @@ let do_write_desc ?len proc (f : File.t) data =
       f.File.pos <- pos + n;
       Ok n
     | Error e -> Error e)
-  | File.Pipe_write p -> Pipe.write p ~buf:data ~pos:0 ~len
+  | File.Pipe_write p -> Pipe.write ~nonblock:(f.File.flags land File.o_nonblock <> 0) p ~buf:data ~pos:0 ~len
   | File.Pipe_read _ -> Error Errno.ebadf
+  | File.Epoll _ -> Error Errno.einval
   | File.Socket s -> (
+    let nonblock = f.File.flags land File.o_nonblock <> 0 in
     match s.File.st with
-    | File.S_tcp_conn c -> Tcp.send c ~buf:data ~pos:0 ~len
-    | File.S_unix_conn ep -> Unix_sock.send ep ~buf:data ~pos:0 ~len
+    | File.S_tcp_conn c -> Tcp.send ~nonblock c ~buf:data ~pos:0 ~len
+    | File.S_unix_conn ep -> Unix_sock.send ~nonblock ep ~buf:data ~pos:0 ~len
     | _ -> Error Errno.enotconn)
 
 (* --- Individual syscalls --- *)
@@ -740,7 +744,11 @@ let sys_listen proc args =
       match (s.File.kind, s.File.bport, s.File.upath) with
       | File.Inet_stream, Some port, _ -> (
         let _, tcp, _ = the_net () in
-        match Tcp.listen tcp ~port with
+        let backlog =
+          let b = int_arg args 1 in
+          if b <= 0 then 1 else min b 4096
+        in
+        match Tcp.listen ~backlog tcp ~port with
         | Ok l ->
           s.File.st <- File.S_tcp_listener l;
           ok 0
@@ -753,34 +761,56 @@ let sys_listen proc args =
         | Error e -> err e)
       | _ -> err Errno.einval))
 
+(* accept4(2)'s SOCK_NONBLOCK shares O_NONBLOCK's bit value on Linux. *)
+let sock_nonblock = File.o_nonblock
+
+let do_accept proc f s ~addr_ptr ~sock_flags =
+  let nflags = if sock_flags land sock_nonblock <> 0 then File.o_nonblock else 0 in
+  (* A listener marked O_NONBLOCK never sleeps in accept: EAGAIN when
+     the queue is empty — the epoll accept-drain loop's exit signal. *)
+  let listener_nb = f.File.flags land File.o_nonblock <> 0 in
+  match s.File.st with
+  | File.S_tcp_listener l -> (
+    Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.open_misc;
+    let conn_opt = if listener_nb then Tcp.accept_opt l else Some (Tcp.accept l) in
+    match conn_opt with
+    | None -> err Errno.eagain
+    | Some conn ->
+      let ns =
+        { File.kind = File.Inet_stream; st = File.S_tcp_conn conn; bport = None; upath = None }
+      in
+      let fd = File.Table.install (Process.fdt proc) (File.make (File.Socket ns) ~flags:nflags) in
+      if addr_ptr <> 0 then begin
+        let ip, port = Tcp.peer_of conn in
+        ignore (user_write proc ~vaddr:addr_ptr (Abi.encode_sockaddr_in ~port ~ip))
+      end;
+      ok fd)
+  | File.S_unix_listener l -> (
+    let ep_opt = if listener_nb then Unix_sock.accept_opt l else Some (Unix_sock.accept l) in
+    match ep_opt with
+    | None -> err Errno.eagain
+    | Some ep ->
+      let ns =
+        { File.kind = File.Unix_stream; st = File.S_unix_conn ep; bport = None; upath = None }
+      in
+      ok (File.Table.install (Process.fdt proc) (File.make (File.Socket ns) ~flags:nflags)))
+  | _ -> err Errno.einval
+
 let sys_accept proc args =
   match file_of proc args.(0) with
   | Error e -> err e
   | Ok f -> (
     match sock_of f with
     | Error e -> err e
-    | Ok s -> (
-      match s.File.st with
-      | File.S_tcp_listener l ->
-        Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.open_misc;
-        let conn = Tcp.accept l in
-        let ns =
-          { File.kind = File.Inet_stream; st = File.S_tcp_conn conn; bport = None; upath = None }
-        in
-        let fd = File.Table.install (Process.fdt proc) (File.make (File.Socket ns) ~flags:0) in
-        let addr_ptr = int_arg args 1 in
-        if addr_ptr <> 0 then begin
-          let ip, port = Tcp.peer_of conn in
-          ignore (user_write proc ~vaddr:addr_ptr (Abi.encode_sockaddr_in ~port ~ip))
-        end;
-        ok fd
-      | File.S_unix_listener l ->
-        let ep = Unix_sock.accept l in
-        let ns =
-          { File.kind = File.Unix_stream; st = File.S_unix_conn ep; bport = None; upath = None }
-        in
-        ok (File.Table.install (Process.fdt proc) (File.make (File.Socket ns) ~flags:0))
-      | _ -> err Errno.einval))
+    | Ok s -> do_accept proc f s ~addr_ptr:(int_arg args 1) ~sock_flags:0)
+
+let sys_accept4 proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok f -> (
+    match sock_of f with
+    | Error e -> err e
+    | Ok s -> do_accept proc f s ~addr_ptr:(int_arg args 1) ~sock_flags:(int_arg args 3))
 
 let sys_connect proc args =
   match file_of proc args.(0) with
@@ -1163,52 +1193,194 @@ let sys_getrandom proc args =
   | Ok () -> ok len
   | Error e -> err e
 
+(* --- Readiness syscalls: poll(2) + the epoll family ---
+
+   Both sit on the Pollable seam. poll is the O(nfds) shape: every
+   call resolves and levels every fd; blocking parks on the pollables'
+   edge publications plus a timer-wheel deadline — no busy loop.
+   epoll is the O(ready) shape: the interest list lives in the kernel
+   and a wait touches only edge-queued entries. *)
+
+let pollable_of_desc (d : File.desc) =
+  match d with
+  | File.Pipe_read p -> Some (Pipe.rd_pollable p)
+  | File.Pipe_write p -> Some (Pipe.wr_pollable p)
+  | File.Epoll e -> Some (Epoll.pollable e)
+  | File.Socket s -> (
+    match s.File.st with
+    | File.S_tcp_conn c -> Some (Tcp.pollable c)
+    | File.S_tcp_listener l -> Some (Tcp.listener_pollable l)
+    | File.S_udp u -> Some (Udp.pollable u)
+    | File.S_unix_conn ep -> Some (Unix_sock.pollable ep)
+    | File.S_unix_listener l -> Some (Unix_sock.listener_pollable l)
+    | File.S_unbound -> None)
+  | File.Inode_file _ -> None
+
 let sys_poll proc args =
-  (* pollfd: int fd, short events, short revents. Readiness only. *)
+  (* pollfd: int fd, short events, short revents. *)
+  let base = int_arg args 0 in
   let nfds = int_arg args 1 in
-  let check () =
-    let ready = ref 0 in
-    for i = 0 to nfds - 1 do
-      let base = int_arg args 0 + (8 * i) in
-      match user_read proc ~vaddr:base ~len:8 with
-      | Error _ -> ()
-      | Ok b -> (
-        let fd = Int32.to_int (Bytes.get_int32_le b 0) in
-        match File.Table.lookup (Process.fdt proc) fd with
-        | None -> ()
-        | Some f ->
-          let readable =
-            match f.File.desc with
-            | File.Pipe_read p -> Pipe.readable p
-            | File.Socket { File.st = File.S_tcp_conn c; _ } -> Tcp.recv_available c > 0
-            | File.Socket { File.st = File.S_tcp_listener l; _ } -> Tcp.pending l > 0
-            | File.Socket { File.st = File.S_unix_conn ep; _ } -> Unix_sock.readable ep
-            | File.Socket { File.st = File.S_udp u; _ } -> Udp.rx_queued u > 0
-            | _ -> true
-          in
-          if readable then begin
-            incr ready;
-            Bytes.set_uint16_le b 6 1;
-            ignore (user_write proc ~vaddr:base b)
-          end)
-    done;
-    !ready
-  in
-  let deadline_us = int_arg args 2 * 1000 in
-  let start = Sim.Clock.now () in
-  let rec loop () =
-    let r = check () in
-    if r > 0 then ok r
-    else if
-      deadline_us >= 0
-      && Sim.Clock.to_us (Int64.sub (Sim.Clock.now ()) start) >= float_of_int deadline_us
-    then ok 0
-    else begin
-      Ostd.Task.sleep_us 2.0;
-      loop ()
-    end
-  in
-  loop ()
+  if nfds < 0 then err Errno.einval
+  else begin
+    (* ERR/HUP/NVAL are reported whether requested or not. *)
+    let always = Pollable.pollerr lor Pollable.pollhup lor Pollable.pollnval in
+    (* Parse the array and resolve every fd once (poll holds its file
+       references for the call's whole duration): a closed fd is
+       POLLNVAL, a negative one is ignored, a regular file is always
+       readable+writable. This is the per-call O(nfds) cost epoll
+       amortises away — each resolution charges an fd lookup. *)
+    let entries =
+      Array.init nfds (fun i ->
+          match user_read proc ~vaddr:(base + (8 * i)) ~len:8 with
+          | Error _ -> (-1, 0, `Static 0)
+          | Ok b ->
+            let fd = Int32.to_int (Bytes.get_int32_le b 0) in
+            let events = Bytes.get_uint16_le b 4 in
+            let src =
+              if fd < 0 then `Static 0
+              else
+                match File.Table.lookup (Process.fdt proc) fd with
+                | None -> `Static Pollable.pollnval
+                | Some f -> (
+                  match pollable_of_desc f.File.desc with
+                  | Some p -> `Pollable p
+                  | None -> (
+                    match f.File.desc with
+                    | File.Inode_file _ -> `Static (Pollable.pollin lor Pollable.pollout)
+                    | _ -> `Static 0))
+            in
+            (fd, events, src))
+    in
+    let revents_of (_, events, src) =
+      match src with
+      | `Static bits -> bits land (events lor always)
+      | `Pollable p -> Pollable.level p land (events lor always)
+    in
+    let scan () = Array.map revents_of entries in
+    let count revs = Array.fold_left (fun n r -> if r <> 0 then n + 1 else n) 0 revs in
+    let write_back revs =
+      let b = Bytes.create 8 in
+      Array.iteri
+        (fun i (fd, events, _) ->
+          Bytes.set_int32_le b 0 (Int32.of_int fd);
+          Bytes.set_uint16_le b 4 events;
+          Bytes.set_uint16_le b 6 revs.(i);
+          ignore (user_write proc ~vaddr:(base + (8 * i)) b))
+        entries
+    in
+    let timeout_ms = int_arg args 2 in
+    let deadline =
+      if timeout_ms < 0 then None
+      else
+        Some
+          (Int64.add (Sim.Clock.now ())
+             (Int64.of_int (Sim.Clock.us (float_of_int timeout_ms *. 1000.))))
+    in
+    (* Subscribe before the first scan so no edge can slip between
+       "level says not ready" and "blocked" (the sim never preempts
+       between the two, but the order costs nothing and reads right). *)
+    let wq = Ostd.Wait_queue.create () in
+    let subs =
+      Array.to_list entries
+      |> List.filter_map (fun (_, _, src) ->
+             match src with
+             | `Pollable p ->
+               Some (p, Pollable.attach p (fun _ -> ignore (Ostd.Wait_queue.wake_all wq : int)))
+             | `Static _ -> None)
+    in
+    let finish revs =
+      List.iter (fun (p, w) -> Pollable.detach p w) subs;
+      write_back revs;
+      ok (count revs)
+    in
+    let rec loop () =
+      let revs = scan () in
+      if count revs > 0 || timeout_ms = 0 then finish revs
+      else
+        match deadline with
+        | Some dl when Int64.compare (Sim.Clock.now ()) dl >= 0 -> finish revs
+        | Some dl ->
+          let me = Ostd.Task.current () in
+          let wheel = Timer_wheel.the () in
+          let tm = Timer_wheel.arm wheel ~deadline:dl (fun () -> Ostd.Task.wake me) in
+          Ostd.Wait_queue.sleep wq;
+          Timer_wheel.cancel wheel tm;
+          loop ()
+        | None ->
+          Ostd.Wait_queue.sleep wq;
+          loop ()
+    in
+    loop ()
+  end
+
+(* epoll_event on the wire: packed u32 events + u64 data (12 bytes),
+   the x86-64 layout. *)
+let epoll_event_size = 12
+
+let sys_epoll_create1 proc _args =
+  let e = Epoll.create () in
+  ok (File.Table.install (Process.fdt proc) (File.make (File.Epoll e) ~flags:0))
+
+let sys_epoll_ctl proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok epf -> (
+    match epf.File.desc with
+    | File.Epoll ep -> (
+      let op = int_arg args 1 in
+      let fd = int_arg args 2 in
+      match File.Table.lookup (Process.fdt proc) fd with
+      | None -> err Errno.ebadf
+      | Some tf ->
+        if tf == epf then err Errno.einval (* an epoll fd cannot watch itself *)
+        else if op = Epoll.op_del then (
+          match Epoll.ctl_del ep ~fd with Ok () -> ok 0 | Error e -> err e)
+        else (
+          match user_read proc ~vaddr:(int_arg args 3) ~len:epoll_event_size with
+          | Error e -> err e
+          | Ok b -> (
+            let events = Int32.to_int (Bytes.get_int32_le b 0) land 0xffffffff in
+            let data = Bytes.get_int64_le b 4 in
+            let res =
+              if op = Epoll.op_add then (
+                match pollable_of_desc tf.File.desc with
+                | None -> Error Errno.eperm (* regular files don't poll *)
+                | Some p -> Epoll.ctl_add ep ~fd ~pollable:p ~events ~data)
+              else if op = Epoll.op_mod then Epoll.ctl_mod ep ~fd ~events ~data
+              else Error Errno.einval
+            in
+            match res with Ok () -> ok 0 | Error e -> err e)))
+    | _ -> err Errno.einval)
+
+let sys_epoll_wait proc args =
+  match file_of proc args.(0) with
+  | Error e -> err e
+  | Ok epf -> (
+    match epf.File.desc with
+    | File.Epoll ep ->
+      let maxevents = int_arg args 2 in
+      if maxevents <= 0 then err Errno.einval
+      else begin
+        let timeout_ms = int_arg args 3 in
+        let timeout_cycles =
+          if timeout_ms < 0 then -1 else Sim.Clock.us (float_of_int timeout_ms *. 1000.)
+        in
+        let evs = Epoll.wait ep ~maxevents ~timeout_cycles in
+        let n = List.length evs in
+        if n = 0 then ok 0
+        else begin
+          let b = Bytes.create (epoll_event_size * n) in
+          List.iteri
+            (fun i (data, revents) ->
+              Bytes.set_int32_le b (epoll_event_size * i) (Int32.of_int revents);
+              Bytes.set_int64_le b ((epoll_event_size * i) + 4) data)
+            evs;
+          match user_write proc ~vaddr:(int_arg args 1) b with
+          | Ok () -> ok n
+          | Error e -> err e
+        end
+      end
+    | _ -> err Errno.einval)
 
 (* --- bpf(2)-lite probe surface ---
 
@@ -1403,6 +1575,10 @@ let register_all () =
   reg N.time sys_time;
   reg N.getrandom sys_getrandom;
   reg N.poll sys_poll;
+  reg N.epoll_create1 sys_epoll_create1;
+  reg N.epoll_ctl sys_epoll_ctl;
+  reg N.epoll_wait sys_epoll_wait;
+  reg N.accept4 sys_accept4;
   reg N.getrlimit const_ok;
   reg N.getrusage sys_getrusage;
   reg N.times sys_times;

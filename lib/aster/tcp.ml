@@ -96,7 +96,9 @@ and listener = {
   l_eng : engine;
   l_port : int;
   backlog : conn Queue.t;
+  l_backlog_max : int; (* listen(2) backlog cap; SYNs beyond it drop *)
   accept_wq : Ostd.Wait_queue.t;
+  l_pollable : Pollable.t; (* POLLIN while the accept queue is non-empty *)
 }
 
 and conn = {
@@ -133,6 +135,7 @@ and conn = {
   mutable rx_segments : int; (* data segments received on this connection *)
   mutable nodelay : bool; (* TCP_NODELAY: disable the Nagle hold *)
   mutable tx_soft_errors : int; (* driver gave up on a frame; RTO repairs it *)
+  pollable : Pollable.t; (* readiness seam: edges published below *)
 }
 
 let rto_cycles = Sim.Clock.us 40_000. (* 40 ms *)
@@ -198,6 +201,7 @@ let make_conn eng ~lip ~lport ~rip ~rport ~state =
     if p.Sim.Profile.tcp_gso || Netstack.is_host eng.stack then p.Sim.Profile.gso_max_size
     else mss
   in
+  let conn =
   {
     eng;
     lip;
@@ -230,7 +234,23 @@ let make_conn eng ~lip ~lport ~rip ~rport ~state =
     rx_segments = 0;
     nodelay = false;
     tx_soft_errors = 0;
+    pollable = Pollable.create (fun () -> 0);
   }
+  in
+  (* Level semantics (see DESIGN §4k): readable on buffered data, EOF
+     or reset; writable only while established with send-buffer space;
+     HUP/RDHUP on peer close; ERR on reset. *)
+  Pollable.set_level conn.pollable (fun () ->
+      (if Fifo.length conn.rcvbuf > 0 || conn.peer_fin || conn.reset then Pollable.pollin else 0)
+      lor (if conn.peer_fin then Pollable.pollrdhup lor Pollable.pollhup else 0)
+      lor (if conn.reset then Pollable.pollerr lor Pollable.pollhup else 0)
+      lor
+      if
+        conn.state = Established && (not conn.local_closed) && (not conn.reset)
+        && Fifo.length conn.txq < conn.sndbuf_cap
+      then Pollable.pollout
+      else 0);
+  conn
 
 let emit conn ?(flags = Packet.ack_flag) ?(seq = 0) ?(pins = []) payload =
   let p =
@@ -296,6 +316,7 @@ and on_rto conn =
 
 let try_transmit conn =
   if conn.state = Established || conn.state = Syn_rcvd then begin
+    let was_full = Fifo.length conn.txq >= conn.sndbuf_cap in
     let continue = ref true in
     while !continue do
       let w = effective_window conn in
@@ -331,7 +352,13 @@ let try_transmit conn =
     done;
     arm_rto conn;
     (* Space may have opened up for blocked senders. *)
-    if Fifo.length conn.txq < conn.sndbuf_cap then ignore (Ostd.Wait_queue.wake_all conn.snd_wq)
+    if Fifo.length conn.txq < conn.sndbuf_cap then begin
+      ignore (Ostd.Wait_queue.wake_all conn.snd_wq);
+      (* A full→space transition is the only genuine POLLOUT edge —
+         publishing on every ACK would hand ET consumers events with
+         no state change behind them. *)
+      if was_full then Pollable.publish conn.pollable Pollable.pollout
+    end
   end
 
 let maybe_send_fin conn =
@@ -387,7 +414,8 @@ let on_data conn (p : Packet.t) =
       Fifo.push conn.rcvbuf p.Packet.payload 0 len;
       conn.rcv_nxt <- conn.rcv_nxt + len;
       ack_after_data conn len;
-      ignore (Ostd.Wait_queue.wake_all conn.rcv_wq)
+      ignore (Ostd.Wait_queue.wake_all conn.rcv_wq);
+      Pollable.publish conn.pollable Pollable.pollin
     end
     else begin
       (* Duplicate or out-of-window: re-ack so the sender resynchronises. *)
@@ -410,20 +438,24 @@ let engine_rx eng (p : Packet.t) =
       Fifo.drain_pins conn.txq;
       ignore (Ostd.Wait_queue.wake_all conn.rcv_wq);
       ignore (Ostd.Wait_queue.wake_all conn.snd_wq);
-      ignore (Ostd.Wait_queue.wake_all conn.conn_wq)
+      ignore (Ostd.Wait_queue.wake_all conn.conn_wq);
+      Pollable.publish conn.pollable
+        (Pollable.pollin lor Pollable.pollerr lor Pollable.pollhup)
     end
     else begin
       (match conn.state with
       | Syn_sent when p.Packet.flags land Packet.syn <> 0 ->
         conn.state <- Established;
         send_pure_ack conn;
-        ignore (Ostd.Wait_queue.wake_all conn.conn_wq)
+        ignore (Ostd.Wait_queue.wake_all conn.conn_wq);
+        Pollable.publish conn.pollable Pollable.pollout
       | Syn_rcvd when p.Packet.flags land Packet.ack_flag <> 0 -> (
         conn.state <- Established;
         match Hashtbl.find_opt eng.listeners conn.lport with
         | Some l ->
           Queue.push conn l.backlog;
-          ignore (Ostd.Wait_queue.wake_one l.accept_wq)
+          ignore (Ostd.Wait_queue.wake_one l.accept_wq);
+          Pollable.publish l.l_pollable Pollable.pollin
         | None -> ())
       | _ -> ());
       if conn.state = Established || conn.state = Closed then begin
@@ -433,7 +465,9 @@ let engine_rx eng (p : Packet.t) =
           conn.peer_fin <- true;
           conn.rcv_nxt <- conn.rcv_nxt + 1;
           send_pure_ack conn;
-          ignore (Ostd.Wait_queue.wake_all conn.rcv_wq)
+          ignore (Ostd.Wait_queue.wake_all conn.rcv_wq);
+          Pollable.publish conn.pollable
+            (Pollable.pollin lor Pollable.pollhup lor Pollable.pollrdhup)
         end
       end
     end
@@ -441,6 +475,12 @@ let engine_rx eng (p : Packet.t) =
     (* No connection: a SYN may create one via a listener. *)
     if p.Packet.flags land Packet.syn <> 0 then begin
       match Hashtbl.find_opt eng.listeners p.Packet.dst_port with
+      | Some l when Queue.length l.backlog >= l.l_backlog_max ->
+        (* listen(2) backlog full: drop the SYN on the floor. The
+           client's handshake retransmit retries after an RTO, by which
+           time accept(2) has usually drained the queue — exactly how
+           Linux sheds an accept storm without RSTing it. *)
+        Sim.Stats.incr "tcp.listen_overflow"
       | Some _ ->
         let conn =
           make_conn eng ~lip:p.Packet.dst_ip ~lport:p.Packet.dst_port ~rip:p.Packet.src_ip
@@ -498,10 +538,21 @@ let create_engine stack ~cc =
 
 (* --- Public API --- *)
 
-let listen eng ~port =
+let listen ?(backlog = 128) eng ~port =
   if Hashtbl.mem eng.listeners port then Error Errno.eaddrinuse
   else begin
-    let l = { l_eng = eng; l_port = port; backlog = Queue.create (); accept_wq = Ostd.Wait_queue.create () } in
+    let l =
+      {
+        l_eng = eng;
+        l_port = port;
+        backlog = Queue.create ();
+        l_backlog_max = max 1 backlog;
+        accept_wq = Ostd.Wait_queue.create ();
+        l_pollable = Pollable.create (fun () -> 0);
+      }
+    in
+    Pollable.set_level l.l_pollable (fun () ->
+        if Queue.is_empty l.backlog then 0 else Pollable.pollin);
     Hashtbl.replace eng.listeners port l;
     Ok l
   end
@@ -511,6 +562,9 @@ let pending l = Queue.length l.backlog
 let accept l =
   Ostd.Wait_queue.sleep_until l.accept_wq (fun () -> not (Queue.is_empty l.backlog));
   Queue.pop l.backlog
+
+(* Non-blocking accept: the O_NONBLOCK / accept4 path. *)
+let accept_opt l = if Queue.is_empty l.backlog then None else Some (Queue.pop l.backlog)
 
 let connect eng ~dst_ip ~dst_port =
   Netstack.charge eng.stack (Sim.Cost.c ()).Sim.Profile.tcp_small_write;
@@ -545,10 +599,16 @@ let connect eng ~dst_ip ~dst_port =
   end
   else Ok conn
 
-let send ?(pins = []) conn ~buf ~pos ~len =
+let send ?(pins = []) ?(nonblock = false) conn ~buf ~pos ~len =
   if conn.reset || conn.local_closed then begin
     drop_pins pins;
     Error Errno.epipe
+  end
+  else if nonblock && Fifo.length conn.txq >= conn.sndbuf_cap then begin
+    (* O_NONBLOCK with a full send buffer: EAGAIN before charging the
+       small-write cost — the caller parks on POLLOUT instead. *)
+    drop_pins pins;
+    Error Errno.eagain
   end
   else begin
     (* The send-path cost of a small write (socket lock, segmentation
@@ -563,7 +623,10 @@ let send ?(pins = []) conn ~buf ~pos ~len =
        cut short (reset mid-send), the pins never attach and we release
        them here — [send] owns them unconditionally. *)
     let attached = ref false in
-    while !written < len && !err = None do
+    while
+      !written < len && !err = None
+      && not (nonblock && Fifo.length conn.txq >= conn.sndbuf_cap)
+    do
       Ostd.Wait_queue.sleep_until conn.snd_wq (fun () ->
           Fifo.length conn.txq < conn.sndbuf_cap || conn.reset);
       if conn.reset then err := Some Errno.epipe
@@ -581,8 +644,9 @@ let send ?(pins = []) conn ~buf ~pos ~len =
     match !err with Some e when !written = 0 -> Error e | _ -> Ok !written
   end
 
-let recv conn ~buf ~pos ~len =
+let recv ?(nonblock = false) conn ~buf ~pos ~len =
   if conn.reset then Error Errno.econnreset
+  else if nonblock && Fifo.length conn.rcvbuf = 0 && not conn.peer_fin then Error Errno.eagain
   else begin
     (* A receiver that must sleep pays the full wakeup path; streaming
        receivers find data ready and skip it. *)
@@ -610,6 +674,27 @@ let close conn =
        implementation would hold TIME_WAIT. *)
     if conn.state = Closed && conn.peer_fin then Hashtbl.remove conn.eng.conns (key conn)
   end
+
+(* SO_LINGER-0-style abortive close: fire an RST at the peer and tear
+   the local state down immediately. The chaos suite uses this to
+   inject resets mid-churn; the peer's readiness layer must surface
+   them as EPOLLERR|EPOLLHUP. *)
+let abort conn =
+  if not conn.reset then begin
+    emit conn ~flags:Packet.rst Bytes.empty;
+    conn.reset <- true;
+    conn.state <- Closed;
+    Fifo.drain_pins conn.txq;
+    Hashtbl.remove conn.eng.conns (key conn);
+    ignore (Ostd.Wait_queue.wake_all conn.rcv_wq);
+    ignore (Ostd.Wait_queue.wake_all conn.snd_wq);
+    ignore (Ostd.Wait_queue.wake_all conn.conn_wq);
+    Pollable.publish conn.pollable (Pollable.pollin lor Pollable.pollerr lor Pollable.pollhup)
+  end
+
+let pollable conn = conn.pollable
+
+let listener_pollable l = l.l_pollable
 
 let set_nodelay conn = conn.nodelay <- true
 

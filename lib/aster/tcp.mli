@@ -17,11 +17,17 @@ type listener
 
 val create_engine : Netstack.t -> cc:bool -> engine
 
-val listen : engine -> port:int -> (listener, int) result
-(** EADDRINUSE if the port is taken. *)
+val listen : ?backlog:int -> engine -> port:int -> (listener, int) result
+(** EADDRINUSE if the port is taken. [backlog] (default 128) caps the
+    accept queue: SYNs arriving while it is full are dropped (counted
+    as [tcp.listen_overflow]) and repaired by the client's handshake
+    retransmit. *)
 
 val accept : listener -> conn
 (** Block until a connection is established. *)
+
+val accept_opt : listener -> conn option
+(** Non-blocking accept: [None] when the accept queue is empty. *)
 
 val pending : listener -> int
 
@@ -29,7 +35,10 @@ val connect : engine -> dst_ip:int -> dst_port:int -> (conn, int) result
 (** Block until the handshake completes (ECONNREFUSED if nothing
     listens). *)
 
-val send : ?pins:Ostd.Frame.t list -> conn -> buf:bytes -> pos:int -> len:int -> (int, int) result
+val send :
+  ?pins:Ostd.Frame.t list ->
+  ?nonblock:bool ->
+  conn -> buf:bytes -> pos:int -> len:int -> (int, int) result
 (** Queue bytes; blocks while the send buffer is full. EPIPE after the
     peer reset or local close.
 
@@ -40,8 +49,9 @@ val send : ?pins:Ostd.Frame.t list -> conn -> buf:bytes -> pos:int -> len:int ->
     [net.zc_unpin]) when that packet's transmission resolves, or
     immediately on any error path. *)
 
-val recv : conn -> buf:bytes -> pos:int -> len:int -> (int, int) result
-(** Block until data arrives; 0 at end-of-stream. *)
+val recv : ?nonblock:bool -> conn -> buf:bytes -> pos:int -> len:int -> (int, int) result
+(** Block until data arrives; 0 at end-of-stream. [~nonblock:true]
+    returns EAGAIN instead of blocking on an empty buffer. *)
 
 val recv_available : conn -> int
 
@@ -50,6 +60,17 @@ val set_nodelay : conn -> unit
     them for in-flight data (what Redis and Nginx configure). *)
 
 val close : conn -> unit
+
+val abort : conn -> unit
+(** Abortive (SO_LINGER-0 style) close: RST the peer and tear down
+    immediately. The peer's readiness layer reports EPOLLERR|EPOLLHUP. *)
+
+val pollable : conn -> Pollable.t
+(** The connection's readiness seam; see DESIGN Â§4k for the level
+    semantics. *)
+
+val listener_pollable : listener -> Pollable.t
+(** POLLIN while the accept queue is non-empty. *)
 
 val peer_of : conn -> int * int
 (** Remote (ip, port). *)

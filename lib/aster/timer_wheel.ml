@@ -1,0 +1,252 @@
+(* Hashed hierarchical timer wheel (Varghese & Lauck), lazily driven
+   off the deterministic event heap.
+
+   Why not just `Sim.Events.schedule_at` per timeout?  Because the
+   dominant timer workload at connection scale is *churn*: every
+   `epoll_wait`/`poll` deadline and socket timeout is armed and then
+   cancelled moments later when readiness arrives first.  The event
+   heap pays O(log n) per insert and leaks lazily-cancelled entries
+   until their deadline drains; the wheel pays O(1) per arm/cancel and
+   materialises at most ONE heap entry — armed at the exact earliest
+   live deadline — no matter how many thousands of timers it holds.
+
+   Layout: [levels] levels of [slots] slots; one tick is 2^[shift]
+   cycles (~0.68 µs at 3000 cycles/µs), level l spans slots^(l+1)
+   ticks, so the whole wheel covers ~32^6 ticks ≈ 12 virtual minutes —
+   far beyond any simulated timeout (longer deadlines clamp into the
+   top level and simply cascade more than once; still correct).
+
+   Precision: timers remember their exact cycle deadline; slots only
+   decide *placement*.  The wheel's single heap event is armed at the
+   exact minimum live deadline, and a slot sweep fires only timers
+   whose deadline has truly arrived — so callbacks run at precisely
+   `deadline`, never rounded to a tick boundary.  Cancellation is
+   lazy: the timer is flagged and skipped when its slot is swept. *)
+
+let bits = 5
+let slots = 1 lsl bits (* 32 *)
+let levels = 6
+let shift = 11 (* 2048 cycles per tick *)
+
+type state = Armed | Fired | Cancelled
+
+type timer = {
+  deadline : int64; (* absolute cycles *)
+  seq : int; (* arm order; tie-break for equal deadlines *)
+  run : unit -> unit;
+  mutable state : state;
+}
+
+type t = {
+  wheel : timer list array array; (* wheel.(level).(slot), newest first *)
+  occ : int array; (* per-level slot-occupancy bitmask *)
+  mutable cur : int64; (* current tick (clock >> shift) *)
+  mutable live : int;
+  mutable seq : int;
+  mutable ev : Sim.Events.handle option; (* the one heap entry *)
+  mutable armed_at : int64; (* cycle the heap entry targets *)
+}
+
+let tick_of cycles = Int64.shift_right_logical cycles shift
+
+let create () =
+  {
+    wheel = Array.init levels (fun _ -> Array.make slots []);
+    occ = Array.make levels 0;
+    cur = tick_of (Sim.Clock.now ());
+    live = 0;
+    seq = 0;
+    ev = None;
+    armed_at = -1L;
+  }
+
+let live t = t.live
+
+(* Place a timer by its distance from the current tick: delta < 32^1
+   goes to level 0, < 32^2 to level 1, ... The slot index is the
+   timer's own tick sliced at that level, so a cascade can re-place it
+   without recomputing anything. *)
+let place t tm =
+  let tick =
+    let k = tick_of tm.deadline in
+    if Int64.compare k t.cur < 0 then t.cur else k
+  in
+  let delta = Int64.to_int (Int64.sub tick t.cur) in
+  let lvl =
+    let rec go l span =
+      if l >= levels - 1 || delta < span then l else go (l + 1) (span * slots)
+    in
+    go 0 slots
+  in
+  let idx = Int64.to_int (Int64.logand (Int64.shift_right_logical tick (bits * lvl)) 31L) in
+  t.wheel.(lvl).(idx) <- tm :: t.wheel.(lvl).(idx);
+  t.occ.(lvl) <- t.occ.(lvl) lor (1 lsl idx)
+
+(* Pull every timer out of a higher-level slot and re-place it; by the
+   time we cascade a slot, every armed timer in it re-places at a
+   strictly lower level (its delta shrank below the slot's span). *)
+let cascade t lvl idx =
+  if t.occ.(lvl) land (1 lsl idx) <> 0 then begin
+    let l = t.wheel.(lvl).(idx) in
+    t.wheel.(lvl).(idx) <- [];
+    t.occ.(lvl) <- t.occ.(lvl) land lnot (1 lsl idx);
+    List.iter
+      (fun tm ->
+        if tm.state = Armed then begin
+          Sim.Stats.incr "timer.cascaded";
+          place t tm
+        end)
+      l
+  end
+
+(* At a wrap boundary (cur ≡ 0 mod 32^l), pull level l's current slot
+   down — top level first so multi-level boundaries drain in one pass. *)
+let do_cascades t =
+  for lvl = levels - 1 downto 1 do
+    let span_mask = Int64.of_int ((1 lsl (bits * lvl)) - 1) in
+    if Int64.logand t.cur span_mask = 0L then
+      cascade t lvl (Int64.to_int (Int64.logand (Int64.shift_right_logical t.cur (bits * lvl)) 31L))
+  done
+
+(* Fire (in deadline, then arm order) every timer in a level-0 slot
+   whose deadline has arrived; keep the rest (future wraps of the same
+   slot, or sub-tick remainders of the current tick). *)
+let sweep_slot t ~now idx =
+  if t.occ.(0) land (1 lsl idx) <> 0 then begin
+    let due, keep =
+      List.partition
+        (fun tm -> tm.state = Armed && Int64.compare tm.deadline now <= 0)
+        t.wheel.(0).(idx)
+    in
+    let keep = List.filter (fun tm -> tm.state = Armed) keep in
+    t.wheel.(0).(idx) <- keep;
+    if keep = [] then t.occ.(0) <- t.occ.(0) land lnot (1 lsl idx);
+    let due =
+      List.sort
+        (fun a b ->
+          match Int64.compare a.deadline b.deadline with 0 -> compare a.seq b.seq | c -> c)
+        due
+    in
+    List.iter
+      (fun tm ->
+        tm.state <- Fired;
+        t.live <- t.live - 1;
+        Sim.Stats.incr "timer.fired";
+        tm.run ())
+      due
+  end
+
+let next_bit mask from =
+  let rec go i = if i >= slots then None else if mask land (1 lsl i) <> 0 then Some i else go (i + 1) in
+  go from
+
+(* Walk the wheel forward to the current clock tick, cascading at
+   boundaries and sweeping occupied level-0 slots as we pass them;
+   empty stretches are skipped via the occupancy bitmask. *)
+let advance t =
+  let now = Sim.Clock.now () in
+  let target = tick_of now in
+  while Int64.compare t.cur target < 0 do
+    let idx = Int64.to_int (Int64.logand t.cur 31L) in
+    if idx = 0 then do_cascades t;
+    sweep_slot t ~now idx;
+    let wrap_base = Int64.sub t.cur (Int64.of_int idx) in
+    let stop =
+      match next_bit t.occ.(0) (idx + 1) with
+      | Some j -> Int64.add wrap_base (Int64.of_int j)
+      | None -> Int64.add wrap_base 32L
+    in
+    t.cur <- (if Int64.compare stop target < 0 then stop else target)
+  done;
+  (* Settle the tick we landed on: a boundary we stopped exactly at
+     still needs its cascade, and sub-tick deadlines within the
+     current tick fire here (idempotent — swept slots are empty). *)
+  let idx = Int64.to_int (Int64.logand t.cur 31L) in
+  if idx = 0 then do_cascades t;
+  sweep_slot t ~now idx
+
+(* Earliest live deadline, scanning only occupied slots. O(occupied
+   slots + live timers) — called once per heap-event fire and on arms
+   that beat the current wakeup, not per tick. *)
+let min_deadline t =
+  if t.live = 0 then None
+  else begin
+    let best = ref Int64.max_int in
+    for lvl = 0 to levels - 1 do
+      if t.occ.(lvl) <> 0 then
+        for idx = 0 to slots - 1 do
+          if t.occ.(lvl) land (1 lsl idx) <> 0 then
+            List.iter
+              (fun tm ->
+                if tm.state = Armed && Int64.compare tm.deadline !best < 0 then best := tm.deadline)
+              t.wheel.(lvl).(idx)
+        done
+    done;
+    if Int64.compare !best Int64.max_int < 0 then Some !best else None
+  end
+
+(* Arm (or move) the single heap event so it fires at the exact
+   earliest live deadline. Arming at a deadline sitting in a high
+   level is still exact: [advance] cascades every boundary it crosses
+   on the way, so the timer is at level 0 by the time cur reaches it. *)
+let rec reprogram t =
+  match min_deadline t with
+  | None ->
+    (match t.ev with Some e -> Sim.Events.cancel e | None -> ());
+    t.ev <- None;
+    t.armed_at <- -1L
+  | Some dl ->
+    if t.ev = None || Int64.compare t.armed_at dl <> 0 then begin
+      (match t.ev with Some e -> Sim.Events.cancel e | None -> ());
+      let now = Sim.Clock.now () in
+      let at = if Int64.compare dl now < 0 then now else dl in
+      t.armed_at <- dl;
+      t.ev <-
+        Some
+          (Sim.Events.schedule_at at (fun () ->
+               t.ev <- None;
+               t.armed_at <- -1L;
+               advance t;
+               reprogram t))
+    end
+
+let arm t ~deadline run =
+  let tm = { deadline; seq = t.seq; run; state = Armed } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Sim.Stats.incr "timer.armed";
+  Sim.Cost.charge (Sim.Cost.c ()).Sim.Profile.timer_program;
+  place t tm;
+  (* Already-due deadlines still go through the heap (schedule at
+     `now`), so callbacks never run inside the caller's stack. *)
+  if t.ev = None || Int64.compare deadline t.armed_at < 0 then reprogram t;
+  tm
+
+let arm_after t ~cycles run =
+  let cycles = if cycles < 0 then 0 else cycles in
+  arm t ~deadline:(Int64.add (Sim.Clock.now ()) (Int64.of_int cycles)) run
+
+let cancel t tm =
+  if tm.state = Armed then begin
+    tm.state <- Cancelled;
+    t.live <- t.live - 1;
+    Sim.Stats.incr "timer.cancelled"
+  end
+  (* The slot entry and (possibly) the heap event drain lazily; a
+     spurious wheel wakeup sweeps nothing and re-arms at the next live
+     deadline. *)
+
+(* The kernel-wide wheel instance; reset at boot so stale state never
+   leaks across the many kernels a bench process boots in sequence
+   (the heap entry itself dies with Board.reset's Events.clear). *)
+let global : t option ref = ref None
+
+let the () =
+  match !global with
+  | Some w -> w
+  | None ->
+    let w = create () in
+    global := Some w;
+    w
+
+let reset_global () = global := None

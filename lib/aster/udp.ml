@@ -4,6 +4,7 @@ type socket = {
   rxq : (int * int * Bytes.t) Queue.t; (* src ip, src port, payload *)
   wq : Ostd.Wait_queue.t;
   mutable closed : bool;
+  pollable : Pollable.t; (* POLLIN on queued datagrams; always POLLOUT *)
 }
 
 and engine = {
@@ -20,7 +21,8 @@ let engine_rx eng (p : Packet.t) =
     if Queue.length sock.rxq < rx_limit then begin
       Netstack.charge eng.stack (Sim.Cost.c ()).Sim.Profile.udp_packet;
       Queue.push (p.Packet.src_ip, p.Packet.src_port, p.Packet.payload) sock.rxq;
-      ignore (Ostd.Wait_queue.wake_one sock.wq)
+      ignore (Ostd.Wait_queue.wake_one sock.wq);
+      Pollable.publish sock.pollable Pollable.pollin
     end
     else Sim.Stats.incr "udp.rx_dropped"
   | Some _ | None -> Sim.Stats.incr "udp.no_socket"
@@ -31,7 +33,25 @@ let create_engine stack =
   eng
 
 let socket eng =
-  { eng; port = None; rxq = Queue.create (); wq = Ostd.Wait_queue.create (); closed = false }
+  let sock =
+    {
+      eng;
+      port = None;
+      rxq = Queue.create ();
+      wq = Ostd.Wait_queue.create ();
+      closed = false;
+      pollable = Pollable.create (fun () -> 0);
+    }
+  in
+  Pollable.set_level sock.pollable (fun () ->
+      if sock.closed then Pollable.pollhup
+      else
+        (if Queue.is_empty sock.rxq then 0 else Pollable.pollin)
+        (* A UDP socket can always take another datagram. *)
+        lor Pollable.pollout);
+  sock
+
+let pollable sock = sock.pollable
 
 let bind sock ~port =
   if Hashtbl.mem sock.eng.by_port port then Error Errno.eaddrinuse
@@ -68,8 +88,9 @@ let sendto sock ~dst_ip ~dst_port ~buf ~pos ~len =
     Ok len
   end
 
-let recvfrom sock ~buf ~pos ~len =
+let recvfrom ?(nonblock = false) sock ~buf ~pos ~len =
   if sock.closed then Error Errno.ebadf
+  else if nonblock && Queue.is_empty sock.rxq then Error Errno.eagain
   else begin
     Ostd.Wait_queue.sleep_until sock.wq (fun () -> (not (Queue.is_empty sock.rxq)) || sock.closed);
     match Queue.take_opt sock.rxq with
@@ -86,5 +107,6 @@ let close sock =
   if not sock.closed then begin
     sock.closed <- true;
     (match sock.port with Some p -> Hashtbl.remove sock.eng.by_port p | None -> ());
-    ignore (Ostd.Wait_queue.wake_all sock.wq)
+    ignore (Ostd.Wait_queue.wake_all sock.wq);
+    Pollable.publish sock.pollable Pollable.pollhup
   end

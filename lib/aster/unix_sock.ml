@@ -7,9 +7,14 @@ type ring = {
   mutable closed : bool;
   rd_wq : Ostd.Wait_queue.t;
   wr_wq : Ostd.Wait_queue.t;
+  (* Readiness back-refs: the pollable of the endpoint that reads this
+     ring, and of the one that writes it. Set once at socketpair time
+     (the rings exist before the endpoints that share them). *)
+  mutable rd_pb : Pollable.t option;
+  mutable wr_pb : Pollable.t option;
 }
 
-type endpoint = { rx : ring; tx : ring }
+type endpoint = { rx : ring; tx : ring; ep_pollable : Pollable.t }
 
 let make_ring () =
   let cap = (Sim.Profile.get ()).Sim.Profile.unix_buffer in
@@ -20,11 +25,34 @@ let make_ring () =
     closed = false;
     rd_wq = Ostd.Wait_queue.create ();
     wr_wq = Ostd.Wait_queue.create ();
+    rd_pb = None;
+    wr_pb = None;
   }
+
+let publish_opt pb edge = match pb with Some p -> Pollable.publish p edge | None -> ()
+
+(* Readable on buffered bytes or EOF; HUP once either side closed
+   (close marks both rings); writable while open with space — the
+   Linux AF_UNIX poll contract. *)
+let endpoint_level ep () =
+  (if ep.rx.count > 0 || ep.rx.closed then Pollable.pollin else 0)
+  lor (if ep.rx.closed || ep.tx.closed then Pollable.pollhup lor Pollable.pollrdhup else 0)
+  lor
+  if (not ep.tx.closed) && ep.tx.count < Bytes.length ep.tx.buf then Pollable.pollout else 0
 
 let socketpair () =
   let a2b = make_ring () and b2a = make_ring () in
-  ({ rx = b2a; tx = a2b }, { rx = a2b; tx = b2a })
+  let a = { rx = b2a; tx = a2b; ep_pollable = Pollable.create (fun () -> 0) } in
+  let b = { rx = a2b; tx = b2a; ep_pollable = Pollable.create (fun () -> 0) } in
+  Pollable.set_level a.ep_pollable (endpoint_level a);
+  Pollable.set_level b.ep_pollable (endpoint_level b);
+  a2b.rd_pb <- Some b.ep_pollable;
+  a2b.wr_pb <- Some a.ep_pollable;
+  b2a.rd_pb <- Some a.ep_pollable;
+  b2a.wr_pb <- Some b.ep_pollable;
+  (a, b)
+
+let pollable ep = ep.ep_pollable
 
 let cap r = Bytes.length r.buf
 
@@ -52,34 +80,40 @@ let charge_op len =
      design moves bytes once (the syscall layer's user copy). *)
   if (Sim.Profile.get ()).Sim.Profile.unix_double_copy then Sim.Cost.charge_user_copy len
 
-let send ep ~buf ~pos ~len =
+let send ?(nonblock = false) ep ~buf ~pos ~len =
   let r = ep.tx in
   if r.closed then Error Errno.epipe
+  else if nonblock && r.count >= cap r then Error Errno.eagain
   else begin
     let written = ref 0 in
     let err = ref None in
-    while !written < len && !err = None do
+    while !written < len && !err = None && not (nonblock && r.count >= cap r) do
       Ostd.Wait_queue.sleep_until r.wr_wq (fun () -> r.count < cap r || r.closed);
       if r.closed then err := Some Errno.epipe
       else begin
         let n = push r buf (pos + !written) (len - !written) in
         charge_op n;
         written := !written + n;
-        ignore (Ostd.Wait_queue.wake_one r.rd_wq)
+        ignore (Ostd.Wait_queue.wake_one r.rd_wq);
+        publish_opt r.rd_pb Pollable.pollin
       end
     done;
     match !err with Some e when !written = 0 -> Error e | _ -> Ok !written
   end
 
-let recv ep ~buf ~pos ~len =
+let recv ?(nonblock = false) ep ~buf ~pos ~len =
   let r = ep.rx in
-  Ostd.Wait_queue.sleep_until r.rd_wq (fun () -> r.count > 0 || r.closed);
-  if r.count = 0 then Ok 0
+  if nonblock && r.count = 0 && not r.closed then Error Errno.eagain
   else begin
-    let n = pop r buf pos len in
-    charge_op n;
-    ignore (Ostd.Wait_queue.wake_one r.wr_wq);
-    Ok n
+    Ostd.Wait_queue.sleep_until r.rd_wq (fun () -> r.count > 0 || r.closed);
+    if r.count = 0 then Ok 0
+    else begin
+      let n = pop r buf pos len in
+      charge_op n;
+      ignore (Ostd.Wait_queue.wake_one r.wr_wq);
+      publish_opt r.wr_pb Pollable.pollout;
+      Ok n
+    end
   end
 
 let close ep =
@@ -88,7 +122,15 @@ let close ep =
   ignore (Ostd.Wait_queue.wake_all ep.tx.rd_wq);
   ignore (Ostd.Wait_queue.wake_all ep.tx.wr_wq);
   ignore (Ostd.Wait_queue.wake_all ep.rx.rd_wq);
-  ignore (Ostd.Wait_queue.wake_all ep.rx.wr_wq)
+  ignore (Ostd.Wait_queue.wake_all ep.rx.wr_wq);
+  (* Both endpoints see the edge: the peer's reader gets EOF/HUP, the
+     peer's writer gets its EPIPE-to-come, and our own registrations
+     (if any survive the fd close) observe the same. *)
+  let edge = Pollable.pollin lor Pollable.pollhup lor Pollable.pollrdhup in
+  publish_opt ep.tx.rd_pb edge;
+  publish_opt ep.tx.wr_pb edge;
+  publish_opt ep.rx.rd_pb edge;
+  publish_opt ep.rx.wr_pb edge
 
 let readable ep = ep.rx.count > 0 || ep.rx.closed
 
@@ -99,6 +141,7 @@ type listener = {
   backlog : endpoint Queue.t;
   wq : Ostd.Wait_queue.t;
   mutable open_ : bool;
+  l_pollable : Pollable.t;
 }
 
 let namespace : (string, listener) Hashtbl.t = Hashtbl.create 16
@@ -108,10 +151,22 @@ let reset_namespace () = Hashtbl.reset namespace
 let listen ~path =
   if Hashtbl.mem namespace path then Error Errno.eaddrinuse
   else begin
-    let l = { path; backlog = Queue.create (); wq = Ostd.Wait_queue.create (); open_ = true } in
+    let l =
+      {
+        path;
+        backlog = Queue.create ();
+        wq = Ostd.Wait_queue.create ();
+        open_ = true;
+        l_pollable = Pollable.create (fun () -> 0);
+      }
+    in
+    Pollable.set_level l.l_pollable (fun () ->
+        if Queue.is_empty l.backlog then 0 else Pollable.pollin);
     Hashtbl.replace namespace path l;
     Ok l
   end
+
+let listener_pollable l = l.l_pollable
 
 let connect ~path =
   match Hashtbl.find_opt namespace path with
@@ -119,12 +174,15 @@ let connect ~path =
     let client, server = socketpair () in
     Queue.push server l.backlog;
     ignore (Ostd.Wait_queue.wake_one l.wq);
+    Pollable.publish l.l_pollable Pollable.pollin;
     Ok client
   | Some _ | None -> Error Errno.econnrefused
 
 let accept l =
   Ostd.Wait_queue.sleep_until l.wq (fun () -> not (Queue.is_empty l.backlog));
   Queue.pop l.backlog
+
+let accept_opt l = if Queue.is_empty l.backlog then None else Some (Queue.pop l.backlog)
 
 let close_listener l =
   l.open_ <- false;

@@ -12,11 +12,20 @@ type listener
 val listen : path:string -> (listener, int) result
 val connect : path:string -> (endpoint, int) result
 val accept : listener -> endpoint
+
+(** Non-blocking accept: [None] when the backlog is empty. *)
+val accept_opt : listener -> endpoint option
 val close_listener : listener -> unit
 
-val send : endpoint -> buf:bytes -> pos:int -> len:int -> (int, int) result
-val recv : endpoint -> buf:bytes -> pos:int -> len:int -> (int, int) result
+val send : ?nonblock:bool -> endpoint -> buf:bytes -> pos:int -> len:int -> (int, int) result
+val recv : ?nonblock:bool -> endpoint -> buf:bytes -> pos:int -> len:int -> (int, int) result
 val close : endpoint -> unit
 val readable : endpoint -> bool
+
+val pollable : endpoint -> Pollable.t
+(** Endpoint readiness: POLLIN on buffered bytes or EOF, POLLOUT on
+    send-ring space, POLLHUP|POLLRDHUP once either side closed. *)
+
+val listener_pollable : listener -> Pollable.t
 
 val reset_namespace : unit -> unit

@@ -139,8 +139,9 @@ let test_poll_on_pipe () =
         | Error _ -> 1
         | Ok (rfd, wfd) ->
           (* pollfd { int fd; short events; short revents } *)
-          let pfd = Bytes.create 8 in
+          let pfd = Bytes.make 8 '\000' in
           Bytes.set_int32_le pfd 0 (Int32.of_int rfd);
+          Bytes.set_uint16_le pfd 4 1 (* POLLIN: poll honours the events mask *);
           let pfd_ptr = Apps.Libc.put_bytes c pfd in
           (* Nothing readable yet: expect timeout -> 0 ready. *)
           let r0 =
@@ -387,7 +388,7 @@ let test_lmbench_spot () =
 let test_nginx_smoke () =
   let k = boot () in
   let host = Aster.Kernel.attach_host k in
-  Apps.Mini_nginx.spawn ~requests:60 ~sizes:[ ("f", 4096) ];
+  Apps.Mini_nginx.spawn ~requests:60 ~sizes:[ ("f", 4096) ] ();
   let out = ref None in
   Apps.Ab.run ~host ~path:"/f" ~concurrency:8 ~requests:60 ~on_done:(fun r -> out := Some r);
   Aster.Kernel.run ();
